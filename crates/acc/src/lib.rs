@@ -1,0 +1,20 @@
+//! # impacc-acc — simulated accelerators
+//!
+//! The accelerator substrate of the IMPACC reproduction: simulated CUDA
+//! GPUs, OpenCL MICs and CPU-as-accelerator devices with
+//!
+//! * device memory allocation inside the node's unified address space
+//!   (raw device pointers for CUDA, handle+shadow mapping for OpenCL, §3.4),
+//! * in-order [`ActivityQueue`]s served by daemon actors (OpenACC `async`
+//!   queues, and the carrier for IMPACC's *unified activity queue*, §3.6),
+//! * analytically-timed copies and kernels whose **data effects are real**
+//!   (bytes move, kernel closures compute) while durations come from the
+//!   machine cost model.
+
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod queue;
+
+pub use device::{tags, DevAlloc, Device};
+pub use queue::ActivityQueue;

@@ -1,0 +1,145 @@
+//! Criterion micro-benchmarks for the core data structures: present-table
+//! lookups, the lock-free MPSC command queue, heap-table operations, the
+//! MPI matching engine, and the raw DES event rate.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use impacc_core::MpscQueue;
+use impacc_mem::{AddressSpace, DevPtr, MemSpace, NodeHeap, PresentEntry, PresentTable};
+use impacc_vtime::{Sim, SimDur};
+
+fn bench_present_table(c: &mut Criterion) {
+    let space = AddressSpace::new(1 << 40, Some(0));
+    space.register_space(MemSpace::Device(0), 1 << 40);
+    let table = PresentTable::new();
+    let mut addrs = Vec::new();
+    for _ in 0..1024 {
+        let host = space.alloc(MemSpace::Host, 4096).unwrap();
+        let dev = space.alloc(MemSpace::Device(0), 4096).unwrap();
+        addrs.push((host.addr, dev.addr));
+        table.insert(PresentEntry {
+            host_addr: host.addr,
+            len: 4096,
+            dev: DevPtr::Cuda { addr: dev.addr },
+            dev_region: dev,
+        });
+    }
+    let mut i = 0;
+    c.bench_function("present_table/find_by_host (1024 entries)", |b| {
+        b.iter(|| {
+            i = (i + 7) % addrs.len();
+            black_box(table.find_by_host(addrs[i].0.offset(100)))
+        })
+    });
+    c.bench_function("present_table/find_by_dev (1024 entries)", |b| {
+        b.iter(|| {
+            i = (i + 7) % addrs.len();
+            black_box(table.find_by_dev(addrs[i].1.offset(100)))
+        })
+    });
+}
+
+fn bench_mpsc(c: &mut Criterion) {
+    c.bench_function("mpsc/push+pop", |b| {
+        let q: MpscQueue<u64> = MpscQueue::new();
+        b.iter(|| {
+            q.push(black_box(42));
+            black_box(q.pop())
+        })
+    });
+    c.bench_function("mpsc/push+pop batch of 64", |b| {
+        let q: MpscQueue<u64> = MpscQueue::new();
+        b.iter(|| {
+            for i in 0..64 {
+                q.push(i);
+            }
+            let mut sum = 0;
+            while let Some(v) = q.pop() {
+                sum += v;
+            }
+            black_box(sum)
+        })
+    });
+}
+
+fn bench_heap_table(c: &mut Criterion) {
+    c.bench_function("heap/malloc+free", |b| {
+        let space = AddressSpace::new(1 << 40, Some(0));
+        let heap = NodeHeap::new();
+        b.iter(|| {
+            let p = heap.malloc(&space, 4096).unwrap();
+            heap.free(&space, p).unwrap()
+        })
+    });
+    c.bench_function("heap/alias cycle", |b| {
+        let space = AddressSpace::new(1 << 40, Some(0));
+        let heap = NodeHeap::new();
+        b.iter(|| {
+            let src = heap.malloc(&space, 4096).unwrap();
+            let dst = heap.malloc(&space, 1024).unwrap();
+            let target = heap.deref(src).unwrap().offset(512);
+            heap.alias(&space, dst, target).unwrap();
+            heap.free(&space, dst).unwrap();
+            heap.free(&space, src).unwrap();
+        })
+    });
+}
+
+fn bench_engine(c: &mut Criterion) {
+    c.bench_function("des/1000 events, 2 actors", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new();
+            for name in ["a", "b"] {
+                sim.spawn(name, |ctx| {
+                    for _ in 0..250 {
+                        ctx.advance(SimDur::from_ns(10), "w");
+                    }
+                });
+            }
+            black_box(sim.run().unwrap().events)
+        })
+    });
+}
+
+fn bench_matching(c: &mut Criterion) {
+    use impacc_machine::{presets, ClusterResources};
+    use impacc_mpi::{Comm, MpiTask, MsgBuf, SysMpi};
+    use std::sync::Arc;
+
+    c.bench_function("sysmpi/100 ping-pongs", |b| {
+        b.iter(|| {
+            let res = Arc::new(ClusterResources::new(Arc::new(presets::test_cluster(2, 1))));
+            let sys = SysMpi::new(res, vec![0, 1]);
+            let world = Comm::world(2);
+            let mut sim = Sim::new();
+            for r in 0..2u32 {
+                let sys = sys.clone();
+                let world = world.clone();
+                sim.spawn(format!("rank{r}"), move |ctx| {
+                    let ep = MpiTask::new(sys, r);
+                    let buf = MsgBuf::host(impacc_mem::Backing::new(64, None), 0, 64);
+                    for i in 0..100 {
+                        if r == 0 {
+                            ep.send(ctx, &buf, 1, i, &world);
+                            ep.recv(ctx, &buf, Some(1), Some(i), &world);
+                        } else {
+                            ep.recv(ctx, &buf, Some(0), Some(i), &world);
+                            ep.send(ctx, &buf, 0, i, &world);
+                        }
+                    }
+                });
+            }
+            black_box(sim.run().unwrap().end_time)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_present_table,
+    bench_mpsc,
+    bench_heap_table,
+    bench_engine,
+    bench_matching
+);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! See `impacc_bench::ablations`.
+fn main() {
+    println!("{}", impacc_bench::ablations::run());
+}

@@ -1,0 +1,4 @@
+//! See `impacc_bench::fig10::run_fig11`.
+fn main() {
+    println!("{}", impacc_bench::fig10::run_fig11());
+}

@@ -1,0 +1,4 @@
+//! See `impacc_bench::fig13::run_fig14`.
+fn main() {
+    println!("{}", impacc_bench::fig13::run_fig14());
+}

@@ -1,0 +1,4 @@
+//! See `impacc_bench::fig15`.
+fn main() {
+    println!("{}", impacc_bench::fig15::run());
+}

@@ -1,0 +1,4 @@
+//! See `impacc_bench::fig5`.
+fn main() {
+    println!("{}", impacc_bench::fig5::run());
+}

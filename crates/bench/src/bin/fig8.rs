@@ -1,0 +1,4 @@
+//! See `impacc_bench::fig8`.
+fn main() {
+    println!("{}", impacc_bench::fig8::run());
+}

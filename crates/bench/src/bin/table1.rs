@@ -1,0 +1,5 @@
+//! Table 1: the target heterogeneous accelerator systems.
+fn main() {
+    println!("Table 1: target systems (as modelled)\n");
+    println!("{}", impacc_machine::presets::table1());
+}

@@ -1,0 +1,184 @@
+//! Figures 10 & 11 — DGEMM strong scaling and execution-time breakdown.
+//!
+//! Figure 10: speedup over the MPI+OpenACC single-task run, for
+//! (a–d) PSG with 1K–8K matrices and 1–8 tasks, (e) Beacon up to 128
+//! tasks, (f) Titan with 24K matrices from 128 tasks up.
+//!
+//! Figure 11 reuses the PSG runs: normalized execution-time breakdown
+//! (kernel / device copies / communication) per configuration.
+//!
+//! Paper's shape: the baseline stops scaling (or regresses) on small
+//! matrices where communication dominates; IMPACC keeps scaling thanks to
+//! aliasing + fused copies + the unified queue; on Titan both degrade
+//! past 1024 nodes with IMPACC up to ~1.6× ahead.
+
+use impacc_apps::{run_dgemm, DgemmParams};
+use impacc_core::{RunSummary, RuntimeOptions};
+
+use crate::specs::{beacon_tasks, psg_tasks, titan_tasks};
+use crate::util::{comm_secs, copy_secs, full, kernel_secs, quick, Table};
+
+fn dgemm(spec: impacc_machine::MachineSpec, opts: RuntimeOptions, n: usize) -> RunSummary {
+    run_dgemm(
+        spec,
+        opts,
+        Some(4096),
+        DgemmParams { n, verify: false },
+    )
+    .expect("dgemm run")
+}
+
+/// The PSG matrix sizes for panels (a)–(d).
+pub fn psg_sizes() -> Vec<usize> {
+    if quick() {
+        vec![1024, 2048]
+    } else {
+        vec![1024, 2048, 4096, 8192]
+    }
+}
+
+/// Run Figure 10; returns the rendered report.
+pub fn run() -> String {
+    let mut out = String::new();
+    out.push_str("Figure 10: DGEMM strong scaling (speedup over MPI+OpenACC 1-task)\n\n");
+
+    // (a)-(d) PSG.
+    for n in psg_sizes() {
+        let base1 = dgemm(psg_tasks(1), RuntimeOptions::baseline(), n).elapsed_secs();
+        let mut t = Table::new(&["tasks", "IMPACC", "MPI+OpenACC"]);
+        for tasks in [1usize, 2, 4, 8] {
+            let i = dgemm(psg_tasks(tasks), RuntimeOptions::impacc(), n).elapsed_secs();
+            let b = dgemm(psg_tasks(tasks), RuntimeOptions::baseline(), n).elapsed_secs();
+            t.row(vec![
+                tasks.to_string(),
+                format!("{:.2}x", base1 / i),
+                format!("{:.2}x", base1 / b),
+            ]);
+        }
+        out.push_str(&format!("PSG, {0}x{0}:\n{1}\n", n, t.render()));
+    }
+
+    // (e) Beacon.
+    let n = if quick() { 1024 } else { 4096 };
+    let base1 = dgemm(beacon_tasks(1), RuntimeOptions::baseline(), n).elapsed_secs();
+    let mut t = Table::new(&["tasks", "IMPACC", "MPI+OpenACC"]);
+    let beacon_counts: Vec<usize> = if quick() {
+        vec![1, 4, 16]
+    } else {
+        vec![1, 2, 4, 8, 16, 32, 64, 128]
+    };
+    for tasks in beacon_counts {
+        let i = dgemm(beacon_tasks(tasks), RuntimeOptions::impacc(), n).elapsed_secs();
+        let b = dgemm(beacon_tasks(tasks), RuntimeOptions::baseline(), n).elapsed_secs();
+        t.row(vec![
+            tasks.to_string(),
+            format!("{:.2}x", base1 / i),
+            format!("{:.2}x", base1 / b),
+        ]);
+    }
+    out.push_str(&format!("Beacon, {0}x{0}:\n{1}\n", n, t.render()));
+
+    // (f) Titan, 24K x 24K, normalized to the 128-task baseline.
+    let n = if quick() { 4096 } else { 24576 };
+    let titan_counts: Vec<usize> = if quick() {
+        vec![128, 256]
+    } else if full() {
+        vec![128, 256, 512, 1024, 2048, 4096, 8192]
+    } else {
+        vec![128, 256, 512, 1024, 2048]
+    };
+    let base128 = dgemm(titan_tasks(titan_counts[0]), RuntimeOptions::baseline(), n).elapsed_secs();
+    let mut t = Table::new(&["tasks", "IMPACC", "MPI+OpenACC", "IMPACC/MPI+X"]);
+    for tasks in titan_counts {
+        let i = dgemm(titan_tasks(tasks), RuntimeOptions::impacc(), n).elapsed_secs();
+        let b = dgemm(titan_tasks(tasks), RuntimeOptions::baseline(), n).elapsed_secs();
+        t.row(vec![
+            tasks.to_string(),
+            format!("{:.2}x", base128 / i),
+            format!("{:.2}x", base128 / b),
+            format!("{:.2}x", b / i),
+        ]);
+    }
+    out.push_str(&format!("Titan, {0}x{0} (normalized to 128-task MPI+X):\n{1}\n", n, t.render()));
+
+    out.push_str(
+        "paper: baseline degrades on small PSG matrices while IMPACC scales;\n\
+         IMPACC pulls ahead from 32 Beacon tasks; on Titan both degrade past\n\
+         1024 nodes, IMPACC up to ~1.6x ahead at 1024.\n",
+    );
+    out
+}
+
+/// Run Figure 11 (execution-time breakdown on PSG).
+pub fn run_fig11() -> String {
+    let mut out = String::new();
+    out.push_str(
+        "Figure 11: DGEMM execution-time breakdown on PSG\n\
+         (seconds of aggregate activity; normalized to the MPI+X 1-task total per size)\n\n",
+    );
+    for n in psg_sizes() {
+        let base_total = {
+            let s = dgemm(psg_tasks(1), RuntimeOptions::baseline(), n);
+            s.elapsed_secs()
+        };
+        let mut t = Table::new(&[
+            "tasks", "runtime", "kernel", "copies", "comm", "total(norm)",
+        ]);
+        for tasks in [1usize, 2, 4, 8] {
+            for (label, opts) in [
+                ("IMPACC", RuntimeOptions::impacc()),
+                ("MPI+X", RuntimeOptions::baseline()),
+            ] {
+                let s = dgemm(psg_tasks(tasks), opts, n);
+                t.row(vec![
+                    tasks.to_string(),
+                    label.into(),
+                    format!("{:.4}", kernel_secs(&s)),
+                    format!("{:.4}", copy_secs(&s)),
+                    format!("{:.4}", comm_secs(&s)),
+                    format!("{:.2}", s.elapsed_secs() / base_total),
+                ]);
+            }
+        }
+        out.push_str(&format!("PSG, {0}x{0}:\n{1}\n", n, t.render()));
+    }
+    out.push_str(
+        "paper: IMPACC dramatically reduces communication time for small\n\
+         matrices; kernels dominate (and hide communication) at 8K.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn impacc_scales_where_baseline_stalls_small_psg() {
+        let n = 512;
+        let b1 = dgemm(psg_tasks(1), RuntimeOptions::baseline(), n).elapsed_secs();
+        let b8 = dgemm(psg_tasks(8), RuntimeOptions::baseline(), n).elapsed_secs();
+        let i8 = dgemm(psg_tasks(8), RuntimeOptions::impacc(), n).elapsed_secs();
+        let impacc_speedup = b1 / i8;
+        let baseline_speedup = b1 / b8;
+        assert!(
+            impacc_speedup > baseline_speedup,
+            "IMPACC {impacc_speedup:.2}x vs baseline {baseline_speedup:.2}x"
+        );
+    }
+
+    #[test]
+    fn gap_narrows_as_matrices_grow() {
+        // Kernel time grows as n^3 while communication grows as n^2, so
+        // the baseline's disadvantage must shrink with n (Figure 10/11).
+        let ratio_at = |n: usize| {
+            let i = dgemm(psg_tasks(4), RuntimeOptions::impacc(), n).elapsed_secs();
+            let b = dgemm(psg_tasks(4), RuntimeOptions::baseline(), n).elapsed_secs();
+            b / i
+        };
+        let small = ratio_at(512);
+        let large = ratio_at(8192);
+        assert!(small > large, "gap must narrow: {small:.2} -> {large:.2}");
+        assert!(large < 2.0, "8K should be kernel-dominated: {large:.2}");
+    }
+}

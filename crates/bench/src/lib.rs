@@ -1,0 +1,22 @@
+//! # impacc-bench — the paper's evaluation, reproduced
+//!
+//! One module per table/figure of §4; each exposes a `run()` that returns
+//! the rendered report, and a thin binary under `src/bin/` prints it.
+//! `cargo run -p impacc-bench --release --bin all_figures` regenerates
+//! everything (EXPERIMENTS.md records the output).
+//!
+//! Environment switches: `IMPACC_BENCH_QUICK=1` trims sweeps;
+//! `IMPACC_BENCH_FULL=1` unlocks the 4096/8192-task Titan points.
+
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod fig10;
+pub mod fig5;
+pub mod fig12;
+pub mod fig13;
+pub mod fig15;
+pub mod fig8;
+pub mod fig9;
+pub mod specs;
+pub mod util;

@@ -1,0 +1,159 @@
+//! Shared harness utilities: sweeps, tables, measurement helpers.
+
+use std::sync::Arc;
+
+use impacc_core::RunSummary;
+use parking_lot::Mutex;
+
+/// Quick mode trims sweeps for CI (`IMPACC_BENCH_QUICK=1`).
+pub fn quick() -> bool {
+    std::env::var("IMPACC_BENCH_QUICK").map_or(false, |v| v == "1")
+}
+
+/// Full mode unlocks the largest Titan-scale points
+/// (`IMPACC_BENCH_FULL=1`); they spawn tens of thousands of actor threads.
+pub fn full() -> bool {
+    std::env::var("IMPACC_BENCH_FULL").map_or(false, |v| v == "1")
+}
+
+/// Geometric size sweep `[from, to]` multiplying by `factor`.
+pub fn size_sweep(from: u64, to: u64, factor: u64) -> Vec<u64> {
+    let mut v = Vec::new();
+    let mut s = from;
+    while s <= to {
+        v.push(s);
+        s *= factor;
+    }
+    v
+}
+
+/// Bytes/second over a span, in GB/s.
+pub fn gbps(bytes: u64, secs: f64) -> f64 {
+    bytes as f64 / secs / 1e9
+}
+
+/// Human-readable byte count for table headers.
+pub fn fmt_bytes(b: u64) -> String {
+    if b >= 1 << 30 {
+        format!("{}GiB", b >> 30)
+    } else if b >= 1 << 20 {
+        format!("{}MiB", b >> 20)
+    } else if b >= 1 << 10 {
+        format!("{}KiB", b >> 10)
+    } else {
+        format!("{b}B")
+    }
+}
+
+/// A simple aligned text table.
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with the given column headers.
+    pub fn new(header: &[&str]) -> Table {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header arity).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len());
+        self.rows.push(cells);
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A shared slot apps write per-run measurements into.
+pub type Probe<T> = Arc<Mutex<Option<T>>>;
+
+/// A fresh probe.
+pub fn probe<T>() -> Probe<T> {
+    Arc::new(Mutex::new(None))
+}
+
+/// Communication time of a run: MPI call/wait time across actors plus
+/// host-to-host transfer time.
+pub fn comm_secs(s: &RunSummary) -> f64 {
+    ["mpi_call", "handler"]
+        .iter()
+        .map(|t| s.report.tag_total(t).as_secs_f64())
+        .sum::<f64>()
+        + metric_secs(s, "t_HtoH")
+}
+
+/// Picoseconds recorded under a `t_*` copy-time metric, as seconds.
+pub fn metric_secs(s: &RunSummary, key: &'static str) -> f64 {
+    s.report.metrics.get(key).copied().unwrap_or(0) as f64 / 1e12
+}
+
+/// Total device-copy time (all PCIe directions), aggregated across task
+/// threads, queue daemons and the message handlers.
+pub fn copy_secs(s: &RunSummary) -> f64 {
+    metric_secs(s, "t_HtoD") + metric_secs(s, "t_DtoH") + metric_secs(s, "t_DtoD")
+}
+
+/// Total kernel time, summed over actors.
+pub fn kernel_secs(s: &RunSummary) -> f64 {
+    s.report.tag_total("kernel").as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_is_geometric_inclusive() {
+        assert_eq!(size_sweep(64, 4096, 4), vec![64, 256, 1024, 4096]);
+        assert_eq!(size_sweep(8, 8, 2), vec![8]);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["size", "GB/s"]);
+        t.row(vec!["64B".into(), "1.5".into()]);
+        t.row(vec!["1GiB".into(), "11.9".into()]);
+        let s = t.render();
+        assert!(s.contains("size"));
+        assert!(s.lines().count() == 4);
+    }
+
+    #[test]
+    fn byte_formatting() {
+        assert_eq!(fmt_bytes(64), "64B");
+        assert_eq!(fmt_bytes(2048), "2KiB");
+        assert_eq!(fmt_bytes(3 << 20), "3MiB");
+        assert_eq!(fmt_bytes(1 << 30), "1GiB");
+    }
+}

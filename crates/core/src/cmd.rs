@@ -1,0 +1,155 @@
+//! Message commands exchanged between task threads and the node's message
+//! handler thread (§3.7).
+
+use std::sync::Arc;
+
+use impacc_mem::{Backing, HeapPtr, VirtAddr};
+use impacc_mpi::{BufLoc, Request, Status};
+use impacc_vtime::{Ctx, Latch, SimTime};
+
+use parking_lot::Mutex;
+
+/// A completion handle that carries the operation's virtual completion
+/// *instant*: the message handler issues fused copies asynchronously
+/// (`cuMemcpyAsync` + callback in the real runtime) and never blocks on
+/// them, so the waiter — not the handler — advances to the completion
+/// time.
+#[derive(Clone, Default)]
+pub struct TimedDone {
+    latch: Latch,
+    at: Arc<Mutex<Option<SimTime>>>,
+}
+
+impl TimedDone {
+    /// A fresh, incomplete handle.
+    pub fn new() -> TimedDone {
+        TimedDone::default()
+    }
+
+    /// Mark complete at instant `t` (may be in the virtual future).
+    pub fn complete(&self, ctx: &Ctx, t: SimTime) {
+        *self.at.lock() = Some(t);
+        self.latch.open(ctx);
+    }
+
+    /// Block the calling actor until the completion instant.
+    pub fn wait(&self, ctx: &Ctx) {
+        self.latch.wait(ctx, impacc_mpi::tags::MPI_WAIT);
+        let t = self.at.lock().expect("latch open implies time set");
+        ctx.advance_until(t, impacc_mpi::tags::MPI_WAIT);
+    }
+
+    /// Completed and past its completion instant?
+    pub fn test(&self, ctx: &Ctx) -> bool {
+        self.latch.is_open()
+            && self
+                .at
+                .lock()
+                .map(|t| ctx.now() >= t)
+                .unwrap_or(false)
+    }
+}
+
+/// Heap provenance of a host buffer, carried so the handler can check the
+/// node-heap-aliasing requirements (§3.8).
+#[derive(Clone, Debug)]
+pub struct HeapRef {
+    /// The pointer variable the application passed (re-aimable).
+    pub ptr: HeapPtr,
+    /// Current address of the buffer view's first byte.
+    pub addr: VirtAddr,
+    /// Start address of the containing heap region.
+    pub region_start: VirtAddr,
+    /// Length of the containing heap region.
+    pub region_len: u64,
+}
+
+/// A send or receive buffer resolved to storage + path information.
+#[derive(Clone)]
+pub struct ResolvedBuf {
+    /// The bytes.
+    pub backing: Arc<Backing>,
+    /// Byte offset of the view within the backing.
+    pub off: u64,
+    /// View length in bytes.
+    pub len: u64,
+    /// Host or device residency (device index is node-local).
+    pub loc: BufLoc,
+    /// Whether the owning task is pinned on the far socket from the
+    /// device (selects the NUMA-unfriendly PCIe path for fused copies).
+    pub far: bool,
+    /// Host-heap provenance, when the buffer is heap memory.
+    pub heap: Option<HeapRef>,
+}
+
+impl std::fmt::Debug for ResolvedBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ResolvedBuf({} B @ {} {:?}{})",
+            self.len,
+            self.off,
+            self.loc,
+            if self.heap.is_some() { ", heap" } else { "" }
+        )
+    }
+}
+
+/// Direction of a message command.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum CmdKind {
+    /// An `MPI_Send`-side command.
+    Send,
+    /// An `MPI_Recv`-side command.
+    Recv,
+}
+
+/// One entry of the intra-node message queue.
+pub struct MsgCmd {
+    /// Send or receive side.
+    pub kind: CmdKind,
+    /// Global rank of the sender.
+    pub src: u32,
+    /// Communicator-relative rank of the sender (for the receive status).
+    pub src_rel: u32,
+    /// Global rank of the receiver.
+    pub dst: u32,
+    /// Message tag (exact; the unified intra-node path has no wildcards).
+    pub tag: i32,
+    /// Communicator id.
+    pub comm_id: u64,
+    /// The buffer.
+    pub buf: ResolvedBuf,
+    /// `readonly` attribute from the IMPACC directive (§3.8 requirement 3).
+    pub readonly: bool,
+    /// Completes when the task's side of the operation is complete.
+    pub done: TimedDone,
+    /// Receive status slot (filled by the handler for `Recv` commands).
+    pub status: Arc<Mutex<Option<Status>>>,
+}
+
+/// Matching key for intra-node commands: FIFO per (comm, src, dst, tag).
+pub type MatchKey = (u64, u32, u32, i32);
+
+impl MsgCmd {
+    /// The FIFO bucket this command matches within.
+    pub fn key(&self) -> MatchKey {
+        (self.comm_id, self.src, self.dst, self.tag)
+    }
+}
+
+/// One entry of the pending internode message queue: a receive whose
+/// network half (into pre-pinned host staging) is in flight and whose
+/// device half (HtoD) the handler issues upon completion (§3.7).
+pub struct PendingRecv {
+    /// The in-flight system-MPI receive into `staging`.
+    pub req: Request,
+    /// Pre-pinned host bounce buffer.
+    pub staging: Arc<Backing>,
+    /// Final device destination.
+    pub dev_buf: ResolvedBuf,
+    /// Completes when the data is in device memory.
+    pub done: TimedDone,
+    /// Receive status slot.
+    pub status: Arc<Mutex<Option<Status>>>,
+}

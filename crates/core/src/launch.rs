@@ -1,0 +1,401 @@
+//! The IMPACC launcher: automatic task-device mapping and job start-up.
+//!
+//! Under the legacy model the user supplies the MPI task count and each
+//! task picks its device with `acc_set_device_num()`. Under IMPACC (§3.2,
+//! Figure 2) the user supplies only the machine (node list) and optionally
+//! a device-type filter (`IMPACC_ACC_DEVICE_TYPE`); the runtime creates
+//! one task per matching accelerator — falling back to the node's CPU
+//! cores when a node has no matching discrete accelerator — pins each task
+//! near its device (§3.3), and starts the per-node message handler.
+//!
+//! The same launcher also runs the baseline model (per-task private
+//! address spaces, no handler, round-robin OS placement) so experiments
+//! compare both runtimes over identical hardware and applications.
+
+use std::sync::Arc;
+
+use impacc_acc::Device;
+use impacc_machine::{ClusterResources, DeviceKind, DeviceSpec, DeviceTypeMask, MachineSpec};
+use impacc_mem::{AddressSpace, NodeHeap};
+use impacc_mpi::{Comm, MpiTask, SysMpi};
+use impacc_vtime::{Sim, SimConfig, SimError, SimReport};
+
+use crate::handler::NodeHandler;
+use crate::mode::RuntimeOptions;
+use crate::task::{CommCore, TaskCtx, TaskSeed};
+
+/// Where one task landed: the output of automatic task-device mapping.
+#[derive(Clone, Debug)]
+pub struct TaskInfo {
+    /// World rank.
+    pub rank: u32,
+    /// Node index.
+    pub node: usize,
+    /// Local device index within the node.
+    pub dev_idx: usize,
+    /// Device kind.
+    pub kind: DeviceKind,
+    /// Socket the task thread is pinned on.
+    pub socket: usize,
+    /// Whether that socket is far from the device (NUMA-unfriendly).
+    pub far: bool,
+}
+
+/// Result of a completed run.
+#[derive(Debug)]
+pub struct RunSummary {
+    /// Engine report: end time, per-actor tagged accounting, metrics.
+    pub report: SimReport,
+    /// The task-device mapping that was used.
+    pub tasks: Vec<TaskInfo>,
+}
+
+impl RunSummary {
+    /// Virtual wall-clock of the whole job, in seconds.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.report.end_time.as_secs_f64()
+    }
+
+    /// Seconds recorded under a `t_*` transfer-time metric.
+    pub fn transfer_secs(&self, key: &str) -> f64 {
+        self.report
+            .metrics
+            .iter()
+            .find(|(k, _)| **k == key)
+            .map(|(_, v)| *v as f64 / 1e12)
+            .unwrap_or(0.0)
+    }
+
+    /// A human-readable execution profile: elapsed time, aggregate kernel
+    /// and transfer activity, and the headline runtime counters.
+    pub fn profile(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "elapsed: {:.6}s over {} tasks ({} scheduler events)\n",
+            self.elapsed_secs(),
+            self.tasks.len(),
+            self.report.events
+        ));
+        out.push_str(&format!(
+            "aggregate kernel time: {:.6}s\n",
+            self.report.tag_total("kernel").as_secs_f64()
+        ));
+        for (label, key) in [
+            ("host-to-device", "t_HtoD"),
+            ("device-to-host", "t_DtoH"),
+            ("device-to-device", "t_DtoD"),
+            ("host-to-host", "t_HtoH"),
+        ] {
+            let secs = self.transfer_secs(key);
+            if secs > 0.0 {
+                out.push_str(&format!("aggregate {label} transfer time: {secs:.6}s\n"));
+            }
+        }
+        for key in ["fused_msgs", "aliased_msgs", "mpi_bytes_sent"] {
+            if let Some(v) = self.report.metrics.iter().find(|(k, _)| **k == key) {
+                out.push_str(&format!("{key}: {}\n", v.1));
+            }
+        }
+        out
+    }
+}
+
+/// Job launcher. Configure, then [`Launch::run`].
+pub struct Launch {
+    spec: MachineSpec,
+    options: RuntimeOptions,
+    mask: DeviceTypeMask,
+    phys_cap: Option<u64>,
+    stack_size: usize,
+    max_events: u64,
+    trace_capacity: usize,
+}
+
+impl Launch {
+    /// A job on `spec` under `options`, accepting all discrete
+    /// accelerators (`acc_device_default`).
+    pub fn new(spec: MachineSpec, options: RuntimeOptions) -> Launch {
+        Launch {
+            spec,
+            options,
+            mask: DeviceTypeMask::DEFAULT,
+            phys_cap: None,
+            stack_size: 384 * 1024,
+            max_events: u64::MAX,
+            trace_capacity: 0,
+        }
+    }
+
+    /// Set the `IMPACC_ACC_DEVICE_TYPE` filter.
+    pub fn device_mask(mut self, mask: DeviceTypeMask) -> Launch {
+        self.mask = mask;
+        self
+    }
+
+    /// Cap the physical backing of every allocation (huge-scale runs).
+    pub fn phys_cap(mut self, cap: u64) -> Launch {
+        self.phys_cap = Some(cap);
+        self
+    }
+
+    /// Limit scheduler dispatches (test hygiene).
+    pub fn max_events(mut self, n: u64) -> Launch {
+        self.max_events = n;
+        self
+    }
+
+    /// Retain the last `n` runtime trace events (fusions, aliases) in the
+    /// report for debugging.
+    pub fn trace(mut self, n: usize) -> Launch {
+        self.trace_capacity = n;
+        self
+    }
+
+    /// Compute the automatic task-device mapping (Figure 2) without
+    /// running anything. Returns the (possibly extended with synthesized
+    /// CPU devices) spec and the mapping.
+    pub fn plan(spec: &MachineSpec, mask: DeviceTypeMask, numa_pinning: bool) -> (MachineSpec, Vec<TaskInfo>) {
+        let mut spec = spec.clone();
+        let mut tasks = Vec::new();
+        for (n, node) in spec.nodes.iter_mut().enumerate() {
+            let mut matched: Vec<usize> = node
+                .devices
+                .iter()
+                .enumerate()
+                .filter(|(_, d)| mask.accepts(d.kind))
+                .map(|(i, _)| i)
+                .collect();
+            let cpu_ok = mask == DeviceTypeMask::DEFAULT
+                || mask.accepts(DeviceKind::CpuCores);
+            if matched.is_empty() && cpu_ok {
+                // CPU fallback: the node's cores act as one accelerator.
+                node.devices.push(DeviceSpec {
+                    model: "CPU cores".into(),
+                    kind: DeviceKind::CpuCores,
+                    mem_bytes: node.mem_bytes,
+                    cores: node.total_cores() as u32,
+                    gflops: 0.0, // derived from sockets in the cost model
+                    mem_bw: 0.0,
+                    socket: 0,
+                    pcie_bw: 1.0,
+                    pcie_lat: 0.0,
+                });
+                matched.push(node.devices.len() - 1);
+            }
+            let k = matched.len().max(1);
+            for (i, d) in matched.into_iter().enumerate() {
+                let dev_socket = node.devices[d].socket;
+                let sockets = node.sockets.len().max(1);
+                let rank = tasks.len() as u32;
+                let socket = if numa_pinning {
+                    dev_socket
+                } else {
+                    // Unpinned: the launcher's default compact core binding
+                    // spreads the node's tasks over its sockets in rank
+                    // order, oblivious to device affinity (§3.3).
+                    i * sockets / k
+                };
+                tasks.push(TaskInfo {
+                    rank,
+                    node: n,
+                    dev_idx: d,
+                    kind: node.devices[d].kind,
+                    socket,
+                    far: socket != dev_socket,
+                });
+            }
+        }
+        assert!(
+            !tasks.is_empty(),
+            "no device in the cluster matches the requested device-type mask"
+        );
+        (spec, tasks)
+    }
+
+    /// Run `app` once per task and collect the report.
+    pub fn run<F>(self, app: F) -> Result<RunSummary, SimError>
+    where
+        F: Fn(&TaskCtx) + Send + Sync + 'static,
+    {
+        if let Err(e) = impacc_machine::validate(&self.spec) {
+            panic!("refusing to launch on an invalid machine: {e}");
+        }
+        let (spec, tasks) = Launch::plan(&self.spec, self.mask, self.options.numa_pinning);
+        let impacc = self.options.is_impacc();
+        let res = Arc::new(ClusterResources::new(Arc::new(spec)));
+        let node_of: Arc<Vec<usize>> = Arc::new(tasks.iter().map(|t| t.node).collect());
+        let sysmpi = SysMpi::new(res.clone(), node_of.as_ref().clone());
+        let world = Comm::world(tasks.len() as u32);
+
+        let mut sim = Sim::with_config(SimConfig {
+            stack_size: self.stack_size,
+            max_events: self.max_events,
+            trace_capacity: self.trace_capacity,
+        });
+
+        // Per-node shared structures (IMPACC). The baseline gets fresh
+        // per-task ones below.
+        let n_nodes = res.spec.node_count();
+        let mut node_space: Vec<Option<Arc<AddressSpace>>> = vec![None; n_nodes];
+        let mut node_heap: Vec<Option<Arc<NodeHeap>>> = vec![None; n_nodes];
+        let mut node_devices: Vec<Option<Vec<Device>>> = vec![None; n_nodes];
+        let mut node_handler: Vec<Option<Arc<NodeHandler>>> = vec![None; n_nodes];
+        if impacc {
+            for t in &tasks {
+                if node_space[t.node].is_none() {
+                    let space = Arc::new(AddressSpace::new(
+                        res.spec.nodes[t.node].mem_bytes,
+                        self.phys_cap,
+                    ));
+                    let devices: Vec<Device> = (0..res.spec.nodes[t.node].devices.len())
+                        .map(|i| Device::new(t.node, i, res.clone(), space.clone()))
+                        .collect();
+                    let heap = Arc::new(NodeHeap::new());
+                    let handler = NodeHandler::new(
+                        t.node,
+                        res.clone(),
+                        space.clone(),
+                        heap.clone(),
+                        devices.clone(),
+                        self.options,
+                        self.phys_cap,
+                    );
+                    {
+                        let handler = handler.clone();
+                        sim.spawn_daemon(format!("handler.n{}", t.node), move |ctx| {
+                            handler.run(ctx)
+                        });
+                    }
+                    node_space[t.node] = Some(space);
+                    node_heap[t.node] = Some(heap);
+                    node_devices[t.node] = Some(devices);
+                    node_handler[t.node] = Some(handler);
+                }
+            }
+        }
+
+        let app = Arc::new(app);
+        for t in &tasks {
+            let (space, heap, devices, handler) = if impacc {
+                (
+                    node_space[t.node].clone().expect("built above"),
+                    node_heap[t.node].clone().expect("built above"),
+                    node_devices[t.node].clone().expect("built above"),
+                    node_handler[t.node].clone(),
+                )
+            } else {
+                // Baseline: a private address space per task (OS process).
+                let space = Arc::new(AddressSpace::new(
+                    res.spec.nodes[t.node].mem_bytes,
+                    self.phys_cap,
+                ));
+                let devices: Vec<Device> = (0..res.spec.nodes[t.node].devices.len())
+                    .map(|i| Device::new(t.node, i, res.clone(), space.clone()))
+                    .collect();
+                (space, Arc::new(NodeHeap::new()), devices, None)
+            };
+            let seed = TaskSeed {
+                world: world.clone(),
+                socket: t.socket,
+                dev_far: t.far,
+                device: devices[t.dev_idx].clone(),
+                space,
+                heap,
+                comm: CommCore {
+                    rank: t.rank,
+                    node: t.node,
+                    node_of: node_of.clone(),
+                    res: res.clone(),
+                    sysmpi: MpiTask::new(sysmpi.clone(), t.rank),
+                    handler,
+                    devices,
+                    opts: self.options,
+                    phys_cap: self.phys_cap,
+                },
+            };
+            let app = app.clone();
+            sim.spawn(format!("rank{}", t.rank), move |ctx| {
+                let tc = TaskCtx::from_seed(ctx.clone(), seed);
+                app(&tc);
+            });
+        }
+
+        let report = sim.run()?;
+        Ok(RunSummary { report, tasks })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use impacc_machine::presets;
+
+    #[test]
+    fn default_mask_takes_all_accelerators() {
+        let (_, tasks) = Launch::plan(&presets::psg(), DeviceTypeMask::DEFAULT, true);
+        assert_eq!(tasks.len(), 8);
+        assert!(tasks.iter().all(|t| t.kind == DeviceKind::CudaGpu));
+        assert!(tasks.iter().all(|t| !t.far), "pinned tasks sit near");
+    }
+
+    #[test]
+    fn mixed_cluster_mapping_matches_figure2() {
+        let m = presets::mixed_demo();
+        // (a) default: node0 2 GPUs, node1 GPU+MIC, node2 CPU fallback.
+        let (_, t) = Launch::plan(&m, DeviceTypeMask::DEFAULT, true);
+        let kinds: Vec<DeviceKind> = t.iter().map(|x| x.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                DeviceKind::CudaGpu,
+                DeviceKind::CudaGpu,
+                DeviceKind::CudaGpu,
+                DeviceKind::OpenClMic,
+                DeviceKind::CpuCores
+            ]
+        );
+        // (b) nvidia only: 3 tasks, node2 has none.
+        let (_, t) = Launch::plan(&m, DeviceTypeMask::NVIDIA, true);
+        assert_eq!(t.len(), 3);
+        assert!(t.iter().all(|x| x.kind == DeviceKind::CudaGpu));
+        // (c) cpu: one task per node.
+        let (_, t) = Launch::plan(&m, DeviceTypeMask::CPU, true);
+        assert_eq!(t.len(), 3);
+        assert!(t.iter().all(|x| x.kind == DeviceKind::CpuCores));
+        assert_eq!(t.iter().map(|x| x.node).collect::<Vec<_>>(), vec![0, 1, 2]);
+        // (d) xeonphi: one task (node 1).
+        let (_, t) = Launch::plan(&m, DeviceTypeMask::XEONPHI, true);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].node, 1);
+        // (e) nvidia|xeonphi: 4 tasks.
+        let (_, t) = Launch::plan(
+            &m,
+            DeviceTypeMask::NVIDIA.or(DeviceTypeMask::XEONPHI),
+            true,
+        );
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn unpinned_compact_binding_ignores_device_affinity() {
+        // Full PSG: compact binding happens to match the socket layout
+        // (4 GPUs per socket), so nobody lands far...
+        let (_, tasks) = Launch::plan(&presets::psg(), DeviceTypeMask::DEFAULT, false);
+        assert_eq!(tasks.iter().filter(|t| t.far).count(), 0);
+        // ...but with only the first 4 GPUs (all on socket 0), the same
+        // binding strands half the tasks on the far socket.
+        let mut spec = presets::psg();
+        spec.nodes[0].devices.truncate(4);
+        let (_, tasks) = Launch::plan(&spec, DeviceTypeMask::DEFAULT, false);
+        assert_eq!(tasks.iter().filter(|t| t.far).count(), 2);
+        let (_, pinned) = Launch::plan(&spec, DeviceTypeMask::DEFAULT, true);
+        assert_eq!(pinned.iter().filter(|t| t.far).count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no device in the cluster")]
+    fn empty_mapping_is_an_error() {
+        let m = presets::beacon(1);
+        let _ = Launch::plan(&m, DeviceTypeMask::NVIDIA, true);
+    }
+}

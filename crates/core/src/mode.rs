@@ -1,0 +1,79 @@
+//! Runtime modes and feature toggles.
+
+/// Which programming-model semantics the launcher provides.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Mode {
+    /// The IMPACC runtime: threaded-MPI tasks sharing a unified node
+    /// virtual address space, message handler with fusion, unified
+    /// communication routines, unified activity queues, heap aliasing.
+    Impacc,
+    /// The legacy flat MPI+OpenACC model: one OS process per task with a
+    /// private address space; all communication through the system MPI
+    /// library (intra-node staging); explicit host staging around device
+    /// buffers; explicit synchronization between MPI and OpenACC.
+    MpiOpenAcc,
+}
+
+/// Feature switches, primarily for the ablation benchmarks. The paper's two
+/// configurations are [`RuntimeOptions::impacc`] and
+/// [`RuntimeOptions::baseline`]; individual toggles isolate each technique's
+/// contribution.
+#[derive(Copy, Clone, Debug)]
+pub struct RuntimeOptions {
+    /// Programming-model semantics.
+    pub mode: Mode,
+    /// Node heap aliasing (§3.8). Only meaningful under `Mode::Impacc`.
+    pub aliasing: bool,
+    /// Unified activity queue: allow MPI calls with an `async` clause
+    /// (§3.6). Only meaningful under `Mode::Impacc`.
+    pub unified_queue: bool,
+    /// NUMA-friendly task-CPU pinning (§3.3). Without it, tasks land on
+    /// sockets round-robin by rank, as an unpinned OS would place them.
+    pub numa_pinning: bool,
+    /// Message fusion through the node handler (§3.7). Disabled, intra-node
+    /// traffic falls back to the system MPI staging path even in IMPACC
+    /// mode (ablation).
+    pub fusion: bool,
+}
+
+impl RuntimeOptions {
+    /// Full IMPACC: everything on.
+    pub fn impacc() -> RuntimeOptions {
+        RuntimeOptions {
+            mode: Mode::Impacc,
+            aliasing: true,
+            unified_queue: true,
+            numa_pinning: true,
+            fusion: true,
+        }
+    }
+
+    /// The legacy MPI+OpenACC baseline: everything off.
+    pub fn baseline() -> RuntimeOptions {
+        RuntimeOptions {
+            mode: Mode::MpiOpenAcc,
+            aliasing: false,
+            unified_queue: false,
+            numa_pinning: false,
+            fusion: false,
+        }
+    }
+
+    /// Is this the IMPACC runtime?
+    pub fn is_impacc(&self) -> bool {
+        self.mode == Mode::Impacc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_consistent() {
+        let i = RuntimeOptions::impacc();
+        assert!(i.is_impacc() && i.aliasing && i.unified_queue && i.numa_pinning && i.fusion);
+        let b = RuntimeOptions::baseline();
+        assert!(!b.is_impacc() && !b.aliasing && !b.unified_queue && !b.numa_pinning && !b.fusion);
+    }
+}

@@ -1,0 +1,763 @@
+//! End-to-end tests of the IMPACC runtime semantics: message fusion, node
+//! heap aliasing (all five §3.8 requirements), unified activity queues,
+//! device-buffer staging paths, and the baseline model.
+
+use impacc_core::{Launch, MpiOpts, RuntimeOptions, TaskCtx};
+use impacc_machine::{presets, KernelCost};
+use impacc_mpi::ReduceOp;
+
+fn run_impacc(
+    spec: impacc_machine::MachineSpec,
+    app: impl Fn(&TaskCtx) + Send + Sync + 'static,
+) -> impacc_core::RunSummary {
+    Launch::new(spec, RuntimeOptions::impacc())
+        .run(app)
+        .expect("simulation completes")
+}
+
+fn run_baseline(
+    spec: impacc_machine::MachineSpec,
+    app: impl Fn(&TaskCtx) + Send + Sync + 'static,
+) -> impacc_core::RunSummary {
+    Launch::new(spec, RuntimeOptions::baseline())
+        .run(app)
+        .expect("simulation completes")
+}
+
+#[test]
+fn intra_node_host_send_recv_is_fused() {
+    let s = run_impacc(presets::test_cluster(1, 2), |tc| {
+        let buf = tc.malloc_f64(64);
+        if tc.rank() == 0 {
+            let v: Vec<f64> = (0..64).map(|i| i as f64).collect();
+            tc.host_view(&buf).write_f64s(0, &v);
+            tc.mpi_send(&buf, 0, buf.len, 1, 5, MpiOpts::host());
+        } else {
+            let st = tc
+                .mpi_recv(&buf, 0, buf.len, 0, 5, MpiOpts::host())
+                .unwrap();
+            assert_eq!(st.src, 0);
+            assert_eq!(st.len, 512);
+            assert_eq!(tc.host_view(&buf).read_f64s(0, 3), vec![0.0, 1.0, 2.0]);
+        }
+    });
+    assert_eq!(s.report.metrics["fused_msgs"], 1);
+    assert_eq!(s.report.metrics.get("aliased_msgs"), None, "not readonly: copy");
+    assert_eq!(s.report.metrics["HtoH"], 512);
+}
+
+#[test]
+fn figure7_aliasing_end_to_end() {
+    // Sender mallocs 100 f64, sends a 10-element slice at offset 40;
+    // receiver's 10-element buffer aliases it: zero bytes copied.
+    let s = run_impacc(presets::test_cluster(1, 2), |tc| {
+        if tc.rank() == 0 {
+            let src = tc.malloc_f64(100);
+            let v: Vec<f64> = (0..100).map(|i| i as f64).collect();
+            tc.host_view(&src).write_f64s(0, &v);
+            tc.mpi_send(&src, 40 * 8, 80, 1, 0, MpiOpts::host().readonly());
+        } else {
+            let dst = tc.malloc_f64(10);
+            tc.mpi_recv(&dst, 0, 80, 0, 0, MpiOpts::host().readonly());
+            // The receiver observes the sender's data through its pointer.
+            assert_eq!(
+                tc.host_view(&dst).read_f64s(0, 3),
+                vec![40.0, 41.0, 42.0]
+            );
+        }
+    });
+    assert_eq!(s.report.metrics["aliased_msgs"], 1);
+    assert_eq!(s.report.metrics.get("HtoH"), None, "no bytes copied");
+}
+
+#[test]
+fn aliasing_requires_readonly_on_both_sides() {
+    for (send_ro, recv_ro) in [(true, false), (false, true), (false, false)] {
+        let s = run_impacc(presets::test_cluster(1, 2), move |tc| {
+            let o = |ro: bool| {
+                if ro {
+                    MpiOpts::host().readonly()
+                } else {
+                    MpiOpts::host()
+                }
+            };
+            if tc.rank() == 0 {
+                let src = tc.malloc_f64(8);
+                tc.mpi_send(&src, 0, 64, 1, 0, o(send_ro));
+            } else {
+                let dst = tc.malloc_f64(8);
+                tc.mpi_recv(&dst, 0, 64, 0, 0, o(recv_ro));
+            }
+        });
+        assert_eq!(s.report.metrics.get("aliased_msgs"), None);
+        assert_eq!(s.report.metrics["HtoH"], 64);
+    }
+}
+
+#[test]
+fn aliasing_requires_single_pointer_to_recv_buffer() {
+    // Requirement 4: a second pointer variable into the receive buffer
+    // blocks aliasing.
+    let s = run_impacc(presets::test_cluster(1, 2), |tc| {
+        if tc.rank() == 0 {
+            let src = tc.malloc_f64(8);
+            tc.mpi_send(&src, 0, 64, 1, 0, MpiOpts::host().readonly());
+        } else {
+            let dst = tc.malloc_f64(8);
+            let extra = tc.hold_extra_pointer(&dst);
+            tc.mpi_recv(&dst, 0, 64, 0, 0, MpiOpts::host().readonly());
+            tc.release_extra_pointer(extra);
+        }
+    });
+    assert_eq!(s.report.metrics.get("aliased_msgs"), None);
+}
+
+#[test]
+fn aliasing_requires_full_overwrite() {
+    // Requirement 5: receiving into a prefix of a larger buffer copies.
+    let s = run_impacc(presets::test_cluster(1, 2), |tc| {
+        if tc.rank() == 0 {
+            let src = tc.malloc_f64(8);
+            tc.mpi_send(&src, 0, 64, 1, 0, MpiOpts::host().readonly());
+        } else {
+            let dst = tc.malloc_f64(16); // twice the message size
+            tc.mpi_recv(&dst, 0, 64, 0, 0, MpiOpts::host().readonly());
+        }
+    });
+    assert_eq!(s.report.metrics.get("aliased_msgs"), None);
+}
+
+#[test]
+fn aliasing_disabled_by_option() {
+    let mut opts = RuntimeOptions::impacc();
+    opts.aliasing = false;
+    let s = Launch::new(presets::test_cluster(1, 2), opts)
+        .run(|tc| {
+            if tc.rank() == 0 {
+                let src = tc.malloc_f64(8);
+                tc.mpi_send(&src, 0, 64, 1, 0, MpiOpts::host().readonly());
+            } else {
+                let dst = tc.malloc_f64(8);
+                tc.mpi_recv(&dst, 0, 64, 0, 0, MpiOpts::host().readonly());
+            }
+        })
+        .unwrap();
+    assert_eq!(s.report.metrics.get("aliased_msgs"), None);
+}
+
+#[test]
+fn aliased_sender_free_keeps_data_alive() {
+    run_impacc(presets::test_cluster(1, 2), |tc| {
+        if tc.rank() == 0 {
+            let src = tc.malloc_f64(4);
+            tc.host_view(&src).write_f64s(0, &[7.0, 8.0, 9.0, 10.0]);
+            tc.mpi_send(&src, 0, 32, 1, 0, MpiOpts::host().readonly());
+            tc.free(src); // refcount drops to 1; receiver still owns it
+            tc.mpi_barrier();
+        } else {
+            let dst = tc.malloc_f64(4);
+            tc.mpi_recv(&dst, 0, 32, 0, 0, MpiOpts::host().readonly());
+            tc.mpi_barrier();
+            assert_eq!(tc.host_view(&dst).read_f64s(0, 4), vec![7.0, 8.0, 9.0, 10.0]);
+            tc.free(dst);
+        }
+    });
+}
+
+#[test]
+fn device_to_device_intra_node_uses_peer_copy_on_psg() {
+    let s = run_impacc(presets::psg(), |tc| {
+        let buf = tc.malloc_f64(1024);
+        tc.acc_create(&buf);
+        if tc.rank() == 0 {
+            tc.dev_view(&buf).write_f64s(0, &[3.5; 16]);
+            tc.mpi_send(&buf, 0, buf.len, 1, 0, MpiOpts::device());
+        } else if tc.rank() == 1 {
+            tc.mpi_recv(&buf, 0, buf.len, 0, 0, MpiOpts::device());
+            assert_eq!(tc.dev_view(&buf).read_f64s(0, 2), vec![3.5, 3.5]);
+        }
+    });
+    assert_eq!(s.report.metrics["DtoD"], 8192);
+    assert_eq!(s.report.metrics.get("HtoD"), None, "no host involvement");
+    assert_eq!(s.report.metrics.get("DtoH"), None);
+}
+
+#[test]
+fn device_to_device_on_beacon_stages_once_through_host() {
+    let s = run_impacc(presets::beacon(1), |tc| {
+        let buf = tc.malloc_f64(1024);
+        tc.acc_create(&buf);
+        if tc.rank() == 0 {
+            tc.dev_view(&buf).write_f64s(0, &[1.25; 4]);
+            tc.mpi_send(&buf, 0, buf.len, 1, 0, MpiOpts::device());
+        } else if tc.rank() == 1 {
+            tc.mpi_recv(&buf, 0, buf.len, 0, 0, MpiOpts::device());
+            assert_eq!(tc.dev_view(&buf).read_f64s(0, 2), vec![1.25, 1.25]);
+        }
+    });
+    // No peer capability: fused staging = one DtoH + one HtoD, no HtoH.
+    assert_eq!(s.report.metrics["DtoH"], 8192);
+    assert_eq!(s.report.metrics["HtoD"], 8192);
+    assert_eq!(s.report.metrics.get("HtoH"), None);
+}
+
+#[test]
+fn internode_device_recv_goes_through_pending_queue() {
+    // Beacon has no GPUDirect: internode device receives stage through
+    // pre-pinned memory and the pending internode message queue.
+    let s = run_impacc(presets::beacon(2), |tc| {
+        let buf = tc.malloc_f64(256);
+        tc.acc_create(&buf);
+        if tc.rank() == 0 {
+            tc.dev_view(&buf).write_f64s(0, &[2.5; 8]);
+            // rank 4 is the first task of node 1
+            tc.mpi_send(&buf, 0, buf.len, 4, 9, MpiOpts::device());
+        } else if tc.rank() == 4 {
+            let st = tc.mpi_recv(&buf, 0, buf.len, 0, 9, MpiOpts::device()).unwrap();
+            assert_eq!(st.len, 2048);
+            assert_eq!(tc.dev_view(&buf).read_f64s(0, 2), vec![2.5, 2.5]);
+        }
+    });
+    assert_eq!(s.report.metrics["DtoH"], 2048, "sender staged");
+    assert_eq!(s.report.metrics["HtoD"], 2048, "handler completed the device write");
+}
+
+#[test]
+fn internode_device_transfer_uses_gpudirect_on_titan() {
+    let s = run_impacc(presets::titan(2), |tc| {
+        let buf = tc.malloc_f64(256);
+        tc.acc_create(&buf);
+        if tc.rank() == 0 {
+            tc.dev_view(&buf).write_f64s(0, &[4.5; 4]);
+            tc.mpi_send(&buf, 0, buf.len, 1, 0, MpiOpts::device());
+        } else {
+            tc.mpi_recv(&buf, 0, buf.len, 0, 0, MpiOpts::device());
+            assert_eq!(tc.dev_view(&buf).read_f64s(0, 2), vec![4.5, 4.5]);
+        }
+    });
+    assert_eq!(s.report.metrics.get("DtoH"), None, "RDMA skips staging");
+    assert_eq!(s.report.metrics.get("HtoD"), None);
+}
+
+#[test]
+fn unified_activity_queue_runs_figure4c_pipeline() {
+    // kernel -> isend -> irecv -> kernel all on queue 1, host never blocks
+    // until the final acc_wait.
+    let s = run_impacc(presets::test_cluster(1, 2), |tc| {
+        let peer = 1 - tc.rank();
+        let buf0 = tc.malloc_f64(512);
+        let buf1 = tc.malloc_f64(512);
+        tc.acc_create(&buf0);
+        tc.acc_create(&buf1);
+        let d0 = tc.dev_view(&buf0);
+        let me = tc.rank() as f64;
+        tc.acc_kernel(Some(1), KernelCost::flops(1e9), move || {
+            d0.write_f64s(0, &vec![me; 512]);
+        });
+        tc.mpi_send(&buf0, 0, buf0.len, peer, 0, MpiOpts::device().on_queue(1));
+        tc.mpi_recv(&buf1, 0, buf1.len, peer, 0, MpiOpts::device().on_queue(1));
+        let host_free_at = tc.ctx().now();
+        assert!(
+            host_free_at.as_secs_f64() < 1e-4,
+            "host must not block on the pipeline"
+        );
+        let d1 = tc.dev_view(&buf1);
+        let expect = peer as f64;
+        tc.acc_kernel(Some(1), KernelCost::flops(1e9), move || {
+            assert_eq!(d1.read_f64s(0, 2), vec![expect, expect]);
+        });
+        tc.acc_wait(1);
+    });
+    assert!(s.report.metrics["fused_msgs"] >= 2);
+}
+
+#[test]
+fn baseline_requires_explicit_staging_and_works() {
+    // The Figure 4(a) style: copyout, blocking send/recv, copyin.
+    let s = run_baseline(presets::psg(), |tc| {
+        if tc.rank() >= 2 {
+            return;
+        }
+        let peer = 1 - tc.rank();
+        let buf = tc.malloc_f64(512);
+        tc.acc_create(&buf);
+        if tc.rank() == 0 {
+            let d = tc.dev_view(&buf);
+            tc.acc_kernel(None, KernelCost::flops(1e9), move || {
+                d.write_f64s(0, &[6.5; 512]);
+            });
+            tc.acc_update_host(&buf, 0, buf.len, None);
+            tc.mpi_send(&buf, 0, buf.len, peer, 0, MpiOpts::host());
+        } else {
+            tc.mpi_recv(&buf, 0, buf.len, peer, 0, MpiOpts::host());
+            tc.acc_update_device(&buf, 0, buf.len, None);
+            assert_eq!(tc.dev_view(&buf).read_f64s(0, 2), vec![6.5, 6.5]);
+        }
+    });
+    // Baseline never fuses.
+    assert_eq!(s.report.metrics.get("fused_msgs"), None);
+}
+
+#[test]
+#[should_panic(expected = "IMPACC directive clauses require the IMPACC runtime")]
+fn baseline_rejects_impacc_directives() {
+    let _ = run_baseline(presets::test_cluster(1, 2), |tc| {
+        let buf = tc.malloc_f64(8);
+        tc.acc_create(&buf);
+        if tc.rank() == 0 {
+            tc.mpi_send(&buf, 0, buf.len, 1, 0, MpiOpts::device());
+        }
+    });
+}
+
+#[test]
+fn collectives_work_through_unified_routines() {
+    let s = run_impacc(presets::test_cluster(2, 2), |tc| {
+        let r = tc.rank() as f64;
+        let sums = tc.mpi_allreduce_f64(&[r, 1.0], ReduceOp::Sum);
+        assert_eq!(sums, vec![6.0, 4.0]);
+        let maxs = tc.mpi_reduce_f64(&[r], ReduceOp::Max, 0);
+        if tc.rank() == 0 {
+            assert_eq!(maxs.unwrap(), vec![3.0]);
+        } else {
+            assert!(maxs.is_none());
+        }
+        tc.mpi_barrier();
+    });
+    // Intra-node legs of the collectives were fused.
+    assert!(s.report.metrics["fused_msgs"] > 0);
+}
+
+#[test]
+fn bcast_aliases_across_node_local_tasks() {
+    let s = run_impacc(presets::test_cluster(2, 4), |tc| {
+        let buf = tc.malloc_f64(1024);
+        if tc.rank() == 2 {
+            let v: Vec<f64> = (0..1024).map(|i| i as f64 * 0.5).collect();
+            tc.host_view(&buf).write_f64s(0, &v);
+        }
+        tc.mpi_bcast(&buf, 2, MpiOpts::host().readonly());
+        assert_eq!(tc.host_view(&buf).read_f64s(2, 2), vec![1.0, 1.5]);
+    });
+    // 8 tasks on 2 nodes, root on node 0: 3 node-local aliases at the root
+    // node + 3 at the other node (the leader's recv buffer itself came over
+    // the wire) = 6 aliased deliveries, 1 internode copy.
+    assert_eq!(s.report.metrics["aliased_msgs"], 6);
+}
+
+#[test]
+fn present_table_round_trips_pointers() {
+    run_impacc(presets::psg(), |tc| {
+        if tc.rank() != 0 {
+            return;
+        }
+        let buf = tc.malloc_f64(100);
+        tc.acc_create(&buf);
+        let dp = tc.acc_deviceptr(&buf);
+        let hp = tc.acc_hostptr(dp);
+        let (region, off) = (hp, 0u64);
+        let _ = (region, off);
+        // acc_hostptr(acc_deviceptr(x)) == x
+        let view = tc.host_view(&buf);
+        let _ = view;
+        tc.acc_delete(&buf);
+    });
+}
+
+#[test]
+fn update_device_and_host_move_data_both_ways() {
+    run_impacc(presets::beacon(1), |tc| {
+        if tc.rank() != 0 {
+            return;
+        }
+        let buf = tc.malloc_f64(32);
+        tc.host_view(&buf).write_f64s(0, &[1.0; 32]);
+        tc.acc_copyin(&buf);
+        assert_eq!(tc.dev_view(&buf).read_f64s(0, 2), vec![1.0, 1.0]);
+        tc.dev_view(&buf).write_f64s(0, &[2.0; 32]);
+        tc.acc_update_host(&buf, 0, buf.len, None);
+        assert_eq!(tc.host_view(&buf).read_f64s(30, 2), vec![2.0, 2.0]);
+        tc.acc_delete(&buf);
+    });
+}
+
+#[test]
+fn partial_updates_respect_offsets() {
+    run_impacc(presets::psg(), |tc| {
+        if tc.rank() != 0 {
+            return;
+        }
+        let buf = tc.malloc_f64(16);
+        tc.host_view(&buf).write_f64s(0, &(0..16).map(|i| i as f64).collect::<Vec<_>>());
+        tc.acc_create(&buf);
+        // Update only elements 4..8 on the device.
+        tc.acc_update_device(&buf, 4 * 8, 4 * 8, None);
+        let d = tc.dev_view(&buf);
+        assert_eq!(d.read_f64s(0, 2), vec![0.0, 0.0], "untouched prefix");
+        assert_eq!(d.read_f64s(4, 4), vec![4.0, 5.0, 6.0, 7.0]);
+        tc.acc_delete(&buf);
+    });
+}
+
+#[test]
+fn cpu_fallback_node_runs_tasks() {
+    let s = run_impacc(presets::mixed_demo(), |tc| {
+        // 5 tasks: 2 GPU + GPU + MIC + 1 CPU (see launch::tests).
+        let r = tc.rank() as f64;
+        let total = tc.mpi_allreduce_f64(&[r], ReduceOp::Sum);
+        assert_eq!(total, vec![10.0]);
+        if tc.acc_device_kind() == impacc_machine::DeviceKind::CpuCores {
+            // CPU-as-accelerator can run kernels too.
+            let buf = tc.malloc_f64(8);
+            tc.acc_create(&buf);
+            let d = tc.dev_view(&buf);
+            tc.acc_kernel(None, KernelCost::flops(1e9), move || {
+                d.write_f64s(0, &[9.0; 8]);
+            });
+            assert_eq!(tc.dev_view(&buf).read_f64s(0, 1), vec![9.0]);
+        }
+    });
+    assert_eq!(s.tasks.len(), 5);
+}
+
+#[test]
+fn numa_pinning_speeds_up_transfers() {
+    // Same single-task copy workload, pinned vs unpinned. With only the
+    // first 4 PSG GPUs (all on socket 0), the launcher's default compact
+    // binding strands rank 2 on socket 1 — far from its device.
+    let spec = || {
+        let mut s = presets::psg();
+        s.nodes[0].devices.truncate(4);
+        s
+    };
+    let work = |tc: &TaskCtx| {
+        if tc.rank() != 2 {
+            return;
+        }
+        let buf = tc.malloc_f64(1 << 20);
+        tc.acc_create(&buf);
+        tc.acc_update_device(&buf, 0, buf.len, None);
+        tc.acc_delete(&buf);
+    };
+    let pinned = Launch::new(spec(), RuntimeOptions::impacc())
+        .run(work)
+        .unwrap();
+    let mut unpinned_opts = RuntimeOptions::impacc();
+    unpinned_opts.numa_pinning = false;
+    let unpinned = Launch::new(spec(), unpinned_opts).run(work).unwrap();
+    assert!(pinned.tasks[2].socket == 0 && !pinned.tasks[2].far);
+    assert!(unpinned.tasks[2].far, "rank 2 lands on the far socket unpinned");
+    let ratio = unpinned.elapsed_secs() / pinned.elapsed_secs();
+    assert!(ratio > 2.0, "far transfer must be much slower, ratio = {ratio}");
+}
+
+#[test]
+fn device_memory_capacity_respected_per_task() {
+    // Two tasks sharing one node must each get their own device memory.
+    run_impacc(presets::titan(1), |tc| {
+        let buf = tc.malloc(5 << 30);
+        tc.acc_create(&buf); // 5 GB of the K20x's 6 GB
+        tc.acc_delete(&buf);
+        tc.free(buf);
+    });
+}
+
+#[test]
+fn truncated_backing_keeps_timing_but_caps_memory() {
+    let full = Launch::new(presets::psg(), RuntimeOptions::impacc())
+        .run(|tc| {
+            if tc.rank() >= 2 {
+                return;
+            }
+            let buf = tc.malloc_f64(1 << 16);
+            if tc.rank() == 0 {
+                tc.mpi_send(&buf, 0, buf.len, 1, 0, MpiOpts::host());
+            } else {
+                tc.mpi_recv(&buf, 0, buf.len, 0, 0, MpiOpts::host());
+            }
+        })
+        .unwrap();
+    let capped = Launch::new(presets::psg(), RuntimeOptions::impacc())
+        .phys_cap(1024)
+        .run(|tc| {
+            if tc.rank() >= 2 {
+                return;
+            }
+            let buf = tc.malloc_f64(1 << 16);
+            if tc.rank() == 0 {
+                tc.mpi_send(&buf, 0, buf.len, 1, 0, MpiOpts::host());
+            } else {
+                tc.mpi_recv(&buf, 0, buf.len, 0, 0, MpiOpts::host());
+            }
+        })
+        .unwrap();
+    assert_eq!(
+        full.report.end_time, capped.report.end_time,
+        "physical truncation must not change virtual timing"
+    );
+}
+
+#[test]
+fn impacc_intra_node_beats_baseline_on_large_messages() {
+    let app = |tc: &TaskCtx| {
+        if tc.rank() >= 2 {
+            return;
+        }
+        let buf = tc.malloc_f64(1 << 17); // 1 MiB
+        if tc.rank() == 0 {
+            tc.mpi_send(&buf, 0, buf.len, 1, 0, MpiOpts::host());
+        } else {
+            tc.mpi_recv(&buf, 0, buf.len, 0, 0, MpiOpts::host());
+        }
+    };
+    let i = run_impacc(presets::psg(), app);
+    let b = run_baseline(presets::psg(), app);
+    let speedup = b.elapsed_secs() / i.elapsed_secs();
+    assert!(
+        speedup > 1.5 && speedup < 3.0,
+        "one copy vs two + IPC should be ~2x, got {speedup}"
+    );
+}
+
+#[test]
+fn openacc_runtime_routines_behave_per_spec() {
+    run_impacc(presets::mixed_demo(), |tc| {
+        // acc_set_device_num is ignored: the mapping is fixed at launch.
+        let before = tc.acc_get_device_num();
+        tc.acc_set_device_num(before + 1);
+        assert_eq!(tc.acc_get_device_num(), before);
+
+        // Device counts reflect this task's node.
+        let gpus = tc.acc_get_num_devices(impacc_machine::DeviceKind::CudaGpu);
+        let mics = tc.acc_get_num_devices(impacc_machine::DeviceKind::OpenClMic);
+        match tc.node() {
+            0 => assert_eq!((gpus, mics), (2, 0)),
+            1 => assert_eq!((gpus, mics), (1, 1)),
+            2 => assert_eq!((gpus, mics), (0, 0)),
+            _ => unreachable!(),
+        }
+
+        // acc_is_present tracks create/delete.
+        let buf = tc.malloc_f64(16);
+        assert!(!tc.acc_is_present(&buf));
+        tc.acc_create(&buf);
+        assert!(tc.acc_is_present(&buf));
+        tc.acc_delete(&buf);
+        assert!(!tc.acc_is_present(&buf));
+    });
+}
+
+#[test]
+fn sendrecv_ring_rotates_data() {
+    let s = run_impacc(presets::test_cluster(2, 2), |tc| {
+        let n = tc.size();
+        let me = tc.rank();
+        let right = (me + 1) % n;
+        let left = (me + n - 1) % n;
+        let out = tc.malloc_f64(4);
+        let inn = tc.malloc_f64(4);
+        tc.host_view(&out).write_f64s(0, &[me as f64; 4]);
+        let st = tc.mpi_sendrecv(&out, right, &inn, left, 3, MpiOpts::host());
+        assert_eq!(st.src, left);
+        assert_eq!(tc.host_view(&inn).read_f64s(0, 4), vec![left as f64; 4]);
+    });
+    // The two intra-node halves of the ring fused through the handlers.
+    assert!(s.report.metrics["fused_msgs"] >= 2);
+}
+
+#[test]
+fn profile_renders_the_run() {
+    let s = run_impacc(presets::test_cluster(1, 2), |tc| {
+        let buf = tc.malloc_f64(1024);
+        tc.acc_create(&buf);
+        tc.acc_update_device(&buf, 0, buf.len, None);
+        if tc.rank() == 0 {
+            tc.mpi_send(&buf, 0, buf.len, 1, 0, MpiOpts::host());
+        } else {
+            tc.mpi_recv(&buf, 0, buf.len, 0, 0, MpiOpts::host());
+        }
+        tc.acc_kernel(None, KernelCost::flops(1e6), || {});
+    });
+    let p = s.profile();
+    assert!(p.contains("elapsed:"));
+    assert!(p.contains("aggregate kernel time"));
+    assert!(p.contains("host-to-device"));
+    assert!(p.contains("fused_msgs: 1"));
+}
+
+#[test]
+fn comm_split_groups_by_node_and_reduces_within() {
+    run_impacc(presets::test_cluster(2, 4), |tc| {
+        // Split by node; order sub-ranks by descending world rank.
+        let sub = tc.mpi_comm_split(tc.node() as i64, -(tc.rank() as i64));
+        assert_eq!(sub.size(), 4);
+        // Reduce within the sub-communicator through the unified routines.
+        let sb = impacc_mpi::MsgBuf::host(impacc_mem::Backing::new(8, None), 0, 8);
+        sb.write_f64s(&[tc.rank() as f64]);
+        let rb = impacc_mpi::MsgBuf::host(impacc_mem::Backing::new(8, None), 0, 8);
+        use impacc_mpi::PointToPoint;
+        tc.allreduce(tc.ctx(), &sb, &rb, ReduceOp::Sum, &sub);
+        let expect = if tc.node() == 0 { 0.0 + 1.0 + 2.0 + 3.0 } else { 4.0 + 5.0 + 6.0 + 7.0 };
+        assert_eq!(rb.read_f64s(), vec![expect]);
+        // Key ordering: highest world rank is sub-rank 0.
+        let my_sub_rank = tc.comm_rank(&sub);
+        let expected_rank = (3 - (tc.rank() % 4)) as u32;
+        assert_eq!(my_sub_rank, expected_rank);
+    });
+}
+
+#[test]
+fn runtime_trace_records_fusions_and_aliases() {
+    let s = Launch::new(presets::test_cluster(1, 2), RuntimeOptions::impacc())
+        .trace(16)
+        .run(|tc| {
+            let a = tc.malloc_f64(8);
+            if tc.rank() == 0 {
+                tc.mpi_send(&a, 0, a.len, 1, 1, MpiOpts::host());
+                tc.mpi_send(&a, 0, a.len, 1, 2, MpiOpts::host().readonly());
+            } else {
+                tc.mpi_recv(&a, 0, a.len, 0, 1, MpiOpts::host());
+                let b = tc.malloc_f64(8);
+                tc.mpi_recv(&b, 0, b.len, 0, 2, MpiOpts::host().readonly());
+            }
+        })
+        .unwrap();
+    let labels: Vec<&str> = s.report.trace.iter().map(|e| e.label).collect();
+    assert!(labels.contains(&"fuse"));
+    assert!(labels.contains(&"alias"));
+    let fuse = s.report.trace.iter().find(|e| e.label == "fuse").unwrap();
+    assert!(fuse.actor.starts_with("handler"));
+    assert!(fuse.detail.contains("0 -> 1"));
+}
+
+#[test]
+fn acc_data_region_manages_mirrors_and_motion() {
+    use impacc_core::DataClause;
+    run_impacc(presets::psg(), |tc| {
+        if tc.rank() != 0 {
+            return;
+        }
+        let a = tc.malloc_f64(16);
+        let c = tc.malloc_f64(16);
+        tc.host_view(&a).write_f64s(0, &[2.0; 16]);
+        let sum = tc.acc_data(&[DataClause::Copyin(&a), DataClause::Copyout(&c)], |tc| {
+            assert!(tc.acc_is_present(&a) && tc.acc_is_present(&c));
+            let av = tc.dev_view(&a);
+            let cv = tc.dev_view(&c);
+            tc.acc_kernel(None, KernelCost::flops(16.0), move || {
+                let vals: Vec<f64> = av.read_f64s(0, 16).iter().map(|v| v * 3.0).collect();
+                cv.write_f64s(0, &vals);
+            });
+            // Nested present() region over already-mapped data.
+            tc.acc_data(&[DataClause::Present(&a)], |_| {});
+            42
+        });
+        assert_eq!(sum, 42);
+        // Mirrors gone; copyout materialized on the host.
+        assert!(!tc.acc_is_present(&a) && !tc.acc_is_present(&c));
+        assert_eq!(tc.host_view(&c).read_f64s(0, 2), vec![6.0, 6.0]);
+    });
+}
+
+#[test]
+fn launch_reports_app_panics_with_rank() {
+    let err = Launch::new(presets::test_cluster(1, 2), RuntimeOptions::impacc())
+        .run(|tc| {
+            if tc.rank() == 1 {
+                panic!("application bug on rank 1");
+            }
+            // rank 0 blocks forever waiting for rank 1
+            let b = tc.malloc_f64(1);
+            tc.mpi_recv(&b, 0, 8, 1, 0, MpiOpts::host());
+        })
+        .unwrap_err();
+    match err {
+        impacc_vtime::SimError::ActorPanic { actor, message } => {
+            assert_eq!(actor, "rank1");
+            assert!(message.contains("application bug"));
+        }
+        other => panic!("expected ActorPanic, got {other:?}"),
+    }
+}
+
+#[test]
+fn launch_reports_communication_deadlocks() {
+    let err = Launch::new(presets::test_cluster(1, 2), RuntimeOptions::impacc())
+        .run(|tc| {
+            if tc.rank() == 0 {
+                let b = tc.malloc_f64(1);
+                // No matching sender anywhere.
+                tc.mpi_recv(&b, 0, 8, 1, 77, MpiOpts::host());
+            }
+        })
+        .unwrap_err();
+    match err {
+        impacc_vtime::SimError::Deadlock { detail } => {
+            assert!(detail.contains("rank0"), "{detail}");
+        }
+        other => panic!("expected Deadlock, got {other:?}"),
+    }
+}
+
+#[test]
+fn wildcard_receive_works_for_internode_senders() {
+    // Wildcard receives route through the system-MPI path; they are
+    // supported whenever the matching sender is on another node (the
+    // unified intra-node path needs an explicit source — a documented
+    // limitation of the reproduction).
+    run_impacc(presets::test_cluster(2, 1), |tc| {
+        let b = tc.malloc_f64(4);
+        if tc.rank() == 0 {
+            tc.host_view(&b).write_f64s(0, &[5.0; 4]);
+            tc.mpi_send(&b, 0, b.len, 1, 11, MpiOpts::host());
+        } else {
+            let req = tc.mpi_irecv_any(&b, 0, b.len, MpiOpts::host());
+            let st = req.wait(tc.ctx()).unwrap();
+            assert_eq!((st.src, st.tag), (0, 11));
+            assert_eq!(tc.host_view(&b).read_f64s(0, 1), vec![5.0]);
+        }
+    });
+}
+
+#[test]
+fn realloc_through_taskctx_unshares_aliased_buffers() {
+    run_impacc(presets::test_cluster(1, 2), |tc| {
+        if tc.rank() == 0 {
+            let src = tc.malloc_f64(8);
+            tc.host_view(&src).write_f64s(0, &[4.0; 8]);
+            tc.mpi_send(&src, 0, 64, 1, 0, MpiOpts::host().readonly());
+            tc.mpi_barrier();
+        } else {
+            let mut dst = tc.malloc_f64(8);
+            tc.mpi_recv(&dst, 0, 64, 0, 0, MpiOpts::host().readonly());
+            // dst aliases the sender's buffer; growing it must unshare.
+            tc.realloc(&mut dst, 128);
+            assert_eq!(dst.len, 128);
+            let v = tc.host_view(&dst);
+            assert_eq!(v.read_f64s(0, 8), vec![4.0; 8]);
+            v.write_f64s(8, &[9.0; 8]);
+            tc.mpi_barrier();
+        }
+    });
+}
+
+#[test]
+fn launch_config_underutilization_shows_in_time() {
+    use impacc_machine::LaunchConfig;
+    let run = |cfg: LaunchConfig| {
+        Launch::new(presets::test_cluster(1, 1), RuntimeOptions::impacc())
+            .run(move |tc| {
+                tc.acc_kernel_cfg(None, KernelCost::flops(1e10), cfg, || {});
+            })
+            .unwrap()
+            .elapsed_secs()
+    };
+    let saturated = run(LaunchConfig::default());
+    let half = run(LaunchConfig {
+        gangs: Some(39), // 39 * 32 = 1248 threads on a 2496-lane GK210
+        workers: Some(1),
+        vector: Some(32),
+    });
+    let ratio = half / saturated;
+    assert!((1.8..2.2).contains(&ratio), "ratio = {ratio}");
+}

@@ -1,0 +1,422 @@
+//! General OpenACC directive parsing — the other half of what the IMPACC
+//! compiler's front end consumes.
+//!
+//! The paper's compiler translates `parallel`/`kernels` regions and data
+//! constructs into accelerator programs and runtime calls; the `#pragma
+//! acc mpi` extension (see [`crate::parser`]) rides alongside them. This
+//! module parses the OpenACC 2.x directives those programs use: compute
+//! constructs, structured/unstructured data constructs, `update`, `wait`
+//! and loop annotations, with the clause set the evaluation applications
+//! exercise.
+
+use crate::parser::{tokenize, ParseError, Tok};
+
+/// Which OpenACC directive a line carries.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AccKind {
+    /// `#pragma acc kernels` (optionally `kernels loop`).
+    Kernels,
+    /// `#pragma acc parallel` (optionally `parallel loop`).
+    Parallel,
+    /// `#pragma acc data` (structured region).
+    Data,
+    /// `#pragma acc enter data`.
+    EnterData,
+    /// `#pragma acc exit data`.
+    ExitData,
+    /// `#pragma acc update`.
+    Update,
+    /// `#pragma acc wait`.
+    Wait,
+    /// `#pragma acc loop` (inside a compute construct).
+    Loop,
+}
+
+/// One data clause's variable list, e.g. `copyin(a, b)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VarList {
+    /// The clause name (`copy`, `copyin`, `copyout`, `create`, `present`,
+    /// `delete`, `device`, `self`).
+    pub clause: String,
+    /// The listed variable names.
+    pub vars: Vec<String>,
+}
+
+/// A parsed OpenACC directive.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AccDirective {
+    /// Directive kind.
+    pub kind: AccKind,
+    /// `loop` suffix on a compute construct (`kernels loop`).
+    pub has_loop: bool,
+    /// `async` clause: absent / bare / `async(q)`.
+    pub asyncq: Option<Option<u32>>,
+    /// `wait` clause arguments (`wait(1, 2)`), or the `wait` directive's.
+    pub waits: Vec<u32>,
+    /// Data clauses in source order.
+    pub data: Vec<VarList>,
+    /// `num_gangs(n)`.
+    pub num_gangs: Option<u32>,
+    /// `num_workers(n)`.
+    pub num_workers: Option<u32>,
+    /// `vector_length(n)`.
+    pub vector_length: Option<u32>,
+    /// `collapse(n)` on a loop.
+    pub collapse: Option<u32>,
+    /// Bare parallelism clauses present on a loop (`gang`, `worker`,
+    /// `vector`, `independent`, `seq`).
+    pub loop_modes: Vec<String>,
+}
+
+impl AccDirective {
+    /// The activity queue this directive targets (bare `async` = queue 0).
+    pub fn queue(&self) -> Option<u32> {
+        self.asyncq.map(|q| q.unwrap_or(0))
+    }
+
+    /// Variables listed under a given data clause.
+    pub fn vars_of(&self, clause: &str) -> Vec<&str> {
+        self.data
+            .iter()
+            .filter(|v| v.clause == clause)
+            .flat_map(|v| v.vars.iter().map(|s| s.as_str()))
+            .collect()
+    }
+}
+
+const DATA_CLAUSES: &[&str] = &[
+    "copy", "copyin", "copyout", "create", "present", "delete", "device", "self", "host",
+];
+const LOOP_MODES: &[&str] = &["gang", "worker", "vector", "independent", "seq"];
+
+/// Parse one `#pragma acc ...` line (any directive except `acc mpi`,
+/// which [`crate::parse_directive`] owns).
+pub fn parse_acc_directive(line: &str) -> Result<AccDirective, ParseError> {
+    let toks = tokenize(line)?;
+    let mut pos = 0usize;
+    let ident = |pos: usize| -> Option<&str> {
+        match toks.get(pos) {
+            Some((_, Tok::Ident(w))) => Some(w.as_str()),
+            _ => None,
+        }
+    };
+    for want in ["#pragma", "acc"] {
+        if ident(pos) != Some(want) {
+            return Err(ParseError {
+                at: toks.get(pos).map(|(a, _)| *a).unwrap_or(line.len()),
+                message: format!("expected '{want}'"),
+            });
+        }
+        pos += 1;
+    }
+    let (kind, consumed) = match (ident(pos), ident(pos + 1)) {
+        (Some("kernels"), _) => (AccKind::Kernels, 1),
+        (Some("parallel"), _) => (AccKind::Parallel, 1),
+        (Some("enter"), Some("data")) => (AccKind::EnterData, 2),
+        (Some("exit"), Some("data")) => (AccKind::ExitData, 2),
+        (Some("data"), _) => (AccKind::Data, 1),
+        (Some("update"), _) => (AccKind::Update, 1),
+        (Some("wait"), _) => (AccKind::Wait, 1),
+        (Some("loop"), _) => (AccKind::Loop, 1),
+        (Some("mpi"), _) => {
+            return Err(ParseError {
+                at: toks[pos].0,
+                message: "use parse_directive() for '#pragma acc mpi'".into(),
+            })
+        }
+        (other, _) => {
+            return Err(ParseError {
+                at: toks.get(pos).map(|(a, _)| *a).unwrap_or(line.len()),
+                message: format!("unknown OpenACC directive {other:?}"),
+            })
+        }
+    };
+    pos += consumed;
+
+    let mut d = AccDirective {
+        kind,
+        has_loop: false,
+        asyncq: None,
+        waits: Vec::new(),
+        data: Vec::new(),
+        num_gangs: None,
+        num_workers: None,
+        vector_length: None,
+        collapse: None,
+        loop_modes: Vec::new(),
+    };
+
+    // `kernels loop` / `parallel loop`.
+    if matches!(kind, AccKind::Kernels | AccKind::Parallel) && ident(pos) == Some("loop") {
+        d.has_loop = true;
+        pos += 1;
+    }
+
+    // The `wait` *directive* takes an optional bare argument list.
+    if kind == AccKind::Wait {
+        if matches!(toks.get(pos), Some((_, Tok::LParen))) {
+            d.waits = parse_int_list(line, &toks, &mut pos)?;
+        }
+        if pos < toks.len() {
+            // fall through: `wait(1) async(2)` is legal
+        } else {
+            return Ok(d);
+        }
+    }
+
+    while pos < toks.len() {
+        let (at, name) = match &toks[pos] {
+            (at, Tok::Ident(n)) => (*at, n.clone()),
+            (at, other) => {
+                return Err(ParseError {
+                    at: *at,
+                    message: format!("expected a clause, found {other:?}"),
+                })
+            }
+        };
+        pos += 1;
+        match name.as_str() {
+            "async" => {
+                if matches!(toks.get(pos), Some((_, Tok::LParen))) {
+                    let list = parse_int_list(line, &toks, &mut pos)?;
+                    if list.len() != 1 {
+                        return Err(ParseError {
+                            at,
+                            message: "async takes exactly one queue".into(),
+                        });
+                    }
+                    d.asyncq = Some(Some(list[0]));
+                } else {
+                    d.asyncq = Some(None);
+                }
+            }
+            "wait" => {
+                d.waits = parse_int_list(line, &toks, &mut pos)?;
+            }
+            "num_gangs" | "num_workers" | "vector_length" | "collapse" => {
+                let list = parse_int_list(line, &toks, &mut pos)?;
+                if list.len() != 1 {
+                    return Err(ParseError {
+                        at,
+                        message: format!("{name} takes exactly one integer"),
+                    });
+                }
+                let slot = match name.as_str() {
+                    "num_gangs" => &mut d.num_gangs,
+                    "num_workers" => &mut d.num_workers,
+                    "vector_length" => &mut d.vector_length,
+                    _ => &mut d.collapse,
+                };
+                *slot = Some(list[0]);
+            }
+            c if DATA_CLAUSES.contains(&c) => {
+                let vars = parse_var_list(line, &toks, &mut pos)?;
+                d.data.push(VarList {
+                    clause: name,
+                    vars,
+                });
+            }
+            m if LOOP_MODES.contains(&m) => {
+                d.loop_modes.push(name);
+            }
+            other => {
+                return Err(ParseError {
+                    at,
+                    message: format!("unknown clause '{other}'"),
+                })
+            }
+        }
+    }
+    Ok(d)
+}
+
+fn parse_int_list(
+    line: &str,
+    toks: &[(usize, Tok)],
+    pos: &mut usize,
+) -> Result<Vec<u32>, ParseError> {
+    expect(line, toks, pos, &Tok::LParen)?;
+    let mut out = Vec::new();
+    loop {
+        match toks.get(*pos) {
+            Some((_, Tok::Int(v))) => {
+                out.push(*v);
+                *pos += 1;
+            }
+            Some((at, t)) => {
+                return Err(ParseError {
+                    at: *at,
+                    message: format!("expected an integer, found {t:?}"),
+                })
+            }
+            None => {
+                return Err(ParseError {
+                    at: line.len(),
+                    message: "unterminated argument list".into(),
+                })
+            }
+        }
+        match toks.get(*pos) {
+            Some((_, Tok::Comma)) => *pos += 1,
+            Some((_, Tok::RParen)) => {
+                *pos += 1;
+                return Ok(out);
+            }
+            _ => {
+                return Err(ParseError {
+                    at: line.len(),
+                    message: "expected ',' or ')'".into(),
+                })
+            }
+        }
+    }
+}
+
+fn parse_var_list(
+    line: &str,
+    toks: &[(usize, Tok)],
+    pos: &mut usize,
+) -> Result<Vec<String>, ParseError> {
+    expect(line, toks, pos, &Tok::LParen)?;
+    let mut out = Vec::new();
+    loop {
+        match toks.get(*pos) {
+            Some((_, Tok::Ident(v))) => {
+                out.push(v.clone());
+                *pos += 1;
+            }
+            Some((at, t)) => {
+                return Err(ParseError {
+                    at: *at,
+                    message: format!("expected a variable name, found {t:?}"),
+                })
+            }
+            None => {
+                return Err(ParseError {
+                    at: line.len(),
+                    message: "unterminated variable list".into(),
+                })
+            }
+        }
+        match toks.get(*pos) {
+            Some((_, Tok::Comma)) => *pos += 1,
+            Some((_, Tok::RParen)) => {
+                *pos += 1;
+                return Ok(out);
+            }
+            _ => {
+                return Err(ParseError {
+                    at: line.len(),
+                    message: "expected ',' or ')'".into(),
+                })
+            }
+        }
+    }
+}
+
+fn expect(line: &str, toks: &[(usize, Tok)], pos: &mut usize, want: &Tok) -> Result<(), ParseError> {
+    match toks.get(*pos) {
+        Some((_, t)) if t == want => {
+            *pos += 1;
+            Ok(())
+        }
+        Some((at, t)) => Err(ParseError {
+            at: *at,
+            message: format!("expected {want:?}, found {t:?}"),
+        }),
+        None => Err(ParseError {
+            at: line.len(),
+            message: format!("expected {want:?}, found end of line"),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_papers_kernels_lines() {
+        // Figure 4: "#pragma acc kernels loop copyout(buf0) async(1)"
+        let d = parse_acc_directive("#pragma acc kernels loop copyout(buf0) async(1)").unwrap();
+        assert_eq!(d.kind, AccKind::Kernels);
+        assert!(d.has_loop);
+        assert_eq!(d.vars_of("copyout"), vec!["buf0"]);
+        assert_eq!(d.queue(), Some(1));
+
+        let d = parse_acc_directive("#pragma acc kernels loop copyin(buf1)").unwrap();
+        assert_eq!(d.vars_of("copyin"), vec!["buf1"]);
+        assert_eq!(d.queue(), None);
+    }
+
+    #[test]
+    fn parses_data_constructs() {
+        let d = parse_acc_directive(
+            "#pragma acc data copyin(a, b) create(c) present(d) copyout(r)",
+        )
+        .unwrap();
+        assert_eq!(d.kind, AccKind::Data);
+        assert_eq!(d.vars_of("copyin"), vec!["a", "b"]);
+        assert_eq!(d.vars_of("create"), vec!["c"]);
+        assert_eq!(d.vars_of("present"), vec!["d"]);
+        assert_eq!(d.vars_of("copyout"), vec!["r"]);
+
+        let d = parse_acc_directive("#pragma acc enter data create(u) async(2)").unwrap();
+        assert_eq!(d.kind, AccKind::EnterData);
+        assert_eq!(d.queue(), Some(2));
+        let d = parse_acc_directive("#pragma acc exit data delete(u)").unwrap();
+        assert_eq!(d.kind, AccKind::ExitData);
+    }
+
+    #[test]
+    fn parses_update_and_wait() {
+        let d = parse_acc_directive("#pragma acc update host(u) device(v) async(1)").unwrap();
+        assert_eq!(d.kind, AccKind::Update);
+        assert_eq!(d.vars_of("host"), vec!["u"]);
+        assert_eq!(d.vars_of("device"), vec!["v"]);
+
+        let d = parse_acc_directive("#pragma acc wait(1, 2)").unwrap();
+        assert_eq!(d.kind, AccKind::Wait);
+        assert_eq!(d.waits, vec![1, 2]);
+
+        let d = parse_acc_directive("#pragma acc wait").unwrap();
+        assert!(d.waits.is_empty());
+    }
+
+    #[test]
+    fn parses_parallel_tuning_clauses() {
+        let d = parse_acc_directive(
+            "#pragma acc parallel loop gang vector num_gangs(128) vector_length(256) collapse(2)",
+        )
+        .unwrap();
+        assert_eq!(d.kind, AccKind::Parallel);
+        assert!(d.has_loop);
+        assert_eq!(d.num_gangs, Some(128));
+        assert_eq!(d.vector_length, Some(256));
+        assert_eq!(d.collapse, Some(2));
+        assert_eq!(d.loop_modes, vec!["gang", "vector"]);
+    }
+
+    #[test]
+    fn rejects_malformed_acc_directives() {
+        for (text, needle) in [
+            ("#pragma acc mpi sendbuf(device)", "use parse_directive"),
+            ("#pragma acc frobnicate", "unknown OpenACC directive"),
+            ("#pragma acc kernels quux(a)", "unknown clause"),
+            ("#pragma acc kernels copyin()", "expected a variable name"),
+            ("#pragma acc kernels async(1, 2)", "exactly one queue"),
+            ("#pragma acc update host(u", "expected ',' or ')'"),
+            ("#pragma acc parallel num_gangs()", "expected an integer"),
+        ] {
+            let err = parse_acc_directive(text).unwrap_err();
+            assert!(err.message.contains(needle), "{text}: {}", err.message);
+        }
+    }
+
+    #[test]
+    fn wait_directive_with_async_continuation() {
+        let d = parse_acc_directive("#pragma acc wait(3) async(4)").unwrap();
+        assert_eq!(d.waits, vec![3]);
+        assert_eq!(d.queue(), Some(4));
+    }
+}

@@ -1,0 +1,31 @@
+//! # impacc-directives — the `#pragma acc mpi` directive extension
+//!
+//! The IMPACC compiler is a source-to-source translator; the part of it
+//! that is *specified* in the paper (§3.5) is the new OpenACC directive
+//! extension:
+//!
+//! ```text
+//! #pragma acc mpi clause-list new-line
+//! clause := sendbuf( [device] [,] [readonly] )
+//!         | recvbuf( [device] [,] [readonly] )
+//!         | async [ ( int-expr ) ]
+//! ```
+//!
+//! This crate implements that grammar: a tokenizer, a parser producing a
+//! typed [`Directive`], conversion to the runtime's
+//! [`MpiOpts`](impacc_core::MpiOpts), and a small source scanner that
+//! finds IMPACC directives in C-like source text and checks that each is
+//! followed by an MPI call (reporting which call and whether the clauses
+//! are consistent with it — e.g. `sendbuf` on an `MPI_Irecv` is rejected).
+
+#![warn(missing_docs)]
+
+pub mod acc;
+pub mod parser;
+pub mod scan;
+pub mod translate;
+
+pub use acc::{parse_acc_directive, AccDirective, AccKind, VarList};
+pub use parser::{parse_directive, BufClause, Directive, ParseError};
+pub use scan::{scan_source, MpiCallKind, ScanIssue, ScannedDirective};
+pub use translate::{translate, Lowering, RuntimeCall};

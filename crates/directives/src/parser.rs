@@ -1,0 +1,470 @@
+//! Tokenizer and parser for the IMPACC directive clause grammar.
+
+use std::fmt;
+
+use impacc_core::MpiOpts;
+
+/// A parsed `sendbuf(...)` / `recvbuf(...)` clause.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct BufClause {
+    /// `device` attribute present.
+    pub device: bool,
+    /// `readonly` attribute present.
+    pub readonly: bool,
+}
+
+/// A fully parsed `#pragma acc mpi` directive.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Directive {
+    /// `sendbuf(...)`, if present.
+    pub sendbuf: Option<BufClause>,
+    /// `recvbuf(...)`, if present.
+    pub recvbuf: Option<BufClause>,
+    /// `async` clause: `None` = absent; `Some(None)` = bare `async`
+    /// (default queue); `Some(Some(q))` = `async(q)`.
+    pub asyncq: Option<Option<u32>>,
+}
+
+impl Directive {
+    /// The runtime options this directive selects for a send-side call.
+    /// Bare `async` maps to queue 0 (the OpenACC default queue).
+    pub fn send_opts(&self) -> MpiOpts {
+        let c = self.sendbuf.unwrap_or_default();
+        MpiOpts {
+            device: c.device,
+            readonly: c.readonly,
+            queue: self.asyncq.map(|q| q.unwrap_or(0)),
+        }
+    }
+
+    /// The runtime options for a receive-side call.
+    pub fn recv_opts(&self) -> MpiOpts {
+        let c = self.recvbuf.unwrap_or_default();
+        MpiOpts {
+            device: c.device,
+            readonly: c.readonly,
+            queue: self.asyncq.map(|q| q.unwrap_or(0)),
+        }
+    }
+
+    /// Render back to canonical directive text.
+    pub fn render(&self) -> String {
+        let mut out = String::from("#pragma acc mpi");
+        let buf = |name: &str, c: &BufClause| {
+            let mut attrs = Vec::new();
+            if c.device {
+                attrs.push("device");
+            }
+            if c.readonly {
+                attrs.push("readonly");
+            }
+            format!(" {}({})", name, attrs.join(", "))
+        };
+        if let Some(c) = &self.sendbuf {
+            out.push_str(&buf("sendbuf", c));
+        }
+        if let Some(c) = &self.recvbuf {
+            out.push_str(&buf("recvbuf", c));
+        }
+        match self.asyncq {
+            None => {}
+            Some(None) => out.push_str(" async"),
+            Some(Some(q)) => out.push_str(&format!(" async({q})")),
+        }
+        out
+    }
+}
+
+/// A parse failure, with the byte offset where it was detected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the directive text.
+    pub at: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "directive parse error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Tok {
+    Ident(String),
+    Int(u32),
+    LParen,
+    RParen,
+    Comma,
+}
+
+pub(crate) fn tokenize(s: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
+    let mut toks = Vec::new();
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_whitespace() {
+            i += 1;
+        } else if c == '(' {
+            toks.push((i, Tok::LParen));
+            i += 1;
+        } else if c == ')' {
+            toks.push((i, Tok::RParen));
+            i += 1;
+        } else if c == ',' {
+            toks.push((i, Tok::Comma));
+            i += 1;
+        } else if c.is_ascii_alphabetic() || c == '_' || c == '#' {
+            let start = i;
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric()
+                    || bytes[i] == b'_'
+                    || bytes[i] == b'#')
+            {
+                i += 1;
+            }
+            toks.push((start, Tok::Ident(s[start..i].to_string())));
+        } else if c.is_ascii_digit() {
+            let start = i;
+            while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                i += 1;
+            }
+            let v: u32 = s[start..i].parse().map_err(|_| ParseError {
+                at: start,
+                message: format!("integer literal out of range: {}", &s[start..i]),
+            })?;
+            toks.push((start, Tok::Int(v)));
+        } else {
+            return Err(ParseError {
+                at: i,
+                message: format!("unexpected character '{c}'"),
+            });
+        }
+    }
+    Ok(toks)
+}
+
+/// Parse one directive line, e.g.
+/// `#pragma acc mpi sendbuf(device, readonly) async(1)`.
+pub fn parse_directive(line: &str) -> Result<Directive, ParseError> {
+    let toks = tokenize(line)?;
+    let mut pos = 0usize;
+    let expect_ident = |pos: &mut usize, want: &str| -> Result<(), ParseError> {
+        match toks.get(*pos) {
+            Some((_, Tok::Ident(w))) if w == want => {
+                *pos += 1;
+                Ok(())
+            }
+            Some((at, t)) => Err(ParseError {
+                at: *at,
+                message: format!("expected '{want}', found {t:?}"),
+            }),
+            None => Err(ParseError {
+                at: line.len(),
+                message: format!("expected '{want}', found end of line"),
+            }),
+        }
+    };
+    expect_ident(&mut pos, "#pragma")?;
+    expect_ident(&mut pos, "acc")?;
+    expect_ident(&mut pos, "mpi")?;
+
+    let mut d = Directive::default();
+    while pos < toks.len() {
+        let (at, tok) = &toks[pos];
+        let name = match tok {
+            Tok::Ident(n) => n.clone(),
+            other => {
+                return Err(ParseError {
+                    at: *at,
+                    message: format!("expected a clause, found {other:?}"),
+                })
+            }
+        };
+        pos += 1;
+        match name.as_str() {
+            "sendbuf" | "recvbuf" => {
+                let clause = parse_buf_clause(line, &toks, &mut pos)?;
+                let slot = if name == "sendbuf" {
+                    &mut d.sendbuf
+                } else {
+                    &mut d.recvbuf
+                };
+                if slot.is_some() {
+                    return Err(ParseError {
+                        at: *at,
+                        message: format!("duplicate '{name}' clause"),
+                    });
+                }
+                *slot = Some(clause);
+            }
+            "async" => {
+                if d.asyncq.is_some() {
+                    return Err(ParseError {
+                        at: *at,
+                        message: "duplicate 'async' clause".into(),
+                    });
+                }
+                // Optional (int-expr).
+                if matches!(toks.get(pos), Some((_, Tok::LParen))) {
+                    pos += 1;
+                    let q = match toks.get(pos) {
+                        Some((_, Tok::Int(v))) => *v,
+                        Some((at, t)) => {
+                            return Err(ParseError {
+                                at: *at,
+                                message: format!(
+                                    "async expects a non-negative integer, found {t:?}"
+                                ),
+                            })
+                        }
+                        None => {
+                            return Err(ParseError {
+                                at: line.len(),
+                                message: "unterminated async clause".into(),
+                            })
+                        }
+                    };
+                    pos += 1;
+                    match toks.get(pos) {
+                        Some((_, Tok::RParen)) => pos += 1,
+                        _ => {
+                            return Err(ParseError {
+                                at: line.len(),
+                                message: "expected ')' after async queue".into(),
+                            })
+                        }
+                    }
+                    d.asyncq = Some(Some(q));
+                } else {
+                    d.asyncq = Some(None);
+                }
+            }
+            other => {
+                return Err(ParseError {
+                    at: *at,
+                    message: format!(
+                        "unknown clause '{other}' (expected sendbuf, recvbuf or async)"
+                    ),
+                })
+            }
+        }
+    }
+    if d.sendbuf.is_none() && d.recvbuf.is_none() && d.asyncq.is_none() {
+        return Err(ParseError {
+            at: line.len(),
+            message: "directive has no clauses".into(),
+        });
+    }
+    Ok(d)
+}
+
+fn parse_buf_clause(
+    line: &str,
+    toks: &[(usize, Tok)],
+    pos: &mut usize,
+) -> Result<BufClause, ParseError> {
+    match toks.get(*pos) {
+        Some((_, Tok::LParen)) => *pos += 1,
+        _ => {
+            return Err(ParseError {
+                at: line.len(),
+                message: "expected '(' after buffer clause".into(),
+            })
+        }
+    }
+    let mut clause = BufClause::default();
+    let mut first = true;
+    loop {
+        match toks.get(*pos) {
+            Some((_, Tok::RParen)) => {
+                *pos += 1;
+                return Ok(clause);
+            }
+            Some((_, Tok::Comma)) if !first => {
+                *pos += 1;
+            }
+            Some((at, Tok::Comma)) => {
+                return Err(ParseError {
+                    at: *at,
+                    message: "leading comma in buffer clause".into(),
+                })
+            }
+            _ => {}
+        }
+        match toks.get(*pos) {
+            Some((at, Tok::Ident(a))) => {
+                match a.as_str() {
+                    "device" => {
+                        if clause.device {
+                            return Err(ParseError {
+                                at: *at,
+                                message: "duplicate 'device' attribute".into(),
+                            });
+                        }
+                        clause.device = true;
+                    }
+                    "readonly" => {
+                        if clause.readonly {
+                            return Err(ParseError {
+                                at: *at,
+                                message: "duplicate 'readonly' attribute".into(),
+                            });
+                        }
+                        clause.readonly = true;
+                    }
+                    other => {
+                        return Err(ParseError {
+                            at: *at,
+                            message: format!(
+                                "unknown attribute '{other}' (expected device or readonly)"
+                            ),
+                        })
+                    }
+                }
+                *pos += 1;
+                first = false;
+            }
+            Some((_, Tok::RParen)) => continue,
+            Some((at, t)) => {
+                return Err(ParseError {
+                    at: *at,
+                    message: format!("unexpected {t:?} in buffer clause"),
+                })
+            }
+            None => {
+                return Err(ParseError {
+                    at: line.len(),
+                    message: "unterminated buffer clause".into(),
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_papers_examples() {
+        // §3.5: "#pragma acc mpi sendbuf(device)"
+        let d = parse_directive("#pragma acc mpi sendbuf(device)").unwrap();
+        assert_eq!(
+            d.sendbuf,
+            Some(BufClause {
+                device: true,
+                readonly: false
+            })
+        );
+        assert!(d.recvbuf.is_none() && d.asyncq.is_none());
+
+        // Figure 4(c): "#pragma acc mpi sendbuf(device) async(1)"
+        let d = parse_directive("#pragma acc mpi sendbuf(device) async(1)").unwrap();
+        assert_eq!(d.asyncq, Some(Some(1)));
+        let opts = d.send_opts();
+        assert!(opts.device && !opts.readonly);
+        assert_eq!(opts.queue, Some(1));
+
+        // Figure 7 abbreviations expand to these:
+        let d = parse_directive("#pragma acc mpi sendbuf(readonly)").unwrap();
+        assert_eq!(
+            d.send_opts(),
+            MpiOpts {
+                device: false,
+                readonly: true,
+                queue: None
+            }
+        );
+        let d = parse_directive("#pragma acc mpi recvbuf(readonly)").unwrap();
+        assert!(d.recv_opts().readonly);
+    }
+
+    #[test]
+    fn both_attributes_with_and_without_comma() {
+        for text in [
+            "#pragma acc mpi sendbuf(device, readonly)",
+            "#pragma acc mpi sendbuf(device readonly)",
+            "#pragma acc mpi sendbuf( device , readonly )",
+        ] {
+            let d = parse_directive(text).unwrap();
+            assert_eq!(
+                d.sendbuf,
+                Some(BufClause {
+                    device: true,
+                    readonly: true
+                }),
+                "{text}"
+            );
+        }
+    }
+
+    #[test]
+    fn bare_async_uses_default_queue() {
+        let d = parse_directive("#pragma acc mpi recvbuf(device) async").unwrap();
+        assert_eq!(d.asyncq, Some(None));
+        assert_eq!(d.recv_opts().queue, Some(0));
+    }
+
+    #[test]
+    fn empty_buffer_clause_is_legal() {
+        // Grammar: both attributes are optional.
+        let d = parse_directive("#pragma acc mpi sendbuf()").unwrap();
+        assert_eq!(d.sendbuf, Some(BufClause::default()));
+    }
+
+    #[test]
+    fn send_and_recv_in_one_directive() {
+        // e.g. annotating an MPI_Sendrecv.
+        let d =
+            parse_directive("#pragma acc mpi sendbuf(device) recvbuf(device, readonly) async(3)")
+                .unwrap();
+        assert!(d.send_opts().device);
+        assert!(d.recv_opts().device && d.recv_opts().readonly);
+        assert_eq!(d.send_opts().queue, Some(3));
+    }
+
+    #[test]
+    fn rejects_malformed_directives() {
+        for (text, needle) in [
+            ("#pragma acc mpi", "no clauses"),
+            ("#pragma acc mpi sendbuf", "expected '('"),
+            ("#pragma acc mpi sendbuf(device", "unterminated"),
+            ("#pragma acc mpi sendbuf(writable)", "unknown attribute"),
+            ("#pragma acc mpi foo(device)", "unknown clause"),
+            ("#pragma acc mpi async(x)", "non-negative integer"),
+            ("#pragma acc mpi async(1", "expected ')'"),
+            ("#pragma acc mpi sendbuf(device) sendbuf(readonly)", "duplicate 'sendbuf'"),
+            ("#pragma acc mpi async async(1)", "duplicate 'async'"),
+            ("#pragma acc mpi sendbuf(device,device)", "duplicate 'device'"),
+            ("#pragma acc mpi sendbuf(,device)", "leading comma"),
+            ("#pragma omp parallel", "expected 'acc'"),
+            ("#pragma acc mpi sendbuf(device) $", "unexpected character"),
+        ] {
+            let err = parse_directive(text).unwrap_err();
+            assert!(
+                err.message.contains(needle),
+                "{text}: expected '{needle}' in '{}'",
+                err.message
+            );
+        }
+    }
+
+    #[test]
+    fn render_round_trips() {
+        for text in [
+            "#pragma acc mpi sendbuf(device)",
+            "#pragma acc mpi sendbuf(device, readonly) async(2)",
+            "#pragma acc mpi recvbuf(readonly) async",
+            "#pragma acc mpi sendbuf(device) recvbuf(device) async(7)",
+        ] {
+            let d = parse_directive(text).unwrap();
+            let d2 = parse_directive(&d.render()).unwrap();
+            assert_eq!(d, d2, "{text}");
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! Source scanner: find IMPACC directives in C-like source text and check
+//! them against the MPI call each one annotates.
+//!
+//! Per §3.5 the directive applies to "the immediately following MPI call".
+//! The scanner enforces that, classifies the call, and flags clause/call
+//! mismatches a real compiler would reject (this is the front-end
+//! validation half of the source-to-source translator; code generation is
+//! out of the paper's scope and ours).
+
+use crate::parser::{parse_directive, Directive, ParseError};
+
+/// The kind of MPI call an IMPACC directive annotates.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum MpiCallKind {
+    /// `MPI_Send` / `MPI_Isend`.
+    Send {
+        /// Non-blocking variant.
+        nonblocking: bool,
+    },
+    /// `MPI_Recv` / `MPI_Irecv`.
+    Recv {
+        /// Non-blocking variant.
+        nonblocking: bool,
+    },
+    /// `MPI_Sendrecv`.
+    SendRecv,
+    /// `MPI_Bcast` (aliasing-eligible collective, §3.8).
+    Bcast,
+    /// Another `MPI_*` routine.
+    Other,
+}
+
+/// One directive found in the source.
+#[derive(Clone, Debug)]
+pub struct ScannedDirective {
+    /// 1-based line number of the `#pragma`.
+    pub line: usize,
+    /// The parsed directive.
+    pub directive: Directive,
+    /// The annotated call, if one follows.
+    pub call: Option<MpiCallKind>,
+    /// The identifier of the annotated call (e.g. `MPI_Isend`).
+    pub call_name: Option<String>,
+}
+
+/// A problem found while scanning.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScanIssue {
+    /// The directive text failed to parse.
+    Parse {
+        /// 1-based line of the directive.
+        line: usize,
+        /// The underlying error.
+        error: ParseError,
+    },
+    /// The directive is not followed by an MPI call.
+    NoFollowingCall {
+        /// 1-based line of the directive.
+        line: usize,
+    },
+    /// Clause/call mismatch (e.g. `sendbuf` on a receive).
+    ClauseMismatch {
+        /// 1-based line of the directive.
+        line: usize,
+        /// Explanation.
+        message: String,
+    },
+    /// `async` on a blocking call: only `MPI_Isend`/`MPI_Irecv` may be
+    /// queued (§3.5: "the following *non-blocking* MPI call ... will be
+    /// queued").
+    AsyncOnBlockingCall {
+        /// 1-based line of the directive.
+        line: usize,
+        /// The blocking call's name.
+        call: String,
+    },
+}
+
+/// Classify the MPI call at the start of a statement (crate-internal
+/// helper shared with the translator).
+pub(crate) fn classify_call_pub(stmt: &str) -> Option<(MpiCallKind, String)> {
+    classify_call(stmt)
+}
+
+fn classify_call(stmt: &str) -> Option<(MpiCallKind, String)> {
+    let s = stmt.trim_start();
+    let name_end = s
+        .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+        .unwrap_or(s.len());
+    let name = &s[..name_end];
+    if !name.starts_with("MPI_") {
+        return None;
+    }
+    let kind = match name {
+        "MPI_Send" | "MPI_Ssend" | "MPI_Rsend" | "MPI_Bsend" => {
+            MpiCallKind::Send { nonblocking: false }
+        }
+        "MPI_Isend" => MpiCallKind::Send { nonblocking: true },
+        "MPI_Recv" => MpiCallKind::Recv { nonblocking: false },
+        "MPI_Irecv" => MpiCallKind::Recv { nonblocking: true },
+        "MPI_Sendrecv" => MpiCallKind::SendRecv,
+        "MPI_Bcast" => MpiCallKind::Bcast,
+        _ => MpiCallKind::Other,
+    };
+    Some((kind, name.to_string()))
+}
+
+/// Scan `source` for IMPACC directives. Returns the directives found and
+/// any issues a compiler front-end would report.
+pub fn scan_source(source: &str) -> (Vec<ScannedDirective>, Vec<ScanIssue>) {
+    let mut found = Vec::new();
+    let mut issues = Vec::new();
+    let lines: Vec<&str> = source.lines().collect();
+    for (i, raw) in lines.iter().enumerate() {
+        let line_no = i + 1;
+        let trimmed = raw.trim_start();
+        if !trimmed.starts_with("#pragma") {
+            continue;
+        }
+        // Only `#pragma acc mpi ...` is ours.
+        let mut words = trimmed.split_whitespace();
+        let (_, second, third) = (words.next(), words.next(), words.next());
+        if second != Some("acc") || third != Some("mpi") {
+            continue;
+        }
+        let directive = match parse_directive(trimmed) {
+            Ok(d) => d,
+            Err(error) => {
+                issues.push(ScanIssue::Parse {
+                    line: line_no,
+                    error,
+                });
+                continue;
+            }
+        };
+        // The immediately following non-empty, non-comment line must be an
+        // MPI call.
+        let call = lines[i + 1..]
+            .iter()
+            .map(|l| l.trim())
+            .find(|l| !l.is_empty() && !l.starts_with("//") && !l.starts_with("/*"))
+            .and_then(classify_call);
+        match &call {
+            None => issues.push(ScanIssue::NoFollowingCall { line: line_no }),
+            Some((kind, name)) => {
+                match kind {
+                    MpiCallKind::Send { nonblocking } => {
+                        if directive.recvbuf.is_some() {
+                            issues.push(ScanIssue::ClauseMismatch {
+                                line: line_no,
+                                message: format!("recvbuf clause on send call {name}"),
+                            });
+                        }
+                        if directive.asyncq.is_some() && !nonblocking {
+                            issues.push(ScanIssue::AsyncOnBlockingCall {
+                                line: line_no,
+                                call: name.clone(),
+                            });
+                        }
+                    }
+                    MpiCallKind::Recv { nonblocking } => {
+                        if directive.sendbuf.is_some() {
+                            issues.push(ScanIssue::ClauseMismatch {
+                                line: line_no,
+                                message: format!("sendbuf clause on receive call {name}"),
+                            });
+                        }
+                        if directive.asyncq.is_some() && !nonblocking {
+                            issues.push(ScanIssue::AsyncOnBlockingCall {
+                                line: line_no,
+                                call: name.clone(),
+                            });
+                        }
+                    }
+                    MpiCallKind::SendRecv | MpiCallKind::Bcast | MpiCallKind::Other => {}
+                }
+            }
+        }
+        found.push(ScannedDirective {
+            line: line_no,
+            directive,
+            call: call.as_ref().map(|(k, _)| *k),
+            call_name: call.map(|(_, n)| n),
+        });
+    }
+    (found, issues)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The exact Figure 4(c) listing from the paper.
+    const FIGURE_4C: &str = r#"
+/* (c) IMPACC Unified Activity Queue */
+#pragma acc kernels loop async(1)
+for (i = 0; i < n; i++) { buf0[i] = 1; }
+#pragma acc mpi sendbuf(device) async(1)
+MPI_Isend(buf0, another_task, &req[0]);
+#pragma acc mpi recvbuf(device) async(1)
+MPI_Irecv(buf1, another_task, &req[1]);
+#pragma acc kernels loop async(1)
+for (i = 0; i < n; i++) { x = buf1[i]; }
+"#;
+
+    #[test]
+    fn scans_figure_4c_cleanly() {
+        let (found, issues) = scan_source(FIGURE_4C);
+        assert!(issues.is_empty(), "{issues:?}");
+        assert_eq!(found.len(), 2, "acc kernels pragmas are not ours");
+        assert_eq!(found[0].call, Some(MpiCallKind::Send { nonblocking: true }));
+        assert_eq!(found[0].call_name.as_deref(), Some("MPI_Isend"));
+        assert_eq!(found[0].directive.send_opts().queue, Some(1));
+        assert_eq!(found[1].call, Some(MpiCallKind::Recv { nonblocking: true }));
+        assert!(found[1].directive.recv_opts().device);
+    }
+
+    #[test]
+    fn figure7_readonly_pair() {
+        let src = r#"
+#pragma acc mpi sendbuf(readonly)
+MPI_Send(src + off, 10, MPI_DOUBLE, 1, 0, MPI_COMM_WORLD);
+#pragma acc mpi recvbuf(readonly)
+MPI_Recv(dst, 10, MPI_DOUBLE, 0, 0, MPI_COMM_WORLD, &st);
+"#;
+        let (found, issues) = scan_source(src);
+        assert!(issues.is_empty(), "{issues:?}");
+        assert!(found[0].directive.send_opts().readonly);
+        assert!(found[1].directive.recv_opts().readonly);
+    }
+
+    #[test]
+    fn flags_missing_call() {
+        let (found, issues) = scan_source("#pragma acc mpi sendbuf(device)\nint x = 3;\n");
+        assert_eq!(found.len(), 1);
+        assert_eq!(issues, vec![ScanIssue::NoFollowingCall { line: 1 }]);
+    }
+
+    #[test]
+    fn flags_clause_call_mismatch() {
+        let src = "#pragma acc mpi recvbuf(device)\nMPI_Isend(buf, 1, MPI_INT, 0, 0, c, &r);\n";
+        let (_, issues) = scan_source(src);
+        assert!(matches!(issues[0], ScanIssue::ClauseMismatch { line: 1, .. }));
+    }
+
+    #[test]
+    fn flags_async_on_blocking_call() {
+        let src = "#pragma acc mpi sendbuf(device) async(1)\nMPI_Send(buf, 1, MPI_INT, 0, 0, c);\n";
+        let (_, issues) = scan_source(src);
+        assert_eq!(
+            issues,
+            vec![ScanIssue::AsyncOnBlockingCall {
+                line: 1,
+                call: "MPI_Send".into()
+            }]
+        );
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let src = "int a;\n  #pragma acc mpi sendbuf(writable)\nMPI_Send(a,1,MPI_INT,0,0,c);\n";
+        let (found, issues) = scan_source(src);
+        assert!(found.is_empty());
+        assert!(matches!(issues[0], ScanIssue::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped_to_the_call() {
+        let src = "#pragma acc mpi sendbuf(device)\n\n// comment\nMPI_Isend(b, 1, MPI_INT, 0, 0, c, &r);\n";
+        let (found, issues) = scan_source(src);
+        assert!(issues.is_empty());
+        assert_eq!(found[0].call, Some(MpiCallKind::Send { nonblocking: true }));
+    }
+
+    #[test]
+    fn bcast_is_accepted_for_aliasing() {
+        let src = "#pragma acc mpi sendbuf(readonly) recvbuf(readonly)\nMPI_Bcast(b, n, MPI_DOUBLE, 0, comm);\n";
+        let (found, issues) = scan_source(src);
+        assert!(issues.is_empty());
+        assert_eq!(found[0].call, Some(MpiCallKind::Bcast));
+    }
+
+    #[test]
+    fn other_pragmas_are_ignored() {
+        let src = "#pragma omp parallel\n#pragma acc kernels\nMPI_Send(b,1,MPI_INT,0,0,c);\n";
+        let (found, issues) = scan_source(src);
+        assert!(found.is_empty() && issues.is_empty());
+    }
+}

@@ -1,0 +1,347 @@
+//! Validation and a fluent builder for custom machine descriptions.
+//!
+//! The presets cover the paper's three systems; downstream users modelling
+//! their own clusters get a checked builder here, and every `Launch`
+//! validates its spec so a bad topology fails fast with a precise message
+//! instead of producing quietly absurd timings.
+
+use std::fmt;
+
+use crate::spec::{
+    CostParams, DeviceKind, DeviceSpec, MachineSpec, MpiThreading, NetworkSpec, NodeSpec, NumaSpec,
+    SocketSpec,
+};
+
+/// A problem with a machine description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecError {
+    /// Where in the spec (e.g. `nodes[2].devices[0]`).
+    pub at: String,
+    /// What is wrong.
+    pub message: String,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid machine spec at {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Validate a machine description: socket references in range, strictly
+/// positive bandwidths and capacities, sane factors.
+pub fn validate(spec: &MachineSpec) -> Result<(), SpecError> {
+    let err = |at: String, message: String| Err(SpecError { at, message });
+    if spec.nodes.is_empty() {
+        return err("nodes".into(), "a cluster needs at least one node".into());
+    }
+    for (n, node) in spec.nodes.iter().enumerate() {
+        if node.sockets.is_empty() {
+            return err(format!("nodes[{n}].sockets"), "a node needs at least one socket".into());
+        }
+        if node.mem_bytes == 0 {
+            return err(format!("nodes[{n}].mem_bytes"), "zero host memory".into());
+        }
+        for (si, s) in node.sockets.iter().enumerate() {
+            if s.cores == 0 {
+                return err(format!("nodes[{n}].sockets[{si}]"), "zero cores".into());
+            }
+            if !(s.core_gflops > 0.0) {
+                return err(
+                    format!("nodes[{n}].sockets[{si}]"),
+                    "non-positive core throughput".into(),
+                );
+            }
+        }
+        if !(0.0 < node.numa.far_bw_factor && node.numa.far_bw_factor <= 1.0) {
+            return err(
+                format!("nodes[{n}].numa.far_bw_factor"),
+                format!("must be in (0, 1], got {}", node.numa.far_bw_factor),
+            );
+        }
+        if node.numa.cross_lat < 0.0 {
+            return err(format!("nodes[{n}].numa.cross_lat"), "negative latency".into());
+        }
+        for (di, d) in node.devices.iter().enumerate() {
+            let at = format!("nodes[{n}].devices[{di}]");
+            if d.socket >= node.sockets.len() {
+                return err(
+                    at,
+                    format!(
+                        "socket {} out of range (node has {})",
+                        d.socket,
+                        node.sockets.len()
+                    ),
+                );
+            }
+            if d.mem_bytes == 0 {
+                return err(at, "zero device memory".into());
+            }
+            if d.kind.is_discrete() {
+                if !(d.pcie_bw > 0.0) {
+                    return err(at, "non-positive PCIe bandwidth".into());
+                }
+                if d.pcie_lat < 0.0 {
+                    return err(at, "negative PCIe latency".into());
+                }
+                if !(d.gflops > 0.0) {
+                    return err(at, "non-positive device throughput".into());
+                }
+                if !(d.mem_bw > 0.0) {
+                    return err(at, "non-positive device memory bandwidth".into());
+                }
+            }
+        }
+    }
+    if !(spec.network.nic_bw > 0.0) {
+        return err("network.nic_bw".into(), "non-positive NIC bandwidth".into());
+    }
+    if spec.network.latency < 0.0 {
+        return err("network.latency".into(), "negative latency".into());
+    }
+    if spec.network.bisect < 0.0 {
+        return err("network.bisect".into(), "negative bisection exponent".into());
+    }
+    let c = &spec.costs;
+    for (name, v) in [
+        ("host_memcpy_bw", c.host_memcpy_bw),
+        ("p2p_efficiency", c.p2p_efficiency),
+        ("kernel_efficiency", c.kernel_efficiency),
+        ("pageable_factor", c.pageable_factor),
+        ("net_unpinned_factor", c.net_unpinned_factor),
+    ] {
+        if !(v > 0.0) {
+            return err(format!("costs.{name}"), format!("must be positive, got {v}"));
+        }
+    }
+    for (name, v) in [
+        ("p2p_efficiency", c.p2p_efficiency),
+        ("kernel_efficiency", c.kernel_efficiency),
+        ("pageable_factor", c.pageable_factor),
+        ("net_unpinned_factor", c.net_unpinned_factor),
+    ] {
+        if v > 1.0 {
+            return err(format!("costs.{name}"), format!("must be ≤ 1, got {v}"));
+        }
+    }
+    Ok(())
+}
+
+/// Fluent builder for one node.
+pub struct NodeBuilder {
+    node: NodeSpec,
+}
+
+impl NodeBuilder {
+    /// A node with `sockets` sockets of `cores` cores each and `mem_gb`
+    /// of host memory.
+    pub fn new(sockets: usize, cores: usize, mem_gb: u64) -> NodeBuilder {
+        NodeBuilder {
+            node: NodeSpec {
+                sockets: vec![
+                    SocketSpec {
+                        cores,
+                        core_gflops: 16.0,
+                    };
+                    sockets
+                ],
+                devices: Vec::new(),
+                numa: NumaSpec {
+                    cross_lat: 0.6e-6,
+                    far_bw_factor: 0.4,
+                },
+                p2p_dtod: false,
+                mem_bytes: mem_gb << 30,
+            },
+        }
+    }
+
+    /// Attach `count` identical CUDA GPUs to `socket`.
+    pub fn gpus(mut self, count: usize, socket: usize, mem_gb: u64, gflops: f64) -> NodeBuilder {
+        for _ in 0..count {
+            self.node.devices.push(DeviceSpec {
+                model: "Custom GPU".into(),
+                kind: DeviceKind::CudaGpu,
+                mem_bytes: mem_gb << 30,
+                cores: 2048,
+                gflops,
+                mem_bw: 200e9,
+                socket,
+                pcie_bw: 12e9,
+                pcie_lat: 6e-6,
+            });
+        }
+        self
+    }
+
+    /// Attach `count` identical OpenCL accelerators to `socket`.
+    pub fn mics(mut self, count: usize, socket: usize, mem_gb: u64, gflops: f64) -> NodeBuilder {
+        for _ in 0..count {
+            self.node.devices.push(DeviceSpec {
+                model: "Custom MIC".into(),
+                kind: DeviceKind::OpenClMic,
+                mem_bytes: mem_gb << 30,
+                cores: 60,
+                gflops,
+                mem_bw: 300e9,
+                socket,
+                pcie_bw: 6e9,
+                pcie_lat: 10e-6,
+            });
+        }
+        self
+    }
+
+    /// Enable direct peer DtoD copies (shared root complex).
+    pub fn with_p2p(mut self) -> NodeBuilder {
+        self.node.p2p_dtod = true;
+        self
+    }
+
+    /// Set the NUMA penalty explicitly.
+    pub fn with_numa(mut self, cross_lat: f64, far_bw_factor: f64) -> NodeBuilder {
+        self.node.numa = NumaSpec {
+            cross_lat,
+            far_bw_factor,
+        };
+        self
+    }
+
+    /// Finish the node.
+    pub fn build(self) -> NodeSpec {
+        self.node
+    }
+}
+
+/// Fluent builder for a whole cluster.
+pub struct ClusterBuilder {
+    name: String,
+    nodes: Vec<NodeSpec>,
+    network: NetworkSpec,
+    mpi_threading: MpiThreading,
+    costs: CostParams,
+}
+
+impl ClusterBuilder {
+    /// Start an empty cluster with defaults (InfiniBand-ish network,
+    /// thread-multiple MPI, default cost constants).
+    pub fn new(name: impl Into<String>) -> ClusterBuilder {
+        ClusterBuilder {
+            name: name.into(),
+            nodes: Vec::new(),
+            network: NetworkSpec {
+                latency: 1.3e-6,
+                nic_bw: 6.8e9,
+                gpudirect_rdma: false,
+                bisect: 0.0,
+            },
+            mpi_threading: MpiThreading::Multiple,
+            costs: CostParams::default(),
+        }
+    }
+
+    /// Add `count` copies of a node.
+    pub fn nodes(mut self, count: usize, node: NodeSpec) -> ClusterBuilder {
+        self.nodes.extend(std::iter::repeat_n(node, count));
+        self
+    }
+
+    /// Configure the interconnect.
+    pub fn network(mut self, latency: f64, nic_bw: f64, gpudirect_rdma: bool) -> ClusterBuilder {
+        self.network = NetworkSpec {
+            latency,
+            nic_bw,
+            gpudirect_rdma,
+            bisect: self.network.bisect,
+        };
+        self
+    }
+
+    /// An MPI library without `MPI_THREAD_MULTIPLE`.
+    pub fn serialized_mpi(mut self) -> ClusterBuilder {
+        self.mpi_threading = MpiThreading::Serialized;
+        self
+    }
+
+    /// Override cost constants.
+    pub fn costs(mut self, costs: CostParams) -> ClusterBuilder {
+        self.costs = costs;
+        self
+    }
+
+    /// Validate and finish.
+    pub fn build(self) -> Result<MachineSpec, SpecError> {
+        let spec = MachineSpec {
+            name: self.name,
+            nodes: self.nodes,
+            network: self.network,
+            mpi_threading: self.mpi_threading,
+            costs: self.costs,
+        };
+        validate(&spec)?;
+        Ok(spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn presets_validate() {
+        for spec in [presets::psg(), presets::beacon(4), presets::titan(16), presets::mixed_demo()]
+        {
+            validate(&spec).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        }
+    }
+
+    #[test]
+    fn builder_produces_a_valid_cluster() {
+        let node = NodeBuilder::new(2, 12, 128)
+            .gpus(2, 0, 16, 2000.0)
+            .mics(1, 1, 8, 900.0)
+            .with_p2p()
+            .with_numa(0.5e-6, 0.35)
+            .build();
+        let spec = ClusterBuilder::new("custom")
+            .nodes(3, node)
+            .network(1.0e-6, 10e9, true)
+            .build()
+            .unwrap();
+        assert_eq!(spec.node_count(), 3);
+        assert_eq!(spec.nodes[0].devices.len(), 3);
+        assert!(spec.nodes[0].p2p_dtod);
+        assert!(spec.network.gpudirect_rdma);
+    }
+
+    #[test]
+    fn validation_catches_bad_socket_reference() {
+        let node = NodeBuilder::new(1, 8, 64).gpus(1, 3, 8, 1000.0).build();
+        let err = ClusterBuilder::new("bad").nodes(1, node).build().unwrap_err();
+        assert!(err.at.contains("devices[0]"));
+        assert!(err.message.contains("socket 3 out of range"));
+    }
+
+    #[test]
+    fn validation_catches_bad_factors() {
+        let mut spec = presets::psg();
+        spec.costs.kernel_efficiency = 1.5;
+        let err = validate(&spec).unwrap_err();
+        assert!(err.at.contains("kernel_efficiency"));
+
+        let mut spec = presets::psg();
+        spec.nodes[0].numa.far_bw_factor = 0.0;
+        assert!(validate(&spec).is_err());
+
+        let mut spec = presets::psg();
+        spec.network.nic_bw = -1.0;
+        assert!(validate(&spec).is_err());
+    }
+
+    #[test]
+    fn empty_cluster_is_rejected() {
+        assert!(ClusterBuilder::new("empty").build().is_err());
+    }
+}

@@ -1,0 +1,526 @@
+//! Instantiated, contended hardware resources for a running simulation.
+//!
+//! A [`ClusterResources`] is built once per simulation from a
+//! [`MachineSpec`]; it owns one [`SerialResource`] per contended link
+//! (PCIe up/down per device, NIC tx/rx per node, host memory engine per
+//! node) and converts byte counts into reservations on those links.
+//!
+//! All reservation methods are *non-blocking*: they return the completion
+//! instant; the caller (an activity-queue engine, the message handler, a
+//! task thread) decides whether and when to `advance_until` it. This is
+//! what lets asynchronous operations overlap in virtual time.
+
+use std::sync::Arc;
+
+use impacc_vtime::{SerialResource, SimDur, SimTime};
+
+use crate::spec::{CostParams, DeviceKind, MachineSpec};
+
+/// Direction of a host<->device transfer.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum HdDir {
+    /// Host memory to device memory (OpenACC `copyin` / `update device`).
+    HtoD,
+    /// Device memory to host memory (`copyout` / `update host`).
+    DtoH,
+}
+
+/// Analytic cost of a device kernel; converted to time against the device's
+/// compute and memory throughput (roofline-style: the max of the two).
+#[derive(Copy, Clone, Debug, Default)]
+pub struct KernelCost {
+    /// Double-precision floating-point operations performed.
+    pub flops: f64,
+    /// Bytes moved through device memory.
+    pub bytes: f64,
+}
+
+impl KernelCost {
+    /// A purely compute-bound kernel.
+    pub fn flops(flops: f64) -> KernelCost {
+        KernelCost { flops, bytes: 0.0 }
+    }
+
+    /// A kernel with both compute and memory components.
+    pub fn new(flops: f64, bytes: f64) -> KernelCost {
+        KernelCost { flops, bytes }
+    }
+}
+
+/// An OpenACC compute-construct launch configuration (§2.3): gangs ×
+/// workers × vector lanes of parallelism. `None` fields mean
+/// "compiler-chosen", which saturates the device.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct LaunchConfig {
+    /// `num_gangs(n)`.
+    pub gangs: Option<u32>,
+    /// `num_workers(n)`.
+    pub workers: Option<u32>,
+    /// `vector_length(n)`.
+    pub vector: Option<u32>,
+}
+
+impl LaunchConfig {
+    /// Total threads this launch exposes, if fully specified; `None` when
+    /// any dimension is compiler-chosen.
+    pub fn threads(&self) -> Option<u64> {
+        match (self.gangs, self.workers, self.vector) {
+            (Some(g), Some(w), Some(v)) => Some(g as u64 * w as u64 * v as u64),
+            _ => None,
+        }
+    }
+}
+
+/// Both halves of an internode transfer.
+#[derive(Copy, Clone, Debug)]
+pub struct NetTimes {
+    /// Instant the message has fully left the sender's NIC (the sender's
+    /// buffer is reusable: eager-send completion).
+    pub tx_end: SimTime,
+    /// Instant the message is fully received at the destination.
+    pub rx_end: SimTime,
+}
+
+/// Per-node contended resources.
+pub struct NodeResources {
+    /// Host memory-copy engine (intra-node HtoH staging shares this).
+    pub host_mem: SerialResource,
+    /// NIC injection (sends leaving this node).
+    pub nic_tx: SerialResource,
+    /// NIC ejection (receives entering this node).
+    pub nic_rx: SerialResource,
+    /// Per-device PCIe device-to-host direction.
+    pub dev_up: Vec<SerialResource>,
+    /// Per-device PCIe host-to-device direction.
+    pub dev_down: Vec<SerialResource>,
+}
+
+/// All contended resources of a cluster plus the spec they were built from.
+pub struct ClusterResources {
+    /// The machine description used for every cost computation.
+    pub spec: Arc<MachineSpec>,
+    /// Per-node resources, indexed like `spec.nodes`.
+    pub nodes: Vec<NodeResources>,
+}
+
+impl ClusterResources {
+    /// Instantiate fresh (idle) resources for `spec`.
+    pub fn new(spec: Arc<MachineSpec>) -> ClusterResources {
+        let nodes = spec
+            .nodes
+            .iter()
+            .map(|n| NodeResources {
+                host_mem: SerialResource::new("host_mem"),
+                nic_tx: SerialResource::new("nic_tx"),
+                nic_rx: SerialResource::new("nic_rx"),
+                dev_up: n.devices.iter().map(|_| SerialResource::new("pcie_up")).collect(),
+                dev_down: n
+                    .devices
+                    .iter()
+                    .map(|_| SerialResource::new("pcie_down"))
+                    .collect(),
+            })
+            .collect();
+        ClusterResources { spec, nodes }
+    }
+
+    fn costs(&self) -> &CostParams {
+        &self.spec.costs
+    }
+
+    /// Fixed driver overhead of one accelerator copy on `kind`.
+    pub fn acc_copy_overhead(&self, kind: DeviceKind) -> SimDur {
+        let s = match kind {
+            DeviceKind::CudaGpu => self.costs().acc_copy_overhead_cuda,
+            DeviceKind::OpenClMic => self.costs().acc_copy_overhead_opencl,
+            DeviceKind::CpuCores => 0.0, // integrated: no driver copy at all
+        };
+        SimDur::from_secs_f64(s)
+    }
+
+    /// Fixed kernel-launch overhead on `kind`.
+    pub fn launch_overhead(&self, kind: DeviceKind) -> SimDur {
+        let s = match kind {
+            DeviceKind::CudaGpu => self.costs().kernel_launch_cuda,
+            DeviceKind::OpenClMic => self.costs().kernel_launch_opencl,
+            DeviceKind::CpuCores => 1e-6, // thread-pool dispatch
+        };
+        SimDur::from_secs_f64(s)
+    }
+
+    /// Host-side cost of a blocking synchronization point.
+    pub fn sync_overhead(&self) -> SimDur {
+        SimDur::from_secs_f64(self.costs().sync_overhead)
+    }
+
+    /// Software overhead of one MPI call.
+    pub fn mpi_call_overhead(&self) -> SimDur {
+        SimDur::from_secs_f64(self.costs().mpi_call_overhead)
+    }
+
+    /// Cost of creating + scheduling one message command through the
+    /// node's message handler (§3.7).
+    pub fn handler_cmd_overhead(&self) -> SimDur {
+        SimDur::from_secs_f64(self.costs().handler_cmd_overhead)
+    }
+
+    /// Baseline-model extra cost per intra-node inter-process message.
+    pub fn ipc_msg_overhead(&self) -> SimDur {
+        SimDur::from_secs_f64(self.costs().ipc_msg_overhead)
+    }
+
+    /// Hooked-heap bookkeeping cost (malloc/free/table ops).
+    pub fn heap_op_overhead(&self) -> SimDur {
+        SimDur::from_secs_f64(self.costs().heap_op_overhead)
+    }
+
+    /// Reserve a host-to-host memcpy of `bytes` on `node`, starting no
+    /// earlier than `earliest`. Returns the completion instant.
+    pub fn reserve_host_copy(&self, node: usize, bytes: u64, earliest: SimTime) -> SimTime {
+        let c = self.costs();
+        let dur = SimDur::from_secs_f64(c.host_memcpy_lat)
+            + SimDur::for_transfer(bytes, c.host_memcpy_bw);
+        let (_, end) = self.nodes[node].host_mem.reserve_from(earliest, dur);
+        end
+    }
+
+    /// Reserve a host<->device PCIe transfer. `far` selects the
+    /// NUMA-unfriendly path (task pinned on the far socket): extra QPI
+    /// latency and reduced bandwidth (§3.3, Figure 8). `pinned` says the
+    /// host endpoint is page-locked; pageable transfers lose
+    /// `pageable_factor` of the PCIe bandwidth.
+    #[allow(clippy::too_many_arguments)]
+    pub fn reserve_hd_copy(
+        &self,
+        node: usize,
+        dev: usize,
+        dir: HdDir,
+        far: bool,
+        pinned: bool,
+        bytes: u64,
+        earliest: SimTime,
+    ) -> SimTime {
+        let n = &self.spec.nodes[node];
+        let d = &n.devices[dev];
+        if !d.kind.is_discrete() {
+            // Integrated accelerator: "copies" are elided (§2.4); charge a
+            // bare host memcpy so semantics keep a cost without PCIe.
+            return self.reserve_host_copy(node, bytes, earliest);
+        }
+        let mut lat = d.pcie_lat;
+        let mut bw = d.pcie_bw;
+        if far {
+            lat += n.numa.cross_lat;
+            bw *= n.numa.far_bw_factor;
+        }
+        if !pinned {
+            bw *= self.costs().pageable_factor;
+        }
+        let dur = SimDur::from_secs_f64(lat) + SimDur::for_transfer(bytes, bw);
+        let link = match dir {
+            HdDir::HtoD => &self.nodes[node].dev_down[dev],
+            HdDir::DtoH => &self.nodes[node].dev_up[dev],
+        };
+        let (_, end) = link.reserve_from(earliest, dur);
+        end
+    }
+
+    /// Reserve a direct device-to-device peer copy over the shared PCIe
+    /// root complex (GPUDirect P2P / DirectGMA). Panics if the node does
+    /// not support it — callers must check `spec.nodes[node].p2p_dtod`.
+    pub fn reserve_p2p_copy(
+        &self,
+        node: usize,
+        src_dev: usize,
+        dst_dev: usize,
+        bytes: u64,
+        earliest: SimTime,
+    ) -> SimTime {
+        let n = &self.spec.nodes[node];
+        assert!(
+            n.p2p_dtod,
+            "node {node} does not support direct peer DtoD copies"
+        );
+        let s = &n.devices[src_dev];
+        let d = &n.devices[dst_dev];
+        let bw = s.pcie_bw.min(d.pcie_bw) * self.costs().p2p_efficiency;
+        let lat = s.pcie_lat.max(d.pcie_lat);
+        let dur = SimDur::from_secs_f64(lat) + SimDur::for_transfer(bytes, bw);
+        // The transfer occupies the source's up-link and the destination's
+        // down-link for the same span.
+        let (start, _) = self.nodes[node].dev_up[src_dev].reserve_from(earliest, dur);
+        let (_, end) = self.nodes[node].dev_down[dst_dev].reserve_from(start, dur);
+        end
+    }
+
+    /// Effective NIC bandwidth once bisection pressure at `node_count`
+    /// cluster size is applied.
+    pub fn effective_nic_bw(&self) -> f64 {
+        let n = self.spec.node_count().max(1) as f64;
+        self.spec.network.nic_bw / n.powf(self.spec.network.bisect)
+    }
+
+    /// Reserve an internode network transfer `src_node -> dst_node` of
+    /// `bytes`: occupies the sender's NIC tx, the wire latency, and the
+    /// receiver's NIC rx. Returns the instant the data is fully received.
+    pub fn reserve_net(
+        &self,
+        src_node: usize,
+        dst_node: usize,
+        bytes: u64,
+        earliest: SimTime,
+    ) -> SimTime {
+        self.reserve_net_parts(src_node, dst_node, bytes, earliest, None, None, true)
+            .rx_end
+    }
+
+    /// Like [`ClusterResources::reserve_net`] but returns both halves of
+    /// the transfer, and optionally models GPUDirect-RDMA endpoints:
+    /// `src_dev`/`dst_dev` name device memories the transfer streams
+    /// from/into directly, pinning the end-to-end bandwidth to the slowest
+    /// of NIC and the involved PCIe links and occupying those links.
+    #[allow(clippy::too_many_arguments)]
+    pub fn reserve_net_parts(
+        &self,
+        src_node: usize,
+        dst_node: usize,
+        bytes: u64,
+        earliest: SimTime,
+        src_dev: Option<usize>,
+        dst_dev: Option<usize>,
+        pinned: bool,
+    ) -> NetTimes {
+        assert_ne!(src_node, dst_node, "reserve_net is internode only");
+        let mut bw = self.effective_nic_bw();
+        if !pinned {
+            // Unregistered buffers stage through the library's internal
+            // pinned pool on their way to the HCA.
+            bw *= self.costs().net_unpinned_factor;
+        }
+        let mut wire = self.spec.network.latency;
+        if let Some(d) = src_dev {
+            let dev = &self.spec.nodes[src_node].devices[d];
+            bw = bw.min(dev.pcie_bw);
+            wire += dev.pcie_lat;
+        }
+        if let Some(d) = dst_dev {
+            let dev = &self.spec.nodes[dst_node].devices[d];
+            bw = bw.min(dev.pcie_bw);
+            wire += dev.pcie_lat;
+        }
+        let wire = SimDur::from_secs_f64(wire);
+        let dur = SimDur::for_transfer(bytes, bw);
+        let (tx_start, tx_end) = self.nodes[src_node].nic_tx.reserve_from(earliest, dur);
+        if let Some(d) = src_dev {
+            self.nodes[src_node].dev_up[d].reserve_from(tx_start, dur);
+        }
+        // The head of the message reaches the receiver after the wire
+        // latency; ejection occupies the rx NIC for the byte time.
+        let (rx_start, rx_end) = self.nodes[dst_node]
+            .nic_rx
+            .reserve_from(tx_start + wire, dur);
+        if let Some(d) = dst_dev {
+            self.nodes[dst_node].dev_down[d].reserve_from(rx_start, dur);
+        }
+        NetTimes { tx_end, rx_end }
+    }
+
+    /// Execution time of a kernel of the given cost on device `dev` of
+    /// `node` (excludes launch overhead, which the activity queue charges).
+    pub fn kernel_dur(&self, node: usize, dev: usize, cost: &KernelCost) -> SimDur {
+        self.kernel_dur_cfg(node, dev, cost, &LaunchConfig::default())
+    }
+
+    /// Like [`ClusterResources::kernel_dur`], honouring an explicit launch
+    /// configuration: a launch exposing fewer threads than the device has
+    /// execution lanes (Table 1's "cores per accelerator") runs the
+    /// compute term at proportionally lower utilization.
+    pub fn kernel_dur_cfg(
+        &self,
+        node: usize,
+        dev: usize,
+        cost: &KernelCost,
+        cfg: &LaunchConfig,
+    ) -> SimDur {
+        let d = &self.spec.nodes[node].devices[dev];
+        let (gflops, mem_bw) = match d.kind {
+            DeviceKind::CpuCores => {
+                // CPU-as-accelerator: all cores of the node participate
+                // (host compilers generate near-peak code; no discount).
+                let n = &self.spec.nodes[node];
+                let total: f64 = n
+                    .sockets
+                    .iter()
+                    .map(|s| s.cores as f64 * s.core_gflops)
+                    .sum();
+                (total, 50e9)
+            }
+            _ => (d.gflops * self.costs().kernel_efficiency, d.mem_bw),
+        };
+        let utilization = match cfg.threads() {
+            Some(t) => {
+                let lanes = self.spec.nodes[node].devices[dev].cores.max(1) as f64;
+                (t as f64 / lanes).min(1.0)
+            }
+            None => 1.0,
+        };
+        let compute = cost.flops / (gflops * 1e9 * utilization.max(1e-9));
+        let memory = cost.bytes / mem_bw;
+        SimDur::from_secs_f64(compute.max(memory))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    fn psg_res() -> ClusterResources {
+        ClusterResources::new(Arc::new(presets::psg()))
+    }
+
+    #[test]
+    fn near_beats_far_by_calibrated_ratio() {
+        let r = psg_res();
+        let bytes = 1 << 30; // 1 GiB: latency negligible
+        let near = r.reserve_hd_copy(0, 0, HdDir::HtoD, false, true, bytes, SimTime::ZERO);
+        let r2 = psg_res();
+        let far = r2.reserve_hd_copy(0, 0, HdDir::HtoD, true, true, bytes, SimTime::ZERO);
+        let ratio = far.since(SimTime::ZERO).as_secs_f64() / near.since(SimTime::ZERO).as_secs_f64();
+        assert!((ratio - 3.5).abs() < 0.05, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn small_transfers_are_latency_bound() {
+        let r = psg_res();
+        let near = r.reserve_hd_copy(0, 0, HdDir::HtoD, false, true, 64, SimTime::ZERO);
+        let r2 = psg_res();
+        let far = r2.reserve_hd_copy(0, 0, HdDir::HtoD, true, true, 64, SimTime::ZERO);
+        let ratio = far.since(SimTime::ZERO).as_secs_f64() / near.since(SimTime::ZERO).as_secs_f64();
+        assert!(ratio < 1.2, "64B transfers should be latency-dominated, ratio = {ratio}");
+    }
+
+    #[test]
+    fn pcie_directions_are_independent_but_same_direction_serializes() {
+        let r = psg_res();
+        let up = r.reserve_hd_copy(0, 0, HdDir::DtoH, false, true, 1 << 20, SimTime::ZERO);
+        let down = r.reserve_hd_copy(0, 0, HdDir::HtoD, false, true, 1 << 20, SimTime::ZERO);
+        assert_eq!(up, down, "full-duplex PCIe: directions don't contend");
+        let second_up = r.reserve_hd_copy(0, 0, HdDir::DtoH, false, true, 1 << 20, SimTime::ZERO);
+        assert!(second_up > up, "same direction must serialize");
+    }
+
+    #[test]
+    fn p2p_uses_both_links_once() {
+        let r = psg_res();
+        let end = r.reserve_p2p_copy(0, 0, 1, 1 << 20, SimTime::ZERO);
+        // Staged copy via host would be ≥ 2 PCIe traversals + host memcpy.
+        let r2 = psg_res();
+        let h1 = r2.reserve_hd_copy(0, 0, HdDir::DtoH, false, true, 1 << 20, SimTime::ZERO);
+        let h2 = r2.reserve_hd_copy(0, 1, HdDir::HtoD, false, true, 1 << 20, h1);
+        assert!(end < h2);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not support direct peer")]
+    fn p2p_requires_capability() {
+        let r = ClusterResources::new(Arc::new(presets::beacon(1)));
+        let _ = r.reserve_p2p_copy(0, 0, 1, 1024, SimTime::ZERO);
+    }
+
+    #[test]
+    fn internode_transfer_respects_nic_serialization() {
+        let r = ClusterResources::new(Arc::new(presets::titan(4)));
+        let a = r.reserve_net(0, 1, 1 << 20, SimTime::ZERO);
+        let b = r.reserve_net(0, 2, 1 << 20, SimTime::ZERO);
+        assert!(b > a, "both leave node 0: tx NIC serializes");
+        let c = r.reserve_net(3, 2, 1 << 20, SimTime::ZERO);
+        // c shares only node 2's rx with b; it starts its rx after b's.
+        assert!(c > a);
+    }
+
+    #[test]
+    fn bisection_pressure_reduces_bandwidth() {
+        let small = ClusterResources::new(Arc::new(presets::titan(2)));
+        let large = ClusterResources::new(Arc::new(presets::titan(8192)));
+        assert!(large.effective_nic_bw() < small.effective_nic_bw());
+    }
+
+    #[test]
+    fn undersized_launches_underutilize_the_device() {
+        let r = psg_res();
+        let full = r.kernel_dur(0, 0, &KernelCost::flops(1e12));
+        // GK210 has 2496 lanes; exposing 624 threads quarters throughput.
+        let quarter = r.kernel_dur_cfg(
+            0,
+            0,
+            &KernelCost::flops(1e12),
+            &LaunchConfig {
+                gangs: Some(39),
+                workers: Some(1),
+                vector: Some(16),
+            },
+        );
+        let ratio = quarter.as_secs_f64() / full.as_secs_f64();
+        assert!((ratio - 4.0).abs() < 0.01, "ratio = {ratio}");
+        // Oversubscription does not exceed peak.
+        let over = r.kernel_dur_cfg(
+            0,
+            0,
+            &KernelCost::flops(1e12),
+            &LaunchConfig {
+                gangs: Some(10_000),
+                workers: Some(4),
+                vector: Some(32),
+            },
+        );
+        assert_eq!(over, full);
+    }
+
+    #[test]
+    fn kernel_roofline_takes_max_of_compute_and_memory() {
+        let r = psg_res();
+        let compute_bound = r.kernel_dur(0, 0, &KernelCost::new(1e12, 1e6));
+        let memory_bound = r.kernel_dur(0, 0, &KernelCost::new(1e6, 1e12));
+        let balanced = r.kernel_dur(0, 0, &KernelCost::flops(1e12));
+        assert_eq!(compute_bound, balanced);
+        assert!(memory_bound.as_secs_f64() > 1.0); // 1 TB over 240 GB/s
+    }
+
+    #[test]
+    fn cpu_accelerator_kernels_use_all_cores() {
+        let r = ClusterResources::new(Arc::new(presets::mixed_demo()));
+        // Node 2 has no devices; CPU-as-accelerator is exercised through a
+        // synthetic CpuCores device — kernel_dur handles it via spec, so
+        // test via a direct spec poke instead.
+        let mut spec = presets::mixed_demo();
+        let node_mem = spec.nodes[2].mem_bytes;
+        spec.nodes[2].devices.push(crate::spec::DeviceSpec {
+            model: "CPU cores".into(),
+            kind: DeviceKind::CpuCores,
+            mem_bytes: node_mem,
+            cores: 32,
+            gflops: 0.0,
+            mem_bw: 0.0,
+            socket: 0,
+            pcie_bw: 0.0,
+            pcie_lat: 0.0,
+        });
+        let r2 = ClusterResources::new(Arc::new(spec));
+        let d = r2.kernel_dur(2, 0, &KernelCost::flops(576e9));
+        // 32 cores * 18 GFLOP/s = 576 GFLOP/s => 1 second.
+        assert!((d.as_secs_f64() - 1.0).abs() < 1e-9);
+        drop(r);
+    }
+
+    #[test]
+    fn integrated_copy_elides_pcie() {
+        let mut spec = presets::test_cluster(1, 1);
+        spec.nodes[0].devices[0].kind = DeviceKind::CpuCores;
+        let r = ClusterResources::new(Arc::new(spec));
+        let end = r.reserve_hd_copy(0, 0, HdDir::HtoD, false, true, 1 << 20, SimTime::ZERO);
+        let r2 = psg_res();
+        let pcie = r2.reserve_hd_copy(0, 0, HdDir::HtoD, false, true, 1 << 20, SimTime::ZERO);
+        assert!(end < pcie, "integrated device copies are host memcpys");
+    }
+}

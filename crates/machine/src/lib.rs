@@ -1,0 +1,26 @@
+//! # impacc-machine — cluster topology and cost model
+//!
+//! Static descriptions ([`MachineSpec`]) of heterogeneous accelerator
+//! clusters — nodes, NUMA sockets, accelerators, PCIe links, NICs, the
+//! interconnect — plus the analytic cost model that converts byte counts
+//! and kernel work into virtual-time reservations on contended
+//! [`SerialResource`](impacc_vtime::SerialResource)s ([`ClusterResources`]).
+//!
+//! The three systems of the paper's Table 1 are provided as presets:
+//! [`presets::psg`], [`presets::beacon`], [`presets::titan`], with constants
+//! calibrated to reproduce the paper's measured *ratios* (the ≈3.5× NUMA
+//! penalty of Figure 8, the ≈8× DtoD gap of Figure 9(c), ...).
+
+#![warn(missing_docs)]
+
+pub mod build;
+pub mod inst;
+pub mod presets;
+pub mod spec;
+
+pub use build::{validate, ClusterBuilder, NodeBuilder, SpecError};
+pub use inst::{ClusterResources, HdDir, KernelCost, LaunchConfig, NetTimes, NodeResources};
+pub use spec::{
+    CostParams, DeviceKind, DeviceSpec, DeviceTypeMask, MachineSpec, MpiThreading, NetworkSpec,
+    NodeSpec, NumaSpec, SocketSpec,
+};

@@ -1,0 +1,399 @@
+//! Static description of a heterogeneous accelerator cluster.
+//!
+//! Mirrors the paper's platform model (§2.1): a cluster of nodes, each with
+//! multi-socket NUMA CPUs and one or more accelerators hanging off PCIe,
+//! connected by an interconnection network. The three evaluation systems
+//! (Table 1: PSG, Beacon, Titan) are provided as presets in
+//! [`crate::presets`].
+
+use std::fmt;
+
+/// The kind of an accelerator device, as distinguished by the IMPACC
+/// runtime (§3.4): CUDA devices expose raw device pointers (`CUdeviceptr`),
+/// OpenCL devices expose buffer handles (`cl_mem`) that the runtime shadows
+/// with reserved host virtual addresses, and CPU accelerators share the
+/// host memory outright.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum DeviceKind {
+    /// A CUDA-capable discrete GPU (addressed via UVA device pointers).
+    CudaGpu,
+    /// An OpenCL-driven accelerator (MIC): buffer-handle addressing.
+    OpenClMic,
+    /// A set of host CPU cores treated as an accelerator (integrated:
+    /// shares host memory, no PCIe traffic).
+    CpuCores,
+}
+
+impl DeviceKind {
+    /// True when the device has its own discrete memory behind PCIe.
+    pub fn is_discrete(self) -> bool {
+        !matches!(self, DeviceKind::CpuCores)
+    }
+}
+
+/// Bit-field of acceptable device types, matching the paper's
+/// `IMPACC_ACC_DEVICE_TYPE` environment variable (§3.2, Figure 2):
+/// `acc_device_nvidia | acc_device_xeonphi` selects GPUs and MICs.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct DeviceTypeMask(pub u32);
+
+impl DeviceTypeMask {
+    /// `acc_device_nvidia`
+    pub const NVIDIA: DeviceTypeMask = DeviceTypeMask(1);
+    /// `acc_device_xeonphi`
+    pub const XEONPHI: DeviceTypeMask = DeviceTypeMask(2);
+    /// `acc_device_cpu`
+    pub const CPU: DeviceTypeMask = DeviceTypeMask(4);
+    /// `acc_device_default`: every discrete accelerator in the node, or the
+    /// CPU cores if the node has none (Figure 2(a)).
+    pub const DEFAULT: DeviceTypeMask = DeviceTypeMask(0);
+
+    /// Union of two masks.
+    pub fn or(self, other: DeviceTypeMask) -> DeviceTypeMask {
+        DeviceTypeMask(self.0 | other.0)
+    }
+
+    /// Does this mask accept the given device kind? `DEFAULT` accepts all
+    /// discrete accelerators only.
+    pub fn accepts(self, kind: DeviceKind) -> bool {
+        if self == DeviceTypeMask::DEFAULT {
+            return kind.is_discrete();
+        }
+        match kind {
+            DeviceKind::CudaGpu => self.0 & DeviceTypeMask::NVIDIA.0 != 0,
+            DeviceKind::OpenClMic => self.0 & DeviceTypeMask::XEONPHI.0 != 0,
+            DeviceKind::CpuCores => self.0 & DeviceTypeMask::CPU.0 != 0,
+        }
+    }
+}
+
+/// One accelerator device within a node.
+#[derive(Clone, Debug)]
+pub struct DeviceSpec {
+    /// Marketing-ish name for diagnostics ("Tesla K20x").
+    pub model: String,
+    /// Which API family drives it (affects addressing and fixed overheads).
+    pub kind: DeviceKind,
+    /// Capacity of the device memory in bytes.
+    pub mem_bytes: u64,
+    /// Parallel execution lanes ("cores per accelerator" in Table 1:
+    /// CUDA cores for GPUs, x86 cores for MICs). A kernel launched with
+    /// fewer total threads than this underutilizes the device.
+    pub cores: u32,
+    /// Peak double-precision throughput used by kernel cost models, GFLOP/s.
+    pub gflops: f64,
+    /// Device-memory bandwidth (kernels that are memory-bound), bytes/s.
+    pub mem_bw: f64,
+    /// Index of the socket this device's PCIe root complex attaches to.
+    pub socket: usize,
+    /// PCIe bandwidth from/to this device, bytes/s (per direction).
+    pub pcie_bw: f64,
+    /// PCIe + driver latency per transfer, seconds.
+    pub pcie_lat: f64,
+}
+
+/// One CPU socket.
+#[derive(Clone, Debug)]
+pub struct SocketSpec {
+    /// Core count (CPU-as-accelerator tasks compute at `core_gflops * cores`).
+    pub cores: usize,
+    /// Per-core double-precision throughput, GFLOP/s.
+    pub core_gflops: f64,
+}
+
+/// Fixed per-operation software overheads, in seconds. These are what the
+/// runtime charges for driver calls, message-command bookkeeping and IPC —
+/// the constants behind effects like the Beacon LULESH ~5% IMPACC
+/// regression (§4.2, handler-thread overhead).
+#[derive(Clone, Debug)]
+pub struct CostParams {
+    /// Host-to-host memcpy bandwidth within a node, bytes/s.
+    pub host_memcpy_bw: f64,
+    /// Fixed cost of initiating a host memcpy, s.
+    pub host_memcpy_lat: f64,
+    /// Software overhead per MPI call (matching, headers), s.
+    pub mpi_call_overhead: f64,
+    /// Extra per-message cost of inter-process intra-node transport in the
+    /// baseline model (shared-memory segment handshake), s.
+    pub ipc_msg_overhead: f64,
+    /// Cost for a task thread to create a message command and enqueue it on
+    /// the intra-node message queue, plus handler dequeue/scheduling (§3.7).
+    pub handler_cmd_overhead: f64,
+    /// Fixed driver cost of an accelerator memory copy (issue + completion).
+    pub acc_copy_overhead_cuda: f64,
+    /// Same, for OpenCL devices (higher: buffer-handle translation).
+    pub acc_copy_overhead_opencl: f64,
+    /// Kernel launch overhead, CUDA devices, s.
+    pub kernel_launch_cuda: f64,
+    /// Kernel launch overhead, OpenCL devices, s.
+    pub kernel_launch_opencl: f64,
+    /// Host-side cost of a blocking synchronization (`acc wait`,
+    /// `MPI_Wait*`): condition polling, context switches, s.
+    pub sync_overhead: f64,
+    /// Cost of malloc/free bookkeeping in the hooked node heap, s.
+    pub heap_op_overhead: f64,
+    /// Device-to-device peer copy efficiency relative to `pcie_bw`
+    /// (1.0 = full PCIe rate through the shared root complex).
+    pub p2p_efficiency: f64,
+    /// Effective NIC bandwidth multiplier for internode messages whose
+    /// buffers were NOT pre-registered with the library: the MPI library
+    /// pipelines them through its internal pinned buffers (an extra copy
+    /// between the user buffer and the HCA buffer). The IMPACC runtime
+    /// registers its buffers up front and sends zero-copy (§4.2's
+    /// Figure 9(g)-(i) internode advantage).
+    pub net_unpinned_factor: f64,
+    /// PCIe bandwidth multiplier for transfers whose host endpoint is
+    /// pageable (not page-locked) memory. The IMPACC runtime stages
+    /// through an internal pre-pinned pool (§3.7 "the runtime internally
+    /// uses the pre-pinned host memory"); application-issued
+    /// `acc update` copies of heap buffers pay this penalty.
+    pub pageable_factor: f64,
+    /// Fraction of a discrete accelerator's peak throughput that
+    /// compiler-generated kernels achieve (the IMPACC compiler translates
+    /// OpenACC regions to CUDA/OpenCL — nowhere near hand-tuned cuBLAS).
+    /// Applied to the compute term of the kernel roofline.
+    pub kernel_efficiency: f64,
+}
+
+impl Default for CostParams {
+    fn default() -> Self {
+        CostParams {
+            host_memcpy_bw: 20e9,
+            host_memcpy_lat: 0.2e-6,
+            mpi_call_overhead: 0.6e-6,
+            ipc_msg_overhead: 0.8e-6,
+            handler_cmd_overhead: 0.6e-6,
+            acc_copy_overhead_cuda: 7e-6,
+            acc_copy_overhead_opencl: 15e-6,
+            kernel_launch_cuda: 8e-6,
+            kernel_launch_opencl: 25e-6,
+            sync_overhead: 2e-6,
+            heap_op_overhead: 0.1e-6,
+            p2p_efficiency: 0.9,
+            kernel_efficiency: 0.3,
+            pageable_factor: 0.5,
+            net_unpinned_factor: 0.7,
+        }
+    }
+}
+
+/// NUMA cross-socket traversal model (QPI / HyperTransport).
+#[derive(Clone, Debug)]
+pub struct NumaSpec {
+    /// Additional latency for a transfer that crosses sockets, s.
+    pub cross_lat: f64,
+    /// Bandwidth multiplier applied to PCIe transfers whose task is pinned
+    /// on the far socket (<1). Figure 8 shows up to 3.5× degradation.
+    pub far_bw_factor: f64,
+}
+
+/// One compute node.
+#[derive(Clone, Debug)]
+pub struct NodeSpec {
+    /// CPU sockets.
+    pub sockets: Vec<SocketSpec>,
+    /// Accelerators (may be empty for CPU-only nodes).
+    pub devices: Vec<DeviceSpec>,
+    /// NUMA traversal model.
+    pub numa: NumaSpec,
+    /// Do devices share an upstream PCIe root complex, enabling direct
+    /// peer DtoD copies (GPUDirect / DirectGMA, §3.7)?
+    pub p2p_dtod: bool,
+    /// Host main memory, bytes.
+    pub mem_bytes: u64,
+}
+
+impl NodeSpec {
+    /// Total CPU core count across sockets.
+    pub fn total_cores(&self) -> usize {
+        self.sockets.iter().map(|s| s.cores).sum()
+    }
+}
+
+/// Interconnection network between nodes.
+#[derive(Clone, Debug)]
+pub struct NetworkSpec {
+    /// One-way wire + software latency between any two nodes, s.
+    pub latency: f64,
+    /// Per-node injection (NIC) bandwidth, bytes/s, per direction.
+    pub nic_bw: f64,
+    /// Does the MPI library + NIC support direct accelerator memory access
+    /// (GPUDirect RDMA): internode sends/recvs of device buffers skip the
+    /// host staging copy?
+    pub gpudirect_rdma: bool,
+    /// Effective bisection-contention exponent: effective NIC bandwidth for
+    /// collective-heavy patterns is divided by `(nodes as f64).powf(bisect)`.
+    /// 0 disables (full-bisection fat-tree); Titan's 3-D torus uses a small
+    /// positive value.
+    pub bisect: f64,
+}
+
+/// Does the MPI library allow concurrent calls from multiple threads?
+/// Without `MPI_THREAD_MULTIPLE`, IMPACC serializes internode calls per
+/// node (§3.7).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum MpiThreading {
+    /// `MPI_THREAD_MULTIPLE`: concurrent calls allowed.
+    Multiple,
+    /// Library is not thread-safe: IMPACC serializes per node.
+    Serialized,
+}
+
+/// Complete description of a target system.
+#[derive(Clone, Debug)]
+pub struct MachineSpec {
+    /// System name ("PSG", "Beacon", "Titan", ...).
+    pub name: String,
+    /// Per-node descriptions. All experiment helpers support heterogeneous
+    /// mixes (Figure 2 uses nodes with different accelerator sets).
+    pub nodes: Vec<NodeSpec>,
+    /// Interconnect.
+    pub network: NetworkSpec,
+    /// MPI threading support.
+    pub mpi_threading: MpiThreading,
+    /// Software cost constants.
+    pub costs: CostParams,
+}
+
+impl MachineSpec {
+    /// A cluster of `n` identical nodes.
+    pub fn homogeneous(
+        name: impl Into<String>,
+        n: usize,
+        node: NodeSpec,
+        network: NetworkSpec,
+        mpi_threading: MpiThreading,
+        costs: CostParams,
+    ) -> MachineSpec {
+        MachineSpec {
+            name: name.into(),
+            nodes: vec![node; n],
+            network,
+            mpi_threading,
+            costs,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Total number of devices matching `mask` across the cluster; for
+    /// nodes with no matching device under `DEFAULT`/`CPU`, CPU fallback is
+    /// handled by the runtime (this counts raw matches only).
+    pub fn matching_devices(&self, mask: DeviceTypeMask) -> usize {
+        self.nodes
+            .iter()
+            .flat_map(|n| &n.devices)
+            .filter(|d| mask.accepts(d.kind))
+            .count()
+    }
+}
+
+impl fmt::Display for MachineSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}: {} node(s)", self.name, self.nodes.len())?;
+        if let Some(n) = self.nodes.first() {
+            writeln!(
+                f,
+                "  sockets: {} x {} cores, mem {} GB",
+                n.sockets.len(),
+                n.sockets.first().map(|s| s.cores).unwrap_or(0),
+                n.mem_bytes / (1 << 30)
+            )?;
+            for d in &n.devices {
+                writeln!(
+                    f,
+                    "  device: {} ({:?}) {} GB, {:.0} GFLOP/s, PCIe {:.1} GB/s",
+                    d.model,
+                    d.kind,
+                    d.mem_bytes / (1 << 30),
+                    d.gflops,
+                    d.pcie_bw / 1e9
+                )?;
+            }
+        }
+        writeln!(
+            f,
+            "  network: {:.1} GB/s/NIC, {:.1} us, GPUDirect RDMA: {}",
+            self.network.nic_bw / 1e9,
+            self.network.latency * 1e6,
+            self.network.gpudirect_rdma
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gpu(socket: usize) -> DeviceSpec {
+        DeviceSpec {
+            model: "TestGPU".into(),
+            kind: DeviceKind::CudaGpu,
+            mem_bytes: 6 << 30,
+            cores: 2048,
+            gflops: 1000.0,
+            mem_bw: 200e9,
+            socket,
+            pcie_bw: 12e9,
+            pcie_lat: 6e-6,
+        }
+    }
+
+    #[test]
+    fn mask_semantics_match_figure2() {
+        assert!(DeviceTypeMask::DEFAULT.accepts(DeviceKind::CudaGpu));
+        assert!(DeviceTypeMask::DEFAULT.accepts(DeviceKind::OpenClMic));
+        assert!(!DeviceTypeMask::DEFAULT.accepts(DeviceKind::CpuCores));
+        assert!(DeviceTypeMask::NVIDIA.accepts(DeviceKind::CudaGpu));
+        assert!(!DeviceTypeMask::NVIDIA.accepts(DeviceKind::OpenClMic));
+        let both = DeviceTypeMask::NVIDIA.or(DeviceTypeMask::XEONPHI);
+        assert!(both.accepts(DeviceKind::CudaGpu));
+        assert!(both.accepts(DeviceKind::OpenClMic));
+        assert!(!both.accepts(DeviceKind::CpuCores));
+        assert!(DeviceTypeMask::CPU.accepts(DeviceKind::CpuCores));
+    }
+
+    #[test]
+    fn matching_devices_counts_across_nodes() {
+        let node = NodeSpec {
+            sockets: vec![SocketSpec {
+                cores: 16,
+                core_gflops: 10.0,
+            }],
+            devices: vec![gpu(0), gpu(0)],
+            numa: NumaSpec {
+                cross_lat: 1e-6,
+                far_bw_factor: 0.3,
+            },
+            p2p_dtod: true,
+            mem_bytes: 256 << 30,
+        };
+        let m = MachineSpec::homogeneous(
+            "t",
+            3,
+            node,
+            NetworkSpec {
+                latency: 1.5e-6,
+                nic_bw: 5e9,
+                gpudirect_rdma: false,
+                bisect: 0.0,
+            },
+            MpiThreading::Multiple,
+            CostParams::default(),
+        );
+        assert_eq!(m.matching_devices(DeviceTypeMask::NVIDIA), 6);
+        assert_eq!(m.matching_devices(DeviceTypeMask::XEONPHI), 0);
+        assert_eq!(m.node_count(), 3);
+    }
+
+    #[test]
+    fn display_is_humane() {
+        let m = crate::presets::psg();
+        let s = format!("{m}");
+        assert!(s.contains("PSG"));
+        assert!(s.contains("GK210"));
+    }
+}

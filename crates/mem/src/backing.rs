@@ -1,0 +1,220 @@
+//! Physical storage behind simulated buffers.
+//!
+//! Every allocation in the simulation is backed by a [`Backing`]: a byte
+//! array with a *logical* length (what the simulated program believes it
+//! owns, and what all timing is computed from) and a *physical* length
+//! (how many bytes this process actually stores). For correctness tests the
+//! two are equal; for Titan-scale experiments (24K×24K matrices on 8,192
+//! tasks) the physical length is capped so the experiment fits in RAM while
+//! timing — which depends only on logical sizes — is unaffected. This
+//! substitution is documented in DESIGN.md §2.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Reference-counted storage for one allocation. All byte accesses clip to
+/// the physical prefix; logical sizes drive the cost model.
+pub struct Backing {
+    logical_len: u64,
+    phys: Mutex<Vec<u8>>,
+}
+
+impl std::fmt::Debug for Backing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Backing(logical={}, phys={})",
+            self.logical_len,
+            self.phys.lock().len()
+        )
+    }
+}
+
+impl Backing {
+    /// Allocate `logical_len` bytes, storing at most `phys_cap` of them
+    /// physically (`None` = store everything).
+    pub fn new(logical_len: u64, phys_cap: Option<u64>) -> Arc<Backing> {
+        let phys_len = match phys_cap {
+            Some(cap) => logical_len.min(cap),
+            None => logical_len,
+        };
+        Arc::new(Backing {
+            logical_len,
+            phys: Mutex::new(vec![0u8; phys_len as usize]),
+        })
+    }
+
+    /// The size the simulated program sees.
+    pub fn logical_len(&self) -> u64 {
+        self.logical_len
+    }
+
+    /// How many bytes are physically stored.
+    pub fn phys_len(&self) -> u64 {
+        self.phys.lock().len() as u64
+    }
+
+    /// Write `data` at `off`, clipping to the physical prefix.
+    pub fn write(&self, off: u64, data: &[u8]) {
+        debug_assert!(off + data.len() as u64 <= self.logical_len);
+        let mut phys = self.phys.lock();
+        let plen = phys.len() as u64;
+        if off >= plen {
+            return;
+        }
+        let n = ((plen - off) as usize).min(data.len());
+        phys[off as usize..off as usize + n].copy_from_slice(&data[..n]);
+    }
+
+    /// Read into `out` from `off`, clipping to the physical prefix
+    /// (unstored bytes read as 0).
+    pub fn read(&self, off: u64, out: &mut [u8]) {
+        debug_assert!(off + out.len() as u64 <= self.logical_len);
+        let phys = self.phys.lock();
+        let plen = phys.len() as u64;
+        out.fill(0);
+        if off >= plen {
+            return;
+        }
+        let n = ((plen - off) as usize).min(out.len());
+        out[..n].copy_from_slice(&phys[off as usize..off as usize + n]);
+    }
+
+    /// Copy `len` logical bytes from `src@src_off` to `dst@dst_off`,
+    /// moving whatever both sides physically store.
+    pub fn copy(src: &Backing, src_off: u64, dst: &Backing, dst_off: u64, len: u64) {
+        debug_assert!(src_off + len <= src.logical_len);
+        debug_assert!(dst_off + len <= dst.logical_len);
+        if len == 0 {
+            return;
+        }
+        if std::ptr::eq(src, dst) {
+            // Self-copy (e.g. aliased regions resolve to one backing):
+            // must avoid double-locking; use an intermediate.
+            let mut tmp = vec![0u8; len as usize];
+            src.read(src_off, &mut tmp);
+            dst.write(dst_off, &tmp);
+            return;
+        }
+        let sphys = src.phys.lock();
+        let mut dphys = dst.phys.lock();
+        let s_avail = (sphys.len() as u64).saturating_sub(src_off);
+        let d_avail = (dphys.len() as u64).saturating_sub(dst_off);
+        let n = len.min(s_avail).min(d_avail) as usize;
+        if n > 0 {
+            dphys[dst_off as usize..dst_off as usize + n]
+                .copy_from_slice(&sphys[src_off as usize..src_off as usize + n]);
+        }
+        // Bytes beyond the source's physical prefix are "unknown": zero the
+        // remainder of the destination's stored range so truncated runs
+        // stay deterministic.
+        let extra = (len.min(d_avail) as usize).saturating_sub(n);
+        if extra > 0 {
+            dphys[dst_off as usize + n..dst_off as usize + n + extra].fill(0);
+        }
+    }
+
+    /// Write a slice of `f64`s starting at byte offset `off`.
+    pub fn write_f64s(&self, off: u64, vals: &[f64]) {
+        let bytes: Vec<u8> = vals.iter().flat_map(|v| v.to_le_bytes()).collect();
+        self.write(off, &bytes);
+    }
+
+    /// Read `n` `f64`s starting at byte offset `off`.
+    pub fn read_f64s(&self, off: u64, n: usize) -> Vec<f64> {
+        let mut bytes = vec![0u8; n * 8];
+        self.read(off, &mut bytes);
+        bytes
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("chunk of 8")))
+            .collect()
+    }
+
+    /// Number of f64 elements that are physically stored from offset 0.
+    pub fn phys_f64_len(&self) -> usize {
+        (self.phys_len() / 8) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_backing_round_trips() {
+        let b = Backing::new(64, None);
+        b.write(8, &[1, 2, 3, 4]);
+        let mut out = [0u8; 6];
+        b.read(7, &mut out);
+        assert_eq!(out, [0, 1, 2, 3, 4, 0]);
+    }
+
+    #[test]
+    fn truncated_backing_clips_silently() {
+        let b = Backing::new(1 << 20, Some(16));
+        assert_eq!(b.logical_len(), 1 << 20);
+        assert_eq!(b.phys_len(), 16);
+        b.write(8, &[7; 16]); // only 8 bytes land
+        let mut out = [0u8; 16];
+        b.read(8, &mut out);
+        assert_eq!(&out[..8], &[7; 8]);
+        assert_eq!(&out[8..], &[0; 8]);
+        // Entirely beyond the physical prefix: all zeros, no panic.
+        b.write(1000, &[9; 4]);
+        let mut far = [1u8; 4];
+        b.read(1000, &mut far);
+        assert_eq!(far, [0; 4]);
+    }
+
+    #[test]
+    fn copy_between_backings() {
+        let a = Backing::new(32, None);
+        let b = Backing::new(32, None);
+        a.write(0, &(0u8..32).collect::<Vec<_>>());
+        Backing::copy(&a, 4, &b, 8, 10);
+        let mut out = [0u8; 10];
+        b.read(8, &mut out);
+        assert_eq!(out, [4, 5, 6, 7, 8, 9, 10, 11, 12, 13]);
+    }
+
+    #[test]
+    fn copy_zeroes_tail_when_source_truncated() {
+        let a = Backing::new(32, Some(4));
+        let b = Backing::new(32, None);
+        a.write(0, &[5; 4]);
+        // Pre-dirty destination to prove the tail is zeroed.
+        b.write(0, &[9; 16]);
+        Backing::copy(&a, 0, &b, 0, 16);
+        let mut out = [0u8; 16];
+        b.read(0, &mut out);
+        assert_eq!(&out[..4], &[5; 4]);
+        assert_eq!(&out[4..], &[0; 12]);
+    }
+
+    #[test]
+    fn self_copy_through_shared_backing() {
+        let a = Backing::new(32, None);
+        a.write(0, &(0u8..32).collect::<Vec<_>>());
+        Backing::copy(&a, 0, &a, 16, 8);
+        let mut out = [0u8; 8];
+        a.read(16, &mut out);
+        assert_eq!(out, [0, 1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn f64_round_trip() {
+        let b = Backing::new(80, None);
+        let vals = [1.5, -2.25, 3.125];
+        b.write_f64s(16, &vals);
+        assert_eq!(b.read_f64s(16, 3), vals);
+        assert_eq!(b.phys_f64_len(), 10);
+    }
+
+    #[test]
+    fn zero_length_copy_is_noop() {
+        let a = Backing::new(8, None);
+        let b = Backing::new(8, None);
+        Backing::copy(&a, 8, &b, 8, 0); // offsets at end, len 0: legal
+    }
+}

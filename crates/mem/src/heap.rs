@@ -1,0 +1,491 @@
+//! The hooked node heap and heap table (§3.8, Figure 7).
+//!
+//! IMPACC interposes on `malloc`/`calloc`/`realloc`/`free` and records every
+//! host heap allocation in a node-wide *heap table*; each entry stores the
+//! allocation's address, size, the pointer variable(s) that reference it,
+//! and a reference count. The *node heap aliasing* technique re-aims a
+//! receiver's pointer variable at the sender's buffer (plus offset),
+//! releases the receiver's original allocation, and bumps the sender
+//! entry's reference count — so producer and consumer tasks share one
+//! buffer with unchanged MPI semantics. `free()` through any pointer into
+//! an entry decrements the count; storage is released at zero.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+use parking_lot::Mutex;
+
+use crate::space::{AddressSpace, MemSpace, Region, VirtAddr};
+
+/// A simulated pointer *variable* (a slot holding an address), so the
+/// runtime can transparently re-aim it during aliasing.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct HeapPtr(u64);
+
+/// A heap-table entry.
+#[derive(Clone, Debug)]
+pub struct HeapEntry {
+    /// The underlying host allocation.
+    pub region: Region,
+    /// Number of logical owners (1 at malloc; +1 per alias).
+    pub refcount: usize,
+}
+
+struct HeapInner {
+    entries: BTreeMap<u64, HeapEntry>,
+    ptrs: HashMap<HeapPtr, VirtAddr>,
+    next_ptr: u64,
+}
+
+/// Errors from heap operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HeapError {
+    /// The pointer slot does not exist (or was dropped).
+    DanglingPtr(HeapPtr),
+    /// The address is not inside any live heap entry.
+    NotAHeapAddress(VirtAddr),
+    /// Underlying allocation failure.
+    Alloc(String),
+}
+
+impl fmt::Display for HeapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HeapError::DanglingPtr(p) => write!(f, "dangling pointer {p:?}"),
+            HeapError::NotAHeapAddress(a) => write!(f, "{a:?} is not a heap address"),
+            HeapError::Alloc(e) => write!(f, "allocation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HeapError {}
+
+/// The node-wide hooked heap.
+pub struct NodeHeap {
+    inner: Mutex<HeapInner>,
+}
+
+impl Default for NodeHeap {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl NodeHeap {
+    /// An empty heap table.
+    pub fn new() -> NodeHeap {
+        NodeHeap {
+            inner: Mutex::new(HeapInner {
+                entries: BTreeMap::new(),
+                ptrs: HashMap::new(),
+                next_ptr: 1,
+            }),
+        }
+    }
+
+    /// `malloc(len)`: allocate host memory in `space`, record it in the
+    /// heap table, and return a fresh pointer variable bound to it.
+    pub fn malloc(&self, space: &AddressSpace, len: u64) -> Result<HeapPtr, HeapError> {
+        let region = space
+            .alloc(MemSpace::Host, len)
+            .map_err(|e| HeapError::Alloc(e.to_string()))?;
+        let mut inner = self.inner.lock();
+        let ptr = HeapPtr(inner.next_ptr);
+        inner.next_ptr += 1;
+        inner.ptrs.insert(ptr, region.addr);
+        inner.entries.insert(
+            region.addr.0,
+            HeapEntry {
+                region,
+                refcount: 1,
+            },
+        );
+        Ok(ptr)
+    }
+
+    /// `calloc(n, size)`: like [`NodeHeap::malloc`]; fresh backing is
+    /// already zeroed, so this is an alias with the libc-compatible shape.
+    pub fn calloc(&self, space: &AddressSpace, n: u64, size: u64) -> Result<HeapPtr, HeapError> {
+        let len = n.checked_mul(size).ok_or_else(|| {
+            HeapError::Alloc(format!("calloc overflow: {n} * {size}"))
+        })?;
+        self.malloc(space, len)
+    }
+
+    /// `realloc(p, new_len)`: allocate a fresh private region, copy the
+    /// overlapping prefix, re-aim the pointer, and release one reference
+    /// on the old region (which survives if aliased elsewhere). Returns
+    /// the new length's pointer (the same [`HeapPtr`] slot, re-aimed).
+    pub fn realloc(
+        &self,
+        space: &AddressSpace,
+        ptr: HeapPtr,
+        new_len: u64,
+    ) -> Result<(), HeapError> {
+        let old_addr = self.deref(ptr)?;
+        let (old_entry, old_off) = {
+            let inner = self.inner.lock();
+            let (_, e) = Self::entry_containing_locked(&inner, old_addr)
+                .ok_or(HeapError::NotAHeapAddress(old_addr))?;
+            let off = old_addr.0 - e.region.addr.0;
+            (e.clone(), off)
+        };
+        let region = space
+            .alloc(MemSpace::Host, new_len)
+            .map_err(|e| HeapError::Alloc(e.to_string()))?;
+        let copy_len = (old_entry.region.len - old_off).min(new_len);
+        crate::backing::Backing::copy(
+            &old_entry.region.backing,
+            old_off,
+            &region.backing,
+            0,
+            copy_len,
+        );
+        {
+            let mut inner = self.inner.lock();
+            inner.entries.insert(
+                region.addr.0,
+                HeapEntry {
+                    region: region.clone(),
+                    refcount: 1,
+                },
+            );
+            *inner
+                .ptrs
+                .get_mut(&ptr)
+                .ok_or(HeapError::DanglingPtr(ptr))? = region.addr;
+            // Release one reference on the old entry.
+            let key = old_entry.region.addr.0;
+            let e = inner.entries.get_mut(&key).expect("old entry live");
+            e.refcount -= 1;
+            if e.refcount == 0 {
+                inner.entries.remove(&key);
+                space
+                    .free(old_entry.region.addr)
+                    .expect("old region must be live");
+            }
+        }
+        Ok(())
+    }
+
+    /// Declare a new pointer variable holding `addr` (pointer assignment,
+    /// e.g. `q = p + off`). The new pointer counts toward the entry's
+    /// pointer population, which blocks aliasing (requirement 4).
+    pub fn declare_ptr(&self, addr: VirtAddr) -> HeapPtr {
+        let mut inner = self.inner.lock();
+        let ptr = HeapPtr(inner.next_ptr);
+        inner.next_ptr += 1;
+        inner.ptrs.insert(ptr, addr);
+        ptr
+    }
+
+    /// Overwrite an existing pointer variable with a new address.
+    pub fn assign(&self, ptr: HeapPtr, addr: VirtAddr) -> Result<(), HeapError> {
+        let mut inner = self.inner.lock();
+        match inner.ptrs.get_mut(&ptr) {
+            Some(slot) => {
+                *slot = addr;
+                Ok(())
+            }
+            None => Err(HeapError::DanglingPtr(ptr)),
+        }
+    }
+
+    /// Current address stored in the pointer variable.
+    pub fn deref(&self, ptr: HeapPtr) -> Result<VirtAddr, HeapError> {
+        self.inner
+            .lock()
+            .ptrs
+            .get(&ptr)
+            .copied()
+            .ok_or(HeapError::DanglingPtr(ptr))
+    }
+
+    /// Drop a pointer variable (it goes out of scope) without freeing.
+    pub fn drop_ptr(&self, ptr: HeapPtr) {
+        self.inner.lock().ptrs.remove(&ptr);
+    }
+
+    /// The heap entry whose range contains `addr`.
+    pub fn entry_containing(&self, addr: VirtAddr) -> Option<HeapEntry> {
+        let inner = self.inner.lock();
+        Self::entry_containing_locked(&inner, addr).map(|(_, e)| e.clone())
+    }
+
+    fn entry_containing_locked<'a>(
+        inner: &'a HeapInner,
+        addr: VirtAddr,
+    ) -> Option<(u64, &'a HeapEntry)> {
+        let (k, e) = inner.entries.range(..=addr.0).next_back()?;
+        if e.region.contains_range(addr, 0) && addr.0 < e.region.addr.0 + e.region.len.max(1) {
+            Some((*k, e))
+        } else {
+            None
+        }
+    }
+
+    /// How many live pointer variables point into the entry containing
+    /// `addr` (aliasing requirement 4 wants exactly one: the recv buffer).
+    pub fn pointer_count(&self, addr: VirtAddr) -> usize {
+        let inner = self.inner.lock();
+        let Some((_, entry)) = Self::entry_containing_locked(&inner, addr) else {
+            return 0;
+        };
+        inner
+            .ptrs
+            .values()
+            .filter(|a| entry.region.contains_range(**a, 0) && a.0 < entry.region.addr.0 + entry.region.len.max(1))
+            .count()
+    }
+
+    /// `free(p)`: decrement the containing entry's reference count; when it
+    /// reaches zero, release the storage. Returns `true` if storage was
+    /// released. The pointer variable itself is dropped.
+    pub fn free(&self, space: &AddressSpace, ptr: HeapPtr) -> Result<bool, HeapError> {
+        let mut inner = self.inner.lock();
+        let addr = inner
+            .ptrs
+            .remove(&ptr)
+            .ok_or(HeapError::DanglingPtr(ptr))?;
+        let key = Self::entry_containing_locked(&inner, addr)
+            .map(|(k, _)| k)
+            .ok_or(HeapError::NotAHeapAddress(addr))?;
+        let entry = inner.entries.get_mut(&key).expect("key from lookup");
+        entry.refcount -= 1;
+        if entry.refcount == 0 {
+            let region_addr = entry.region.addr;
+            inner.entries.remove(&key);
+            space
+                .free(region_addr)
+                .expect("heap entry must map to a live region");
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    /// Node heap aliasing (Figure 7): re-aim `recv_ptr` at `target`
+    /// (typically `send_buf_addr + offset`), release the receiver's
+    /// original allocation, and bump the target entry's reference count.
+    ///
+    /// The *requirements* for when this is legal are checked by the IMPACC
+    /// runtime (it has the message metadata); this method performs the
+    /// mechanical rebinding and panics if either address is not heap
+    /// memory.
+    pub fn alias(
+        &self,
+        space: &AddressSpace,
+        recv_ptr: HeapPtr,
+        target: VirtAddr,
+    ) -> Result<(), HeapError> {
+        let mut inner = self.inner.lock();
+        let old_addr = *inner
+            .ptrs
+            .get(&recv_ptr)
+            .ok_or(HeapError::DanglingPtr(recv_ptr))?;
+        let old_key = Self::entry_containing_locked(&inner, old_addr)
+            .map(|(k, _)| k)
+            .ok_or(HeapError::NotAHeapAddress(old_addr))?;
+        let target_key = Self::entry_containing_locked(&inner, target)
+            .map(|(k, _)| k)
+            .ok_or(HeapError::NotAHeapAddress(target))?;
+
+        inner
+            .entries
+            .get_mut(&target_key)
+            .expect("key from lookup")
+            .refcount += 1;
+        *inner.ptrs.get_mut(&recv_ptr).expect("checked above") = target;
+
+        let old_entry = inner.entries.get_mut(&old_key).expect("key from lookup");
+        old_entry.refcount -= 1;
+        if old_entry.refcount == 0 {
+            let region_addr = old_entry.region.addr;
+            inner.entries.remove(&old_key);
+            space
+                .free(region_addr)
+                .expect("heap entry must map to a live region");
+        }
+        Ok(())
+    }
+
+    /// Number of live heap entries (leak diagnostics).
+    pub fn entry_count(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (AddressSpace, NodeHeap) {
+        (AddressSpace::new(1 << 30, None), NodeHeap::new())
+    }
+
+    #[test]
+    fn malloc_free_cycle() {
+        let (s, h) = setup();
+        let p = h.malloc(&s, 100).unwrap();
+        assert_eq!(h.entry_count(), 1);
+        assert_eq!(s.region_count(), 1);
+        assert!(h.free(&s, p).unwrap());
+        assert_eq!(h.entry_count(), 0);
+        assert_eq!(s.region_count(), 0);
+        assert!(matches!(h.free(&s, p), Err(HeapError::DanglingPtr(_))));
+    }
+
+    #[test]
+    fn figure7_aliasing_scenario() {
+        // Sender task 0: src = malloc(100). Receiver task 1: dst = malloc(10).
+        let (s, h) = setup();
+        let src = h.malloc(&s, 100).unwrap();
+        let dst = h.malloc(&s, 10).unwrap();
+        let src_addr = h.deref(src).unwrap();
+        let dst_region = h.entry_containing(h.deref(dst).unwrap()).unwrap();
+
+        // Runtime aliases dst -> src + 40 and frees dst's original heap.
+        h.alias(&s, dst, src_addr.offset(40)).unwrap();
+
+        assert_eq!(h.deref(dst).unwrap(), src_addr.offset(40));
+        assert_eq!(h.entry_count(), 1, "receiver's original heap released");
+        assert!(s.resolve(dst_region.region.addr).is_none());
+        let e = h.entry_containing(src_addr).unwrap();
+        assert_eq!(e.refcount, 2);
+
+        // Sender frees first: storage survives (receiver still shares it).
+        assert!(!h.free(&s, src).unwrap());
+        assert_eq!(h.entry_count(), 1);
+        // free() via the aliased interior pointer releases it.
+        assert!(h.free(&s, dst).unwrap());
+        assert_eq!(h.entry_count(), 0);
+        assert_eq!(s.region_count(), 0);
+    }
+
+    #[test]
+    fn pointer_count_tracks_extra_pointers() {
+        let (s, h) = setup();
+        let p = h.malloc(&s, 64).unwrap();
+        let addr = h.deref(p).unwrap();
+        assert_eq!(h.pointer_count(addr), 1);
+        let q = h.declare_ptr(addr.offset(10));
+        assert_eq!(h.pointer_count(addr), 2);
+        h.drop_ptr(q);
+        assert_eq!(h.pointer_count(addr), 1);
+        let other = h.malloc(&s, 64).unwrap();
+        assert_eq!(h.pointer_count(addr), 1, "other entries don't count");
+        h.free(&s, other).unwrap();
+        h.free(&s, p).unwrap();
+    }
+
+    #[test]
+    fn assign_moves_pointer_between_entries() {
+        let (s, h) = setup();
+        let a = h.malloc(&s, 32).unwrap();
+        let b = h.malloc(&s, 32).unwrap();
+        let b_addr = h.deref(b).unwrap();
+        let spare = h.declare_ptr(h.deref(a).unwrap());
+        h.assign(spare, b_addr.offset(4)).unwrap();
+        assert_eq!(h.pointer_count(h.deref(a).unwrap()), 1);
+        assert_eq!(h.pointer_count(b_addr), 2);
+        h.drop_ptr(spare);
+        h.free(&s, a).unwrap();
+        h.free(&s, b).unwrap();
+    }
+
+    #[test]
+    fn alias_to_non_heap_address_fails() {
+        let (s, h) = setup();
+        let p = h.malloc(&s, 16).unwrap();
+        let err = h.alias(&s, p, VirtAddr(0xdead)).unwrap_err();
+        assert!(matches!(err, HeapError::NotAHeapAddress(_)));
+    }
+
+    #[test]
+    fn calloc_is_zeroed_and_checks_overflow() {
+        let (s, h) = setup();
+        let p = h.calloc(&s, 8, 16).unwrap();
+        let addr = h.deref(p).unwrap();
+        let e = h.entry_containing(addr).unwrap();
+        assert_eq!(e.region.len, 128);
+        let mut buf = [1u8; 16];
+        e.region.backing.read(0, &mut buf);
+        assert_eq!(buf, [0u8; 16]);
+        assert!(matches!(
+            h.calloc(&s, u64::MAX, 2),
+            Err(HeapError::Alloc(_))
+        ));
+        h.free(&s, p).unwrap();
+    }
+
+    #[test]
+    fn realloc_grows_and_preserves_the_prefix() {
+        let (s, h) = setup();
+        let p = h.malloc(&s, 32).unwrap();
+        let addr0 = h.deref(p).unwrap();
+        h.entry_containing(addr0)
+            .unwrap()
+            .region
+            .backing
+            .write(0, &[7u8; 32]);
+        h.realloc(&s, p, 64).unwrap();
+        let addr1 = h.deref(p).unwrap();
+        assert_ne!(addr0, addr1, "realloc moved the block");
+        let e = h.entry_containing(addr1).unwrap();
+        assert_eq!(e.region.len, 64);
+        let mut buf = [0u8; 32];
+        e.region.backing.read(0, &mut buf);
+        assert_eq!(buf, [7u8; 32]);
+        assert_eq!(h.entry_count(), 1, "old block freed");
+        assert_eq!(s.region_count(), 1);
+        h.free(&s, p).unwrap();
+    }
+
+    #[test]
+    fn realloc_of_aliased_region_unshares() {
+        let (s, h) = setup();
+        let src = h.malloc(&s, 64).unwrap();
+        let dst = h.malloc(&s, 64).unwrap();
+        let src_addr = h.deref(src).unwrap();
+        h.entry_containing(src_addr)
+            .unwrap()
+            .region
+            .backing
+            .write(0, &[3u8; 8]);
+        h.alias(&s, dst, src_addr).unwrap();
+        // Receiver grows its buffer: gets a private copy; the producer's
+        // block survives with refcount back to 1.
+        h.realloc(&s, dst, 128).unwrap();
+        let e_src = h.entry_containing(src_addr).unwrap();
+        assert_eq!(e_src.refcount, 1);
+        let dst_addr = h.deref(dst).unwrap();
+        let e_dst = h.entry_containing(dst_addr).unwrap();
+        assert_eq!(e_dst.region.len, 128);
+        let mut buf = [0u8; 8];
+        e_dst.region.backing.read(0, &mut buf);
+        assert_eq!(buf, [3u8; 8], "shared data copied into the private block");
+        h.free(&s, src).unwrap();
+        h.free(&s, dst).unwrap();
+        assert_eq!(s.region_count(), 0);
+    }
+
+    #[test]
+    fn chained_aliases_share_one_entry() {
+        // bcast-style: one producer, several consumers all alias the root
+        // buffer; the entry's refcount tracks every consumer.
+        let (s, h) = setup();
+        let root = h.malloc(&s, 256).unwrap();
+        let root_addr = h.deref(root).unwrap();
+        let consumers: Vec<HeapPtr> = (0..4).map(|_| h.malloc(&s, 64).unwrap()).collect();
+        for (i, c) in consumers.iter().enumerate() {
+            h.alias(&s, *c, root_addr.offset(i as u64 * 64)).unwrap();
+        }
+        assert_eq!(h.entry_count(), 1);
+        assert_eq!(h.entry_containing(root_addr).unwrap().refcount, 5);
+        for c in consumers {
+            assert!(!h.free(&s, c).unwrap());
+        }
+        assert!(h.free(&s, root).unwrap());
+        assert_eq!(s.region_count(), 0);
+    }
+}

@@ -1,0 +1,286 @@
+//! The OpenACC present table (§3.4, Figure 3).
+//!
+//! Maps host address ranges to the corresponding device allocations. The
+//! IMPACC runtime keeps one present table per task and — exactly as the
+//! paper describes — indexes it with **two balanced trees**, one keyed by
+//! host address and one by device address, so both `acc_deviceptr()` and
+//! `acc_hostptr()` are logarithmic in the number of entries.
+//!
+//! CUDA devices are addressed by raw device pointers (`CUdeviceptr`);
+//! OpenCL devices by a buffer handle (`cl_mem`) plus a host-side shadow
+//! address reserved with `malloc()` in the real system. Both variants are
+//! modelled by [`DevPtr`].
+
+use std::collections::BTreeMap;
+
+use parking_lot::Mutex;
+
+use crate::space::{Region, VirtAddr};
+
+/// The device side of a present-table entry.
+#[derive(Clone, Debug)]
+pub enum DevPtr {
+    /// CUDA: the device allocation's own address is host-visible (UVA).
+    Cuda {
+        /// Raw `CUdeviceptr`-style address.
+        addr: VirtAddr,
+    },
+    /// OpenCL: a buffer handle and the reserved host shadow address the
+    /// runtime hands out in place of a raw device pointer.
+    OpenCl {
+        /// Simulated `cl_mem` handle value.
+        handle: u64,
+        /// Lazily-reserved host virtual address representing the buffer.
+        mapped: VirtAddr,
+    },
+}
+
+impl DevPtr {
+    /// The address arithmetic works on: raw device address for CUDA, the
+    /// mapped shadow address for OpenCL.
+    pub fn lookup_addr(&self) -> VirtAddr {
+        match self {
+            DevPtr::Cuda { addr } => *addr,
+            DevPtr::OpenCl { mapped, .. } => *mapped,
+        }
+    }
+}
+
+/// One present-table entry: a host range and its device mirror.
+#[derive(Clone, Debug)]
+pub struct PresentEntry {
+    /// Start of the host data.
+    pub host_addr: VirtAddr,
+    /// Length in bytes.
+    pub len: u64,
+    /// Device-side addressing for this range.
+    pub dev: DevPtr,
+    /// The device allocation (its backing holds the device copy).
+    pub dev_region: Region,
+}
+
+struct Tables {
+    by_host: BTreeMap<u64, PresentEntry>,
+    /// device lookup address -> host key
+    by_dev: BTreeMap<u64, u64>,
+}
+
+/// A per-task present table with dual ordered indexes.
+pub struct PresentTable {
+    tables: Mutex<Tables>,
+}
+
+impl Default for PresentTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PresentTable {
+    /// An empty table.
+    pub fn new() -> PresentTable {
+        PresentTable {
+            tables: Mutex::new(Tables {
+                by_host: BTreeMap::new(),
+                by_dev: BTreeMap::new(),
+            }),
+        }
+    }
+
+    /// Insert an entry. Panics if the host range overlaps an existing
+    /// entry — OpenACC makes nested present ranges a user error, and the
+    /// runtime's data constructs never create them.
+    pub fn insert(&self, entry: PresentEntry) {
+        let mut t = self.tables.lock();
+        if let Some((_, prev)) = t.by_host.range(..=entry.host_addr.0).next_back() {
+            assert!(
+                prev.host_addr.0 + prev.len <= entry.host_addr.0,
+                "present ranges overlap"
+            );
+        }
+        if let Some((next_key, _)) = t.by_host.range(entry.host_addr.0..).next() {
+            assert!(
+                entry.host_addr.0 + entry.len <= *next_key,
+                "present ranges overlap"
+            );
+        }
+        t.by_dev
+            .insert(entry.dev.lookup_addr().0, entry.host_addr.0);
+        t.by_host.insert(entry.host_addr.0, entry);
+    }
+
+    /// Remove the entry whose host range contains `addr`; returns it.
+    pub fn remove(&self, addr: VirtAddr) -> Option<PresentEntry> {
+        let mut t = self.tables.lock();
+        let key = {
+            let (key, e) = t.by_host.range(..=addr.0).next_back()?;
+            if addr.0 >= e.host_addr.0 + e.len.max(1) {
+                return None;
+            }
+            *key
+        };
+        let entry = t.by_host.remove(&key)?;
+        t.by_dev.remove(&entry.dev.lookup_addr().0);
+        Some(entry)
+    }
+
+    /// `acc_deviceptr()`: find the entry containing host `addr`; returns
+    /// the entry and the offset of `addr` within it.
+    pub fn find_by_host(&self, addr: VirtAddr) -> Option<(PresentEntry, u64)> {
+        let t = self.tables.lock();
+        let (_, e) = t.by_host.range(..=addr.0).next_back()?;
+        let off = addr.0.checked_sub(e.host_addr.0)?;
+        if off < e.len.max(1) {
+            Some((e.clone(), off))
+        } else {
+            None
+        }
+    }
+
+    /// `acc_hostptr()`: find the entry containing device-side `addr`
+    /// (raw CUDA pointer or OpenCL mapped address) and the offset.
+    pub fn find_by_dev(&self, addr: VirtAddr) -> Option<(PresentEntry, u64)> {
+        let t = self.tables.lock();
+        let (dkey, hkey) = t.by_dev.range(..=addr.0).next_back()?;
+        let e = t.by_host.get(hkey)?;
+        let off = addr.0 - dkey;
+        if off < e.len.max(1) {
+            Some((e.clone(), off))
+        } else {
+            None
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.tables.lock().by_host.len()
+    }
+
+    /// True when the table has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::{AddressSpace, MemSpace};
+
+    fn setup() -> (AddressSpace, PresentTable) {
+        let s = AddressSpace::new(1 << 30, None);
+        s.register_space(MemSpace::Device(0), 1 << 20);
+        s.register_space(MemSpace::MappedShadow(0), 1 << 20);
+        (s, PresentTable::new())
+    }
+
+    fn cuda_entry(s: &AddressSpace, host_len: u64) -> (Region, PresentEntry) {
+        let host = s.alloc(MemSpace::Host, host_len).unwrap();
+        let dev = s.alloc(MemSpace::Device(0), host_len).unwrap();
+        let entry = PresentEntry {
+            host_addr: host.addr,
+            len: host_len,
+            dev: DevPtr::Cuda { addr: dev.addr },
+            dev_region: dev,
+        };
+        (host, entry)
+    }
+
+    #[test]
+    fn deviceptr_and_hostptr_are_inverse() {
+        let (s, t) = setup();
+        let (host, entry) = cuda_entry(&s, 256);
+        let dev_addr = entry.dev.lookup_addr();
+        t.insert(entry);
+
+        let (e, off) = t.find_by_host(host.addr.offset(100)).unwrap();
+        assert_eq!(off, 100);
+        assert_eq!(e.dev.lookup_addr(), dev_addr);
+
+        let (e2, off2) = t.find_by_dev(dev_addr.offset(100)).unwrap();
+        assert_eq!(off2, 100);
+        assert_eq!(e2.host_addr, host.addr);
+    }
+
+    #[test]
+    fn opencl_entries_use_mapped_shadow() {
+        let (s, t) = setup();
+        let host = s.alloc(MemSpace::Host, 64).unwrap();
+        let dev = s.alloc(MemSpace::Device(0), 64).unwrap();
+        let shadow = s
+            .alloc_with_backing(MemSpace::MappedShadow(0), 64, dev.backing.clone())
+            .unwrap();
+        t.insert(PresentEntry {
+            host_addr: host.addr,
+            len: 64,
+            dev: DevPtr::OpenCl {
+                handle: 77,
+                mapped: shadow.addr,
+            },
+            dev_region: dev,
+        });
+        let (e, off) = t.find_by_dev(shadow.addr.offset(8)).unwrap();
+        assert_eq!(off, 8);
+        match e.dev {
+            DevPtr::OpenCl { handle, .. } => assert_eq!(handle, 77),
+            _ => panic!("expected OpenCL entry"),
+        }
+    }
+
+    #[test]
+    fn lookup_misses_outside_ranges() {
+        let (s, t) = setup();
+        let (host, entry) = cuda_entry(&s, 128);
+        t.insert(entry);
+        assert!(t.find_by_host(host.addr.offset(128)).is_none());
+        assert!(t.find_by_host(VirtAddr(host.addr.0 - 1)).is_none());
+        assert!(t.find_by_dev(VirtAddr(1)).is_none());
+    }
+
+    #[test]
+    fn remove_clears_both_indexes() {
+        let (s, t) = setup();
+        let (host, entry) = cuda_entry(&s, 128);
+        let dev_addr = entry.dev.lookup_addr();
+        t.insert(entry);
+        assert_eq!(t.len(), 1);
+        let removed = t.remove(host.addr.offset(5)).unwrap();
+        assert_eq!(removed.host_addr, host.addr);
+        assert!(t.is_empty());
+        assert!(t.find_by_dev(dev_addr).is_none());
+        assert!(t.remove(host.addr).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn overlapping_insert_panics() {
+        let (s, t) = setup();
+        let (host, entry) = cuda_entry(&s, 128);
+        t.insert(entry);
+        let dev2 = s.alloc(MemSpace::Device(0), 8).unwrap();
+        t.insert(PresentEntry {
+            host_addr: host.addr.offset(64),
+            len: 8,
+            dev: DevPtr::Cuda { addr: dev2.addr },
+            dev_region: dev2,
+        });
+    }
+
+    #[test]
+    fn many_entries_keep_log_lookup_consistent() {
+        let (s, t) = setup();
+        let mut hosts = Vec::new();
+        for _ in 0..200 {
+            let (host, entry) = cuda_entry(&s, 64);
+            hosts.push((host.addr, entry.dev.lookup_addr()));
+            t.insert(entry);
+        }
+        for (h, d) in &hosts {
+            let (e, _) = t.find_by_host(h.offset(63)).unwrap();
+            assert_eq!(e.dev.lookup_addr(), *d);
+            let (e2, _) = t.find_by_dev(d.offset(63)).unwrap();
+            assert_eq!(e2.host_addr, *h);
+        }
+        assert_eq!(t.len(), 200);
+    }
+}

@@ -1,0 +1,372 @@
+//! The unified node virtual address space (§3.4).
+//!
+//! One [`AddressSpace`] per node (IMPACC mode) or per task (baseline
+//! process mode). It hands out non-overlapping virtual address ranges for
+//! the host heap, each device's memory, and the "mapped shadow" range used
+//! to give OpenCL buffer handles host-visible addresses (the paper's
+//! `malloc()`-reserved lazy mapping). Every live range is registered so
+//! that any address can be resolved back to its allocation — this is what
+//! lets unified MPI routines detect whether a pointer is host or device
+//! memory (§3.5).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::backing::Backing;
+
+/// A virtual address within a node's unified address space.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtAddr(pub u64);
+
+impl fmt::Debug for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:012x}", self.0)
+    }
+}
+
+impl VirtAddr {
+    /// The address `off` bytes past `self`.
+    pub fn offset(self, off: u64) -> VirtAddr {
+        VirtAddr(self.0 + off)
+    }
+}
+
+/// Which memory an allocation lives in.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum MemSpace {
+    /// Host (system) memory.
+    Host,
+    /// Device memory of the node-local device with this index.
+    Device(usize),
+    /// Host-side shadow range reserved for an OpenCL buffer handle; shares
+    /// the device allocation's backing. Lazily mapped: consumes no
+    /// physical host memory in the real system.
+    MappedShadow(usize),
+}
+
+impl MemSpace {
+    /// True for device memory (not host, not shadow).
+    pub fn is_device(self) -> bool {
+        matches!(self, MemSpace::Device(_))
+    }
+}
+
+/// Unique identity of a live allocation.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct RegionId(pub u64);
+
+/// A live allocation: an address range bound to backing storage.
+/// Cloning is cheap (the backing is shared).
+#[derive(Clone, Debug)]
+pub struct Region {
+    /// Unique id (never reused within an address space).
+    pub id: RegionId,
+    /// Start address.
+    pub addr: VirtAddr,
+    /// Length in bytes.
+    pub len: u64,
+    /// Which memory it occupies.
+    pub space: MemSpace,
+    /// The bytes.
+    pub backing: Arc<Backing>,
+}
+
+impl Region {
+    /// Does this region contain `[addr, addr+len)`?
+    pub fn contains_range(&self, addr: VirtAddr, len: u64) -> bool {
+        addr.0 >= self.addr.0 && addr.0 + len <= self.addr.0 + self.len
+    }
+
+    /// Offset of `addr` within the region.
+    pub fn offset_of(&self, addr: VirtAddr) -> u64 {
+        debug_assert!(self.contains_range(addr, 0));
+        addr.0 - self.addr.0
+    }
+}
+
+struct SpaceInfo {
+    next: u64,
+    capacity: u64,
+    used: u64,
+}
+
+struct Inner {
+    spaces: Vec<(MemSpace, SpaceInfo)>,
+    regions: BTreeMap<u64, Region>,
+    next_region: u64,
+}
+
+/// Errors from allocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemError {
+    /// The target memory is full (e.g. device memory exceeded).
+    OutOfMemory {
+        /// The space that ran out.
+        space: MemSpace,
+        /// Bytes requested.
+        requested: u64,
+        /// Bytes still available.
+        available: u64,
+    },
+    /// The space was never registered with this address space.
+    NoSuchSpace(MemSpace),
+    /// Freeing an address that is not the start of a live region.
+    InvalidFree(VirtAddr),
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::OutOfMemory {
+                space,
+                requested,
+                available,
+            } => write!(
+                f,
+                "out of memory in {space:?}: requested {requested} bytes, {available} available"
+            ),
+            MemError::NoSuchSpace(s) => write!(f, "space {s:?} not registered"),
+            MemError::InvalidFree(a) => write!(f, "free of non-allocation address {a:?}"),
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+/// A node's (or baseline process's) virtual address space.
+pub struct AddressSpace {
+    inner: Mutex<Inner>,
+    phys_cap: Option<u64>,
+}
+
+/// Spacing between the base addresses of successive memory spaces:
+/// 16 TiB each, so ranges can never collide.
+const SPACE_STRIDE: u64 = 1 << 44;
+/// Host space starts here (never at 0: catches null-ish bugs).
+const HOST_BASE: u64 = 0x1000_0000_0000;
+
+impl AddressSpace {
+    /// A fresh address space with a registered host space of `host_cap`
+    /// bytes. `phys_cap` truncates the physical backing of every
+    /// allocation (see [`Backing`]); `None` stores all bytes.
+    pub fn new(host_cap: u64, phys_cap: Option<u64>) -> AddressSpace {
+        let space = AddressSpace {
+            inner: Mutex::new(Inner {
+                spaces: Vec::new(),
+                regions: BTreeMap::new(),
+                next_region: 1,
+            }),
+            phys_cap,
+        };
+        space.register_space(MemSpace::Host, host_cap);
+        space
+    }
+
+    /// Register a memory space (a device's memory or a shadow range).
+    /// Idempotent for an already-registered space only if capacities match.
+    pub fn register_space(&self, space: MemSpace, capacity: u64) {
+        let mut inner = self.inner.lock();
+        if inner.spaces.iter().any(|(s, _)| *s == space) {
+            return;
+        }
+        let idx = inner.spaces.len() as u64;
+        inner.spaces.push((
+            space,
+            SpaceInfo {
+                next: HOST_BASE + idx * SPACE_STRIDE,
+                capacity,
+                used: 0,
+            },
+        ));
+    }
+
+    /// Allocate `len` bytes in `space` with fresh backing.
+    pub fn alloc(&self, space: MemSpace, len: u64) -> Result<Region, MemError> {
+        let backing = Backing::new(len, self.phys_cap);
+        self.alloc_with_backing(space, len, backing)
+    }
+
+    /// Allocate an address range in `space` bound to an existing backing —
+    /// used for OpenCL shadow mappings, which give a device allocation a
+    /// host-visible address without new storage.
+    pub fn alloc_with_backing(
+        &self,
+        space: MemSpace,
+        len: u64,
+        backing: Arc<Backing>,
+    ) -> Result<Region, MemError> {
+        let mut inner = self.inner.lock();
+        let info = inner
+            .spaces
+            .iter_mut()
+            .find(|(s, _)| *s == space)
+            .map(|(_, i)| i)
+            .ok_or(MemError::NoSuchSpace(space))?;
+        if info.used + len > info.capacity {
+            return Err(MemError::OutOfMemory {
+                space,
+                requested: len,
+                available: info.capacity - info.used,
+            });
+        }
+        // Align every allocation to 64 bytes, like a real allocator would.
+        let addr = (info.next + 63) & !63;
+        info.next = addr + len.max(1); // zero-len allocs still get a unique address
+        info.used += len;
+        let id = RegionId(inner.next_region);
+        inner.next_region += 1;
+        let region = Region {
+            id,
+            addr: VirtAddr(addr),
+            len,
+            space,
+            backing,
+        };
+        inner.regions.insert(addr, region.clone());
+        Ok(region)
+    }
+
+    /// Free the region starting exactly at `addr`.
+    pub fn free(&self, addr: VirtAddr) -> Result<(), MemError> {
+        let mut inner = self.inner.lock();
+        let region = inner
+            .regions
+            .remove(&addr.0)
+            .ok_or(MemError::InvalidFree(addr))?;
+        if let Some(info) = inner
+            .spaces
+            .iter_mut()
+            .find(|(s, _)| *s == region.space)
+            .map(|(_, i)| i)
+        {
+            info.used -= region.len;
+        }
+        Ok(())
+    }
+
+    /// Resolve any address inside a live region to `(region, offset)`.
+    pub fn resolve(&self, addr: VirtAddr) -> Option<(Region, u64)> {
+        let inner = self.inner.lock();
+        let (_, region) = inner.regions.range(..=addr.0).next_back()?;
+        if region.contains_range(addr, 0) && addr.0 < region.addr.0 + region.len.max(1) {
+            Some((region.clone(), addr.0 - region.addr.0))
+        } else {
+            None
+        }
+    }
+
+    /// Bytes currently allocated in `space`.
+    pub fn used(&self, space: MemSpace) -> u64 {
+        self.inner
+            .lock()
+            .spaces
+            .iter()
+            .find(|(s, _)| *s == space)
+            .map(|(_, i)| i.used)
+            .unwrap_or(0)
+    }
+
+    /// Number of live regions (diagnostics / leak tests).
+    pub fn region_count(&self) -> usize {
+        self.inner.lock().regions.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> AddressSpace {
+        let s = AddressSpace::new(1 << 30, None);
+        s.register_space(MemSpace::Device(0), 1 << 20);
+        s
+    }
+
+    #[test]
+    fn allocations_are_disjoint_and_aligned() {
+        let s = space();
+        let a = s.alloc(MemSpace::Host, 100).unwrap();
+        let b = s.alloc(MemSpace::Host, 100).unwrap();
+        assert_eq!(a.addr.0 % 64, 0);
+        assert_eq!(b.addr.0 % 64, 0);
+        assert!(b.addr.0 >= a.addr.0 + 100);
+        let d = s.alloc(MemSpace::Device(0), 64).unwrap();
+        assert!(d.addr.0 >= HOST_BASE + SPACE_STRIDE, "device range far from host");
+    }
+
+    #[test]
+    fn device_capacity_enforced() {
+        let s = space();
+        s.alloc(MemSpace::Device(0), 1 << 19).unwrap();
+        s.alloc(MemSpace::Device(0), 1 << 19).unwrap();
+        match s.alloc(MemSpace::Device(0), 1) {
+            Err(MemError::OutOfMemory { available, .. }) => assert_eq!(available, 0),
+            other => panic!("expected OOM, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn free_returns_capacity() {
+        let s = space();
+        let a = s.alloc(MemSpace::Device(0), 1 << 20).unwrap();
+        assert!(s.alloc(MemSpace::Device(0), 1).is_err());
+        s.free(a.addr).unwrap();
+        assert_eq!(s.used(MemSpace::Device(0)), 0);
+        assert!(s.alloc(MemSpace::Device(0), 1).is_ok());
+    }
+
+    #[test]
+    fn resolve_finds_containing_region() {
+        let s = space();
+        let a = s.alloc(MemSpace::Host, 256).unwrap();
+        let (r, off) = s.resolve(a.addr.offset(100)).unwrap();
+        assert_eq!(r.id, a.id);
+        assert_eq!(off, 100);
+        assert!(s.resolve(a.addr.offset(256)).is_none(), "end is exclusive");
+        assert!(s.resolve(VirtAddr(1)).is_none());
+    }
+
+    #[test]
+    fn resolve_after_free_fails() {
+        let s = space();
+        let a = s.alloc(MemSpace::Host, 64).unwrap();
+        s.free(a.addr).unwrap();
+        assert!(s.resolve(a.addr).is_none());
+        assert!(matches!(s.free(a.addr), Err(MemError::InvalidFree(_))));
+    }
+
+    #[test]
+    fn shadow_mapping_shares_backing() {
+        let s = space();
+        s.register_space(MemSpace::MappedShadow(0), 1 << 20);
+        let dev = s.alloc(MemSpace::Device(0), 128).unwrap();
+        let shadow = s
+            .alloc_with_backing(MemSpace::MappedShadow(0), 128, dev.backing.clone())
+            .unwrap();
+        dev.backing.write(0, &[42; 4]);
+        let mut out = [0u8; 4];
+        shadow.backing.read(0, &mut out);
+        assert_eq!(out, [42; 4]);
+        assert_ne!(dev.addr, shadow.addr);
+    }
+
+    #[test]
+    fn phys_cap_propagates() {
+        let s = AddressSpace::new(1 << 40, Some(128));
+        let a = s.alloc(MemSpace::Host, 1 << 30).unwrap();
+        assert_eq!(a.backing.phys_len(), 128);
+        assert_eq!(a.backing.logical_len(), 1 << 30);
+    }
+
+    #[test]
+    fn unregistered_space_is_an_error() {
+        let s = AddressSpace::new(1 << 20, None);
+        assert!(matches!(
+            s.alloc(MemSpace::Device(3), 8),
+            Err(MemError::NoSuchSpace(MemSpace::Device(3)))
+        ));
+    }
+}

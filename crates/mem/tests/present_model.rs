@@ -1,0 +1,112 @@
+//! Model-based test of the present table: random insert / remove / lookup
+//! sequences agree with a naive linear-scan reference model.
+
+use impacc_mem::{AddressSpace, DevPtr, MemSpace, PresentEntry, PresentTable};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert { len: u16 },
+    RemoveNth(u8),
+    LookupHost { entry: u8, off: u16 },
+    LookupDev { entry: u8, off: u16 },
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u16..512).prop_map(|len| Op::Insert { len }),
+        any::<u8>().prop_map(Op::RemoveNth),
+        (any::<u8>(), any::<u16>()).prop_map(|(entry, off)| Op::LookupHost { entry, off }),
+        (any::<u8>(), any::<u16>()).prop_map(|(entry, off)| Op::LookupDev { entry, off }),
+    ]
+}
+
+/// Reference model: a plain list of (host range, device range).
+#[derive(Clone, Debug)]
+struct ModelEntry {
+    host: u64,
+    dev: u64,
+    len: u64,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn present_table_matches_linear_scan_model(ops in prop::collection::vec(op(), 1..64)) {
+        let space = AddressSpace::new(1 << 30, Some(0));
+        space.register_space(MemSpace::Device(0), 1 << 30);
+        let table = PresentTable::new();
+        let mut model: Vec<ModelEntry> = Vec::new();
+
+        for o in ops {
+            match o {
+                Op::Insert { len } => {
+                    let host = space.alloc(MemSpace::Host, len as u64).unwrap();
+                    let dev = space.alloc(MemSpace::Device(0), len as u64).unwrap();
+                    model.push(ModelEntry {
+                        host: host.addr.0,
+                        dev: dev.addr.0,
+                        len: len as u64,
+                    });
+                    table.insert(PresentEntry {
+                        host_addr: host.addr,
+                        len: len as u64,
+                        dev: DevPtr::Cuda { addr: dev.addr },
+                        dev_region: dev,
+                    });
+                }
+                Op::RemoveNth(i) => {
+                    if model.is_empty() {
+                        continue;
+                    }
+                    let e = model.remove(i as usize % model.len());
+                    let removed = table
+                        .remove(impacc_mem::VirtAddr(e.host))
+                        .expect("model says present");
+                    prop_assert_eq!(removed.host_addr.0, e.host);
+                }
+                Op::LookupHost { entry, off } => {
+                    if model.is_empty() {
+                        continue;
+                    }
+                    let e = &model[entry as usize % model.len()];
+                    let probe = e.host + (off as u64 % (e.len + 8));
+                    let expect = model
+                        .iter()
+                        .find(|m| probe >= m.host && probe < m.host + m.len);
+                    let got = table.find_by_host(impacc_mem::VirtAddr(probe));
+                    match (expect, got) {
+                        (Some(m), Some((entry, eoff))) => {
+                            prop_assert_eq!(entry.host_addr.0, m.host);
+                            prop_assert_eq!(eoff, probe - m.host);
+                            prop_assert_eq!(entry.dev.lookup_addr().0, m.dev);
+                        }
+                        (None, None) => {}
+                        (e, g) => prop_assert!(false, "host lookup mismatch: model {e:?} vs table {:?}", g.map(|(x, o)| (x.host_addr, o))),
+                    }
+                }
+                Op::LookupDev { entry, off } => {
+                    if model.is_empty() {
+                        continue;
+                    }
+                    let e = &model[entry as usize % model.len()];
+                    let probe = e.dev + (off as u64 % (e.len + 8));
+                    let expect = model
+                        .iter()
+                        .find(|m| probe >= m.dev && probe < m.dev + m.len);
+                    let got = table.find_by_dev(impacc_mem::VirtAddr(probe));
+                    match (expect, got) {
+                        (Some(m), Some((entry, eoff))) => {
+                            prop_assert_eq!(entry.host_addr.0, m.host);
+                            prop_assert_eq!(eoff, probe - m.dev);
+                        }
+                        (None, None) => {}
+                        (e, g) => prop_assert!(false, "dev lookup mismatch: model {e:?} vs table {:?}", g.map(|(x, o)| (x.host_addr, o))),
+                    }
+                }
+            }
+            prop_assert_eq!(table.len(), model.len());
+        }
+    }
+}

@@ -1,0 +1,794 @@
+//! The system MPI library: matching engine, point-to-point transport.
+//!
+//! This models the "underlying MPI library in the system" of §3.7 — the
+//! thing IMPACC's task threads call for internode transfers, and the thing
+//! the baseline MPI+OpenACC model uses for *everything* (where each task is
+//! an OS process, so intra-node messages stage through a shared-memory
+//! segment: two host copies plus IPC overhead, the exact inefficiency
+//! Figure 6 shows IMPACC eliminating).
+//!
+//! ## Transport model
+//!
+//! * **Eager/buffered sends**: `MPI_Send` completes when the message has
+//!   left the sender's buffer (staging copy done / NIC injection done) —
+//!   it never waits for the receiver. Rendezvous-mode blocking is not
+//!   modelled; the paper's benchmarks don't depend on it.
+//! * **Data effects at match time**: bytes are copied when send and
+//!   receive match; virtual completion instants are computed from link
+//!   reservations made at initiation. Readers that poll a receive buffer
+//!   before `MPI_Wait` returns would see data "early" — well-formed MPI
+//!   programs cannot do that.
+//! * **GPUDirect RDMA**: on machines with the capability, internode
+//!   sends/recvs of device buffers stream straight between device memory
+//!   and the NIC (bandwidth pinned to the slower of the two, PCIe links
+//!   occupied). Without it, callers must stage explicitly — passing a
+//!   device buffer is a runtime panic, as a real library would segfault.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use impacc_machine::{ClusterResources, MpiThreading};
+use impacc_mem::Backing;
+use impacc_vtime::{Ctx, Latch, SerialResource, SimTime};
+use parking_lot::Mutex;
+
+use crate::comm::Comm;
+use crate::types::{BufLoc, MsgBuf, SrcSel, Status, TagSel};
+
+/// Accounting tags charged by the MPI substrate.
+pub mod tags {
+    /// Software overhead of MPI calls.
+    pub const MPI_CALL: &str = "mpi_call";
+    /// Time blocked in `MPI_Wait`/blocking send/recv.
+    pub const MPI_WAIT: &str = "mpi_wait";
+}
+
+/// A non-blocking operation handle (`MPI_Request`).
+#[derive(Clone)]
+pub struct Request {
+    inner: Arc<ReqInner>,
+}
+
+struct ReqInner {
+    latch: Latch,
+    done: Mutex<Option<(SimTime, Option<Status>)>>,
+}
+
+impl Request {
+    fn new() -> Request {
+        Request {
+            inner: Arc::new(ReqInner {
+                latch: Latch::new(),
+                done: Mutex::new(None),
+            }),
+        }
+    }
+
+    fn completed(ctx: &Ctx, at: SimTime, status: Option<Status>) -> Request {
+        let r = Request::new();
+        r.complete(ctx, at, status);
+        r
+    }
+
+    fn complete(&self, ctx: &Ctx, at: SimTime, status: Option<Status>) {
+        *self.inner.done.lock() = Some((at, status));
+        self.inner.latch.open(ctx);
+    }
+
+    /// `MPI_Wait`: block until the operation completes; returns the status
+    /// for receives.
+    pub fn wait(&self, ctx: &Ctx) -> Option<Status> {
+        self.inner.latch.wait(ctx, tags::MPI_WAIT);
+        let (at, status) = self.inner.done.lock().expect("latch open implies done");
+        ctx.advance_until(at, tags::MPI_WAIT);
+        status
+    }
+
+    /// `MPI_Test`: has the operation completed by now?
+    pub fn test(&self, ctx: &Ctx) -> bool {
+        if !self.inner.latch.is_open() {
+            return false;
+        }
+        let (at, _) = self.inner.done.lock().expect("latch open implies done");
+        ctx.now() >= at
+    }
+
+    /// The completion instant, if known yet (matched receives and all
+    /// sends know it; unmatched receives don't).
+    pub fn completion_time(&self) -> Option<SimTime> {
+        self.inner.done.lock().map(|(at, _)| at)
+    }
+
+    /// Ping `n` when the request's completion instant becomes known (the
+    /// underlying match happens). Lets one service actor — the IMPACC
+    /// message handler polling its pending internode message queue —
+    /// multiplex many requests. No ping if already matched: poll first.
+    pub fn subscribe(&self, n: &impacc_vtime::Notify) {
+        self.inner.latch.subscribe(n);
+    }
+
+    /// `MPI_Waitall` over a set of requests.
+    pub fn wait_all(ctx: &Ctx, reqs: &[Request]) -> Vec<Option<Status>> {
+        reqs.iter().map(|r| r.wait(ctx)).collect()
+    }
+}
+
+struct SendRec {
+    src_global: u32,
+    tag: i32,
+    buf: MsgBuf,
+    /// When the payload is available at the destination side.
+    arrival: SimTime,
+    /// Same-node transport (needs the receiver-side staging copy-out).
+    intra: bool,
+    comm: Comm,
+}
+
+struct RecvRec {
+    src: SrcSel,
+    tag: TagSel,
+    buf: MsgBuf,
+    posted_at: SimTime,
+    req: Request,
+}
+
+#[derive(Default)]
+struct MatchState {
+    /// (comm id, dst global rank) -> arrived-but-unmatched sends, in order.
+    unexpected: HashMap<(u64, u32), VecDeque<SendRec>>,
+    /// (comm id, dst global rank) -> posted-but-unmatched receives.
+    posted: HashMap<(u64, u32), VecDeque<RecvRec>>,
+}
+
+/// The simulated MPI library.
+pub struct SysMpi {
+    res: Arc<ClusterResources>,
+    node_of: Vec<usize>,
+    state: Mutex<MatchState>,
+    /// Present when the library lacks `MPI_THREAD_MULTIPLE`: all calls
+    /// from one node serialize on this (§3.7).
+    node_serial: Option<Vec<SerialResource>>,
+}
+
+impl SysMpi {
+    /// Build the library for a job with `node_of[rank] = node index`.
+    pub fn new(res: Arc<ClusterResources>, node_of: Vec<usize>) -> Arc<SysMpi> {
+        let node_serial = match res.spec.mpi_threading {
+            MpiThreading::Multiple => None,
+            MpiThreading::Serialized => Some(
+                (0..res.spec.node_count())
+                    .map(|_| SerialResource::new("mpi_serial"))
+                    .collect(),
+            ),
+        };
+        Arc::new(SysMpi {
+            res,
+            node_of,
+            state: Mutex::new(MatchState::default()),
+            node_serial,
+        })
+    }
+
+    /// The machine resources this library charges against.
+    pub fn resources(&self) -> &Arc<ClusterResources> {
+        &self.res
+    }
+
+    /// Node hosting a global rank.
+    pub fn node_of(&self, global: u32) -> usize {
+        self.node_of[global as usize]
+    }
+
+    /// Total ranks in the job.
+    pub fn job_size(&self) -> u32 {
+        self.node_of.len() as u32
+    }
+
+    /// Charge the software cost of one MPI call, serializing per node when
+    /// the library is not thread-safe.
+    fn charge_call(&self, ctx: &Ctx, node: usize) {
+        let d = self.res.mpi_call_overhead();
+        match &self.node_serial {
+            Some(locks) => {
+                let (_, end) = locks[node].reserve(ctx, d);
+                ctx.advance_until(end, tags::MPI_CALL);
+            }
+            None => ctx.advance(d, tags::MPI_CALL),
+        }
+    }
+
+    /// Initiate a send. Returns the sender-completion instant and either
+    /// performs the match (posted receive found) or queues the message.
+    fn initiate_send(
+        &self,
+        ctx: &Ctx,
+        src_global: u32,
+        buf: &MsgBuf,
+        dst_global: u32,
+        tag: i32,
+        comm: &Comm,
+    ) -> SimTime {
+        let src_node = self.node_of(src_global);
+        let dst_node = self.node_of(dst_global);
+        self.charge_call(ctx, src_node);
+        let now = ctx.now();
+
+        let (arrival, sender_done, intra) = if src_global == dst_global {
+            // Self message: a host memcpy at match time; available now.
+            let end = self.res.reserve_host_copy(src_node, buf.len, now);
+            (end, end, false)
+        } else if src_node == dst_node {
+            // Process-model intra-node transport: copy into the shared
+            // staging segment; the receiver pays the copy-out at match.
+            assert!(
+                matches!(buf.loc, BufLoc::Host),
+                "system MPI cannot read device memory for intra-node sends; stage explicitly"
+            );
+            let end = self.res.reserve_host_copy(src_node, buf.len, now)
+                + self.res.ipc_msg_overhead();
+            ctx.metrics().add("HtoH", buf.len);
+            ctx.metrics().add("t_HtoH", end.since(now).0);
+            (end, end, true)
+        } else {
+            let src_dev = match buf.loc {
+                BufLoc::Host => None,
+                BufLoc::Device(d) => {
+                    assert!(
+                        self.res.spec.network.gpudirect_rdma,
+                        "internode send from device memory requires GPUDirect RDMA; stage explicitly"
+                    );
+                    Some(d)
+                }
+            };
+            // The zero-copy registered-buffer path needs the runtime's
+            // special NIC integration (Mellanox OFED GPUDirect on Titan);
+            // elsewhere every host send stages through the library's
+            // internal pinned pool.
+            let zero_copy = src_dev.is_some()
+                || (buf.pinned && self.res.spec.network.gpudirect_rdma);
+            let parts = self.res.reserve_net_parts(
+                src_node,
+                dst_node,
+                buf.len,
+                now,
+                src_dev,
+                None,
+                zero_copy,
+            );
+            (parts.rx_end, parts.tx_end, false)
+        };
+
+        ctx.metrics().add("mpi_bytes_sent", buf.len);
+        let rec = SendRec {
+            src_global,
+            tag,
+            buf: buf.clone(),
+            arrival,
+            intra,
+            comm: comm.clone(),
+        };
+
+        let mut st = self.state.lock();
+        let key = (comm.id(), dst_global);
+        let posted = st.posted.entry(key).or_default();
+        if let Some(pos) = posted.iter().position(|r| {
+            r.src.map_or(true, |s| comm.global_of(s) == src_global)
+                && r.tag.map_or(true, |t| t == tag)
+        }) {
+            let recv = posted.remove(pos).expect("position valid");
+            drop(st);
+            self.complete_pair(ctx, rec, recv, dst_node);
+        } else {
+            st.unexpected.entry(key).or_default().push_back(rec);
+        }
+        sender_done
+    }
+
+    /// Post a receive; match against the unexpected queue if possible.
+    fn post_recv(
+        &self,
+        ctx: &Ctx,
+        dst_global: u32,
+        buf: &MsgBuf,
+        src: SrcSel,
+        tag: TagSel,
+        comm: &Comm,
+    ) -> Request {
+        let dst_node = self.node_of(dst_global);
+        self.charge_call(ctx, dst_node);
+        if let BufLoc::Device(_) = buf.loc {
+            assert!(
+                self.res.spec.network.gpudirect_rdma,
+                "receive into device memory requires GPUDirect RDMA; stage explicitly"
+            );
+        }
+        let req = Request::new();
+        let rec = RecvRec {
+            src,
+            tag,
+            buf: buf.clone(),
+            posted_at: ctx.now(),
+            req: req.clone(),
+        };
+
+        let mut st = self.state.lock();
+        let key = (comm.id(), dst_global);
+        let unexpected = st.unexpected.entry(key).or_default();
+        if let Some(pos) = unexpected.iter().position(|s| {
+            src.map_or(true, |want| comm.global_of(want) == s.src_global)
+                && tag.map_or(true, |want| want == s.tag)
+        }) {
+            let send = unexpected.remove(pos).expect("position valid");
+            drop(st);
+            self.complete_pair(ctx, send, rec, dst_node);
+        } else {
+            st.posted.entry(key).or_default().push_back(rec);
+        }
+        req
+    }
+
+    /// Complete a matched pair: move the bytes, compute the receive
+    /// completion instant, fill the status, open the request.
+    fn complete_pair(&self, ctx: &Ctx, send: SendRec, recv: RecvRec, dst_node: usize) {
+        assert!(
+            send.buf.len <= recv.buf.len,
+            "message truncation: {} byte message into {} byte receive buffer",
+            send.buf.len,
+            recv.buf.len
+        );
+        Backing::copy(
+            &send.buf.backing,
+            send.buf.off,
+            &recv.buf.backing,
+            recv.buf.off,
+            send.buf.len,
+        );
+        let earliest = send.arrival.max(recv.posted_at);
+        let complete = if send.intra {
+            // Receiver-side copy-out of the staging segment.
+            let end = self.res.reserve_host_copy(dst_node, send.buf.len, earliest);
+            ctx.metrics().add("HtoH", send.buf.len);
+            ctx.metrics().add("t_HtoH", end.since(earliest).0);
+            end
+        } else {
+            earliest
+        };
+        let status = Status {
+            src: send
+                .comm
+                .rel_of(send.src_global)
+                .expect("sender is a communicator member"),
+            tag: send.tag,
+            len: send.buf.len,
+        };
+        recv.req.complete(ctx, complete, Some(status));
+    }
+
+    /// `MPI_Iprobe` support: peek at the earliest matching unexpected
+    /// message's envelope, honouring arrival time (a message that is still
+    /// "in flight" at the current virtual time is not yet visible).
+    fn probe(
+        &self,
+        ctx: &Ctx,
+        dst_global: u32,
+        src: SrcSel,
+        tag: TagSel,
+        comm: &Comm,
+    ) -> Option<Status> {
+        let dst_node = self.node_of(dst_global);
+        self.charge_call(ctx, dst_node);
+        let now = ctx.now();
+        let st = self.state.lock();
+        let key = (comm.id(), dst_global);
+        st.unexpected.get(&key).and_then(|q| {
+            q.iter()
+                .find(|s| {
+                    s.arrival <= now
+                        && src.map_or(true, |want| comm.global_of(want) == s.src_global)
+                        && tag.map_or(true, |want| want == s.tag)
+                })
+                .map(|s| Status {
+                    src: s.comm.rel_of(s.src_global).expect("member"),
+                    tag: s.tag,
+                    len: s.buf.len,
+                })
+        })
+    }
+
+    /// Unmatched posted receives + unexpected sends (diagnostics).
+    pub fn pending_counts(&self) -> (usize, usize) {
+        let st = self.state.lock();
+        (
+            st.posted.values().map(|q| q.len()).sum(),
+            st.unexpected.values().map(|q| q.len()).sum(),
+        )
+    }
+}
+
+/// A task's endpoint into the MPI library. Created once per task.
+#[derive(Clone)]
+pub struct MpiTask {
+    sys: Arc<SysMpi>,
+    global: u32,
+}
+
+impl MpiTask {
+    /// Endpoint for global rank `global`.
+    pub fn new(sys: Arc<SysMpi>, global: u32) -> MpiTask {
+        assert!((global as usize) < sys.node_of.len());
+        MpiTask { sys, global }
+    }
+
+    /// The library this endpoint belongs to.
+    pub fn sys(&self) -> &Arc<SysMpi> {
+        &self.sys
+    }
+
+    /// This task's global rank.
+    pub fn global_rank(&self) -> u32 {
+        self.global
+    }
+
+    /// The node this task runs on.
+    pub fn node(&self) -> usize {
+        self.sys.node_of(self.global)
+    }
+
+    /// `MPI_Send` (eager): blocks until the message has left `buf`.
+    pub fn send(&self, ctx: &Ctx, buf: &MsgBuf, dst: u32, tag: i32, comm: &Comm) {
+        let dst_global = comm.global_of(dst);
+        let done = self
+            .sys
+            .initiate_send(ctx, self.global, buf, dst_global, tag, comm);
+        ctx.advance_until(done, tags::MPI_WAIT);
+    }
+
+    /// `MPI_Isend`: returns immediately with a request.
+    pub fn isend(&self, ctx: &Ctx, buf: &MsgBuf, dst: u32, tag: i32, comm: &Comm) -> Request {
+        let dst_global = comm.global_of(dst);
+        let done = self
+            .sys
+            .initiate_send(ctx, self.global, buf, dst_global, tag, comm);
+        Request::completed(ctx, done, None)
+    }
+
+    /// `MPI_Recv`: blocks until a matching message is in `buf`.
+    pub fn recv(&self, ctx: &Ctx, buf: &MsgBuf, src: SrcSel, tag: TagSel, comm: &Comm) -> Status {
+        self.irecv(ctx, buf, src, tag, comm)
+            .wait(ctx)
+            .expect("receive requests carry a status")
+    }
+
+    /// `MPI_Irecv`: post a receive, returning a request.
+    pub fn irecv(&self, ctx: &Ctx, buf: &MsgBuf, src: SrcSel, tag: TagSel, comm: &Comm) -> Request {
+        self.sys.post_recv(ctx, self.global, buf, src, tag, comm)
+    }
+
+    /// `MPI_Sendrecv`: a combined exchange that cannot deadlock when both
+    /// peers initiate simultaneously.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sendrecv(
+        &self,
+        ctx: &Ctx,
+        sendbuf: &MsgBuf,
+        dst: u32,
+        recvbuf: &MsgBuf,
+        src: u32,
+        tag: i32,
+        comm: &Comm,
+    ) -> Status {
+        let sreq = self.isend(ctx, sendbuf, dst, tag, comm);
+        let st = self.recv(ctx, recvbuf, Some(src), Some(tag), comm);
+        sreq.wait(ctx);
+        st
+    }
+
+    /// `MPI_Iprobe`: is a matching message already waiting (without
+    /// receiving it)? Returns its envelope if so.
+    pub fn iprobe(&self, ctx: &Ctx, src: SrcSel, tag: TagSel, comm: &Comm) -> Option<Status> {
+        self.sys.probe(ctx, self.global, src, tag, comm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use impacc_machine::presets;
+    use impacc_mem::Backing;
+    use impacc_vtime::{Sim, SimDur};
+
+    /// Run `n` ranks placed round-robin-contiguously over the spec's nodes
+    /// with `per_node` ranks per node.
+    fn run_ranks(
+        spec: impacc_machine::MachineSpec,
+        per_node: usize,
+        n: usize,
+        f: impl Fn(&Ctx, MpiTask, Comm) + Send + Sync + 'static,
+    ) -> impacc_vtime::SimReport {
+        let res = Arc::new(ClusterResources::new(Arc::new(spec)));
+        let node_of: Vec<usize> = (0..n).map(|r| r / per_node).collect();
+        let sys = SysMpi::new(res, node_of);
+        let world = Comm::world(n as u32);
+        let f = Arc::new(f);
+        let mut sim = Sim::new();
+        for r in 0..n {
+            let sys = sys.clone();
+            let world = world.clone();
+            let f = f.clone();
+            sim.spawn(format!("rank{r}"), move |ctx| {
+                let ep = MpiTask::new(sys, r as u32);
+                f(ctx, ep, world);
+            });
+        }
+        sim.run().unwrap()
+    }
+
+    fn buf_with(vals: &[f64]) -> MsgBuf {
+        let b = Backing::new(vals.len() as u64 * 8, None);
+        let m = MsgBuf::host(b, 0, vals.len() as u64 * 8);
+        m.write_f64s(vals);
+        m
+    }
+
+    fn empty_buf(n: usize) -> MsgBuf {
+        MsgBuf::host(Backing::new(n as u64 * 8, None), 0, n as u64 * 8)
+    }
+
+    #[test]
+    fn blocking_send_recv_moves_data() {
+        run_ranks(presets::test_cluster(2, 1), 1, 2, |ctx, ep, world| {
+            if ep.global_rank() == 0 {
+                let buf = buf_with(&[1.0, 2.0, 3.0]);
+                ep.send(ctx, &buf, 1, 7, &world);
+            } else {
+                let buf = empty_buf(3);
+                let st = ep.recv(ctx, &buf, Some(0), Some(7), &world);
+                assert_eq!(st, Status { src: 0, tag: 7, len: 24 });
+                assert_eq!(buf.read_f64s(), vec![1.0, 2.0, 3.0]);
+            }
+        });
+    }
+
+    #[test]
+    fn recv_before_send_works() {
+        run_ranks(presets::test_cluster(2, 1), 1, 2, |ctx, ep, world| {
+            if ep.global_rank() == 0 {
+                ctx.advance(SimDur::from_ms(1), "sleep");
+                ep.send(ctx, &buf_with(&[9.0]), 1, 0, &world);
+            } else {
+                let buf = empty_buf(1);
+                let st = ep.recv(ctx, &buf, Some(0), Some(0), &world);
+                assert_eq!(buf.read_f64s(), vec![9.0]);
+                assert_eq!(st.len, 8);
+                // Receiver waited for the sender's sleep + transfer.
+                assert!(ctx.now().as_secs_f64() > 1e-3);
+            }
+        });
+    }
+
+    #[test]
+    fn wildcard_source_and_tag() {
+        run_ranks(presets::test_cluster(3, 1), 1, 3, |ctx, ep, world| {
+            match ep.global_rank() {
+                0 => ep.send(ctx, &buf_with(&[1.0]), 2, 5, &world),
+                1 => {
+                    ctx.advance(SimDur::from_us(50), "sleep");
+                    ep.send(ctx, &buf_with(&[2.0]), 2, 6, &world);
+                }
+                _ => {
+                    let buf = empty_buf(1);
+                    let st1 = ep.recv(ctx, &buf, None, None, &world);
+                    let first = buf.read_f64s()[0];
+                    let st2 = ep.recv(ctx, &buf, None, None, &world);
+                    let second = buf.read_f64s()[0];
+                    // Deterministic engine: rank 0's message arrives first.
+                    assert_eq!((st1.src, st1.tag, first), (0, 5, 1.0));
+                    assert_eq!((st2.src, st2.tag, second), (1, 6, 2.0));
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn fifo_ordering_same_pair() {
+        run_ranks(presets::test_cluster(2, 1), 1, 2, |ctx, ep, world| {
+            if ep.global_rank() == 0 {
+                for i in 0..5 {
+                    ep.send(ctx, &buf_with(&[i as f64]), 1, 3, &world);
+                }
+            } else {
+                for i in 0..5 {
+                    let buf = empty_buf(1);
+                    ep.recv(ctx, &buf, Some(0), Some(3), &world);
+                    assert_eq!(buf.read_f64s()[0], i as f64, "non-overtaking violated");
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn nonblocking_overlap() {
+        run_ranks(presets::test_cluster(2, 1), 1, 2, |ctx, ep, world| {
+            if ep.global_rank() == 0 {
+                let buf = buf_with(&vec![1.0; 1 << 17]); // 1 MiB
+                let t0 = ctx.now();
+                let req = ep.isend(ctx, &buf, 1, 0, &world);
+                // isend returns immediately (call overhead only).
+                assert!(ctx.now().since(t0).as_secs_f64() < 5e-6);
+                ctx.advance(SimDur::from_us(30), "useful_work");
+                req.wait(ctx);
+            } else {
+                let buf = empty_buf(1 << 17);
+                let req = ep.irecv(ctx, &buf, Some(0), Some(0), &world);
+                assert!(!req.test(ctx));
+                let st = req.wait(ctx).unwrap();
+                assert_eq!(st.len, 1 << 20);
+                assert!(req.test(ctx));
+            }
+        });
+    }
+
+    #[test]
+    fn intra_node_costs_more_than_one_copy() {
+        // Baseline process-model: 1 MiB intra-node = two host copies.
+        let report = run_ranks(presets::psg(), 8, 2, |ctx, ep, world| {
+            if ep.global_rank() == 0 {
+                ep.send(ctx, &buf_with(&vec![0.5; 1 << 17]), 1, 0, &world);
+            } else {
+                let buf = empty_buf(1 << 17);
+                ep.recv(ctx, &buf, Some(0), Some(0), &world);
+                let t = ctx.now().as_secs_f64();
+                let one_copy = (1u64 << 20) as f64 / 20e9;
+                assert!(t > 2.0 * one_copy, "t = {t}, one copy = {one_copy}");
+                assert!(t < 4.0 * one_copy, "t = {t}");
+            }
+        });
+        assert_eq!(report.metrics["mpi_bytes_sent"], 1 << 20);
+    }
+
+    #[test]
+    fn internode_respects_wire_and_nic() {
+        run_ranks(presets::titan(2), 1, 2, |ctx, ep, world| {
+            if ep.global_rank() == 0 {
+                ep.send(ctx, &buf_with(&vec![0.5; 1 << 17]), 1, 0, &world);
+                // Sender done at tx_end, before the receiver.
+                let t = ctx.now().as_secs_f64();
+                let expected = (1u64 << 20) as f64 / 4.5e9;
+                assert!(t > expected && t < expected * 1.5, "t = {t}");
+            } else {
+                let buf = empty_buf(1 << 17);
+                ep.recv(ctx, &buf, Some(0), Some(0), &world);
+            }
+        });
+    }
+
+    #[test]
+    fn gpudirect_allows_device_buffers() {
+        run_ranks(presets::titan(2), 1, 2, |ctx, ep, world| {
+            let b = Backing::new(1 << 20, None);
+            if ep.global_rank() == 0 {
+                b.write(0, &[1; 8]);
+                let buf = MsgBuf::device(b, 0, 1 << 20, 0);
+                ep.send(ctx, &buf, 1, 0, &world);
+            } else {
+                let buf = MsgBuf::device(b, 0, 1 << 20, 0);
+                ep.recv(ctx, &buf, Some(0), Some(0), &world);
+                let mut out = [0u8; 8];
+                buf.backing.read(0, &mut out);
+                assert_eq!(out, [1; 8]);
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "GPUDirect RDMA")]
+    fn device_send_without_gpudirect_panics() {
+        run_ranks(presets::beacon(2), 4, 8, |ctx, ep, world| {
+            if ep.global_rank() == 0 {
+                let buf = MsgBuf::device(Backing::new(64, None), 0, 64, 0);
+                ep.send(ctx, &buf, 4, 0, &world); // rank 4 is on node 1
+            } else if ep.global_rank() == 4 {
+                let buf = empty_buf(8);
+                ep.recv(ctx, &buf, Some(0), Some(0), &world);
+            }
+        });
+    }
+
+    #[test]
+    fn self_send_completes() {
+        run_ranks(presets::test_cluster(1, 1), 1, 1, |ctx, ep, world| {
+            let req = ep.isend(ctx, &buf_with(&[4.0]), 0, 1, &world);
+            let buf = empty_buf(1);
+            ep.recv(ctx, &buf, Some(0), Some(1), &world);
+            req.wait(ctx);
+            assert_eq!(buf.read_f64s(), vec![4.0]);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "truncation")]
+    fn truncation_is_an_error() {
+        run_ranks(presets::test_cluster(2, 1), 1, 2, |ctx, ep, world| {
+            if ep.global_rank() == 0 {
+                ep.send(ctx, &buf_with(&[1.0, 2.0]), 1, 0, &world);
+            } else {
+                let buf = empty_buf(1);
+                ep.recv(ctx, &buf, Some(0), Some(0), &world);
+            }
+        });
+    }
+
+    #[test]
+    fn unmatched_recv_deadlocks_cleanly() {
+        let res = Arc::new(ClusterResources::new(Arc::new(presets::test_cluster(1, 1))));
+        let sys = SysMpi::new(res, vec![0]);
+        let world = Comm::world(1);
+        let mut sim = Sim::new();
+        sim.spawn("rank0", move |ctx| {
+            let ep = MpiTask::new(sys, 0);
+            let buf = empty_buf(1);
+            ep.recv(ctx, &buf, None, None, &world);
+        });
+        match sim.run() {
+            Err(impacc_vtime::SimError::Deadlock { .. }) => {}
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sendrecv_exchanges_without_deadlock() {
+        run_ranks(presets::test_cluster(1, 2), 2, 2, |ctx, ep, world| {
+            let me = ep.global_rank();
+            let peer = 1 - me;
+            let out = buf_with(&[me as f64]);
+            let inn = empty_buf(1);
+            let st = ep.sendrecv(ctx, &out, peer, &inn, peer, 42, &world);
+            assert_eq!(st.src, peer);
+            assert_eq!(inn.read_f64s(), vec![peer as f64]);
+        });
+    }
+
+    #[test]
+    fn iprobe_sees_arrived_messages_only() {
+        run_ranks(presets::test_cluster(2, 1), 1, 2, |ctx, ep, world| {
+            if ep.global_rank() == 0 {
+                ep.send(ctx, &buf_with(&[5.0]), 1, 9, &world);
+            } else {
+                // Nothing has been sent yet at t=0.
+                assert!(ep.iprobe(ctx, Some(0), Some(9), &world).is_none());
+                // Wait long enough for the eager message to arrive.
+                ctx.advance(impacc_vtime::SimDur::from_ms(10), "sleep");
+                let st = ep
+                    .iprobe(ctx, Some(0), Some(9), &world)
+                    .expect("message arrived");
+                assert_eq!((st.src, st.tag, st.len), (0, 9, 8));
+                // Probing does not consume: the receive still matches.
+                let buf = empty_buf(1);
+                ep.recv(ctx, &buf, Some(0), Some(9), &world);
+                assert_eq!(buf.read_f64s(), vec![5.0]);
+                assert!(ep.iprobe(ctx, Some(0), Some(9), &world).is_none());
+            }
+        });
+    }
+
+    #[test]
+    fn serialized_mpi_contends_per_node() {
+        let mut spec = presets::psg();
+        spec.mpi_threading = MpiThreading::Serialized;
+        spec.nodes.push(spec.nodes[0].clone()); // 2 nodes, 8 ranks each
+        let report = run_ranks(spec, 8, 16, |ctx, ep, world| {
+            // All 8 ranks of node 0 send internode simultaneously.
+            if ep.global_rank() < 8 {
+                ep.send(ctx, &buf_with(&[0.0]), 8 + ep.global_rank(), 0, &world);
+            } else {
+                let buf = empty_buf(1);
+                ep.recv(ctx, &buf, Some(ep.global_rank() - 8), Some(0), &world);
+            }
+        });
+        // With serialization, the 8th sender's call start is pushed back by
+        // 7 call-overheads; total call time across senders ~ 8+7+...  — just
+        // check the aggregate exceeds the thread-multiple baseline.
+        let serial_total = report.tag_total(tags::MPI_CALL).as_secs_f64();
+        assert!(serial_total > 8.0 * 0.6e-6, "serialized calls must queue");
+    }
+}

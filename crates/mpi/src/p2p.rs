@@ -1,0 +1,651 @@
+//! Collective communication built generically over point-to-point.
+//!
+//! The [`PointToPoint`] trait abstracts "something that can send and
+//! receive" — the system MPI endpoint implements it directly, and the
+//! IMPACC runtime implements it with its unified communication routines
+//! (which lets IMPACC inherit every collective while overriding the ones
+//! it optimizes, e.g. `MPI_Bcast` with node heap aliasing, §3.8).
+//!
+//! Algorithms: dissemination barrier, binomial-tree broadcast and reduce,
+//! linear gather/scatter rooted at the root's NIC (which is precisely the
+//! bottleneck the paper's DGEMM scaling exposes).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use impacc_mem::Backing;
+use impacc_vtime::Ctx;
+use parking_lot::Mutex;
+
+use crate::comm::Comm;
+use crate::engine::MpiTask;
+use crate::types::{MsgBuf, ReduceOp, SrcSel, Status, TagSel};
+
+/// Per-endpoint counter handing out a fresh internal tag for each
+/// collective invocation on each communicator. MPI requires all members to
+/// invoke collectives on a communicator in the same order, so matching
+/// counters across ranks identify the same operation.
+#[derive(Default)]
+pub struct CollSeq {
+    next: Mutex<HashMap<u64, i32>>,
+}
+
+impl CollSeq {
+    /// A fresh counter set.
+    pub fn new() -> CollSeq {
+        CollSeq::default()
+    }
+
+    /// The internal tag for this endpoint's next collective on `comm`.
+    /// Internal tags are negative so they can never collide with
+    /// application tags (which must be non-negative).
+    pub fn next_tag(&self, comm: &Comm) -> i32 {
+        let mut m = self.next.lock();
+        let c = m.entry(comm.id()).or_insert(0);
+        *c += 1;
+        -*c
+    }
+}
+
+fn scratch(len: u64) -> MsgBuf {
+    MsgBuf::host(Backing::new(len, None), 0, len)
+}
+
+/// Point-to-point transport with derived collectives.
+pub trait PointToPoint {
+    /// Send `buf` to communicator-relative rank `dst` with `tag`.
+    fn pt_send(&self, ctx: &Ctx, buf: &MsgBuf, dst: u32, tag: i32, comm: &Comm);
+    /// Receive into `buf`.
+    fn pt_recv(&self, ctx: &Ctx, buf: &MsgBuf, src: SrcSel, tag: TagSel, comm: &Comm) -> Status;
+    /// This endpoint's communicator-relative rank.
+    fn comm_rank(&self, comm: &Comm) -> u32;
+    /// The endpoint's collective sequence counters.
+    fn coll_seq(&self) -> &CollSeq;
+
+    /// `MPI_Sendrecv`: a combined exchange that cannot deadlock even when
+    /// both peers initiate simultaneously and the transport completes
+    /// sends synchronously (as IMPACC's fused intra-node path does).
+    /// Implementations must issue the send non-blockingly before waiting
+    /// on the receive.
+    fn pt_sendrecv(
+        &self,
+        ctx: &Ctx,
+        sendbuf: &MsgBuf,
+        dst: u32,
+        recvbuf: &MsgBuf,
+        src: u32,
+        tag: i32,
+        comm: &Comm,
+    ) -> Status;
+
+    /// `MPI_Barrier`: dissemination algorithm, ⌈log2 n⌉ rounds.
+    fn barrier(&self, ctx: &Ctx, comm: &Comm) {
+        let n = comm.size();
+        if n <= 1 {
+            return;
+        }
+        let r = self.comm_rank(comm);
+        let tag = self.coll_seq().next_tag(comm);
+        let token = scratch(0);
+        let token_in = scratch(0);
+        let mut k = 1u32;
+        while k < n {
+            let dst = (r + k) % n;
+            let src = (r + n - k) % n;
+            self.pt_sendrecv(ctx, &token, dst, &token_in, src, tag, comm);
+            k <<= 1;
+        }
+    }
+
+    /// `MPI_Bcast`: binomial tree rooted at `root`. Every rank passes its
+    /// own `buf` of identical length; non-roots receive into it.
+    fn bcast(&self, ctx: &Ctx, buf: &MsgBuf, root: u32, comm: &Comm) {
+        let n = comm.size();
+        if n <= 1 {
+            return;
+        }
+        let r = self.comm_rank(comm);
+        let tag = self.coll_seq().next_tag(comm);
+        let vr = (r + n - root) % n;
+        let mut mask = 1u32;
+        while mask < n {
+            if vr & mask != 0 {
+                let src = (vr - mask + root) % n;
+                self.pt_recv(ctx, buf, Some(src), Some(tag), comm);
+                break;
+            }
+            mask <<= 1;
+        }
+        mask >>= 1;
+        while mask > 0 {
+            if vr + mask < n {
+                let dst = (vr + mask + root) % n;
+                self.pt_send(ctx, buf, dst, tag, comm);
+            }
+            mask >>= 1;
+        }
+    }
+
+    /// `MPI_Reduce` over f64 elements: binomial tree; the reduced vector
+    /// lands in `recvbuf` on `root` (other ranks may pass `None`).
+    fn reduce(
+        &self,
+        ctx: &Ctx,
+        sendbuf: &MsgBuf,
+        recvbuf: Option<&MsgBuf>,
+        op: ReduceOp,
+        root: u32,
+        comm: &Comm,
+    ) {
+        let n = comm.size();
+        let r = self.comm_rank(comm);
+        let tag = self.coll_seq().next_tag(comm);
+        let mut acc = sendbuf.read_f64s();
+        if n > 1 {
+            let vr = (r + n - root) % n;
+            let tmp = scratch(sendbuf.len);
+            let mut mask = 1u32;
+            while mask < n {
+                if vr & mask == 0 {
+                    let child = vr | mask;
+                    if child < n {
+                        let src = (child + root) % n;
+                        self.pt_recv(ctx, &tmp, Some(src), Some(tag), comm);
+                        op.combine(&mut acc, &tmp.read_f64s());
+                    }
+                } else {
+                    let parent = vr & !mask;
+                    let dst = (parent + root) % n;
+                    tmp.write_f64s(&acc);
+                    self.pt_send(ctx, &tmp, dst, tag, comm);
+                    break;
+                }
+                mask <<= 1;
+            }
+        }
+        if r == root {
+            recvbuf
+                .expect("root must supply a receive buffer")
+                .write_f64s(&acc);
+        }
+    }
+
+    /// `MPI_Allreduce` = reduce to rank 0 + broadcast. Every rank supplies
+    /// `recvbuf`.
+    fn allreduce(&self, ctx: &Ctx, sendbuf: &MsgBuf, recvbuf: &MsgBuf, op: ReduceOp, comm: &Comm) {
+        self.reduce(ctx, sendbuf, Some(recvbuf), op, 0, comm);
+        self.bcast(ctx, recvbuf, 0, comm);
+    }
+
+    /// `MPI_Gather`: every rank contributes `sendbuf`; on `root`,
+    /// `recvbuf` must hold `size * sendbuf.len` bytes, filled in rank
+    /// order. Linear algorithm (the root's NIC is the physical bottleneck
+    /// anyway).
+    fn gather(
+        &self,
+        ctx: &Ctx,
+        sendbuf: &MsgBuf,
+        recvbuf: Option<&MsgBuf>,
+        root: u32,
+        comm: &Comm,
+    ) {
+        let n = comm.size();
+        let r = self.comm_rank(comm);
+        let tag = self.coll_seq().next_tag(comm);
+        if r == root {
+            let rb = recvbuf.expect("root must supply a receive buffer");
+            assert!(rb.len >= sendbuf.len * n as u64, "gather buffer too small");
+            for i in 0..n {
+                let slot = rb.slice(i as u64 * sendbuf.len, sendbuf.len);
+                if i == root {
+                    Backing::copy(
+                        &sendbuf.backing,
+                        sendbuf.off,
+                        &slot.backing,
+                        slot.off,
+                        sendbuf.len,
+                    );
+                } else {
+                    self.pt_recv(ctx, &slot, Some(i), Some(tag), comm);
+                }
+            }
+        } else {
+            self.pt_send(ctx, sendbuf, root, tag, comm);
+        }
+    }
+
+    /// `MPI_Scatter`: on `root`, `sendbuf` holds `size` slots of
+    /// `recvbuf.len` bytes each, delivered in rank order.
+    fn scatter(
+        &self,
+        ctx: &Ctx,
+        sendbuf: Option<&MsgBuf>,
+        recvbuf: &MsgBuf,
+        root: u32,
+        comm: &Comm,
+    ) {
+        let n = comm.size();
+        let r = self.comm_rank(comm);
+        let tag = self.coll_seq().next_tag(comm);
+        if r == root {
+            let sb = sendbuf.expect("root must supply a send buffer");
+            assert!(sb.len >= recvbuf.len * n as u64, "scatter buffer too small");
+            for i in 0..n {
+                let slot = sb.slice(i as u64 * recvbuf.len, recvbuf.len);
+                if i == root {
+                    Backing::copy(
+                        &slot.backing,
+                        slot.off,
+                        &recvbuf.backing,
+                        recvbuf.off,
+                        recvbuf.len,
+                    );
+                } else {
+                    self.pt_send(ctx, &slot, i, tag, comm);
+                }
+            }
+        } else {
+            self.pt_recv(ctx, recvbuf, Some(root), Some(tag), comm);
+        }
+    }
+
+    /// `MPI_Gatherv`: rank `i` contributes `counts[i]` bytes; the root
+    /// receives them packed at `displs[i]` (byte offsets) in `recvbuf`.
+    #[allow(clippy::too_many_arguments)]
+    fn gatherv(
+        &self,
+        ctx: &Ctx,
+        sendbuf: &MsgBuf,
+        recvbuf: Option<&MsgBuf>,
+        counts: &[u64],
+        displs: &[u64],
+        root: u32,
+        comm: &Comm,
+    ) {
+        let n = comm.size();
+        assert_eq!(counts.len() as u32, n);
+        assert_eq!(displs.len() as u32, n);
+        let r = self.comm_rank(comm);
+        let tag = self.coll_seq().next_tag(comm);
+        assert_eq!(sendbuf.len, counts[r as usize], "contribution size mismatch");
+        if r == root {
+            let rb = recvbuf.expect("root must supply a receive buffer");
+            for i in 0..n {
+                if counts[i as usize] == 0 {
+                    continue;
+                }
+                let slot = rb.slice(displs[i as usize], counts[i as usize]);
+                if i == root {
+                    Backing::copy(
+                        &sendbuf.backing,
+                        sendbuf.off,
+                        &slot.backing,
+                        slot.off,
+                        sendbuf.len,
+                    );
+                } else {
+                    self.pt_recv(ctx, &slot, Some(i), Some(tag), comm);
+                }
+            }
+        } else if sendbuf.len > 0 {
+            self.pt_send(ctx, sendbuf, root, tag, comm);
+        }
+    }
+
+    /// `MPI_Scatterv`: the root holds slices at `displs[i]` of `counts[i]`
+    /// bytes; rank `i` receives its slice into `recvbuf`.
+    #[allow(clippy::too_many_arguments)]
+    fn scatterv(
+        &self,
+        ctx: &Ctx,
+        sendbuf: Option<&MsgBuf>,
+        recvbuf: &MsgBuf,
+        counts: &[u64],
+        displs: &[u64],
+        root: u32,
+        comm: &Comm,
+    ) {
+        let n = comm.size();
+        assert_eq!(counts.len() as u32, n);
+        assert_eq!(displs.len() as u32, n);
+        let r = self.comm_rank(comm);
+        let tag = self.coll_seq().next_tag(comm);
+        assert_eq!(recvbuf.len, counts[r as usize], "receive size mismatch");
+        if r == root {
+            let sb = sendbuf.expect("root must supply a send buffer");
+            for i in 0..n {
+                if counts[i as usize] == 0 {
+                    continue;
+                }
+                let slot = sb.slice(displs[i as usize], counts[i as usize]);
+                if i == root {
+                    Backing::copy(
+                        &slot.backing,
+                        slot.off,
+                        &recvbuf.backing,
+                        recvbuf.off,
+                        recvbuf.len,
+                    );
+                } else {
+                    self.pt_send(ctx, &slot, i, tag, comm);
+                }
+            }
+        } else if recvbuf.len > 0 {
+            self.pt_recv(ctx, recvbuf, Some(root), Some(tag), comm);
+        }
+    }
+
+    /// `MPI_Alltoall`: `sendbuf` holds `size` slots of `block` bytes, one
+    /// per destination; `recvbuf` receives one block from every rank, in
+    /// rank order. Pairwise-exchange algorithm (deadlock-free rounds).
+    fn alltoall(&self, ctx: &Ctx, sendbuf: &MsgBuf, recvbuf: &MsgBuf, comm: &Comm) {
+        let n = comm.size();
+        let r = self.comm_rank(comm);
+        assert_eq!(sendbuf.len % n as u64, 0, "sendbuf not divisible into blocks");
+        let block = sendbuf.len / n as u64;
+        assert!(recvbuf.len >= sendbuf.len, "recvbuf too small");
+        let tag = self.coll_seq().next_tag(comm);
+        // Own block first.
+        let own_out = sendbuf.slice(r as u64 * block, block);
+        let own_in = recvbuf.slice(r as u64 * block, block);
+        Backing::copy(&own_out.backing, own_out.off, &own_in.backing, own_in.off, block);
+        // Ring-offset schedule: in round k, send to r+k and receive from
+        // r-k — every ordered pair exchanges exactly once for any n.
+        for round in 1..n {
+            let dst = (r + round) % n;
+            let src = (r + n - round) % n;
+            let out = sendbuf.slice(dst as u64 * block, block);
+            let inn = recvbuf.slice(src as u64 * block, block);
+            self.pt_sendrecv(ctx, &out, dst, &inn, src, tag, comm);
+        }
+    }
+
+    /// `MPI_Allgather` = gather to rank 0 + broadcast of the full vector.
+    /// `recvbuf` must hold `size * sendbuf.len` bytes on every rank.
+    fn allgather(&self, ctx: &Ctx, sendbuf: &MsgBuf, recvbuf: &MsgBuf, comm: &Comm) {
+        self.gather(ctx, sendbuf, Some(recvbuf), 0, comm);
+        self.bcast(ctx, recvbuf, 0, comm);
+    }
+}
+
+/// The system MPI endpoint, with its collective counters.
+pub struct SysEndpoint {
+    task: MpiTask,
+    seq: Arc<CollSeq>,
+}
+
+impl SysEndpoint {
+    /// Wrap an endpoint.
+    pub fn new(task: MpiTask) -> SysEndpoint {
+        SysEndpoint {
+            task,
+            seq: Arc::new(CollSeq::new()),
+        }
+    }
+
+    /// The underlying endpoint.
+    pub fn task(&self) -> &MpiTask {
+        &self.task
+    }
+}
+
+impl PointToPoint for SysEndpoint {
+    fn pt_send(&self, ctx: &Ctx, buf: &MsgBuf, dst: u32, tag: i32, comm: &Comm) {
+        self.task.send(ctx, buf, dst, tag, comm);
+    }
+
+    fn pt_sendrecv(
+        &self,
+        ctx: &Ctx,
+        sendbuf: &MsgBuf,
+        dst: u32,
+        recvbuf: &MsgBuf,
+        src: u32,
+        tag: i32,
+        comm: &Comm,
+    ) -> Status {
+        let sreq = self.task.isend(ctx, sendbuf, dst, tag, comm);
+        let st = self.task.recv(ctx, recvbuf, Some(src), Some(tag), comm);
+        sreq.wait(ctx);
+        st
+    }
+
+    fn pt_recv(&self, ctx: &Ctx, buf: &MsgBuf, src: SrcSel, tag: TagSel, comm: &Comm) -> Status {
+        self.task.recv(ctx, buf, src, tag, comm)
+    }
+
+    fn comm_rank(&self, comm: &Comm) -> u32 {
+        comm.rel_of(self.task.global_rank())
+            .expect("endpoint not in communicator")
+    }
+
+    fn coll_seq(&self) -> &CollSeq {
+        &self.seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SysMpi;
+    use impacc_machine::{presets, ClusterResources};
+    use impacc_vtime::Sim;
+
+    fn run_world(
+        nodes: usize,
+        per_node: usize,
+        f: impl Fn(&Ctx, SysEndpoint, Comm) + Send + Sync + 'static,
+    ) {
+        let n = nodes * per_node;
+        let res = Arc::new(ClusterResources::new(Arc::new(presets::test_cluster(
+            nodes,
+            per_node.min(8),
+        ))));
+        let node_of: Vec<usize> = (0..n).map(|r| r / per_node).collect();
+        let sys = SysMpi::new(res, node_of);
+        let world = Comm::world(n as u32);
+        let f = Arc::new(f);
+        let mut sim = Sim::new();
+        for r in 0..n {
+            let sys = sys.clone();
+            let world = world.clone();
+            let f = f.clone();
+            sim.spawn(format!("rank{r}"), move |ctx| {
+                let ep = SysEndpoint::new(MpiTask::new(sys, r as u32));
+                f(ctx, ep, world);
+            });
+        }
+        sim.run().unwrap();
+    }
+
+    fn buf_of(vals: &[f64]) -> MsgBuf {
+        let m = MsgBuf::host(Backing::new(vals.len() as u64 * 8, None), 0, vals.len() as u64 * 8);
+        m.write_f64s(vals);
+        m
+    }
+
+    #[test]
+    fn barrier_synchronizes_everyone() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let before = Arc::new(AtomicU32::new(0));
+        let b2 = before.clone();
+        run_world(2, 3, move |ctx, ep, world| {
+            let r = ep.comm_rank(&world);
+            ctx.advance(impacc_vtime::SimDur::from_us(r as u64 * 100), "skew");
+            b2.fetch_add(1, Ordering::SeqCst);
+            ep.barrier(ctx, &world);
+            assert_eq!(b2.load(Ordering::SeqCst), 6, "all ranks entered before any exits");
+        });
+    }
+
+    #[test]
+    fn bcast_from_every_root() {
+        for root in 0..4u32 {
+            run_world(2, 2, move |ctx, ep, world| {
+                let r = ep.comm_rank(&world);
+                let buf = if r == root {
+                    buf_of(&[root as f64 * 10.0, 1.0, 2.0])
+                } else {
+                    buf_of(&[0.0; 3])
+                };
+                ep.bcast(ctx, &buf, root, &world);
+                assert_eq!(buf.read_f64s(), vec![root as f64 * 10.0, 1.0, 2.0]);
+            });
+        }
+    }
+
+    #[test]
+    fn reduce_sums_across_ranks() {
+        run_world(2, 4, |ctx, ep, world| {
+            let r = ep.comm_rank(&world) as f64;
+            let sb = buf_of(&[r, 2.0 * r]);
+            let rb = buf_of(&[0.0, 0.0]);
+            ep.reduce(ctx, &sb, Some(&rb), ReduceOp::Sum, 0, &world);
+            if ep.comm_rank(&world) == 0 {
+                assert_eq!(rb.read_f64s(), vec![28.0, 56.0]); // 0+..+7
+            }
+        });
+    }
+
+    #[test]
+    fn allreduce_max_everywhere() {
+        run_world(1, 5, |ctx, ep, world| {
+            let r = ep.comm_rank(&world) as f64;
+            let sb = buf_of(&[r, -r]);
+            let rb = buf_of(&[0.0, 0.0]);
+            ep.allreduce(ctx, &sb, &rb, ReduceOp::Max, &world);
+            assert_eq!(rb.read_f64s(), vec![4.0, 0.0]);
+        });
+    }
+
+    #[test]
+    fn gather_orders_by_rank() {
+        run_world(2, 2, |ctx, ep, world| {
+            let r = ep.comm_rank(&world);
+            let sb = buf_of(&[r as f64; 2]);
+            if r == 1 {
+                let rb = buf_of(&[0.0; 8]);
+                ep.gather(ctx, &sb, Some(&rb), 1, &world);
+                assert_eq!(rb.read_f64s(), vec![0.0, 0.0, 1.0, 1.0, 2.0, 2.0, 3.0, 3.0]);
+            } else {
+                ep.gather(ctx, &sb, None, 1, &world);
+            }
+        });
+    }
+
+    #[test]
+    fn scatter_distributes_slices() {
+        run_world(2, 2, |ctx, ep, world| {
+            let r = ep.comm_rank(&world);
+            let rb = buf_of(&[0.0; 2]);
+            if r == 0 {
+                let sb = buf_of(&[0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5]);
+                ep.scatter(ctx, Some(&sb), &rb, 0, &world);
+            } else {
+                ep.scatter(ctx, None, &rb, 0, &world);
+            }
+            assert_eq!(rb.read_f64s(), vec![r as f64, r as f64 + 0.5]);
+        });
+    }
+
+    #[test]
+    fn allgather_full_vector_everywhere() {
+        run_world(1, 3, |ctx, ep, world| {
+            let r = ep.comm_rank(&world);
+            let sb = buf_of(&[r as f64]);
+            let rb = buf_of(&[0.0; 3]);
+            ep.allgather(ctx, &sb, &rb, &world);
+            assert_eq!(rb.read_f64s(), vec![0.0, 1.0, 2.0]);
+        });
+    }
+
+    #[test]
+    fn gatherv_and_scatterv_handle_ragged_sizes() {
+        run_world(2, 2, |ctx, ep, world| {
+            let r = ep.comm_rank(&world);
+            // Rank i contributes i+1 doubles.
+            let counts: Vec<u64> = (0..4u64).map(|i| (i + 1) * 8).collect();
+            let displs: Vec<u64> = counts
+                .iter()
+                .scan(0, |acc, c| {
+                    let d = *acc;
+                    *acc += c;
+                    Some(d)
+                })
+                .collect();
+            let mine = buf_of(&vec![r as f64; (r + 1) as usize]);
+            if r == 0 {
+                let rb = buf_of(&[0.0; 10]);
+                ep.gatherv(ctx, &mine, Some(&rb), &counts, &displs, 0, &world);
+                assert_eq!(
+                    rb.read_f64s(),
+                    vec![0.0, 1.0, 1.0, 2.0, 2.0, 2.0, 3.0, 3.0, 3.0, 3.0]
+                );
+                // Scatter it back out.
+                let back = buf_of(&[0.0; 1]);
+                ep.scatterv(ctx, Some(&rb), &back, &counts, &displs, 0, &world);
+                assert_eq!(back.read_f64s(), vec![0.0]);
+            } else {
+                ep.gatherv(ctx, &mine, None, &counts, &displs, 0, &world);
+                let back = buf_of(&vec![0.0; (r + 1) as usize]);
+                ep.scatterv(ctx, None, &back, &counts, &displs, 0, &world);
+                assert_eq!(back.read_f64s(), vec![r as f64; (r + 1) as usize]);
+            }
+        });
+    }
+
+    #[test]
+    fn alltoall_transposes_blocks_non_power_of_two() {
+        run_world(1, 3, |ctx, ep, world| {
+            let r = ep.comm_rank(&world) as f64;
+            let sb = buf_of(&[10.0 * r, 10.0 * r + 1.0, 10.0 * r + 2.0]);
+            let rb = buf_of(&[0.0; 3]);
+            ep.alltoall(ctx, &sb, &rb, &world);
+            assert_eq!(rb.read_f64s(), vec![r, 10.0 + r, 20.0 + r]);
+        });
+    }
+
+    #[test]
+    fn alltoall_transposes_blocks() {
+        run_world(2, 2, |ctx, ep, world| {
+            let r = ep.comm_rank(&world) as f64;
+            // Block for destination j is [10*r + j].
+            let sb = buf_of(&[10.0 * r, 10.0 * r + 1.0, 10.0 * r + 2.0, 10.0 * r + 3.0]);
+            let rb = buf_of(&[0.0; 4]);
+            ep.alltoall(ctx, &sb, &rb, &world);
+            // Received block from rank i is [10*i + r].
+            assert_eq!(rb.read_f64s(), vec![r, 10.0 + r, 20.0 + r, 30.0 + r]);
+        });
+    }
+
+    #[test]
+    fn back_to_back_collectives_do_not_cross_match() {
+        run_world(2, 2, |ctx, ep, world| {
+            let r = ep.comm_rank(&world) as f64;
+            let a = buf_of(&[r]);
+            let b = buf_of(&[10.0 * r]);
+            let ra = buf_of(&[0.0]);
+            let rb = buf_of(&[0.0]);
+            ep.allreduce(ctx, &a, &ra, ReduceOp::Sum, &world);
+            ep.allreduce(ctx, &b, &rb, ReduceOp::Sum, &world);
+            assert_eq!(ra.read_f64s(), vec![6.0]);
+            assert_eq!(rb.read_f64s(), vec![60.0]);
+        });
+    }
+
+    #[test]
+    fn collectives_on_split_comms() {
+        run_world(2, 2, |ctx, ep, world| {
+            let r = ep.comm_rank(&world);
+            let colors: Vec<i64> = (0..4).map(|i| (i % 2) as i64).collect();
+            let keys = vec![0i64; 4];
+            let sub = world.split(&colors, &keys, r);
+            let sb = buf_of(&[r as f64]);
+            let rb = buf_of(&[0.0]);
+            ep.allreduce(ctx, &sb, &rb, ReduceOp::Sum, &sub);
+            // Even ranks: 0 + 2 = 2; odd ranks: 1 + 3 = 4.
+            let expect = if r % 2 == 0 { 2.0 } else { 4.0 };
+            assert_eq!(rb.read_f64s(), vec![expect]);
+        });
+    }
+}

@@ -1,0 +1,169 @@
+//! Common MPI-facing types: buffers, statuses, reduction operators.
+
+use std::sync::Arc;
+
+use impacc_mem::Backing;
+
+/// Wildcard-capable source selector (`MPI_ANY_SOURCE` is `None`).
+pub type SrcSel = Option<u32>;
+/// Wildcard-capable tag selector (`MPI_ANY_TAG` is `None`).
+pub type TagSel = Option<i32>;
+
+/// Where a message buffer physically lives. Unified MPI communication
+/// routines (§3.5) accept device buffers directly; the substrate needs the
+/// location to model the transfer path.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum BufLoc {
+    /// Host memory.
+    Host,
+    /// Memory of the node-local device with this index.
+    Device(usize),
+}
+
+/// A view of a contiguous byte range used as an MPI send or receive buffer.
+#[derive(Clone)]
+pub struct MsgBuf {
+    /// The storage.
+    pub backing: Arc<Backing>,
+    /// Byte offset of the view within the backing.
+    pub off: u64,
+    /// Length of the view in bytes.
+    pub len: u64,
+    /// Host or device residency.
+    pub loc: BufLoc,
+    /// Pre-registered (pinned) with the library: internode transfers go
+    /// zero-copy to the HCA. Device buffers are inherently registered.
+    pub pinned: bool,
+}
+
+impl MsgBuf {
+    /// A host-resident view covering `[off, off+len)` of `backing`.
+    pub fn host(backing: Arc<Backing>, off: u64, len: u64) -> MsgBuf {
+        MsgBuf {
+            backing,
+            off,
+            len,
+            loc: BufLoc::Host,
+            pinned: false,
+        }
+    }
+
+    /// A device-resident view.
+    pub fn device(backing: Arc<Backing>, off: u64, len: u64, dev: usize) -> MsgBuf {
+        MsgBuf {
+            backing,
+            off,
+            len,
+            loc: BufLoc::Device(dev),
+            pinned: true,
+        }
+    }
+
+    /// Mark the buffer as pre-registered with the library.
+    pub fn registered(mut self) -> MsgBuf {
+        self.pinned = true;
+        self
+    }
+
+    /// A sub-view of this buffer.
+    pub fn slice(&self, off: u64, len: u64) -> MsgBuf {
+        assert!(off + len <= self.len, "slice out of range");
+        MsgBuf {
+            backing: self.backing.clone(),
+            off: self.off + off,
+            len,
+            loc: self.loc,
+            pinned: self.pinned,
+        }
+    }
+
+    /// Read the buffer as f64 elements (for reductions and tests).
+    pub fn read_f64s(&self) -> Vec<f64> {
+        self.backing.read_f64s(self.off, (self.len / 8) as usize)
+    }
+
+    /// Overwrite the buffer with f64 elements.
+    pub fn write_f64s(&self, vals: &[f64]) {
+        assert!(vals.len() as u64 * 8 <= self.len);
+        self.backing.write_f64s(self.off, vals);
+    }
+}
+
+impl std::fmt::Debug for MsgBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MsgBuf({} B @ {} {:?})", self.len, self.off, self.loc)
+    }
+}
+
+/// Completion information of a receive (like `MPI_Status`).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Status {
+    /// Communicator-relative rank of the sender.
+    pub src: u32,
+    /// Tag of the matched message.
+    pub tag: i32,
+    /// Number of bytes actually received.
+    pub len: u64,
+}
+
+/// Reduction operators over f64 element vectors.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum ReduceOp {
+    /// Elementwise sum.
+    Sum,
+    /// Elementwise maximum.
+    Max,
+    /// Elementwise minimum.
+    Min,
+    /// Elementwise product.
+    Prod,
+}
+
+impl ReduceOp {
+    /// Combine `other` into `acc` elementwise.
+    pub fn combine(self, acc: &mut [f64], other: &[f64]) {
+        assert_eq!(acc.len(), other.len(), "reduce length mismatch");
+        match self {
+            ReduceOp::Sum => acc.iter_mut().zip(other).for_each(|(a, b)| *a += b),
+            ReduceOp::Max => acc.iter_mut().zip(other).for_each(|(a, b)| *a = a.max(*b)),
+            ReduceOp::Min => acc.iter_mut().zip(other).for_each(|(a, b)| *a = a.min(*b)),
+            ReduceOp::Prod => acc.iter_mut().zip(other).for_each(|(a, b)| *a *= b),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn msgbuf_slice_and_f64_views() {
+        let b = Backing::new(64, None);
+        let buf = MsgBuf::host(b, 0, 64);
+        buf.write_f64s(&[1.0, 2.0, 3.0, 4.0]);
+        let s = buf.slice(8, 16);
+        assert_eq!(s.read_f64s(), vec![2.0, 3.0]);
+        assert_eq!(s.off, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversized_slice_panics() {
+        let b = Backing::new(16, None);
+        let buf = MsgBuf::host(b, 0, 16);
+        let _ = buf.slice(8, 16);
+    }
+
+    #[test]
+    fn reduce_ops() {
+        let mut a = vec![1.0, 5.0, -2.0];
+        ReduceOp::Sum.combine(&mut a, &[1.0, 1.0, 1.0]);
+        assert_eq!(a, vec![2.0, 6.0, -1.0]);
+        ReduceOp::Max.combine(&mut a, &[0.0, 10.0, 0.0]);
+        assert_eq!(a, vec![2.0, 10.0, 0.0]);
+        ReduceOp::Min.combine(&mut a, &[3.0, 3.0, 3.0]);
+        assert_eq!(a, vec![2.0, 3.0, 0.0]);
+        ReduceOp::Prod.combine(&mut a, &[2.0, 2.0, 2.0]);
+        assert_eq!(a, vec![4.0, 6.0, 0.0]);
+    }
+}

@@ -1,0 +1,1219 @@
+//! The discrete-event engine.
+//!
+//! Actors are OS threads, but **exactly one actor executes at any moment**:
+//! the engine hands a "baton" from actor to actor following a priority queue
+//! of virtual wake-up times (ties broken by FIFO sequence numbers). This makes
+//! every simulation deterministic and allows actor code to mutate shared
+//! simulation state through uncontended locks.
+//!
+//! Time only moves when an actor calls [`Ctx::advance`] /
+//! [`Ctx::advance_until`]; the real-time cost of computation inside an actor
+//! does not affect virtual time.
+//!
+//! # Blocking protocol
+//!
+//! Synchronization primitives (see [`crate::sync`]) follow a two-step
+//! protocol: [`Ctx::prepare_wait`] obtains a [`WaitToken`], the primitive
+//! records the token in its own waiter list, and the actor then immediately
+//! calls [`Ctx::wait`]. Because no other actor can run between those two
+//! steps (the caller holds the baton), lost wake-ups are impossible. A waker
+//! calls [`Ctx::wake`] with the stored token; stale tokens (the waiter has
+//! since resumed) are ignored via a per-actor generation counter.
+
+use std::collections::{BinaryHeap, HashMap};
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::time::{SimDur, SimTime};
+
+/// Identifies an actor within one engine run.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct ActorId(pub u32);
+
+/// A one-shot permission to wake a specific suspended actor.
+///
+/// Obtained from [`Ctx::prepare_wait`]; consumed by [`Ctx::wait`] on the
+/// waiting side and honored at most once by [`Ctx::wake`] on the waking side.
+#[derive(Copy, Clone, Debug)]
+pub struct WaitToken {
+    actor: ActorId,
+    gen: u64,
+}
+
+impl WaitToken {
+    /// The actor this token will wake.
+    pub fn actor(&self) -> ActorId {
+        self.actor
+    }
+}
+
+/// Why a suspended actor resumed.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum WakeReason {
+    /// A timed wake-up (from `advance`) or an explicit [`Ctx::wake`].
+    Signaled,
+    /// The engine is shutting down because all non-daemon actors finished.
+    Shutdown,
+}
+
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+enum ActorState {
+    /// In the ready heap, waiting for the baton.
+    Queued,
+    /// Currently holding the baton.
+    Running,
+    /// Suspended on a synchronization primitive.
+    Blocked,
+    /// Closure returned (or unwound).
+    Finished,
+}
+
+struct Park {
+    go: Mutex<Option<WakeReason>>,
+    cv: Condvar,
+}
+
+impl Park {
+    fn new() -> Arc<Park> {
+        Arc::new(Park {
+            go: Mutex::new(None),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn wake(&self, reason: WakeReason) {
+        let mut go = self.go.lock();
+        *go = Some(reason);
+        self.cv.notify_one();
+    }
+
+    fn wait(&self) -> WakeReason {
+        let mut go = self.go.lock();
+        while go.is_none() {
+            self.cv.wait(&mut go);
+        }
+        go.take().expect("checked by loop")
+    }
+}
+
+struct ActorSlot {
+    name: String,
+    daemon: bool,
+    state: ActorState,
+    park: Arc<Park>,
+    /// Incremented every time the actor suspends; guards against stale wakes.
+    wait_gen: u64,
+    blocked_since: SimTime,
+    blocked_tag: &'static str,
+    acct: HashMap<&'static str, SimDur>,
+}
+
+#[derive(Copy, Clone, PartialEq, Eq)]
+struct HeapEntry {
+    t: SimTime,
+    seq: u64,
+    id: ActorId,
+    reason: WakeReason,
+    /// `None`: a normal entry for a Queued actor. `Some(gen)`: a timer for
+    /// a Blocked actor created by `wait_deadline`; it only fires if the
+    /// actor is still blocked in that same wait generation.
+    timer_gen: Option<u64>,
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (t, seq) pops first.
+        (other.t, other.seq).cmp(&(self.t, self.seq))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+struct Sched {
+    now: SimTime,
+    actors: Vec<ActorSlot>,
+    heap: BinaryHeap<HeapEntry>,
+    seq: u64,
+    live_total: usize,
+    live_nondaemon: usize,
+    shutdown: bool,
+    poison: Option<String>,
+    events_dispatched: u64,
+    max_events: u64,
+}
+
+struct RunGate {
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+pub(crate) struct EngineShared {
+    sched: Mutex<Sched>,
+    gate: RunGate,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    metrics: Metrics,
+    stack_size: usize,
+    trace_capacity: usize,
+    trace: Mutex<std::collections::VecDeque<TraceEvent>>,
+}
+
+/// Global, engine-wide counters for experiment instrumentation
+/// (bytes copied per path, messages fused, aliases taken, ...).
+#[derive(Default)]
+pub struct Metrics {
+    map: Mutex<HashMap<&'static str, u64>>,
+}
+
+impl Metrics {
+    /// Add `v` to counter `key`.
+    pub fn add(&self, key: &'static str, v: u64) {
+        *self.map.lock().entry(key).or_insert(0) += v;
+    }
+
+    /// Increment counter `key` by one.
+    pub fn inc(&self, key: &'static str) {
+        self.add(key, 1);
+    }
+
+    /// Current value of counter `key` (0 if never touched).
+    pub fn get(&self, key: &'static str) -> u64 {
+        self.map.lock().get(key).copied().unwrap_or(0)
+    }
+
+    fn snapshot(&self) -> HashMap<&'static str, u64> {
+        self.map.lock().clone()
+    }
+}
+
+/// Configuration for a simulation run.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Stack size for actor threads. Large runs (thousands of actors) should
+    /// keep this small; application state lives on the heap.
+    pub stack_size: usize,
+    /// Abort the run (with an error) after this many scheduler dispatches.
+    /// Guards against runaway actor loops in tests.
+    pub max_events: u64,
+    /// Keep the most recent `trace_capacity` [`TraceEvent`]s emitted via
+    /// [`Ctx::trace`] (0 disables tracing; detail closures are then never
+    /// evaluated).
+    pub trace_capacity: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            stack_size: 512 * 1024,
+            max_events: u64::MAX,
+            trace_capacity: 0,
+        }
+    }
+}
+
+/// One traced event (see [`Ctx::trace`]).
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    /// When it happened.
+    pub t: SimTime,
+    /// Which actor emitted it.
+    pub actor: String,
+    /// Short static label ("fuse", "alias", "HtoD", ...).
+    pub label: &'static str,
+    /// Free-form detail.
+    pub detail: String,
+}
+
+/// Errors terminating a simulation abnormally.
+#[derive(Debug, Clone)]
+pub enum SimError {
+    /// All live actors are blocked and none is ready: the simulated program
+    /// deadlocked (e.g. an `MPI_Recv` with no matching send).
+    Deadlock {
+        /// Per-actor description of what everyone was blocked on.
+        detail: String,
+    },
+    /// An actor panicked; the panic message and actor name are captured.
+    ActorPanic {
+        /// Name of the panicking actor.
+        actor: String,
+        /// The panic payload, if it was a string.
+        message: String,
+    },
+    /// `max_events` exceeded.
+    EventLimit {
+        /// The configured limit that was exceeded.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Deadlock { detail } => write!(f, "simulation deadlock:\n{detail}"),
+            SimError::ActorPanic { actor, message } => {
+                write!(f, "actor '{actor}' panicked: {message}")
+            }
+            SimError::EventLimit { limit } => {
+                write!(f, "simulation exceeded the event limit of {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Per-actor virtual-time accounting, keyed by tag.
+#[derive(Clone, Debug, Default)]
+pub struct ActorAccount {
+    /// The actor's name as given at spawn time.
+    pub name: String,
+    /// Virtual time charged per tag (explicit advances and blocked waits).
+    pub tags: HashMap<&'static str, SimDur>,
+}
+
+impl ActorAccount {
+    /// Time charged under `tag`.
+    pub fn tag(&self, tag: &str) -> SimDur {
+        self.tags
+            .iter()
+            .find(|(k, _)| **k == tag)
+            .map(|(_, v)| *v)
+            .unwrap_or(SimDur::ZERO)
+    }
+
+    /// Total time charged across all tags.
+    pub fn total(&self) -> SimDur {
+        self.tags.values().copied().sum()
+    }
+}
+
+/// The result of a completed simulation.
+#[derive(Clone, Debug, Default)]
+pub struct SimReport {
+    /// Virtual time at which the last actor finished.
+    pub end_time: SimTime,
+    /// Accounting per actor, in spawn order.
+    pub actors: Vec<ActorAccount>,
+    /// Snapshot of engine-wide counters.
+    pub metrics: HashMap<&'static str, u64>,
+    /// Number of scheduler dispatches performed.
+    pub events: u64,
+    /// The retained trace (empty unless `trace_capacity` was set).
+    pub trace: Vec<TraceEvent>,
+}
+
+impl SimReport {
+    /// Sum of a tag across all actors.
+    pub fn tag_total(&self, tag: &str) -> SimDur {
+        self.actors.iter().map(|a| a.tag(tag)).sum()
+    }
+
+    /// Accounting for the actor with the given name, if present.
+    pub fn actor(&self, name: &str) -> Option<&ActorAccount> {
+        self.actors.iter().find(|a| a.name == name)
+    }
+}
+
+/// Handle through which actor code interacts with the engine.
+///
+/// Each actor receives a `Ctx` bound to its own identity. `Ctx` is `Clone`
+/// but must only be used from the actor thread it was issued to.
+#[derive(Clone)]
+pub struct Ctx {
+    engine: Arc<EngineShared>,
+    me: ActorId,
+}
+
+impl fmt::Debug for Ctx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Ctx({:?})", self.me)
+    }
+}
+
+impl Ctx {
+    /// This actor's id.
+    pub fn id(&self) -> ActorId {
+        self.me
+    }
+
+    /// This actor's name.
+    pub fn name(&self) -> String {
+        self.engine.sched.lock().actors[self.me.0 as usize].name.clone()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.engine.sched.lock().now
+    }
+
+    /// Engine-wide counters.
+    pub fn metrics(&self) -> &Metrics {
+        &self.engine.metrics
+    }
+
+    /// Emit a trace event (kept only when the run was configured with a
+    /// nonzero `trace_capacity`; `detail` is evaluated lazily).
+    pub fn trace(&self, label: &'static str, detail: impl FnOnce() -> String) {
+        if self.engine.trace_capacity == 0 {
+            return;
+        }
+        let (t, actor) = {
+            let sched = self.engine.sched.lock();
+            (sched.now, sched.actors[self.me.0 as usize].name.clone())
+        };
+        let mut buf = self.engine.trace.lock();
+        if buf.len() == self.engine.trace_capacity {
+            buf.pop_front();
+        }
+        buf.push_back(TraceEvent {
+            t,
+            actor,
+            label,
+            detail: detail(),
+        });
+    }
+
+    /// True once all non-daemon actors have finished. Daemons should exit
+    /// their service loops promptly when they observe this.
+    pub fn is_shutdown(&self) -> bool {
+        self.engine.sched.lock().shutdown
+    }
+
+    /// Charge `dur` of virtual time to this actor under `tag` and let other
+    /// actors run in the meantime.
+    pub fn advance(&self, dur: SimDur, tag: &'static str) {
+        let target = {
+            let sched = self.engine.sched.lock();
+            sched.now + dur
+        };
+        self.advance_until(target, tag);
+    }
+
+    /// Advance virtual time to the absolute instant `target` (no-op if the
+    /// clock is already past it), charging the elapsed span under `tag`.
+    pub fn advance_until(&self, target: SimTime, tag: &'static str) {
+        let park = {
+            let mut sched = self.engine.sched.lock();
+            self.check_poison(&sched);
+            let now = sched.now;
+            let t = target.max(now);
+            let slot = &mut sched.actors[self.me.0 as usize];
+            debug_assert_eq!(slot.state, ActorState::Running);
+            *slot.acct.entry(tag).or_insert(SimDur::ZERO) += t.since(now);
+            slot.state = ActorState::Queued;
+            let park = slot.park.clone();
+            let seq = sched.bump_seq();
+            sched.heap.push(HeapEntry {
+                t,
+                seq,
+                id: self.me,
+                reason: WakeReason::Signaled,
+                timer_gen: None,
+            });
+            Engine::dispatch(&self.engine, &mut sched);
+            park
+        };
+        let _ = park.wait();
+        self.check_poison(&self.engine.sched.lock());
+    }
+
+    /// Yield the baton without advancing time (FIFO among equal-time actors).
+    pub fn yield_now(&self) {
+        self.advance(SimDur::ZERO, "yield");
+    }
+
+    /// First half of the blocking protocol: obtain a token that a waker can
+    /// use to resume this actor. Must be followed by [`Ctx::wait`] on this
+    /// actor before it performs any other engine call.
+    pub fn prepare_wait(&self) -> WaitToken {
+        let mut sched = self.engine.sched.lock();
+        self.check_poison(&sched);
+        let slot = &mut sched.actors[self.me.0 as usize];
+        debug_assert_eq!(slot.state, ActorState::Running);
+        slot.wait_gen += 1;
+        WaitToken {
+            actor: self.me,
+            gen: slot.wait_gen,
+        }
+    }
+
+    /// Suspend until another actor calls [`Ctx::wake`] with `token`, or the
+    /// engine shuts down. Blocked time is charged under `tag`.
+    pub fn wait(&self, token: WaitToken, tag: &'static str) -> WakeReason {
+        assert_eq!(token.actor, self.me, "wait() with a foreign token");
+        let park = {
+            let mut sched = self.engine.sched.lock();
+            self.check_poison(&sched);
+            if sched.shutdown {
+                // Don't suspend daemons that race with shutdown.
+                return WakeReason::Shutdown;
+            }
+            let now = sched.now;
+            let slot = &mut sched.actors[self.me.0 as usize];
+            debug_assert_eq!(slot.state, ActorState::Running);
+            assert_eq!(
+                token.gen, slot.wait_gen,
+                "wait() must immediately follow prepare_wait()"
+            );
+            slot.state = ActorState::Blocked;
+            slot.blocked_since = now;
+            slot.blocked_tag = tag;
+            let park = slot.park.clone();
+            Engine::dispatch(&self.engine, &mut sched);
+            park
+        };
+        let reason = park.wait();
+        self.check_poison(&self.engine.sched.lock());
+        reason
+    }
+
+    /// Like [`Ctx::wait`], but also resumes (with `WakeReason::Signaled`)
+    /// when the virtual clock reaches `deadline`, whichever comes first.
+    /// Used by service actors that must stay responsive to new work while
+    /// a known future completion is outstanding.
+    pub fn wait_deadline(&self, token: WaitToken, deadline: SimTime, tag: &'static str) -> WakeReason {
+        assert_eq!(token.actor, self.me, "wait_deadline() with a foreign token");
+        let park = {
+            let mut sched = self.engine.sched.lock();
+            self.check_poison(&sched);
+            if sched.shutdown {
+                return WakeReason::Shutdown;
+            }
+            let now = sched.now;
+            let slot = &mut sched.actors[self.me.0 as usize];
+            debug_assert_eq!(slot.state, ActorState::Running);
+            assert_eq!(
+                token.gen, slot.wait_gen,
+                "wait_deadline() must immediately follow prepare_wait()"
+            );
+            slot.state = ActorState::Blocked;
+            slot.blocked_since = now;
+            slot.blocked_tag = tag;
+            let park = slot.park.clone();
+            let seq = sched.bump_seq();
+            sched.heap.push(HeapEntry {
+                t: deadline.max(now),
+                seq,
+                id: self.me,
+                reason: WakeReason::Signaled,
+                timer_gen: Some(token.gen),
+            });
+            Engine::dispatch(&self.engine, &mut sched);
+            park
+        };
+        let reason = park.wait();
+        self.check_poison(&self.engine.sched.lock());
+        reason
+    }
+
+    /// Resume the actor identified by `token` at the current virtual time.
+    /// Returns `true` if the actor was actually woken; `false` if the token
+    /// was stale (the actor already resumed for another reason).
+    pub fn wake(&self, token: WaitToken) -> bool {
+        let mut sched = self.engine.sched.lock();
+        self.check_poison(&sched);
+        let now = sched.now;
+        let slot = &mut sched.actors[token.actor.0 as usize];
+        if slot.state != ActorState::Blocked || slot.wait_gen != token.gen {
+            return false;
+        }
+        slot.state = ActorState::Queued;
+        let elapsed = now.since(slot.blocked_since);
+        let tag = slot.blocked_tag;
+        *slot.acct.entry(tag).or_insert(SimDur::ZERO) += elapsed;
+        let seq = sched.bump_seq();
+        sched.heap.push(HeapEntry {
+            t: now,
+            seq,
+            id: token.actor,
+            reason: WakeReason::Signaled,
+            timer_gen: None,
+        });
+        true
+    }
+
+    /// Spawn a new actor that keeps the simulation alive until it finishes.
+    pub fn spawn<F>(&self, name: impl Into<String>, f: F) -> ActorId
+    where
+        F: FnOnce(&Ctx) + Send + 'static,
+    {
+        Engine::spawn_inner(&self.engine, name.into(), false, f)
+    }
+
+    /// Spawn a daemon actor: the simulation may finish while it is blocked;
+    /// it is then woken with [`WakeReason::Shutdown`].
+    pub fn spawn_daemon<F>(&self, name: impl Into<String>, f: F) -> ActorId
+    where
+        F: FnOnce(&Ctx) + Send + 'static,
+    {
+        Engine::spawn_inner(&self.engine, name.into(), true, f)
+    }
+
+    fn check_poison(&self, sched: &Sched) {
+        if let Some(msg) = &sched.poison {
+            panic!("simulation poisoned: {msg}");
+        }
+    }
+}
+
+impl Sched {
+    fn bump_seq(&mut self) -> u64 {
+        let s = self.seq;
+        self.seq += 1;
+        s
+    }
+}
+
+/// Builder for a simulation run.
+pub struct Sim {
+    config: SimConfig,
+    initial: Vec<(String, bool, Box<dyn FnOnce(&Ctx) + Send + 'static>)>,
+}
+
+impl Default for Sim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sim {
+    /// A simulation with the default [`SimConfig`].
+    pub fn new() -> Sim {
+        Sim::with_config(SimConfig::default())
+    }
+
+    /// A simulation with an explicit configuration.
+    pub fn with_config(config: SimConfig) -> Sim {
+        Sim {
+            config,
+            initial: Vec::new(),
+        }
+    }
+
+    /// Register an actor to start at time zero.
+    pub fn spawn<F>(&mut self, name: impl Into<String>, f: F) -> &mut Sim
+    where
+        F: FnOnce(&Ctx) + Send + 'static,
+    {
+        self.initial.push((name.into(), false, Box::new(f)));
+        self
+    }
+
+    /// Register a daemon actor to start at time zero.
+    pub fn spawn_daemon<F>(&mut self, name: impl Into<String>, f: F) -> &mut Sim
+    where
+        F: FnOnce(&Ctx) + Send + 'static,
+    {
+        self.initial.push((name.into(), true, Box::new(f)));
+        self
+    }
+
+    /// Run the simulation to completion and collect the report.
+    pub fn run(self) -> Result<SimReport, SimError> {
+        Engine::run(self)
+    }
+}
+
+pub(crate) struct Engine;
+
+impl Engine {
+    fn run(sim: Sim) -> Result<SimReport, SimError> {
+        let shared = Arc::new(EngineShared {
+            sched: Mutex::new(Sched {
+                now: SimTime::ZERO,
+                actors: Vec::new(),
+                heap: BinaryHeap::new(),
+                seq: 0,
+                live_total: 0,
+                live_nondaemon: 0,
+                shutdown: false,
+                poison: None,
+                events_dispatched: 0,
+                max_events: sim.config.max_events,
+            }),
+            gate: RunGate {
+                done: Mutex::new(false),
+                cv: Condvar::new(),
+            },
+            handles: Mutex::new(Vec::new()),
+            metrics: Metrics::default(),
+            stack_size: sim.config.stack_size,
+            trace_capacity: sim.config.trace_capacity,
+            trace: Mutex::new(std::collections::VecDeque::new()),
+        });
+
+        let had_initial = !sim.initial.is_empty();
+        for (name, daemon, f) in sim.initial {
+            Engine::spawn_inner(&shared, name, daemon, f);
+        }
+
+        if had_initial {
+            {
+                let mut sched = shared.sched.lock();
+                Engine::dispatch(&shared, &mut sched);
+            }
+            let mut done = shared.gate.done.lock();
+            while !*done {
+                shared.gate.cv.wait(&mut done);
+            }
+            drop(done);
+        }
+
+        // Join every actor thread before reading the final state.
+        let handles = std::mem::take(&mut *shared.handles.lock());
+        for h in handles {
+            let _ = h.join();
+        }
+
+        let trace: Vec<TraceEvent> = shared.trace.lock().iter().cloned().collect();
+        let sched = shared.sched.lock();
+        if let Some(msg) = &sched.poison {
+            return Err(Self::classify_poison(msg, &sched));
+        }
+        Ok(SimReport {
+            end_time: sched.now,
+            actors: sched
+                .actors
+                .iter()
+                .map(|s| ActorAccount {
+                    name: s.name.clone(),
+                    tags: s.acct.clone(),
+                })
+                .collect(),
+            metrics: shared.metrics.snapshot(),
+            events: sched.events_dispatched,
+            trace,
+        })
+    }
+
+    fn classify_poison(msg: &str, _sched: &Sched) -> SimError {
+        if let Some(rest) = msg.strip_prefix("deadlock:") {
+            SimError::Deadlock {
+                detail: rest.to_string(),
+            }
+        } else if let Some(rest) = msg.strip_prefix("event-limit:") {
+            SimError::EventLimit {
+                limit: rest.parse().unwrap_or(0),
+            }
+        } else if let Some(rest) = msg.strip_prefix("panic:") {
+            let (actor, message) = rest.split_once(':').unwrap_or(("?", rest));
+            SimError::ActorPanic {
+                actor: actor.to_string(),
+                message: message.to_string(),
+            }
+        } else {
+            SimError::ActorPanic {
+                actor: "?".to_string(),
+                message: msg.to_string(),
+            }
+        }
+    }
+
+    fn spawn_inner<F>(shared: &Arc<EngineShared>, name: String, daemon: bool, f: F) -> ActorId
+    where
+        F: FnOnce(&Ctx) + Send + 'static,
+    {
+        let park = Park::new();
+        let id = {
+            let mut sched = shared.sched.lock();
+            if let Some(msg) = &sched.poison {
+                // Spawning after poison would park a thread forever.
+                panic!("simulation poisoned: {msg}");
+            }
+            let id = ActorId(sched.actors.len() as u32);
+            sched.actors.push(ActorSlot {
+                name: name.clone(),
+                daemon,
+                state: ActorState::Queued,
+                park: park.clone(),
+                wait_gen: 0,
+                blocked_since: SimTime::ZERO,
+                blocked_tag: "",
+                acct: HashMap::new(),
+            });
+            sched.live_total += 1;
+            if !daemon {
+                sched.live_nondaemon += 1;
+            }
+            let now = sched.now;
+            let seq = sched.bump_seq();
+            sched.heap.push(HeapEntry {
+                t: now,
+                seq,
+                id,
+                reason: WakeReason::Signaled,
+                timer_gen: None,
+            });
+            id
+        };
+
+        let shared2 = shared.clone();
+        let ctx = Ctx {
+            engine: shared.clone(),
+            me: id,
+        };
+        let handle = std::thread::Builder::new()
+            .name(name.clone())
+            .stack_size(shared.stack_size)
+            .spawn(move || {
+                // Wait for the first baton grant.
+                let _ = park.wait();
+                let result = panic::catch_unwind(AssertUnwindSafe(|| f(&ctx)));
+                Engine::finish(&shared2, id, result.err());
+            })
+            .expect("failed to spawn actor thread");
+        shared.handles.lock().push(handle);
+        id
+    }
+
+    /// Actor termination: release the baton and account for liveness.
+    fn finish(shared: &Arc<EngineShared>, id: ActorId, panic_payload: Option<Box<dyn std::any::Any + Send>>) {
+        let mut sched = shared.sched.lock();
+        let name = sched.actors[id.0 as usize].name.clone();
+        sched.actors[id.0 as usize].state = ActorState::Finished;
+        sched.live_total -= 1;
+        if !sched.actors[id.0 as usize].daemon {
+            sched.live_nondaemon -= 1;
+        }
+        if let Some(payload) = panic_payload {
+            if sched.poison.is_none() {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "<non-string panic>".to_string());
+                // Secondary panics caused by poisoning shouldn't overwrite
+                // the original cause.
+                if !msg.starts_with("simulation poisoned") {
+                    sched.poison = Some(format!("panic:{name}:{msg}"));
+                }
+            }
+            Engine::poison_wake_all(&mut sched);
+            Engine::open_gate(shared, &mut sched);
+            return;
+        }
+        Engine::dispatch(shared, &mut sched);
+    }
+
+    fn poison_wake_all(sched: &mut Sched) {
+        for slot in sched.actors.iter_mut() {
+            match slot.state {
+                ActorState::Queued | ActorState::Blocked => {
+                    slot.park.wake(WakeReason::Shutdown);
+                }
+                _ => {}
+            }
+        }
+        sched.heap.clear();
+    }
+
+    fn open_gate(shared: &Arc<EngineShared>, _sched: &mut Sched) {
+        let mut done = shared.gate.done.lock();
+        *done = true;
+        shared.gate.cv.notify_all();
+    }
+
+    /// Pick the next actor to run, or handle termination conditions.
+    /// Called with the scheduler locked, by a thread that is giving up
+    /// (or has never held) the baton.
+    fn dispatch(shared: &Arc<EngineShared>, sched: &mut Sched) {
+        if sched.poison.is_some() {
+            Engine::poison_wake_all(sched);
+            Engine::open_gate(shared, sched);
+            return;
+        }
+        sched.events_dispatched += 1;
+        if sched.events_dispatched > sched.max_events {
+            sched.poison = Some(format!("event-limit:{}", sched.max_events));
+            Engine::poison_wake_all(sched);
+            Engine::open_gate(shared, sched);
+            return;
+        }
+
+        while let Some(entry) = sched.heap.pop() {
+            if let Some(gen) = entry.timer_gen {
+                // A deadline timer: only valid while its actor is still
+                // blocked in the same wait generation.
+                let slot = &mut sched.actors[entry.id.0 as usize];
+                if slot.state != ActorState::Blocked || slot.wait_gen != gen {
+                    continue; // stale: the actor was notified earlier
+                }
+                sched.now = sched.now.max(entry.t);
+                let elapsed = sched.now.since(slot.blocked_since);
+                let tag = slot.blocked_tag;
+                *slot.acct.entry(tag).or_insert(SimDur::ZERO) += elapsed;
+                slot.state = ActorState::Running;
+                slot.park.wake(entry.reason);
+                return;
+            }
+            debug_assert_eq!(
+                sched.actors[entry.id.0 as usize].state,
+                ActorState::Queued,
+                "heap entry for non-queued actor {}",
+                sched.actors[entry.id.0 as usize].name
+            );
+            sched.now = sched.now.max(entry.t);
+            sched.actors[entry.id.0 as usize].state = ActorState::Running;
+            sched.actors[entry.id.0 as usize].park.wake(entry.reason);
+            return;
+        }
+
+        if sched.live_total == 0 {
+            Engine::open_gate(shared, sched);
+            return;
+        }
+
+        if sched.live_nondaemon == 0 {
+            // All real work done: shut the daemons down.
+            if !sched.shutdown {
+                sched.shutdown = true;
+            }
+            let now = sched.now;
+            let mut woke = false;
+            let ids: Vec<u32> = (0..sched.actors.len() as u32).collect();
+            for i in ids {
+                if sched.actors[i as usize].state == ActorState::Blocked {
+                    let slot = &mut sched.actors[i as usize];
+                    slot.state = ActorState::Queued;
+                    let elapsed = now.since(slot.blocked_since);
+                    let tag = slot.blocked_tag;
+                    *slot.acct.entry(tag).or_insert(SimDur::ZERO) += elapsed;
+                    let seq = sched.bump_seq();
+                    sched.heap.push(HeapEntry {
+                        t: now,
+                        seq,
+                        id: ActorId(i),
+                        reason: WakeReason::Shutdown,
+                        timer_gen: None,
+                    });
+                    woke = true;
+                }
+            }
+            if woke {
+                Engine::dispatch(shared, sched);
+                return;
+            }
+            // Daemons are all finished or running — nothing to do; the last
+            // finishing daemon re-enters dispatch and hits live_total == 0.
+            if sched.live_total == 0 {
+                Engine::open_gate(shared, sched);
+            }
+            return;
+        }
+
+        // Live non-daemon actors exist but nothing is runnable: deadlock.
+        let mut detail = String::new();
+        for slot in &sched.actors {
+            if slot.state == ActorState::Blocked {
+                detail.push_str(&format!(
+                    "  actor '{}' blocked on '{}' since {}\n",
+                    slot.name, slot.blocked_tag, slot.blocked_since
+                ));
+            }
+        }
+        sched.poison = Some(format!("deadlock:{detail}"));
+        Engine::poison_wake_all(sched);
+        Engine::open_gate(shared, sched);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sim_completes() {
+        let report = Sim::new().run().unwrap();
+        assert_eq!(report.end_time, SimTime::ZERO);
+        assert!(report.actors.is_empty());
+    }
+
+    #[test]
+    fn single_actor_advances_clock() {
+        let mut sim = Sim::new();
+        sim.spawn("a", |ctx| {
+            ctx.advance(SimDur::from_us(5), "compute");
+            ctx.advance(SimDur::from_us(3), "compute");
+        });
+        let report = sim.run().unwrap();
+        assert_eq!(report.end_time, SimTime(8 * crate::time::PS_PER_US));
+        assert_eq!(report.actors[0].tag("compute"), SimDur::from_us(8));
+    }
+
+    #[test]
+    fn actors_interleave_deterministically() {
+        use std::sync::{Arc, Mutex};
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mut sim = Sim::new();
+        for (name, step) in [("a", 3u64), ("b", 2u64)] {
+            let log = log.clone();
+            sim.spawn(name, move |ctx| {
+                for i in 0..3 {
+                    ctx.advance(SimDur::from_us(step), "w");
+                    log.lock().unwrap().push((name, i, ctx.now()));
+                }
+            });
+        }
+        sim.run().unwrap();
+        let got: Vec<(&str, i32)> = log.lock().unwrap().iter().map(|(n, i, _)| (*n, *i)).collect();
+        // b wakes at 2,4,6; a at 3,6,9; tie at 6 resolved by FIFO (a pushed
+        // its t=6 entry when resuming at t=3; b pushed t=6 at t=4 — a first).
+        assert_eq!(
+            got,
+            vec![("b", 0), ("a", 0), ("b", 1), ("a", 1), ("b", 2), ("a", 2)]
+        );
+    }
+
+    #[test]
+    fn wait_and_wake_transfer_control() {
+        use std::sync::{Arc, Mutex};
+        let token_cell: Arc<Mutex<Option<WaitToken>>> = Arc::new(Mutex::new(None));
+        let t1 = token_cell.clone();
+        let t2 = token_cell.clone();
+        let mut sim = Sim::new();
+        sim.spawn("waiter", move |ctx| {
+            let tok = ctx.prepare_wait();
+            *t1.lock().unwrap() = Some(tok);
+            let reason = ctx.wait(tok, "blocked");
+            assert_eq!(reason, WakeReason::Signaled);
+            assert_eq!(ctx.now(), SimTime::from_secs_f64(1e-6));
+        });
+        sim.spawn("waker", move |ctx| {
+            ctx.advance(SimDur::from_us(1), "sleep");
+            let tok = t2.lock().unwrap().take().expect("registered first");
+            assert!(ctx.wake(tok));
+            assert!(!ctx.wake(tok), "second wake must be stale");
+        });
+        let report = sim.run().unwrap();
+        assert_eq!(report.actor("waiter").unwrap().tag("blocked"), SimDur::from_us(1));
+    }
+
+    #[test]
+    fn deadlock_is_detected() {
+        let mut sim = Sim::new();
+        sim.spawn("stuck", |ctx| {
+            let tok = ctx.prepare_wait();
+            ctx.wait(tok, "never");
+        });
+        match sim.run() {
+            Err(SimError::Deadlock { detail }) => assert!(detail.contains("stuck")),
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn daemons_shut_down_after_last_nondaemon() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let saw_shutdown = Arc::new(AtomicBool::new(false));
+        let flag = saw_shutdown.clone();
+        let mut sim = Sim::new();
+        sim.spawn_daemon("svc", move |ctx| loop {
+            let tok = ctx.prepare_wait();
+            if ctx.wait(tok, "svc_idle") == WakeReason::Shutdown {
+                flag.store(true, Ordering::SeqCst);
+                return;
+            }
+        });
+        sim.spawn("work", |ctx| {
+            ctx.advance(SimDur::from_us(10), "w");
+        });
+        let report = sim.run().unwrap();
+        assert!(saw_shutdown.load(Ordering::SeqCst));
+        assert_eq!(report.end_time, SimTime(10 * crate::time::PS_PER_US));
+    }
+
+    #[test]
+    fn actor_panic_is_reported() {
+        let mut sim = Sim::new();
+        sim.spawn("bystander", |ctx| {
+            ctx.advance(SimDur::from_secs(100), "sleep");
+        });
+        sim.spawn("bad", |ctx| {
+            ctx.advance(SimDur::from_us(1), "w");
+            panic!("boom");
+        });
+        match sim.run() {
+            Err(SimError::ActorPanic { actor, message }) => {
+                assert_eq!(actor, "bad");
+                assert!(message.contains("boom"));
+            }
+            other => panic!("expected panic error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn event_limit_enforced() {
+        let mut sim = Sim::with_config(SimConfig {
+            max_events: 100,
+            ..SimConfig::default()
+        });
+        sim.spawn("spinner", |ctx| loop {
+            ctx.advance(SimDur::from_ns(1), "spin");
+        });
+        match sim.run() {
+            Err(SimError::EventLimit { limit }) => assert_eq!(limit, 100),
+            other => panic!("expected event limit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_spawn_runs_child() {
+        let mut sim = Sim::new();
+        sim.spawn("parent", |ctx| {
+            ctx.advance(SimDur::from_us(1), "w");
+            ctx.spawn("child", |ctx| {
+                ctx.advance(SimDur::from_us(2), "w");
+            });
+            ctx.advance(SimDur::from_us(1), "w");
+        });
+        let report = sim.run().unwrap();
+        // Child starts at t=1us and runs 2us => end at 3us.
+        assert_eq!(report.end_time, SimTime(3 * crate::time::PS_PER_US));
+        assert_eq!(report.actors.len(), 2);
+    }
+
+    #[test]
+    fn metrics_accumulate() {
+        let mut sim = Sim::new();
+        sim.spawn("m", |ctx| {
+            ctx.metrics().add("bytes", 100);
+            ctx.metrics().inc("ops");
+            ctx.metrics().add("bytes", 28);
+        });
+        let report = sim.run().unwrap();
+        assert_eq!(report.metrics["bytes"], 128);
+        assert_eq!(report.metrics["ops"], 1);
+    }
+
+    #[test]
+    fn advance_until_past_time_is_noop() {
+        let mut sim = Sim::new();
+        sim.spawn("a", |ctx| {
+            ctx.advance(SimDur::from_us(10), "w");
+            ctx.advance_until(SimTime(5), "w"); // already past
+            assert_eq!(ctx.now(), SimTime(10 * crate::time::PS_PER_US));
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn wait_deadline_fires_on_time_when_not_woken() {
+        let mut sim = Sim::new();
+        sim.spawn("sleeper", |ctx| {
+            let tok = ctx.prepare_wait();
+            let reason = ctx.wait_deadline(tok, SimTime::ZERO + SimDur::from_us(25), "nap");
+            assert_eq!(reason, WakeReason::Signaled);
+            assert_eq!(ctx.now(), SimTime::ZERO + SimDur::from_us(25));
+        });
+        let report = sim.run().unwrap();
+        assert_eq!(report.actor("sleeper").unwrap().tag("nap"), SimDur::from_us(25));
+    }
+
+    #[test]
+    fn wait_deadline_wakes_early_on_signal() {
+        use std::sync::Mutex as StdMutex;
+        let slot: Arc<StdMutex<Option<WaitToken>>> = Arc::new(StdMutex::new(None));
+        let s2 = slot.clone();
+        let mut sim = Sim::new();
+        sim.spawn("sleeper", move |ctx| {
+            let tok = ctx.prepare_wait();
+            *s2.lock().unwrap() = Some(tok);
+            ctx.wait_deadline(tok, SimTime::ZERO + SimDur::from_secs(10), "nap");
+            assert_eq!(ctx.now(), SimTime::ZERO + SimDur::from_us(3), "woken early");
+            // The stale timer entry must not re-wake us: sleep past it.
+            ctx.advance(SimDur::from_secs(20), "after");
+        });
+        sim.spawn("waker", move |ctx| {
+            ctx.advance(SimDur::from_us(3), "w");
+            let tok = slot.lock().unwrap().take().unwrap();
+            assert!(ctx.wake(tok));
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn stale_timer_entries_are_skipped() {
+        // A second wait after an early wake must not be disturbed by the
+        // first wait's expired timer.
+        use std::sync::Mutex as StdMutex;
+        let slot: Arc<StdMutex<Option<WaitToken>>> = Arc::new(StdMutex::new(None));
+        let s2 = slot.clone();
+        let mut sim = Sim::new();
+        sim.spawn("sleeper", move |ctx| {
+            let tok = ctx.prepare_wait();
+            *s2.lock().unwrap() = Some(tok);
+            ctx.wait_deadline(tok, SimTime::ZERO + SimDur::from_us(10), "nap1");
+            // Woken at t=2. The t=10 timer is now stale.
+            let tok2 = ctx.prepare_wait();
+            let reason = ctx.wait_deadline(tok2, SimTime::ZERO + SimDur::from_us(50), "nap2");
+            assert_eq!(reason, WakeReason::Signaled);
+            assert_eq!(
+                ctx.now(),
+                SimTime::ZERO + SimDur::from_us(50),
+                "the stale t=10 timer must not cut nap2 short"
+            );
+        });
+        sim.spawn("waker", move |ctx| {
+            ctx.advance(SimDur::from_us(2), "w");
+            let tok = slot.lock().unwrap().take().unwrap();
+            assert!(ctx.wake(tok));
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn tracing_keeps_the_most_recent_events() {
+        let mut sim = Sim::with_config(SimConfig {
+            trace_capacity: 3,
+            ..SimConfig::default()
+        });
+        sim.spawn("t", |ctx| {
+            for i in 0..5 {
+                ctx.advance(SimDur::from_us(1), "w");
+                ctx.trace("step", || format!("i={i}"));
+            }
+        });
+        let report = sim.run().unwrap();
+        assert_eq!(report.trace.len(), 3);
+        assert_eq!(report.trace[0].detail, "i=2");
+        assert_eq!(report.trace[2].detail, "i=4");
+        assert_eq!(report.trace[2].actor, "t");
+        assert_eq!(report.trace[2].t, SimTime(5 * crate::time::PS_PER_US));
+    }
+
+    #[test]
+    fn tracing_disabled_skips_detail_evaluation() {
+        let mut sim = Sim::new();
+        sim.spawn("t", |ctx| {
+            ctx.trace("never", || panic!("detail must not be evaluated"));
+        });
+        let report = sim.run().unwrap();
+        assert!(report.trace.is_empty());
+    }
+
+    #[test]
+    fn many_actors_scale() {
+        let mut sim = Sim::with_config(SimConfig {
+            stack_size: 128 * 1024,
+            ..Default::default()
+        });
+        for i in 0..500u64 {
+            sim.spawn(format!("t{i}"), move |ctx| {
+                for _ in 0..10 {
+                    ctx.advance(SimDur::from_ns(i + 1), "w");
+                }
+            });
+        }
+        let report = sim.run().unwrap();
+        assert_eq!(report.actors.len(), 500);
+        assert_eq!(report.end_time, SimTime(10 * 500 * crate::time::PS_PER_NS));
+    }
+}

@@ -1,0 +1,51 @@
+//! Distributed DGEMM on a Beacon-like MIC cluster, showing node heap
+//! aliasing at work: the broadcast input matrix is *shared*, not copied,
+//! among the tasks of each node.
+//!
+//! Run with: `cargo run --release --example dgemm_cluster`
+
+use impacc::apps::{run_dgemm, DgemmParams};
+use impacc::prelude::*;
+
+fn main() {
+    // Correctness: verify the product on a small matrix.
+    run_dgemm(
+        impacc::machine::presets::test_cluster(2, 2),
+        RuntimeOptions::impacc(),
+        None,
+        DgemmParams { n: 32, verify: true },
+    )
+    .expect("verified run");
+    println!("32x32 product verified exactly over 2 nodes x 2 devices\n");
+
+    // Scaling demo: 4 Beacon nodes, 16 MICs, 2K matrices.
+    let n = 2048;
+    println!("DGEMM {n}x{n} over 4 Beacon nodes (16 Xeon Phis):");
+    let mut times = Vec::new();
+    for (label, opts) in [
+        ("IMPACC", RuntimeOptions::impacc()),
+        ("MPI+OpenACC", RuntimeOptions::baseline()),
+    ] {
+        let s = run_dgemm(
+            impacc::machine::presets::beacon(4),
+            opts,
+            Some(4096),
+            DgemmParams { n, verify: false },
+        )
+        .expect("timing run");
+        let m = &s.report.metrics;
+        println!(
+            "  {label:<12} {:8.3} ms   messages fused: {:>3}, buffers aliased: {:>3}, HtoH copied: {} MiB",
+            s.elapsed_secs() * 1e3,
+            m.get("fused_msgs").unwrap_or(&0),
+            m.get("aliased_msgs").unwrap_or(&0),
+            m.get("HtoH").unwrap_or(&0) >> 20,
+        );
+        times.push(s.elapsed_secs());
+    }
+    println!(
+        "\nIMPACC speedup: {:.2}x — every node-local task aliases the root's\n\
+         read-only inputs instead of receiving a private copy (Figure 7).",
+        times[1] / times[0]
+    );
+}
