@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# The full gate: tier-1 verify (release build + tests) plus formatting and
+# lints. Run before sending a PR; CI runs exactly this.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "ci: all green"

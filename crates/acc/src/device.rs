@@ -127,7 +127,10 @@ impl Device {
     /// device address (UVA-style); OpenCL devices additionally reserve a
     /// host shadow range and return a handle+mapped pointer (§3.4).
     pub fn alloc(&self, len: u64) -> Result<DevAlloc, MemError> {
-        let region = self.inner.space.alloc(MemSpace::Device(self.inner.idx), len)?;
+        let region = self
+            .inner
+            .space
+            .alloc(MemSpace::Device(self.inner.idx), len)?;
         match self.inner.spec.kind {
             DeviceKind::OpenClMic => {
                 let shadow = self.inner.space.alloc_with_backing(
@@ -193,6 +196,14 @@ impl Device {
         }
         ctx.metrics().add(tag, bytes);
         ctx.metrics().add(tkey, end.since(issue).0);
+        ctx.span(tag, issue, end, || {
+            vec![
+                ("bytes", bytes.to_string()),
+                ("device", format!("n{}.d{}", d.node, d.idx)),
+                ("far", far.to_string()),
+                ("pinned", pinned.to_string()),
+            ]
+        });
     }
 
     /// Enqueue an asynchronous host<->device copy on `q`.
@@ -210,7 +221,15 @@ impl Device {
     ) -> Latch {
         let this = self.clone();
         q.enqueue(ctx, "copy", move |qctx| {
-            this.perform_copy(qctx, dir, far, pinned, (&host.0, host.1), (&dev.0, dev.1), bytes);
+            this.perform_copy(
+                qctx,
+                dir,
+                far,
+                pinned,
+                (&host.0, host.1),
+                (&dev.0, dev.1),
+                bytes,
+            );
         })
     }
 
@@ -235,6 +254,16 @@ impl Device {
         Backing::copy(src.0, src.1, dst.0, dst.1, bytes);
         ctx.metrics().add(tags::DTOD, bytes);
         ctx.metrics().add("t_DtoD", end.since(issue).0);
+        ctx.span(tags::DTOD, issue, end, || {
+            vec![
+                ("bytes", bytes.to_string()),
+                ("src", format!("n{}.d{}", d.node, d.idx)),
+                (
+                    "dst",
+                    format!("n{}.d{}", dst_dev.inner.node, dst_dev.inner.idx),
+                ),
+            ]
+        });
     }
 
     /// Perform (blocking) a kernel: reserve the device's compute engine for
@@ -256,8 +285,18 @@ impl Device {
         let d = &self.inner;
         ctx.advance(d.res.launch_overhead(d.spec.kind), tags::OVERHEAD);
         let dur = d.res.kernel_dur_cfg(d.node, d.idx, cost, cfg);
-        let (_, end) = d.compute.reserve(ctx, dur);
+        let issue = ctx.now();
+        let (start, end) = d.compute.reserve(ctx, dur);
         ctx.advance_until(end, tags::KERNEL);
+        if start > issue {
+            // Contention on the device's serial compute engine.
+            ctx.span("queue_wait", issue, start, || {
+                vec![("resource", format!("n{}.d{}.compute", d.node, d.idx))]
+            });
+        }
+        ctx.span(tags::KERNEL, start, end, || {
+            vec![("device", format!("n{}.d{}", d.node, d.idx))]
+        });
         f();
     }
 
@@ -377,12 +416,24 @@ mod tests {
             // Same direction on one queue: serialize.
             let t0 = ctx.now();
             let l1 = dev.enqueue_copy(
-                ctx, &q1, HdDir::HtoD, false, true,
-                (host.backing.clone(), 0), (a.region.backing.clone(), 0), 1 << 20,
+                ctx,
+                &q1,
+                HdDir::HtoD,
+                false,
+                true,
+                (host.backing.clone(), 0),
+                (a.region.backing.clone(), 0),
+                1 << 20,
             );
             let l2 = dev.enqueue_copy(
-                ctx, &q1, HdDir::HtoD, false, true,
-                (host.backing.clone(), 0), (a.region.backing.clone(), 0), 1 << 20,
+                ctx,
+                &q1,
+                HdDir::HtoD,
+                false,
+                true,
+                (host.backing.clone(), 0),
+                (a.region.backing.clone(), 0),
+                1 << 20,
             );
             l1.wait(ctx, "w");
             l2.wait(ctx, "w");
@@ -391,12 +442,24 @@ mod tests {
             // Opposite directions on two queues: overlap on full-duplex PCIe.
             let t1 = ctx.now();
             let l3 = dev.enqueue_copy(
-                ctx, &q1, HdDir::HtoD, false, true,
-                (host.backing.clone(), 0), (a.region.backing.clone(), 0), 1 << 20,
+                ctx,
+                &q1,
+                HdDir::HtoD,
+                false,
+                true,
+                (host.backing.clone(), 0),
+                (a.region.backing.clone(), 0),
+                1 << 20,
             );
             let l4 = dev.enqueue_copy(
-                ctx, &q2, HdDir::DtoH, false, true,
-                (host.backing.clone(), 0), (a.region.backing.clone(), 0), 1 << 20,
+                ctx,
+                &q2,
+                HdDir::DtoH,
+                false,
+                true,
+                (host.backing.clone(), 0),
+                (a.region.backing.clone(), 0),
+                1 << 20,
             );
             l3.wait(ctx, "w");
             l4.wait(ctx, "w");
@@ -414,10 +477,26 @@ mod tests {
             let host = space.alloc(MemSpace::Host, 64 << 20).unwrap();
             let a = dev.alloc(64 << 20).unwrap();
             let t0 = ctx.now();
-            dev.perform_copy(ctx, HdDir::HtoD, false, true, (&host.backing, 0), (&a.region.backing, 0), 64 << 20);
+            dev.perform_copy(
+                ctx,
+                HdDir::HtoD,
+                false,
+                true,
+                (&host.backing, 0),
+                (&a.region.backing, 0),
+                64 << 20,
+            );
             let near = ctx.now().since(t0);
             let t1 = ctx.now();
-            dev.perform_copy(ctx, HdDir::HtoD, true, true, (&host.backing, 0), (&a.region.backing, 0), 64 << 20);
+            dev.perform_copy(
+                ctx,
+                HdDir::HtoD,
+                true,
+                true,
+                (&host.backing, 0),
+                (&a.region.backing, 0),
+                64 << 20,
+            );
             let far = ctx.now().since(t1);
             let ratio = far.as_secs_f64() / near.as_secs_f64();
             assert!(ratio > 3.0 && ratio < 4.0, "ratio = {ratio}");
@@ -431,7 +510,13 @@ mod tests {
             let a = dev0.alloc(1 << 20).unwrap();
             let b = dev1.alloc(1 << 20).unwrap();
             a.region.backing.write(100, &[7; 8]);
-            dev0.perform_p2p(ctx, &dev1, (&a.region.backing, 0), (&b.region.backing, 0), 1 << 20);
+            dev0.perform_p2p(
+                ctx,
+                &dev1,
+                (&a.region.backing, 0),
+                (&b.region.backing, 0),
+                1 << 20,
+            );
             let mut out = [0u8; 8];
             b.region.backing.read(100, &mut out);
             assert_eq!(out, [7; 8]);
@@ -489,7 +574,15 @@ mod tests {
             let host = space.alloc(MemSpace::Host, 1 << 20).unwrap();
             let a = dev.alloc(1 << 20).unwrap();
             let t0 = ctx.now();
-            dev.perform_copy(ctx, HdDir::HtoD, false, true, (&host.backing, 0), (&a.region.backing, 0), 1 << 20);
+            dev.perform_copy(
+                ctx,
+                HdDir::HtoD,
+                false,
+                true,
+                (&host.backing, 0),
+                (&a.region.backing, 0),
+                1 << 20,
+            );
             // No driver overhead, host-memcpy speed.
             let dt = ctx.now().since(t0).as_secs_f64();
             assert!(dt < 60e-6, "dt = {dt}");

@@ -14,12 +14,13 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use impacc_vtime::{Ctx, Latch, Notify, WakeReason};
+use impacc_vtime::{Ctx, Latch, Notify, SimTime, WakeReason};
 use parking_lot::Mutex;
 
 /// An operation waiting on a queue.
 struct QueuedOp {
     label: &'static str,
+    enq_at: SimTime,
     exec: Box<dyn FnOnce(&Ctx) + Send>,
     done: Latch,
 }
@@ -55,6 +56,13 @@ impl ActivityQueue {
             let op = inner.ops.lock().pop_front();
             match op {
                 Some(op) => {
+                    let started = qctx.now();
+                    if started > op.enq_at {
+                        // Time the op sat behind earlier work on this queue.
+                        qctx.span("queue_wait", op.enq_at, started, || {
+                            vec![("op", op.label.to_string())]
+                        });
+                    }
                     (op.exec)(qctx);
                     op.done.open(qctx);
                     *inner.pending.lock() -= 1;
@@ -89,6 +97,7 @@ impl ActivityQueue {
             let mut ops = self.inner.ops.lock();
             ops.push_back(QueuedOp {
                 label,
+                enq_at: ctx.now(),
                 exec: Box::new(exec),
                 done: done.clone(),
             });

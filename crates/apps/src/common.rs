@@ -1,8 +1,10 @@
 //! Shared helpers for the benchmark applications.
 
+use std::sync::Arc;
+
 use impacc_core::{BufView, Launch, RunSummary, RuntimeOptions, TaskCtx};
 use impacc_machine::MachineSpec;
-use impacc_vtime::SimError;
+use impacc_vtime::{SimError, SpanSink};
 
 /// Row-block partition of `n` items over `p` parts: part `i` gets
 /// `counts[i]` items starting at `offsets[i]` (ragged when `p ∤ n`).
@@ -55,9 +57,27 @@ pub fn launch_app<F>(
 where
     F: Fn(&TaskCtx) + Send + Sync + 'static,
 {
+    launch_app_sink(spec, options, phys_cap, None, app)
+}
+
+/// [`launch_app`] with an optional span sink (e.g. an
+/// `impacc_obs::Recorder`) attached for timeline capture.
+pub fn launch_app_sink<F>(
+    spec: MachineSpec,
+    options: RuntimeOptions,
+    phys_cap: Option<u64>,
+    sink: Option<Arc<dyn SpanSink>>,
+    app: F,
+) -> Result<RunSummary, SimError>
+where
+    F: Fn(&TaskCtx) + Send + Sync + 'static,
+{
     let mut l = Launch::new(spec, options);
     if let Some(cap) = phys_cap {
         l = l.phys_cap(cap);
+    }
+    if let Some(sink) = sink {
+        l = l.span_sink(sink);
     }
     l.run(app)
 }

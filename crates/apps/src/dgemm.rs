@@ -163,7 +163,14 @@ pub fn dgemm_task(tc: &TaskCtx, p: &DgemmParams) {
             tc.acc_update_device(&b, 0, b.len, Some(1));
             tc.acc_kernel(Some(1), cost, gemm);
             if rank != 0 {
-                tc.mpi_send(&c_block, 0, c_block.len, 0, TAG_C, MpiOpts::device().on_queue(1));
+                tc.mpi_send(
+                    &c_block,
+                    0,
+                    c_block.len,
+                    0,
+                    TAG_C,
+                    MpiOpts::device().on_queue(1),
+                );
             } else {
                 tc.acc_update_host(&c_block, 0, c_block.len, Some(1));
             }
@@ -263,7 +270,10 @@ mod tests {
             presets::test_cluster(1, 4),
             RuntimeOptions::impacc(),
             None,
-            DgemmParams { n: 24, verify: true },
+            DgemmParams {
+                n: 24,
+                verify: true,
+            },
         )
         .unwrap();
         // Inputs were read-only: A-slices and B aliased node-locally.
@@ -276,7 +286,10 @@ mod tests {
             presets::test_cluster(1, 4),
             RuntimeOptions::baseline(),
             None,
-            DgemmParams { n: 24, verify: true },
+            DgemmParams {
+                n: 24,
+                verify: true,
+            },
         )
         .unwrap();
     }
@@ -288,7 +301,10 @@ mod tests {
                 presets::test_cluster(2, 2),
                 opts,
                 None,
-                DgemmParams { n: 20, verify: true },
+                DgemmParams {
+                    n: 20,
+                    verify: true,
+                },
             )
             .unwrap();
         }
@@ -301,7 +317,10 @@ mod tests {
             presets::test_cluster(1, 4),
             RuntimeOptions::impacc(),
             None,
-            DgemmParams { n: 10, verify: true },
+            DgemmParams {
+                n: 10,
+                verify: true,
+            },
         )
         .unwrap();
     }
@@ -312,7 +331,10 @@ mod tests {
             presets::test_cluster(1, 1),
             RuntimeOptions::impacc(),
             None,
-            DgemmParams { n: 16, verify: true },
+            DgemmParams {
+                n: 16,
+                verify: true,
+            },
         )
         .unwrap();
     }
@@ -351,14 +373,20 @@ mod tests {
             presets::test_cluster(1, 2),
             RuntimeOptions::impacc(),
             None,
-            DgemmParams { n: 64, verify: false },
+            DgemmParams {
+                n: 64,
+                verify: false,
+            },
         )
         .unwrap();
         let capped = run_dgemm(
             presets::test_cluster(1, 2),
             RuntimeOptions::impacc(),
             Some(512),
-            DgemmParams { n: 64, verify: false },
+            DgemmParams {
+                n: 64,
+                verify: false,
+            },
         )
         .unwrap();
         assert_eq!(full.report.end_time, capped.report.end_time);

@@ -88,9 +88,7 @@ const MOD_MASK: u64 = (1 << 46) - 1;
 impl NpbRng {
     /// Seed the generator (NPB uses 271828183).
     pub fn new(seed: u64) -> NpbRng {
-        NpbRng {
-            x: seed & MOD_MASK,
-        }
+        NpbRng { x: seed & MOD_MASK }
     }
 
     /// Jump the generator forward by `k` steps in O(log k) (NPB's

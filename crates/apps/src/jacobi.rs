@@ -9,11 +9,13 @@
 //! effect). The baseline stages: `update host`, host MPI, `update device`
 //! every sweep.
 
+use std::sync::Arc;
+
 use impacc_core::{HBuf, MpiOpts, RunSummary, RuntimeOptions, TaskCtx};
 use impacc_machine::{KernelCost, MachineSpec};
-use impacc_vtime::SimError;
+use impacc_vtime::{SimError, SpanSink};
 
-use crate::common::{launch_app, math_ok, BlockPartition};
+use crate::common::{launch_app_sink, math_ok, BlockPartition};
 
 /// Jacobi workload parameters.
 #[derive(Clone, Debug)]
@@ -54,7 +56,9 @@ pub fn serial_jacobi(n: usize, iters: usize) -> Vec<f64> {
         for i in 1..=n {
             for j in 1..n - 1 {
                 v[i * n + j] = 0.25
-                    * (u[(i - 1) * n + j] + u[(i + 1) * n + j] + u[i * n + j - 1]
+                    * (u[(i - 1) * n + j]
+                        + u[(i + 1) * n + j]
+                        + u[i * n + j - 1]
                         + u[i * n + j + 1]);
             }
         }
@@ -106,6 +110,11 @@ pub fn jacobi_task(tc: &TaskCtx, p: &JacobiParams) {
         (rows + 2) as f64 * n as f64 * 16.0,
     );
 
+    // Setup (allocation + copyin) ends here; trace consumers cut on this
+    // marker to attribute copies to the sweeps alone.
+    tc.ctx()
+        .event("marker", || vec![("phase", "sweep".to_string())]);
+
     for _ in 0..p.iters {
         if rows > 0 {
             // ---- halo exchange on u -------------------------------------
@@ -113,28 +122,77 @@ pub fn jacobi_task(tc: &TaskCtx, p: &JacobiParams) {
                 // Device-resident halos on the unified activity queue: the
                 // sends complete at issue, the receives gate the kernel.
                 if let Some(upr) = up {
-                    tc.mpi_send(&u, row_bytes, row_bytes, upr, TAG_UP, MpiOpts::device().on_queue(1));
+                    tc.mpi_send(
+                        &u,
+                        row_bytes,
+                        row_bytes,
+                        upr,
+                        TAG_UP,
+                        MpiOpts::device().on_queue(1),
+                    );
                 }
                 if let Some(dn) = down {
-                    tc.mpi_send(&u, rows as u64 * row_bytes, row_bytes, dn, TAG_DOWN, MpiOpts::device().on_queue(1));
+                    tc.mpi_send(
+                        &u,
+                        rows as u64 * row_bytes,
+                        row_bytes,
+                        dn,
+                        TAG_DOWN,
+                        MpiOpts::device().on_queue(1),
+                    );
                 }
                 if let Some(upr) = up {
-                    tc.mpi_recv(&u, 0, row_bytes, upr, TAG_DOWN, MpiOpts::device().on_queue(1));
+                    tc.mpi_recv(
+                        &u,
+                        0,
+                        row_bytes,
+                        upr,
+                        TAG_DOWN,
+                        MpiOpts::device().on_queue(1),
+                    );
                 }
                 if let Some(dn) = down {
-                    tc.mpi_recv(&u, (rows as u64 + 1) * row_bytes, row_bytes, dn, TAG_UP, MpiOpts::device().on_queue(1));
+                    tc.mpi_recv(
+                        &u,
+                        (rows as u64 + 1) * row_bytes,
+                        row_bytes,
+                        dn,
+                        TAG_UP,
+                        MpiOpts::device().on_queue(1),
+                    );
                 }
             } else if impacc {
                 // IMPACC without the unified queue (ablation): unified
                 // device-buffer calls, explicit blocking order.
                 let mut reqs = Vec::new();
                 if let Some(upr) = up {
-                    reqs.push(tc.mpi_isend(&u, row_bytes, row_bytes, upr, TAG_UP, MpiOpts::device()));
+                    reqs.push(tc.mpi_isend(
+                        &u,
+                        row_bytes,
+                        row_bytes,
+                        upr,
+                        TAG_UP,
+                        MpiOpts::device(),
+                    ));
                     reqs.push(tc.mpi_irecv(&u, 0, row_bytes, upr, TAG_DOWN, MpiOpts::device()));
                 }
                 if let Some(dn) = down {
-                    reqs.push(tc.mpi_isend(&u, rows as u64 * row_bytes, row_bytes, dn, TAG_DOWN, MpiOpts::device()));
-                    reqs.push(tc.mpi_irecv(&u, (rows as u64 + 1) * row_bytes, row_bytes, dn, TAG_UP, MpiOpts::device()));
+                    reqs.push(tc.mpi_isend(
+                        &u,
+                        rows as u64 * row_bytes,
+                        row_bytes,
+                        dn,
+                        TAG_DOWN,
+                        MpiOpts::device(),
+                    ));
+                    reqs.push(tc.mpi_irecv(
+                        &u,
+                        (rows as u64 + 1) * row_bytes,
+                        row_bytes,
+                        dn,
+                        TAG_UP,
+                        MpiOpts::device(),
+                    ));
                 }
                 tc.mpi_waitall(&reqs);
             } else {
@@ -151,8 +209,22 @@ pub fn jacobi_task(tc: &TaskCtx, p: &JacobiParams) {
                     reqs.push(tc.mpi_irecv(&u, 0, row_bytes, upr, TAG_DOWN, MpiOpts::host()));
                 }
                 if let Some(dn) = down {
-                    reqs.push(tc.mpi_isend(&u, rows as u64 * row_bytes, row_bytes, dn, TAG_DOWN, MpiOpts::host()));
-                    reqs.push(tc.mpi_irecv(&u, (rows as u64 + 1) * row_bytes, row_bytes, dn, TAG_UP, MpiOpts::host()));
+                    reqs.push(tc.mpi_isend(
+                        &u,
+                        rows as u64 * row_bytes,
+                        row_bytes,
+                        dn,
+                        TAG_DOWN,
+                        MpiOpts::host(),
+                    ));
+                    reqs.push(tc.mpi_irecv(
+                        &u,
+                        (rows as u64 + 1) * row_bytes,
+                        row_bytes,
+                        dn,
+                        TAG_UP,
+                        MpiOpts::host(),
+                    ));
                 }
                 tc.mpi_waitall(&reqs);
                 if up.is_some() {
@@ -239,7 +311,14 @@ pub fn jacobi_task(tc: &TaskCtx, p: &JacobiParams) {
                 }
             }
         } else if rows > 0 {
-            tc.mpi_send(&u, row_bytes, rows as u64 * row_bytes, 0, TAG_GATHER, MpiOpts::host());
+            tc.mpi_send(
+                &u,
+                row_bytes,
+                rows as u64 * row_bytes,
+                0,
+                TAG_GATHER,
+                MpiOpts::host(),
+            );
         }
     }
     let _: (HBuf, HBuf) = (u, unew);
@@ -252,7 +331,21 @@ pub fn run_jacobi(
     phys_cap: Option<u64>,
     params: JacobiParams,
 ) -> Result<RunSummary, SimError> {
-    launch_app(spec, options, phys_cap, move |tc| jacobi_task(tc, &params))
+    run_jacobi_sink(spec, options, phys_cap, None, params)
+}
+
+/// [`run_jacobi`] with an optional span sink attached, so harnesses can
+/// capture the per-copy timeline (Figure 14's breakdown).
+pub fn run_jacobi_sink(
+    spec: MachineSpec,
+    options: RuntimeOptions,
+    phys_cap: Option<u64>,
+    sink: Option<Arc<dyn SpanSink>>,
+    params: JacobiParams,
+) -> Result<RunSummary, SimError> {
+    launch_app_sink(spec, options, phys_cap, sink, move |tc| {
+        jacobi_task(tc, &params)
+    })
 }
 
 #[cfg(test)]
@@ -333,7 +426,10 @@ mod tests {
             },
         )
         .unwrap();
-        assert!(s.report.metrics["DtoD"] > 0, "halos must fuse to peer copies");
+        assert!(
+            s.report.metrics["DtoD"] > 0,
+            "halos must fuse to peer copies"
+        );
         // Host copies exist only for the (tiny) residual allreduce, never
         // for the halo payload itself.
         let htoh = s.report.metrics.get("HtoH").copied().unwrap_or(0);

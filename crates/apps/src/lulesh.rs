@@ -120,8 +120,14 @@ pub fn lulesh_task(tc: &TaskCtx, p: &LuleshParams) {
 
     // One send and one receive buffer per direction (host heap; LULESH's
     // comm buffers are plain mallocs).
-    let send_bufs: Vec<_> = dirs.iter().map(|d| tc.malloc_f64(patch_elems(*d, s))).collect();
-    let recv_bufs: Vec<_> = dirs.iter().map(|d| tc.malloc_f64(patch_elems(*d, s))).collect();
+    let send_bufs: Vec<_> = dirs
+        .iter()
+        .map(|d| tc.malloc_f64(patch_elems(*d, s)))
+        .collect();
+    let recv_bufs: Vec<_> = dirs
+        .iter()
+        .map(|d| tc.malloc_f64(patch_elems(*d, s)))
+        .collect();
     // The element field lives on the device.
     let field = tc.malloc_f64(s * s * s);
     tc.acc_copyin(&field);

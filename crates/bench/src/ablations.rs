@@ -13,12 +13,21 @@ pub fn aliasing() -> String {
     let mut out = String::new();
     out.push_str("Ablation: node heap aliasing (DGEMM on PSG, 8 tasks)\n\n");
     let mut t = Table::new(&["n", "IMPACC", "no-aliasing", "baseline", "aliasing share"]);
-    let sizes = if quick() { vec![512] } else { vec![512, 1024, 2048, 4096] };
+    let sizes = if quick() {
+        vec![512]
+    } else {
+        vec![512, 1024, 2048, 4096]
+    };
     for n in sizes {
         let p = DgemmParams { n, verify: false };
-        let full = run_dgemm(psg_tasks(8), RuntimeOptions::impacc(), Some(4096), p.clone())
-            .unwrap()
-            .elapsed_secs();
+        let full = run_dgemm(
+            psg_tasks(8),
+            RuntimeOptions::impacc(),
+            Some(4096),
+            p.clone(),
+        )
+        .unwrap()
+        .elapsed_secs();
         let mut opts = RuntimeOptions::impacc();
         opts.aliasing = false;
         let noalias = run_dgemm(psg_tasks(8), opts, Some(4096), p.clone())
@@ -50,12 +59,21 @@ pub fn unified_queue() -> String {
     out.push_str("Ablation: unified activity queue (DGEMM on Beacon)\n\n");
     let n = if quick() { 512 } else { 2048 };
     let mut t = Table::new(&["tasks", "IMPACC", "no-unified-queue", "gain"]);
-    let counts = if quick() { vec![16] } else { vec![16, 32, 64, 128] };
+    let counts = if quick() {
+        vec![16]
+    } else {
+        vec![16, 32, 64, 128]
+    };
     for tasks in counts {
         let p = DgemmParams { n, verify: false };
-        let full = run_dgemm(beacon_tasks(tasks), RuntimeOptions::impacc(), Some(4096), p.clone())
-            .unwrap()
-            .elapsed_secs();
+        let full = run_dgemm(
+            beacon_tasks(tasks),
+            RuntimeOptions::impacc(),
+            Some(4096),
+            p.clone(),
+        )
+        .unwrap()
+        .elapsed_secs();
         let mut opts = RuntimeOptions::impacc();
         opts.unified_queue = false;
         let sync = run_dgemm(beacon_tasks(tasks), opts, Some(4096), p)
@@ -102,7 +120,11 @@ pub fn pinning() -> String {
         .unwrap()
         .elapsed_secs();
     let mut t = Table::new(&["config", "time", "vs pinned"]);
-    t.row(vec!["pinned".into(), format!("{pinned:.5}s"), "1.00x".into()]);
+    t.row(vec![
+        "pinned".into(),
+        format!("{pinned:.5}s"),
+        "1.00x".into(),
+    ]);
     t.row(vec![
         "unpinned".into(),
         format!("{unpinned:.5}s"),
@@ -182,10 +204,18 @@ mod tests {
 
     #[test]
     fn disabling_aliasing_slows_dgemm() {
-        let p = DgemmParams { n: 512, verify: false };
-        let full = run_dgemm(psg_tasks(8), RuntimeOptions::impacc(), Some(4096), p.clone())
-            .unwrap()
-            .elapsed_secs();
+        let p = DgemmParams {
+            n: 512,
+            verify: false,
+        };
+        let full = run_dgemm(
+            psg_tasks(8),
+            RuntimeOptions::impacc(),
+            Some(4096),
+            p.clone(),
+        )
+        .unwrap()
+        .elapsed_secs();
         let mut opts = RuntimeOptions::impacc();
         opts.aliasing = false;
         let noalias = run_dgemm(psg_tasks(8), opts, Some(4096), p)
@@ -198,7 +228,11 @@ mod tests {
     fn disabling_pinning_slows_lulesh() {
         // Boundary transfers must be large enough for the PCIe path to
         // outweigh scheduling noise (the paper's per-task problems are).
-        let p = LuleshParams { s: 48, iters: 3, verify: false };
+        let p = LuleshParams {
+            s: 48,
+            iters: 3,
+            verify: false,
+        };
         let skewed = || {
             let mut spec = psg_tasks(8);
             for d in &mut spec.nodes[0].devices {

@@ -1,4 +1,4 @@
 //! See `impacc_bench::fig12`.
 fn main() {
-    println!("{}", impacc_bench::fig12::run());
+    impacc_bench::util::bench_main("fig12", impacc_bench::fig12::run);
 }

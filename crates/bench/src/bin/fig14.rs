@@ -1,4 +1,9 @@
-//! See `impacc_bench::fig13::run_fig14`.
+//! See `impacc_bench::fig13::run_fig14`. Pass `--trace out.json` to also
+//! dump a merged IMPACC + baseline Chrome trace and the span-derived copy
+//! breakdown.
 fn main() {
-    println!("{}", impacc_bench::fig13::run_fig14());
+    let trace = impacc_bench::util::trace_arg();
+    impacc_bench::util::bench_main("fig14", || {
+        impacc_bench::fig13::run_fig14_traced(trace.as_deref())
+    });
 }

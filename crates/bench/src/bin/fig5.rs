@@ -1,4 +1,6 @@
-//! See `impacc_bench::fig5`.
+//! See `impacc_bench::fig5`. Pass `--trace out.json` to also dump a merged
+//! Chrome trace of the three synchronization styles.
 fn main() {
-    println!("{}", impacc_bench::fig5::run());
+    let trace = impacc_bench::util::trace_arg();
+    impacc_bench::util::bench_main("fig5", || impacc_bench::fig5::run_traced(trace.as_deref()));
 }

@@ -1,5 +1,9 @@
 //! Table 1: the target heterogeneous accelerator systems.
 fn main() {
-    println!("Table 1: target systems (as modelled)\n");
-    println!("{}", impacc_machine::presets::table1());
+    impacc_bench::util::bench_main("table1", || {
+        format!(
+            "Table 1: target systems (as modelled)\n\n{}",
+            impacc_machine::presets::table1()
+        )
+    });
 }

@@ -19,13 +19,7 @@ use crate::specs::{beacon_tasks, psg_tasks, titan_tasks};
 use crate::util::{comm_secs, copy_secs, full, kernel_secs, quick, Table};
 
 fn dgemm(spec: impacc_machine::MachineSpec, opts: RuntimeOptions, n: usize) -> RunSummary {
-    run_dgemm(
-        spec,
-        opts,
-        Some(4096),
-        DgemmParams { n, verify: false },
-    )
-    .expect("dgemm run")
+    run_dgemm(spec, opts, Some(4096), DgemmParams { n, verify: false }).expect("dgemm run")
 }
 
 /// The PSG matrix sizes for panels (a)–(d).
@@ -99,7 +93,11 @@ pub fn run() -> String {
             format!("{:.2}x", b / i),
         ]);
     }
-    out.push_str(&format!("Titan, {0}x{0} (normalized to 128-task MPI+X):\n{1}\n", n, t.render()));
+    out.push_str(&format!(
+        "Titan, {0}x{0} (normalized to 128-task MPI+X):\n{1}\n",
+        n,
+        t.render()
+    ));
 
     out.push_str(
         "paper: baseline degrades on small PSG matrices while IMPACC scales;\n\
@@ -122,7 +120,12 @@ pub fn run_fig11() -> String {
             s.elapsed_secs()
         };
         let mut t = Table::new(&[
-            "tasks", "runtime", "kernel", "copies", "comm", "total(norm)",
+            "tasks",
+            "runtime",
+            "kernel",
+            "copies",
+            "comm",
+            "total(norm)",
         ]);
         for tasks in [1usize, 2, 4, 8] {
             for (label, opts) in [

@@ -72,7 +72,11 @@ pub fn run() -> String {
     } else {
         vec![128, 256, 512, 1024, 2048]
     };
-    let base = ep(titan_tasks(counts[0]), RuntimeOptions::baseline(), EpClass::E64);
+    let base = ep(
+        titan_tasks(counts[0]),
+        RuntimeOptions::baseline(),
+        EpClass::E64,
+    );
     let mut t = Table::new(&["tasks", "IMPACC", "MPI+OpenACC"]);
     for tasks in counts {
         let i = ep(titan_tasks(tasks), RuntimeOptions::impacc(), EpClass::E64);
@@ -83,7 +87,10 @@ pub fn run() -> String {
             format!("{:.2}x", base / b),
         ]);
     }
-    out.push_str(&format!("Titan, class 64xE (normalized to 128-task MPI+X):\n{}\n", t.render()));
+    out.push_str(&format!(
+        "Titan, class 64xE (normalized to 128-task MPI+X):\n{}\n",
+        t.render()
+    ));
 
     out.push_str(
         "paper: near-linear for big classes, flat for small ones;\n\
@@ -112,7 +119,10 @@ mod tests {
         let te1 = ep(psg_tasks(1), RuntimeOptions::impacc(), EpClass::E);
         let te8 = ep(psg_tasks(8), RuntimeOptions::impacc(), EpClass::E);
         let le = te1 / te8;
-        assert!(se < le, "class S speedup {se:.2} should trail class E {le:.2}");
+        assert!(
+            se < le,
+            "class S speedup {se:.2} should trail class E {le:.2}"
+        );
     }
 
     #[test]

@@ -7,8 +7,9 @@
 //! Figure 14: total device-to-device communication time on PSG — IMPACC's
 //! single direct DtoD transfer vs the baseline's DtoH + HtoH + HtoD chain.
 
-use impacc_apps::{run_jacobi, JacobiParams};
+use impacc_apps::{run_jacobi, run_jacobi_sink, JacobiParams};
 use impacc_core::{RunSummary, RuntimeOptions};
+use impacc_obs::{breakdown, chrome, Recorder};
 
 use crate::specs::{beacon_tasks, psg_tasks, titan_tasks};
 use crate::util::{quick, Table};
@@ -120,7 +121,11 @@ pub fn run() -> String {
             format!("{:.2}x", base / b),
         ]);
     }
-    out.push_str(&format!("Titan, {0}x{0} mesh (normalized to 128-task MPI+X):\n{1}\n", n, t.render()));
+    out.push_str(&format!(
+        "Titan, {0}x{0} mesh (normalized to 128-task MPI+X):\n{1}\n",
+        n,
+        t.render()
+    ));
     out.push_str(
         "paper: IMPACC ahead on PSG via direct DtoD halos; on Beacon the gap\n\
          opens as communication dominates (16-64 tasks); communication-bound\n\
@@ -131,17 +136,29 @@ pub fn run() -> String {
 
 /// Run Figure 14 (DtoD communication-time breakdown on PSG).
 pub fn run_fig14() -> String {
+    run_fig14_traced(None)
+}
+
+/// [`run_fig14`], optionally dumping a Chrome trace of one IMPACC and one
+/// baseline Jacobi run (merged as two trace processes) to `trace`, and
+/// appending a span-derived copy breakdown that reproduces the figure's
+/// stacks directly from the timeline.
+pub fn run_fig14_traced(trace: Option<&str>) -> String {
     let mut out = String::new();
-    out.push_str(
-        "Figure 14: Jacobi device-to-device communication time on PSG (ms aggregate)\n\n",
-    );
+    out.push_str("Figure 14: Jacobi device-to-device communication time on PSG (ms aggregate)\n\n");
     let sizes = if quick() {
         vec![1024]
     } else {
         vec![2048, 4096, 8192]
     };
     let mut t = Table::new(&[
-        "tasks", "mesh", "IMPACC DtoD", "MPI+X DtoH", "MPI+X HtoH", "MPI+X HtoD", "MPI+X total",
+        "tasks",
+        "mesh",
+        "IMPACC DtoD",
+        "MPI+X DtoH",
+        "MPI+X HtoH",
+        "MPI+X HtoD",
+        "MPI+X total",
     ]);
     for &n in &sizes {
         for tasks in [2usize, 4, 8] {
@@ -168,6 +185,67 @@ pub fn run_fig14() -> String {
         "\npaper: IMPACC needs a single direct transfer over PCIe; MPI+OpenACC\n\
          adds host CPU and system-memory hops (DtoH + HtoH + HtoD).\n",
     );
+    if let Some(path) = trace {
+        out.push('\n');
+        out.push_str(&trace_fig14(path));
+    }
+    out
+}
+
+/// Capture one IMPACC and one baseline Jacobi run with a span recorder,
+/// write the merged Chrome trace to `path`, and return the span-derived
+/// copy breakdown (sweep phase only — the setup `copyin`s are cut off at
+/// the jacobi `phase=sweep` marker).
+fn trace_fig14(path: &str) -> String {
+    let n = if quick() { 1024 } else { 4096 };
+    let tasks = 4;
+    let traced = |opts: RuntimeOptions| {
+        let rec = Recorder::new();
+        run_jacobi_sink(
+            psg_tasks(tasks),
+            opts,
+            Some(4096),
+            Some(rec.sink()),
+            JacobiParams {
+                n,
+                iters: ITERS,
+                verify: false,
+            },
+        )
+        .expect("jacobi run");
+        rec.spans()
+    };
+    let i_spans = traced(RuntimeOptions::impacc());
+    let b_spans = traced(RuntimeOptions::baseline());
+
+    let mut out = format!(
+        "Span-derived sweep copy breakdown ({tasks} tasks, {n}x{n} mesh; baseline = 1.0):\n"
+    );
+    let rows = vec![
+        breakdown::CopyBreakdown::from_spans(
+            "MPI+OpenACC",
+            &b_spans,
+            breakdown::phase_entered(&b_spans, "sweep"),
+        ),
+        breakdown::CopyBreakdown::from_spans(
+            "IMPACC",
+            &i_spans,
+            breakdown::phase_entered(&i_spans, "sweep"),
+        ),
+    ];
+    out.push_str(&breakdown::copy_table(&rows));
+
+    match chrome::write_trace_groups(
+        std::path::Path::new(path),
+        &[("impacc", &i_spans), ("baseline", &b_spans)],
+    ) {
+        Ok(()) => out.push_str(&format!(
+            "\nChrome trace written to {path} ({} + {} spans); open via ui.perfetto.dev\n",
+            i_spans.len(),
+            b_spans.len()
+        )),
+        Err(e) => out.push_str(&format!("\nwarning: could not write {path}: {e}\n")),
+    }
     out
 }
 
@@ -189,6 +267,68 @@ mod tests {
             b_chain > 2.0 * i_dtod,
             "baseline chain {b_chain} vs IMPACC DtoD {i_dtod}"
         );
+    }
+
+    fn traced_spans(opts: RuntimeOptions, n: usize) -> Vec<impacc_obs::Span> {
+        let rec = Recorder::new();
+        run_jacobi_sink(
+            psg_tasks(4),
+            opts,
+            Some(4096),
+            Some(rec.sink()),
+            JacobiParams {
+                n,
+                iters: 10,
+                verify: false,
+            },
+        )
+        .unwrap();
+        rec.spans()
+    }
+
+    #[test]
+    fn span_breakdown_reproduces_fig14_ratio() {
+        // The acceptance shape: per-copy-kind span totals (sweep phase
+        // only) must show IMPACC's direct DtoD as a fraction of the
+        // baseline's DtoH + HtoH + HtoD chain.
+        let i = traced_spans(RuntimeOptions::impacc(), 1024);
+        let b = traced_spans(RuntimeOptions::baseline(), 1024);
+        let ib =
+            breakdown::CopyBreakdown::from_spans("i", &i, breakdown::phase_entered(&i, "sweep"));
+        let bb =
+            breakdown::CopyBreakdown::from_spans("b", &b, breakdown::phase_entered(&b, "sweep"));
+        let chain = bb.secs[0] + bb.secs[1] + bb.secs[2]; // HtoH + HtoD + DtoH
+        assert!(ib.secs[3] > 0.0, "IMPACC sweep must run on DtoD spans");
+        assert!(
+            chain > 2.0 * ib.secs[3],
+            "baseline chain {chain} vs IMPACC DtoD {}",
+            ib.secs[3]
+        );
+        let doc = chrome::trace_groups(&[("impacc", &i), ("baseline", &b)]);
+        assert!(chrome::structurally_valid(&doc));
+    }
+
+    #[test]
+    fn tracing_does_not_perturb_virtual_time() {
+        let p = JacobiParams {
+            n: 512,
+            iters: 5,
+            verify: false,
+        };
+        for opts in [RuntimeOptions::impacc(), RuntimeOptions::baseline()] {
+            let plain = run_jacobi(psg_tasks(2), opts, Some(4096), p.clone()).unwrap();
+            let rec = Recorder::new();
+            let traced =
+                run_jacobi_sink(psg_tasks(2), opts, Some(4096), Some(rec.sink()), p.clone())
+                    .unwrap();
+            assert!(rec.span_count() > 0);
+            assert_eq!(
+                plain.elapsed_secs().to_bits(),
+                traced.elapsed_secs().to_bits(),
+                "recording must not change virtual time"
+            );
+            assert_eq!(plain.report.metrics, traced.report.metrics);
+        }
     }
 
     #[test]

@@ -60,7 +60,11 @@ pub fn run() -> String {
     let s = s_beacon;
     let base1 = lulesh(beacon_tasks(1), RuntimeOptions::baseline(), s);
     let mut t = Table::new(&["tasks", "IMPACC", "MPI+OpenACC", "IMPACC/MPI+X"]);
-    let counts: Vec<usize> = if quick() { vec![1, 8] } else { vec![1, 8, 27, 64, 125] };
+    let counts: Vec<usize> = if quick() {
+        vec![1, 8]
+    } else {
+        vec![1, 8, 27, 64, 125]
+    };
     for tasks in counts {
         let i = lulesh(beacon_tasks(tasks), RuntimeOptions::impacc(), s);
         let b = lulesh(beacon_tasks(tasks), RuntimeOptions::baseline(), s);
@@ -94,7 +98,10 @@ pub fn run() -> String {
             format!("{:.3}", i / b),
         ]);
     }
-    out.push_str(&format!("Titan (normalized to 125-task MPI+X):\n{}\n", t.render()));
+    out.push_str(&format!(
+        "Titan (normalized to 125-task MPI+X):\n{}\n",
+        t.render()
+    ));
     out.push_str(
         "paper: IMPACC faster on PSG (pinning + fusion), ~5% slower on Beacon\n\
          (handler/message-command overhead, nothing to fuse), both ~linear on\n\

@@ -14,6 +14,7 @@
 use impacc_apps::math_ok;
 use impacc_core::{Launch, MpiOpts, RunSummary, RuntimeOptions, TaskCtx};
 use impacc_machine::{presets, KernelCost, MachineSpec};
+use impacc_obs::{chrome, Recorder};
 
 use crate::util::Table;
 
@@ -104,14 +105,19 @@ fn spec() -> MachineSpec {
 
 /// Run one style; returns the summary.
 pub fn run_style(style: Style) -> RunSummary {
+    run_style_rec(style, None)
+}
+
+fn run_style_rec(style: Style, rec: Option<&Recorder>) -> RunSummary {
     let opts = match style {
         Style::UnifiedQueue => RuntimeOptions::impacc(),
         _ => RuntimeOptions::baseline(),
     };
-    Launch::new(spec(), opts)
-        .phys_cap(4096)
-        .run(move |tc| exchange(tc, style))
-        .expect("figure 5 run")
+    let mut l = Launch::new(spec(), opts).phys_cap(4096);
+    if let Some(rec) = rec {
+        l = l.recorder(rec);
+    }
+    l.run(move |tc| exchange(tc, style)).expect("figure 5 run")
 }
 
 /// Host time stalled on synchronization or blocking transfers (MPI waits,
@@ -134,18 +140,26 @@ pub fn host_blocked_secs(s: &RunSummary) -> f64 {
 
 /// Run Figure 5; returns the rendered report.
 pub fn run() -> String {
+    run_traced(None)
+}
+
+/// [`run`], optionally dumping a merged Chrome trace of the three styles
+/// (one trace process each) to `trace` — the figure's timelines, live.
+pub fn run_traced(trace: Option<&str>) -> String {
     let mut out = String::new();
     out.push_str(
         "Figures 4/5: synchronization timelines for one kernel-send-recv-kernel\n\
          exchange (2 MiB buffers, two GPUs on one PSG node)\n\n",
     );
     let mut t = Table::new(&["style", "total", "host blocked", "blocked %"]);
+    let mut groups = Vec::new();
     for (name, style) in [
         ("(a) synchronous", Style::Synchronous),
         ("(b) async + waits", Style::AsyncWithWaits),
         ("(c) unified queue", Style::UnifiedQueue),
     ] {
-        let s = run_style(style);
+        let rec = trace.map(|_| Recorder::new());
+        let s = run_style_rec(style, rec.as_ref());
         let total = s.elapsed_secs();
         let blocked = host_blocked_secs(&s);
         t.row(vec![
@@ -154,6 +168,9 @@ pub fn run() -> String {
             format!("{:.1}us", blocked * 1e6),
             format!("{:.0}%", blocked / total * 100.0),
         ]);
+        if let Some(rec) = rec {
+            groups.push((name, rec.spans()));
+        }
     }
     out.push_str(&t.render());
     out.push_str(
@@ -161,6 +178,19 @@ pub fn run() -> String {
          parts but still synchronizes across the MPI/OpenACC boundary; (c)\n\
          keeps the host free until one final wait, and runs fastest.\n",
     );
+    if let Some(path) = trace {
+        let refs: Vec<(&str, &[impacc_obs::Span])> = groups
+            .iter()
+            .map(|(name, spans)| (*name, spans.as_slice()))
+            .collect();
+        match chrome::write_trace_groups(std::path::Path::new(path), &refs) {
+            Ok(()) => out.push_str(&format!(
+                "\nChrome trace written to {path} ({} spans); open via ui.perfetto.dev\n",
+                groups.iter().map(|(_, s)| s.len()).sum::<usize>()
+            )),
+            Err(e) => out.push_str(&format!("\nwarning: could not write {path}: {e}\n")),
+        }
+    }
     out
 }
 
@@ -194,7 +224,11 @@ mod tests {
     fn all_styles_compute_the_same_thing() {
         // The data assertions live inside the kernels; full backing makes
         // them real.
-        for style in [Style::Synchronous, Style::AsyncWithWaits, Style::UnifiedQueue] {
+        for style in [
+            Style::Synchronous,
+            Style::AsyncWithWaits,
+            Style::UnifiedQueue,
+        ] {
             let opts = match style {
                 Style::UnifiedQueue => RuntimeOptions::impacc(),
                 _ => RuntimeOptions::baseline(),

@@ -82,12 +82,15 @@ mod tests {
 
     #[test]
     fn far_penalty_grows_with_size_on_psg() {
-        let small_ratio =
-            copy_time(presets::psg(), HdDir::HtoD, true, 64) / copy_time(presets::psg(), HdDir::HtoD, false, 64);
+        let small_ratio = copy_time(presets::psg(), HdDir::HtoD, true, 64)
+            / copy_time(presets::psg(), HdDir::HtoD, false, 64);
         let big_ratio = copy_time(presets::psg(), HdDir::HtoD, true, 1 << 28)
             / copy_time(presets::psg(), HdDir::HtoD, false, 1 << 28);
         assert!(small_ratio < 1.3, "latency-bound: {small_ratio}");
-        assert!(big_ratio > 3.0 && big_ratio < 4.0, "bandwidth-bound: {big_ratio}");
+        assert!(
+            big_ratio > 3.0 && big_ratio < 4.0,
+            "bandwidth-bound: {big_ratio}"
+        );
     }
 
     #[test]

@@ -47,7 +47,11 @@ pub fn measure(spec: MachineSpec, options: RuntimeOptions, kind: Kind, bytes: u6
             let tag = i as i32;
             if tc.rank() == 0 {
                 if impacc {
-                    let o = if send_dev { MpiOpts::device() } else { MpiOpts::host() };
+                    let o = if send_dev {
+                        MpiOpts::device()
+                    } else {
+                        MpiOpts::host()
+                    };
                     tc.mpi_send(&buf, 0, bytes, 1, tag, o);
                 } else {
                     // Baseline: stage the device buffer through the host.
@@ -58,7 +62,11 @@ pub fn measure(spec: MachineSpec, options: RuntimeOptions, kind: Kind, bytes: u6
                 }
             } else {
                 if impacc {
-                    let o = if recv_dev { MpiOpts::device() } else { MpiOpts::host() };
+                    let o = if recv_dev {
+                        MpiOpts::device()
+                    } else {
+                        MpiOpts::host()
+                    };
                     tc.mpi_recv(&buf, 0, bytes, 0, tag, o);
                 } else {
                     tc.mpi_recv(&buf, 0, bytes, 0, tag, MpiOpts::host());
@@ -85,19 +93,46 @@ fn two_device_node(mut spec: MachineSpec) -> MachineSpec {
     spec
 }
 
+/// One Fig 9 panel: label, machine under test, and transfer direction.
+type Panel = (&'static str, fn() -> MachineSpec, Kind);
+
 /// Run the Figure 9 sweep; returns the rendered report.
 pub fn run() -> String {
     let max = if quick() { 1 << 22 } else { 1 << 28 };
     let sizes = size_sweep(1024, max, 4);
     let mut out = String::new();
     out.push_str("Figure 9: point-to-point communication bandwidth (GB/s)\n\n");
-    let panels: Vec<(&str, fn() -> MachineSpec, Kind)> = vec![
-        ("(a) PSG intra-node HtoH", || two_device_node(presets::psg()), Kind::HtoH),
-        ("(b) PSG intra-node HtoD", || two_device_node(presets::psg()), Kind::HtoD),
-        ("(c) PSG intra-node DtoD", || two_device_node(presets::psg()), Kind::DtoD),
-        ("(d) Beacon intra-node HtoH", || two_device_node(presets::beacon(1)), Kind::HtoH),
-        ("(e) Beacon intra-node HtoD", || two_device_node(presets::beacon(1)), Kind::HtoD),
-        ("(f) Beacon intra-node DtoD", || two_device_node(presets::beacon(1)), Kind::DtoD),
+    let panels: Vec<Panel> = vec![
+        (
+            "(a) PSG intra-node HtoH",
+            || two_device_node(presets::psg()),
+            Kind::HtoH,
+        ),
+        (
+            "(b) PSG intra-node HtoD",
+            || two_device_node(presets::psg()),
+            Kind::HtoD,
+        ),
+        (
+            "(c) PSG intra-node DtoD",
+            || two_device_node(presets::psg()),
+            Kind::DtoD,
+        ),
+        (
+            "(d) Beacon intra-node HtoH",
+            || two_device_node(presets::beacon(1)),
+            Kind::HtoH,
+        ),
+        (
+            "(e) Beacon intra-node HtoD",
+            || two_device_node(presets::beacon(1)),
+            Kind::HtoD,
+        ),
+        (
+            "(f) Beacon intra-node DtoD",
+            || two_device_node(presets::beacon(1)),
+            Kind::DtoD,
+        ),
         ("(g) Titan internode HtoH", || presets::titan(2), Kind::HtoH),
         ("(h) Titan internode HtoD", || presets::titan(2), Kind::HtoD),
         ("(i) Titan internode DtoD", || presets::titan(2), Kind::DtoD),
@@ -157,8 +192,22 @@ mod tests {
 
     #[test]
     fn titan_dtod_uses_rdma() {
-        let i = measure(presets::titan(2), RuntimeOptions::impacc(), Kind::DtoD, 1 << 26);
-        let b = measure(presets::titan(2), RuntimeOptions::baseline(), Kind::DtoD, 1 << 26);
-        assert!(b / i > 1.2, "RDMA skips two PCIe staging hops: {:.2}", b / i);
+        let i = measure(
+            presets::titan(2),
+            RuntimeOptions::impacc(),
+            Kind::DtoD,
+            1 << 26,
+        );
+        let b = measure(
+            presets::titan(2),
+            RuntimeOptions::baseline(),
+            Kind::DtoD,
+            1 << 26,
+        );
+        assert!(
+            b / i > 1.2,
+            "RDMA skips two PCIe staging hops: {:.2}",
+            b / i
+        );
     }
 }

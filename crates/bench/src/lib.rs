@@ -12,10 +12,10 @@
 
 pub mod ablations;
 pub mod fig10;
-pub mod fig5;
 pub mod fig12;
 pub mod fig13;
 pub mod fig15;
+pub mod fig5;
 pub mod fig8;
 pub mod fig9;
 pub mod specs;

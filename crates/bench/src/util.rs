@@ -1,5 +1,8 @@
-//! Shared harness utilities: sweeps, tables, measurement helpers.
+//! Shared harness utilities: sweeps, tables, measurement helpers, and the
+//! machine-readable `BENCH_<name>.json` report every binary emits.
 
+use std::cell::RefCell;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use impacc_core::RunSummary;
@@ -7,13 +10,13 @@ use parking_lot::Mutex;
 
 /// Quick mode trims sweeps for CI (`IMPACC_BENCH_QUICK=1`).
 pub fn quick() -> bool {
-    std::env::var("IMPACC_BENCH_QUICK").map_or(false, |v| v == "1")
+    std::env::var("IMPACC_BENCH_QUICK").is_ok_and(|v| v == "1")
 }
 
 /// Full mode unlocks the largest Titan-scale points
 /// (`IMPACC_BENCH_FULL=1`); they spawn tens of thousands of actor threads.
 pub fn full() -> bool {
-    std::env::var("IMPACC_BENCH_FULL").map_or(false, |v| v == "1")
+    std::env::var("IMPACC_BENCH_FULL").is_ok_and(|v| v == "1")
 }
 
 /// Geometric size sweep `[from, to]` multiplying by `factor`.
@@ -66,8 +69,32 @@ impl Table {
         self.rows.push(cells);
     }
 
-    /// Render with aligned columns.
+    /// The column headers.
+    pub fn columns(&self) -> &[String] {
+        &self.header
+    }
+
+    /// The data rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Render with aligned columns. While a [`BenchReport::capture`] is
+    /// active on this thread, rendering also snapshots the table into the
+    /// report, so figure code needs no changes to feed the JSON dump.
     pub fn render(&self) -> String {
+        CAPTURE.with(|c| {
+            if let Some(tables) = c.borrow_mut().as_mut() {
+                tables.push(TableSnapshot {
+                    header: self.header.clone(),
+                    rows: self.rows.clone(),
+                });
+            }
+        });
+        self.render_text()
+    }
+
+    fn render_text(&self) -> String {
         let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
         for row in &self.rows {
             for (i, c) in row.iter().enumerate() {
@@ -93,6 +120,140 @@ impl Table {
         }
         out
     }
+}
+
+thread_local! {
+    /// Active table collector for [`BenchReport::capture`].
+    static CAPTURE: RefCell<Option<Vec<TableSnapshot>>> = const { RefCell::new(None) };
+}
+
+/// A rendered table captured for the machine-readable report.
+#[derive(Clone, Debug)]
+pub struct TableSnapshot {
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+/// A machine-readable record of one bench binary's output: the full text
+/// report plus every table it rendered, as structured rows. Written to
+/// `BENCH_<name>.json` so the perf trajectory can shape-check results
+/// without parsing aligned text.
+pub struct BenchReport {
+    name: String,
+    text: String,
+    tables: Vec<TableSnapshot>,
+}
+
+impl BenchReport {
+    /// Run `f` with table capture active and collect its output. Tables are
+    /// snapshotted as they render (on this thread); `f`'s return value
+    /// becomes the report text.
+    pub fn capture(name: &str, f: impl FnOnce() -> String) -> BenchReport {
+        CAPTURE.with(|c| *c.borrow_mut() = Some(Vec::new()));
+        let text = f();
+        let tables = CAPTURE.with(|c| c.borrow_mut().take()).unwrap_or_default();
+        BenchReport {
+            name: name.to_string(),
+            text,
+            tables,
+        }
+    }
+
+    /// The human-readable report text.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// The captured tables, in render order.
+    pub fn tables(&self) -> &[TableSnapshot] {
+        &self.tables
+    }
+
+    /// Serialize as JSON: `{"name", "text", "tables": [{"header", "rows"}]}`.
+    pub fn to_json(&self) -> String {
+        use impacc_obs::json;
+        let mut out = String::from("{\"name\":");
+        out.push_str(&json::string(&self.name));
+        out.push_str(",\"text\":");
+        out.push_str(&json::string(&self.text));
+        out.push_str(",\"tables\":[");
+        for (i, t) in self.tables.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"header\":[");
+            for (j, h) in t.header.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&json::string(h));
+            }
+            out.push_str("],\"rows\":[");
+            for (j, row) in t.rows.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push('[');
+                for (k, cell) in row.iter().enumerate() {
+                    if k > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&json::string(cell));
+                }
+                out.push(']');
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Where the report is written: `$IMPACC_BENCH_DIR` when set, else the
+    /// current directory.
+    pub fn path(&self) -> PathBuf {
+        let dir = std::env::var("IMPACC_BENCH_DIR").unwrap_or_else(|_| ".".into());
+        PathBuf::from(dir).join(format!("BENCH_{}.json", self.name))
+    }
+
+    /// Write `BENCH_<name>.json`, warning (not failing) on I/O errors so a
+    /// read-only working directory never breaks a figure run.
+    pub fn write_or_warn(&self) {
+        let path = self.path();
+        if let Err(e) = std::fs::write(&path, self.to_json()) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        }
+    }
+}
+
+/// Shared entry point for bench binaries: run the figure, print its text
+/// report, and persist the machine-readable `BENCH_<name>.json`.
+pub fn bench_main(name: &str, f: impl FnOnce() -> String) {
+    let report = BenchReport::capture(name, f);
+    println!("{}", report.text());
+    report.write_or_warn();
+}
+
+/// Parse a `--trace <path>` (or `--trace=<path>`) flag from the binary's
+/// command line, for the figures that can dump Chrome traces.
+pub fn trace_arg() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--trace" {
+            match args.next() {
+                Some(p) => return Some(p),
+                None => {
+                    eprintln!("warning: --trace needs a path argument; ignoring");
+                    return None;
+                }
+            }
+        }
+        if let Some(p) = a.strip_prefix("--trace=") {
+            return Some(p.to_string());
+        }
+    }
+    None
 }
 
 /// A shared slot apps write per-run measurements into.
@@ -147,6 +308,39 @@ mod tests {
         let s = t.render();
         assert!(s.contains("size"));
         assert!(s.lines().count() == 4);
+    }
+
+    #[test]
+    fn capture_snapshots_rendered_tables() {
+        let r = BenchReport::capture("t", || {
+            let mut t = Table::new(&["a", "b"]);
+            t.row(vec!["1".into(), "2".into()]);
+            let text = t.render();
+            let mut t2 = Table::new(&["c"]);
+            t2.row(vec!["\"quoted\"".into()]);
+            text + &t2.render()
+        });
+        assert_eq!(r.tables().len(), 2);
+        assert_eq!(r.tables()[0].header, vec!["a", "b"]);
+        assert_eq!(r.tables()[1].rows[0][0], "\"quoted\"");
+        let j = r.to_json();
+        assert!(j.starts_with("{\"name\":\"t\""));
+        assert!(j.contains("\"header\":[\"a\",\"b\"]"));
+        assert!(j.contains("\\\"quoted\\\""));
+        // Capture is deactivated afterwards: renders outside don't leak in.
+        let mut t3 = Table::new(&["x"]);
+        t3.row(vec!["y".into()]);
+        let _ = t3.render();
+        assert_eq!(r.tables().len(), 2);
+    }
+
+    #[test]
+    fn report_without_tables_is_valid_json() {
+        let r = BenchReport::capture("empty", || "just text\n".to_string());
+        assert_eq!(
+            r.to_json(),
+            "{\"name\":\"empty\",\"text\":\"just text\\n\",\"tables\":[]}"
+        );
     }
 
     #[test]

@@ -41,12 +41,7 @@ impl TimedDone {
 
     /// Completed and past its completion instant?
     pub fn test(&self, ctx: &Ctx) -> bool {
-        self.latch.is_open()
-            && self
-                .at
-                .lock()
-                .map(|t| ctx.now() >= t)
-                .unwrap_or(false)
+        self.latch.is_open() && self.at.lock().map(|t| ctx.now() >= t).unwrap_or(false)
     }
 }
 

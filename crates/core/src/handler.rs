@@ -94,9 +94,17 @@ impl NodeHandler {
         loop {
             let mut progressed = false;
             while let Some(cmd) = self.intra.pop() {
+                let t0 = ctx.now();
+                let kind = match cmd.kind {
+                    CmdKind::Send => "send",
+                    CmdKind::Recv => "recv",
+                };
                 // Dequeue + scheduling cost of one message command.
                 ctx.advance(self.res.handler_cmd_overhead(), "handler");
                 self.process(ctx, cmd, &mut unmatched_send, &mut unmatched_recv);
+                ctx.span("handler_cmd", t0, ctx.now(), || {
+                    vec![("kind", kind.to_string())]
+                });
                 progressed = true;
             }
             while let Some(p) = self.pending.pop() {
@@ -118,7 +126,10 @@ impl NodeHandler {
             if progressed {
                 continue;
             }
-            let deadline = pendings.iter().filter_map(|p| p.req.completion_time()).min();
+            let deadline = pendings
+                .iter()
+                .filter_map(|p| p.req.completion_time())
+                .min();
             let reason = match deadline {
                 Some(t) => self.work.wait_deadline(ctx, t, "handler_idle"),
                 None => self.work.wait(ctx, "handler_idle"),
@@ -178,6 +189,21 @@ impl NodeHandler {
                 send.src, send.dst, send.tag, send.buf.len, send.buf.loc, recv.buf.loc
             )
         });
+        let path = match (send.buf.loc, recv.buf.loc) {
+            (BufLoc::Host, BufLoc::Host) => "HtoH",
+            (BufLoc::Host, BufLoc::Device(_)) => "HtoD",
+            (BufLoc::Device(_), BufLoc::Host) => "DtoH",
+            (BufLoc::Device(_), BufLoc::Device(_)) => "DtoD",
+        };
+        ctx.event("fuse", || {
+            vec![
+                ("src", send.src.to_string()),
+                ("dst", send.dst.to_string()),
+                ("tag", send.tag.to_string()),
+                ("bytes", send.buf.len.to_string()),
+                ("path", path.to_string()),
+            ]
+        });
         let len = send.buf.len;
         let now = ctx.now();
 
@@ -186,14 +212,29 @@ impl NodeHandler {
                 if self.try_alias(ctx, &send, &recv) {
                     ctx.metrics().inc("aliased_msgs");
                     ctx.trace("alias", || {
-                        format!("{} -> {} tag {} shared zero-copy", send.src, send.dst, send.tag)
+                        format!(
+                            "{} -> {} tag {} shared zero-copy",
+                            send.src, send.dst, send.tag
+                        )
+                    });
+                    ctx.event("alias", || {
+                        vec![("outcome", "hit".to_string()), ("bytes", len.to_string())]
                     });
                     ctx.now()
                 } else {
                     let end = self.res.reserve_host_copy(self.node, len, now);
-                    Backing::copy(&send.buf.backing, send.buf.off, &recv.buf.backing, recv.buf.off, len);
+                    Backing::copy(
+                        &send.buf.backing,
+                        send.buf.off,
+                        &recv.buf.backing,
+                        recv.buf.off,
+                        len,
+                    );
                     ctx.metrics().add(tags::HTOH, len);
                     ctx.metrics().add("t_HtoH", end.since(now).0);
+                    ctx.span(tags::HTOH, now, end, || {
+                        vec![("bytes", len.to_string()), ("fused", "true".to_string())]
+                    });
                     end
                 }
             }
@@ -222,9 +263,18 @@ impl NodeHandler {
                     let end = now
                         + self.res.acc_copy_overhead(spec.kind)
                         + SimDur::for_transfer(len, spec.mem_bw);
-                    Backing::copy(&send.buf.backing, send.buf.off, &recv.buf.backing, recv.buf.off, len);
+                    Backing::copy(
+                        &send.buf.backing,
+                        send.buf.off,
+                        &recv.buf.backing,
+                        recv.buf.off,
+                        len,
+                    );
                     ctx.metrics().add(tags::DTOD, len);
                     ctx.metrics().add("t_DtoD", end.since(now).0);
+                    ctx.span(tags::DTOD, now, end, || {
+                        vec![("bytes", len.to_string()), ("fused", "true".to_string())]
+                    });
                     end
                 } else if self.res.spec.nodes[self.node].p2p_dtod {
                     // Direct peer copy over the shared PCIe root complex
@@ -237,9 +287,18 @@ impl NodeHandler {
                         len,
                         now + self.res.acc_copy_overhead(kind),
                     );
-                    Backing::copy(&send.buf.backing, send.buf.off, &recv.buf.backing, recv.buf.off, len);
+                    Backing::copy(
+                        &send.buf.backing,
+                        send.buf.off,
+                        &recv.buf.backing,
+                        recv.buf.off,
+                        len,
+                    );
                     ctx.metrics().add(tags::DTOD, len);
                     ctx.metrics().add("t_DtoD", end.since(now).0);
+                    ctx.span(tags::DTOD, now, end, || {
+                        vec![("bytes", len.to_string()), ("p2p", "true".to_string())]
+                    });
                     end
                 } else {
                     // Fused staging: DtoH into a runtime bounce buffer, then
@@ -266,6 +325,9 @@ impl NodeHandler {
                     );
                     Backing::copy(&scratch, 0, &recv.buf.backing, recv.buf.off, len);
                     ctx.metrics().add(tags::HTOD, len);
+                    ctx.span(tags::HTOD, mid, end, || {
+                        vec![("bytes", len.to_string()), ("staged", "true".to_string())]
+                    });
                     end
                 }
             }
@@ -313,6 +375,9 @@ impl NodeHandler {
         };
         ctx.metrics().add(tag, len);
         ctx.metrics().add(tkey, end.since(ctx.now()).0);
+        ctx.span(tag, ctx.now(), end, || {
+            vec![("bytes", len.to_string()), ("fused", "true".to_string())]
+        });
         end
     }
 
@@ -325,18 +390,32 @@ impl NodeHandler {
     /// 4. The receiver has no other pointer to the receive buffer.
     /// 5. The receive fully overwrites the receive buffer.
     fn try_alias(&self, ctx: &Ctx, send: &MsgCmd, recv: &MsgCmd) -> bool {
-        if !self.opts.aliasing || !send.readonly || !recv.readonly {
-            return false;
+        let miss = |reason: &'static str| {
+            ctx.event("alias", || {
+                vec![
+                    ("outcome", "miss".to_string()),
+                    ("reason", reason.to_string()),
+                ]
+            });
+            false
+        };
+        if !self.opts.aliasing {
+            return false; // not attempted: no event
+        }
+        if !send.readonly || !recv.readonly {
+            return miss("not_readonly"); // requirement 3
         }
         let (Some(sh), Some(rh)) = (&send.buf.heap, &recv.buf.heap) else {
-            return false; // requirement 2
+            return miss("not_heap"); // requirement 2
         };
         if self.heap.pointer_count(rh.addr) != 1 {
-            return false; // requirement 4
+            return miss("other_pointers"); // requirement 4
         }
-        if rh.addr != rh.region_start || send.buf.len != rh.region_len || send.buf.len != recv.buf.len
+        if rh.addr != rh.region_start
+            || send.buf.len != rh.region_len
+            || send.buf.len != recv.buf.len
         {
-            return false; // requirement 5
+            return miss("partial_overwrite"); // requirement 5
         }
         ctx.advance(self.res.heap_op_overhead(), "handler");
         self.heap
@@ -346,10 +425,7 @@ impl NodeHandler {
     }
 
     fn finish_pending(&self, ctx: &Ctx, p: PendingRecv) {
-        let st = p
-            .req
-            .wait(ctx)
-            .expect("pending receives carry a status");
+        let st = p.req.wait(ctx).expect("pending receives carry a status");
         let BufLoc::Device(d) = p.dev_buf.loc else {
             unreachable!("pending internode commands target device memory");
         };

@@ -18,7 +18,8 @@ use impacc_acc::Device;
 use impacc_machine::{ClusterResources, DeviceKind, DeviceSpec, DeviceTypeMask, MachineSpec};
 use impacc_mem::{AddressSpace, NodeHeap};
 use impacc_mpi::{Comm, MpiTask, SysMpi};
-use impacc_vtime::{Sim, SimConfig, SimError, SimReport};
+use impacc_obs::Recorder;
+use impacc_vtime::{Sim, SimConfig, SimError, SimReport, SpanSink};
 
 use crate::handler::NodeHandler;
 use crate::mode::RuntimeOptions;
@@ -109,6 +110,7 @@ pub struct Launch {
     stack_size: usize,
     max_events: u64,
     trace_capacity: usize,
+    sink: Option<Arc<dyn SpanSink>>,
 }
 
 impl Launch {
@@ -123,6 +125,7 @@ impl Launch {
             stack_size: 384 * 1024,
             max_events: u64::MAX,
             trace_capacity: 0,
+            sink: None,
         }
     }
 
@@ -145,16 +148,33 @@ impl Launch {
     }
 
     /// Retain the last `n` runtime trace events (fusions, aliases) in the
-    /// report for debugging.
+    /// report for debugging. Superseded by [`Launch::recorder`], which
+    /// captures typed spans instead of strings.
     pub fn trace(mut self, n: usize) -> Launch {
         self.trace_capacity = n;
         self
     }
 
+    /// Attach a raw span sink to the engine.
+    pub fn span_sink(mut self, sink: Arc<dyn SpanSink>) -> Launch {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Record typed spans from every layer into `rec`
+    /// (see `impacc_obs::Recorder`).
+    pub fn recorder(self, rec: &Recorder) -> Launch {
+        self.span_sink(rec.sink())
+    }
+
     /// Compute the automatic task-device mapping (Figure 2) without
     /// running anything. Returns the (possibly extended with synthesized
     /// CPU devices) spec and the mapping.
-    pub fn plan(spec: &MachineSpec, mask: DeviceTypeMask, numa_pinning: bool) -> (MachineSpec, Vec<TaskInfo>) {
+    pub fn plan(
+        spec: &MachineSpec,
+        mask: DeviceTypeMask,
+        numa_pinning: bool,
+    ) -> (MachineSpec, Vec<TaskInfo>) {
         let mut spec = spec.clone();
         let mut tasks = Vec::new();
         for (n, node) in spec.nodes.iter_mut().enumerate() {
@@ -165,8 +185,7 @@ impl Launch {
                 .filter(|(_, d)| mask.accepts(d.kind))
                 .map(|(i, _)| i)
                 .collect();
-            let cpu_ok = mask == DeviceTypeMask::DEFAULT
-                || mask.accepts(DeviceKind::CpuCores);
+            let cpu_ok = mask == DeviceTypeMask::DEFAULT || mask.accepts(DeviceKind::CpuCores);
             if matched.is_empty() && cpu_ok {
                 // CPU fallback: the node's cores act as one accelerator.
                 node.devices.push(DeviceSpec {
@@ -227,10 +246,26 @@ impl Launch {
         let sysmpi = SysMpi::new(res.clone(), node_of.as_ref().clone());
         let world = Comm::world(tasks.len() as u32);
 
+        // `IMPACC_TRACE=<path>` traces any run without code changes: an
+        // auto-created recorder captures spans and the Chrome trace is
+        // written on completion (an explicitly attached sink wins).
+        let mut sink = self.sink.clone();
+        let mut auto_trace: Option<(Recorder, std::path::PathBuf)> = None;
+        if sink.is_none() {
+            if let Ok(path) = std::env::var("IMPACC_TRACE") {
+                if !path.is_empty() {
+                    let rec = Recorder::new();
+                    sink = Some(rec.sink());
+                    auto_trace = Some((rec, path.into()));
+                }
+            }
+        }
+
         let mut sim = Sim::with_config(SimConfig {
             stack_size: self.stack_size,
             max_events: self.max_events,
             trace_capacity: self.trace_capacity,
+            sink,
         });
 
         // Per-node shared structures (IMPACC). The baseline gets fresh
@@ -314,13 +349,32 @@ impl Launch {
                 },
             };
             let app = app.clone();
+            let (node, dev_idx, socket, far) = (t.node, t.dev_idx, t.socket, t.far);
             sim.spawn(format!("rank{}", t.rank), move |ctx| {
+                ctx.event("marker", || {
+                    vec![
+                        ("phase", "pin".to_string()),
+                        ("node", node.to_string()),
+                        ("device", dev_idx.to_string()),
+                        ("socket", socket.to_string()),
+                        ("far", far.to_string()),
+                    ]
+                });
                 let tc = TaskCtx::from_seed(ctx.clone(), seed);
                 app(&tc);
             });
         }
 
         let report = sim.run()?;
+        if let Some((rec, path)) = auto_trace {
+            let spans = rec.spans();
+            let label = if impacc { "impacc" } else { "baseline" };
+            if let Err(e) =
+                impacc_obs::chrome::write_trace_groups(&path, &[(label, spans.as_slice())])
+            {
+                eprintln!("IMPACC_TRACE: failed to write {}: {e}", path.display());
+            }
+        }
         Ok(RunSummary { report, tasks })
     }
 }
@@ -368,11 +422,7 @@ mod tests {
         assert_eq!(t.len(), 1);
         assert_eq!(t[0].node, 1);
         // (e) nvidia|xeonphi: 4 tasks.
-        let (_, t) = Launch::plan(
-            &m,
-            DeviceTypeMask::NVIDIA.or(DeviceTypeMask::XEONPHI),
-            true,
-        );
+        let (_, t) = Launch::plan(&m, DeviceTypeMask::NVIDIA.or(DeviceTypeMask::XEONPHI), true);
         assert_eq!(t.len(), 4);
     }
 

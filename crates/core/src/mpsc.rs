@@ -168,12 +168,15 @@ mod tests {
                 }
             }));
         }
-        let mut last = vec![None::<u64>; PRODUCERS];
+        let mut last = [None::<u64>; PRODUCERS];
         let mut seen = 0u64;
         while seen < PRODUCERS as u64 * PER {
             if let Some((p, i)) = q.pop() {
                 let prev = last[p as usize];
-                assert!(prev.map_or(i == 0, |x| i == x + 1), "producer {p} out of order");
+                assert!(
+                    prev.map_or(i == 0, |x| i == x + 1),
+                    "producer {p} out of order"
+                );
                 last[p as usize] = Some(i);
                 seen += 1;
             } else {

@@ -21,8 +21,7 @@ use impacc_machine::{ClusterResources, DeviceKind, HdDir, KernelCost};
 use impacc_mem::{AddressSpace, Backing, HeapPtr, NodeHeap, PresentTable, VirtAddr};
 use impacc_mem::{DevPtr, PresentEntry};
 use impacc_mpi::{
-    BufLoc, CollSeq, Comm, MpiTask, MsgBuf, PointToPoint, ReduceOp, Request, SrcSel, Status,
-    TagSel,
+    BufLoc, CollSeq, Comm, MpiTask, MsgBuf, PointToPoint, ReduceOp, Request, SrcSel, Status, TagSel,
 };
 use impacc_vtime::{Ctx, Latch, SimDur};
 use parking_lot::Mutex;
@@ -85,7 +84,10 @@ impl BufView {
 
     /// Write f64 elements starting at element `start`.
     pub fn write_f64s(&self, start: usize, vals: &[f64]) {
-        assert!((start + vals.len()) as u64 * 8 <= self.len, "write out of range");
+        assert!(
+            (start + vals.len()) as u64 * 8 <= self.len,
+            "write out of range"
+        );
         self.backing.write_f64s(self.off + start as u64 * 8, vals);
     }
 
@@ -279,7 +281,10 @@ impl CommCore {
                 let m = MsgBuf::host(staging, 0, buf.len).registered();
                 UReq::from_sys(self.sysmpi.isend(ctx, &m, dst_rel, tag, comm))
             }
-            _ => UReq::from_sys(self.sysmpi.isend(ctx, &self.msgbuf(&buf), dst_rel, tag, comm)),
+            _ => UReq::from_sys(
+                self.sysmpi
+                    .isend(ctx, &self.msgbuf(&buf), dst_rel, tag, comm),
+            ),
         }
     }
 
@@ -507,8 +512,7 @@ impl TaskCtx {
 
     /// `malloc(len)` on the (node-shared) hooked heap.
     pub fn malloc(&self, len: u64) -> HBuf {
-        self.ctx
-            .advance(self.comm.res.heap_op_overhead(), "heap");
+        self.ctx.advance(self.comm.res.heap_op_overhead(), "heap");
         let ptr = self.heap.malloc(&self.space, len).expect("host allocation");
         HBuf { ptr, len }
     }
@@ -542,8 +546,7 @@ impl TaskCtx {
     /// `free()`: drop this task's reference; storage is released when the
     /// heap-table refcount reaches zero.
     pub fn free(&self, b: HBuf) {
-        self.ctx
-            .advance(self.comm.res.heap_op_overhead(), "heap");
+        self.ctx.advance(self.comm.res.heap_op_overhead(), "heap");
         self.heap.free(&self.space, b.ptr).expect("valid free");
     }
 
@@ -730,10 +733,7 @@ impl TaskCtx {
         let mut map = self.queues.lock();
         map.entry(q)
             .or_insert_with(|| {
-                ActivityQueue::spawn(
-                    &self.ctx,
-                    format!("q{}.rank{}", q, self.comm.rank),
-                )
+                ActivityQueue::spawn(&self.ctx, format!("q{}.rank{}", q, self.comm.rank))
             })
             .clone()
     }
@@ -749,7 +749,10 @@ impl TaskCtx {
         f: impl FnOnce() + Send + 'static,
     ) -> Option<Latch> {
         match q {
-            Some(q) => Some(self.device.enqueue_kernel(&self.ctx, &self.queue(q), cost, f)),
+            Some(q) => Some(
+                self.device
+                    .enqueue_kernel(&self.ctx, &self.queue(q), cost, f),
+            ),
             None => {
                 self.device.perform_kernel(&self.ctx, &cost, f);
                 self.ctx.advance(self.comm.res.sync_overhead(), "acc_wait");
@@ -918,30 +921,50 @@ impl TaskCtx {
                 });
                 None
             }
-            None => Some(self.comm.do_recv(
-                &self.ctx,
-                buf,
-                Some(src),
-                Some(tag),
-                &world,
-                opts.readonly,
-            )),
+            None => {
+                Some(
+                    self.comm
+                        .do_recv(&self.ctx, buf, Some(src), Some(tag), &world, opts.readonly),
+                )
+            }
         }
     }
 
     /// `MPI_Isend`.
-    pub fn mpi_isend(&self, b: &HBuf, off: u64, len: u64, dst: u32, tag: i32, opts: MpiOpts) -> UReq {
+    pub fn mpi_isend(
+        &self,
+        b: &HBuf,
+        off: u64,
+        len: u64,
+        dst: u32,
+        tag: i32,
+        opts: MpiOpts,
+    ) -> UReq {
         self.check_opts(&opts);
-        assert!(opts.queue.is_none(), "use mpi_send with async(q) to enqueue");
+        assert!(
+            opts.queue.is_none(),
+            "use mpi_send with async(q) to enqueue"
+        );
         let buf = self.resolve(b, off, len, opts.device);
         self.comm
             .isend_inner(&self.ctx, buf, dst, tag, self.world_ref(), opts.readonly)
     }
 
     /// `MPI_Irecv`.
-    pub fn mpi_irecv(&self, b: &HBuf, off: u64, len: u64, src: u32, tag: i32, opts: MpiOpts) -> UReq {
+    pub fn mpi_irecv(
+        &self,
+        b: &HBuf,
+        off: u64,
+        len: u64,
+        src: u32,
+        tag: i32,
+        opts: MpiOpts,
+    ) -> UReq {
         self.check_opts(&opts);
-        assert!(opts.queue.is_none(), "use mpi_recv with async(q) to enqueue");
+        assert!(
+            opts.queue.is_none(),
+            "use mpi_recv with async(q) to enqueue"
+        );
         let buf = self.resolve(b, off, len, opts.device);
         self.comm.irecv_inner(
             &self.ctx,

@@ -42,7 +42,11 @@ fn intra_node_host_send_recv_is_fused() {
         }
     });
     assert_eq!(s.report.metrics["fused_msgs"], 1);
-    assert_eq!(s.report.metrics.get("aliased_msgs"), None, "not readonly: copy");
+    assert_eq!(
+        s.report.metrics.get("aliased_msgs"),
+        None,
+        "not readonly: copy"
+    );
     assert_eq!(s.report.metrics["HtoH"], 512);
 }
 
@@ -60,10 +64,7 @@ fn figure7_aliasing_end_to_end() {
             let dst = tc.malloc_f64(10);
             tc.mpi_recv(&dst, 0, 80, 0, 0, MpiOpts::host().readonly());
             // The receiver observes the sender's data through its pointer.
-            assert_eq!(
-                tc.host_view(&dst).read_f64s(0, 3),
-                vec![40.0, 41.0, 42.0]
-            );
+            assert_eq!(tc.host_view(&dst).read_f64s(0, 3), vec![40.0, 41.0, 42.0]);
         }
     });
     assert_eq!(s.report.metrics["aliased_msgs"], 1);
@@ -158,7 +159,10 @@ fn aliased_sender_free_keeps_data_alive() {
             let dst = tc.malloc_f64(4);
             tc.mpi_recv(&dst, 0, 32, 0, 0, MpiOpts::host().readonly());
             tc.mpi_barrier();
-            assert_eq!(tc.host_view(&dst).read_f64s(0, 4), vec![7.0, 8.0, 9.0, 10.0]);
+            assert_eq!(
+                tc.host_view(&dst).read_f64s(0, 4),
+                vec![7.0, 8.0, 9.0, 10.0]
+            );
             tc.free(dst);
         }
     });
@@ -213,13 +217,18 @@ fn internode_device_recv_goes_through_pending_queue() {
             // rank 4 is the first task of node 1
             tc.mpi_send(&buf, 0, buf.len, 4, 9, MpiOpts::device());
         } else if tc.rank() == 4 {
-            let st = tc.mpi_recv(&buf, 0, buf.len, 0, 9, MpiOpts::device()).unwrap();
+            let st = tc
+                .mpi_recv(&buf, 0, buf.len, 0, 9, MpiOpts::device())
+                .unwrap();
             assert_eq!(st.len, 2048);
             assert_eq!(tc.dev_view(&buf).read_f64s(0, 2), vec![2.5, 2.5]);
         }
     });
     assert_eq!(s.report.metrics["DtoH"], 2048, "sender staged");
-    assert_eq!(s.report.metrics["HtoD"], 2048, "handler completed the device write");
+    assert_eq!(
+        s.report.metrics["HtoD"], 2048,
+        "handler completed the device write"
+    );
 }
 
 #[test]
@@ -388,7 +397,8 @@ fn partial_updates_respect_offsets() {
             return;
         }
         let buf = tc.malloc_f64(16);
-        tc.host_view(&buf).write_f64s(0, &(0..16).map(|i| i as f64).collect::<Vec<_>>());
+        tc.host_view(&buf)
+            .write_f64s(0, &(0..16).map(|i| i as f64).collect::<Vec<_>>());
         tc.acc_create(&buf);
         // Update only elements 4..8 on the device.
         tc.acc_update_device(&buf, 4 * 8, 4 * 8, None);
@@ -446,9 +456,15 @@ fn numa_pinning_speeds_up_transfers() {
     unpinned_opts.numa_pinning = false;
     let unpinned = Launch::new(spec(), unpinned_opts).run(work).unwrap();
     assert!(pinned.tasks[2].socket == 0 && !pinned.tasks[2].far);
-    assert!(unpinned.tasks[2].far, "rank 2 lands on the far socket unpinned");
+    assert!(
+        unpinned.tasks[2].far,
+        "rank 2 lands on the far socket unpinned"
+    );
     let ratio = unpinned.elapsed_secs() / pinned.elapsed_secs();
-    assert!(ratio > 2.0, "far transfer must be much slower, ratio = {ratio}");
+    assert!(
+        ratio > 2.0,
+        "far transfer must be much slower, ratio = {ratio}"
+    );
 }
 
 #[test]
@@ -597,11 +613,15 @@ fn comm_split_groups_by_node_and_reduces_within() {
         let rb = impacc_mpi::MsgBuf::host(impacc_mem::Backing::new(8, None), 0, 8);
         use impacc_mpi::PointToPoint;
         tc.allreduce(tc.ctx(), &sb, &rb, ReduceOp::Sum, &sub);
-        let expect = if tc.node() == 0 { 0.0 + 1.0 + 2.0 + 3.0 } else { 4.0 + 5.0 + 6.0 + 7.0 };
+        let expect = if tc.node() == 0 {
+            0.0 + 1.0 + 2.0 + 3.0
+        } else {
+            4.0 + 5.0 + 6.0 + 7.0
+        };
         assert_eq!(rb.read_f64s(), vec![expect]);
         // Key ordering: highest world rank is sub-rank 0.
         let my_sub_rank = tc.comm_rank(&sub);
-        let expected_rank = (3 - (tc.rank() % 4)) as u32;
+        let expected_rank = 3 - (tc.rank() % 4);
         assert_eq!(my_sub_rank, expected_rank);
     });
 }

@@ -211,10 +211,7 @@ pub fn parse_acc_directive(line: &str) -> Result<AccDirective, ParseError> {
             }
             c if DATA_CLAUSES.contains(&c) => {
                 let vars = parse_var_list(line, &toks, &mut pos)?;
-                d.data.push(VarList {
-                    clause: name,
-                    vars,
-                });
+                d.data.push(VarList { clause: name, vars });
             }
             m if LOOP_MODES.contains(&m) => {
                 d.loop_modes.push(name);
@@ -314,7 +311,12 @@ fn parse_var_list(
     }
 }
 
-fn expect(line: &str, toks: &[(usize, Tok)], pos: &mut usize, want: &Tok) -> Result<(), ParseError> {
+fn expect(
+    line: &str,
+    toks: &[(usize, Tok)],
+    pos: &mut usize,
+    want: &Tok,
+) -> Result<(), ParseError> {
     match toks.get(*pos) {
         Some((_, t)) if t == want => {
             *pos += 1;
@@ -351,10 +353,9 @@ mod tests {
 
     #[test]
     fn parses_data_constructs() {
-        let d = parse_acc_directive(
-            "#pragma acc data copyin(a, b) create(c) present(d) copyout(r)",
-        )
-        .unwrap();
+        let d =
+            parse_acc_directive("#pragma acc data copyin(a, b) create(c) present(d) copyout(r)")
+                .unwrap();
         assert_eq!(d.kind, AccKind::Data);
         assert_eq!(d.vars_of("copyin"), vec!["a", "b"]);
         assert_eq!(d.vars_of("create"), vec!["c"]);

@@ -86,7 +86,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "directive parse error at byte {}: {}", self.at, self.message)
+        write!(
+            f,
+            "directive parse error at byte {}: {}",
+            self.at, self.message
+        )
     }
 }
 
@@ -438,9 +442,15 @@ mod tests {
             ("#pragma acc mpi foo(device)", "unknown clause"),
             ("#pragma acc mpi async(x)", "non-negative integer"),
             ("#pragma acc mpi async(1", "expected ')'"),
-            ("#pragma acc mpi sendbuf(device) sendbuf(readonly)", "duplicate 'sendbuf'"),
+            (
+                "#pragma acc mpi sendbuf(device) sendbuf(readonly)",
+                "duplicate 'sendbuf'",
+            ),
             ("#pragma acc mpi async async(1)", "duplicate 'async'"),
-            ("#pragma acc mpi sendbuf(device,device)", "duplicate 'device'"),
+            (
+                "#pragma acc mpi sendbuf(device,device)",
+                "duplicate 'device'",
+            ),
             ("#pragma acc mpi sendbuf(,device)", "leading comma"),
             ("#pragma omp parallel", "expected 'acc'"),
             ("#pragma acc mpi sendbuf(device) $", "unexpected character"),

@@ -142,39 +142,37 @@ pub fn scan_source(source: &str) -> (Vec<ScannedDirective>, Vec<ScanIssue>) {
             .and_then(classify_call);
         match &call {
             None => issues.push(ScanIssue::NoFollowingCall { line: line_no }),
-            Some((kind, name)) => {
-                match kind {
-                    MpiCallKind::Send { nonblocking } => {
-                        if directive.recvbuf.is_some() {
-                            issues.push(ScanIssue::ClauseMismatch {
-                                line: line_no,
-                                message: format!("recvbuf clause on send call {name}"),
-                            });
-                        }
-                        if directive.asyncq.is_some() && !nonblocking {
-                            issues.push(ScanIssue::AsyncOnBlockingCall {
-                                line: line_no,
-                                call: name.clone(),
-                            });
-                        }
+            Some((kind, name)) => match kind {
+                MpiCallKind::Send { nonblocking } => {
+                    if directive.recvbuf.is_some() {
+                        issues.push(ScanIssue::ClauseMismatch {
+                            line: line_no,
+                            message: format!("recvbuf clause on send call {name}"),
+                        });
                     }
-                    MpiCallKind::Recv { nonblocking } => {
-                        if directive.sendbuf.is_some() {
-                            issues.push(ScanIssue::ClauseMismatch {
-                                line: line_no,
-                                message: format!("sendbuf clause on receive call {name}"),
-                            });
-                        }
-                        if directive.asyncq.is_some() && !nonblocking {
-                            issues.push(ScanIssue::AsyncOnBlockingCall {
-                                line: line_no,
-                                call: name.clone(),
-                            });
-                        }
+                    if directive.asyncq.is_some() && !nonblocking {
+                        issues.push(ScanIssue::AsyncOnBlockingCall {
+                            line: line_no,
+                            call: name.clone(),
+                        });
                     }
-                    MpiCallKind::SendRecv | MpiCallKind::Bcast | MpiCallKind::Other => {}
                 }
-            }
+                MpiCallKind::Recv { nonblocking } => {
+                    if directive.sendbuf.is_some() {
+                        issues.push(ScanIssue::ClauseMismatch {
+                            line: line_no,
+                            message: format!("sendbuf clause on receive call {name}"),
+                        });
+                    }
+                    if directive.asyncq.is_some() && !nonblocking {
+                        issues.push(ScanIssue::AsyncOnBlockingCall {
+                            line: line_no,
+                            call: name.clone(),
+                        });
+                    }
+                }
+                MpiCallKind::SendRecv | MpiCallKind::Bcast | MpiCallKind::Other => {}
+            },
         }
         found.push(ScannedDirective {
             line: line_no,
@@ -240,7 +238,10 @@ MPI_Recv(dst, 10, MPI_DOUBLE, 0, 0, MPI_COMM_WORLD, &st);
     fn flags_clause_call_mismatch() {
         let src = "#pragma acc mpi recvbuf(device)\nMPI_Isend(buf, 1, MPI_INT, 0, 0, c, &r);\n";
         let (_, issues) = scan_source(src);
-        assert!(matches!(issues[0], ScanIssue::ClauseMismatch { line: 1, .. }));
+        assert!(matches!(
+            issues[0],
+            ScanIssue::ClauseMismatch { line: 1, .. }
+        ));
     }
 
     #[test]

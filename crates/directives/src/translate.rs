@@ -134,13 +134,13 @@ pub fn translate(source: &str) -> Lowering {
                 // Data motion clauses lower in OpenACC's defined order:
                 // create/copyin at region entry, then the construct itself.
                 let creates = grab(&["create", "copy", "copyin", "copyout"]);
-                if matches!(d.kind, AccKind::Data | AccKind::EnterData)
+                if (matches!(d.kind, AccKind::Data | AccKind::EnterData)
                     || (matches!(d.kind, AccKind::Kernels | AccKind::Parallel)
-                        && !creates.is_empty())
+                        && !creates.is_empty()))
+                    && !creates.is_empty()
                 {
-                    if !creates.is_empty() {
-                        out.calls.push((line_no, RuntimeCall::Create { vars: creates }));
-                    }
+                    out.calls
+                        .push((line_no, RuntimeCall::Create { vars: creates }));
                 }
                 let ins = grab(&["copy", "copyin"]);
                 if !ins.is_empty() {
@@ -159,7 +159,8 @@ pub fn translate(source: &str) -> Lowering {
                             workers: d.num_workers,
                             vector: d.vector_length,
                         };
-                        out.calls.push((line_no, RuntimeCall::KernelLaunch { queue: q, cfg }));
+                        out.calls
+                            .push((line_no, RuntimeCall::KernelLaunch { queue: q, cfg }));
                     }
                     AccKind::Update => {
                         let dev = grab(&["device"]);
@@ -196,7 +197,8 @@ pub fn translate(source: &str) -> Lowering {
                         }
                         let dels = grab(&["delete", "copy", "copyout"]);
                         if !dels.is_empty() {
-                            out.calls.push((line_no, RuntimeCall::Delete { vars: dels }));
+                            out.calls
+                                .push((line_no, RuntimeCall::Delete { vars: dels }));
                         }
                     }
                     _ => {}
@@ -250,9 +252,14 @@ for (i = 0; i < n; i++) { g(buf1[i]); }
         assert!(l.issues.is_empty(), "{:?}", l.issues);
         let kinds: Vec<&RuntimeCall> = l.calls.iter().map(|(_, c)| c).collect();
         assert_eq!(kinds.len(), 4);
-        assert!(matches!(kinds[0], RuntimeCall::KernelLaunch { queue: Some(1), .. }));
+        assert!(matches!(
+            kinds[0],
+            RuntimeCall::KernelLaunch { queue: Some(1), .. }
+        ));
         match kinds[1] {
-            RuntimeCall::UnifiedMpi { call, send_opts, .. } => {
+            RuntimeCall::UnifiedMpi {
+                call, send_opts, ..
+            } => {
                 assert_eq!(call, "MPI_Isend");
                 assert!(send_opts.device);
                 assert_eq!(send_opts.queue, Some(1));
@@ -260,13 +267,18 @@ for (i = 0; i < n; i++) { g(buf1[i]); }
             other => panic!("expected unified send, got {other:?}"),
         }
         match kinds[2] {
-            RuntimeCall::UnifiedMpi { call, recv_opts, .. } => {
+            RuntimeCall::UnifiedMpi {
+                call, recv_opts, ..
+            } => {
                 assert_eq!(call, "MPI_Irecv");
                 assert!(recv_opts.device);
             }
             other => panic!("expected unified recv, got {other:?}"),
         }
-        assert!(matches!(kinds[3], RuntimeCall::KernelLaunch { queue: Some(1), .. }));
+        assert!(matches!(
+            kinds[3],
+            RuntimeCall::KernelLaunch { queue: Some(1), .. }
+        ));
     }
 
     #[test]
@@ -282,14 +294,20 @@ for (i = 0; i < n; i++) { g(buf1[i]); }
         let kinds: Vec<&RuntimeCall> = l.calls.iter().map(|(_, c)| c).collect();
         // copyout: create + launch + pull; copyin: create + push + launch.
         assert!(matches!(kinds[0], RuntimeCall::Create { .. }));
-        assert!(matches!(kinds[1], RuntimeCall::KernelLaunch { queue: None, .. }));
+        assert!(matches!(
+            kinds[1],
+            RuntimeCall::KernelLaunch { queue: None, .. }
+        ));
         assert!(matches!(
             kinds[2],
             RuntimeCall::UpdateHost { queue: None, .. }
         ));
         assert!(matches!(kinds[3], RuntimeCall::Create { .. }));
         assert!(matches!(kinds[4], RuntimeCall::UpdateDevice { .. }));
-        assert!(matches!(kinds[5], RuntimeCall::KernelLaunch { queue: None, .. }));
+        assert!(matches!(
+            kinds[5],
+            RuntimeCall::KernelLaunch { queue: None, .. }
+        ));
     }
 
     #[test]
@@ -353,9 +371,8 @@ for (i = 0; i < n; i++) { g(buf1[i]); }
 
     #[test]
     fn issues_propagate_from_both_parsers() {
-        let l = translate(
-            "#pragma acc kernels quux(a)\nx;\n#pragma acc mpi sendbuf(device)\nint y;\n",
-        );
+        let l =
+            translate("#pragma acc kernels quux(a)\nx;\n#pragma acc mpi sendbuf(device)\nint y;\n");
         assert_eq!(l.issues.len(), 2, "{:?}", l.issues);
     }
 }

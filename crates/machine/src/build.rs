@@ -31,6 +31,8 @@ impl std::error::Error for SpecError {}
 
 /// Validate a machine description: socket references in range, strictly
 /// positive bandwidths and capacities, sane factors.
+// `!(x > 0.0)` (not `x <= 0.0`) so NaN parameters are rejected too.
+#[allow(clippy::neg_cmp_op_on_partial_ord)]
 pub fn validate(spec: &MachineSpec) -> Result<(), SpecError> {
     let err = |at: String, message: String| Err(SpecError { at, message });
     if spec.nodes.is_empty() {
@@ -38,7 +40,10 @@ pub fn validate(spec: &MachineSpec) -> Result<(), SpecError> {
     }
     for (n, node) in spec.nodes.iter().enumerate() {
         if node.sockets.is_empty() {
-            return err(format!("nodes[{n}].sockets"), "a node needs at least one socket".into());
+            return err(
+                format!("nodes[{n}].sockets"),
+                "a node needs at least one socket".into(),
+            );
         }
         if node.mem_bytes == 0 {
             return err(format!("nodes[{n}].mem_bytes"), "zero host memory".into());
@@ -61,7 +66,10 @@ pub fn validate(spec: &MachineSpec) -> Result<(), SpecError> {
             );
         }
         if node.numa.cross_lat < 0.0 {
-            return err(format!("nodes[{n}].numa.cross_lat"), "negative latency".into());
+            return err(
+                format!("nodes[{n}].numa.cross_lat"),
+                "negative latency".into(),
+            );
         }
         for (di, d) in node.devices.iter().enumerate() {
             let at = format!("nodes[{n}].devices[{di}]");
@@ -101,7 +109,10 @@ pub fn validate(spec: &MachineSpec) -> Result<(), SpecError> {
         return err("network.latency".into(), "negative latency".into());
     }
     if spec.network.bisect < 0.0 {
-        return err("network.bisect".into(), "negative bisection exponent".into());
+        return err(
+            "network.bisect".into(),
+            "negative bisection exponent".into(),
+        );
     }
     let c = &spec.costs;
     for (name, v) in [
@@ -112,7 +123,10 @@ pub fn validate(spec: &MachineSpec) -> Result<(), SpecError> {
         ("net_unpinned_factor", c.net_unpinned_factor),
     ] {
         if !(v > 0.0) {
-            return err(format!("costs.{name}"), format!("must be positive, got {v}"));
+            return err(
+                format!("costs.{name}"),
+                format!("must be positive, got {v}"),
+            );
         }
     }
     for (name, v) in [
@@ -291,8 +305,12 @@ mod tests {
 
     #[test]
     fn presets_validate() {
-        for spec in [presets::psg(), presets::beacon(4), presets::titan(16), presets::mixed_demo()]
-        {
+        for spec in [
+            presets::psg(),
+            presets::beacon(4),
+            presets::titan(16),
+            presets::mixed_demo(),
+        ] {
             validate(&spec).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
         }
     }
@@ -319,7 +337,10 @@ mod tests {
     #[test]
     fn validation_catches_bad_socket_reference() {
         let node = NodeBuilder::new(1, 8, 64).gpus(1, 3, 8, 1000.0).build();
-        let err = ClusterBuilder::new("bad").nodes(1, node).build().unwrap_err();
+        let err = ClusterBuilder::new("bad")
+            .nodes(1, node)
+            .build()
+            .unwrap_err();
         assert!(err.at.contains("devices[0]"));
         assert!(err.message.contains("socket 3 out of range"));
     }

@@ -113,7 +113,11 @@ impl ClusterResources {
                 host_mem: SerialResource::new("host_mem"),
                 nic_tx: SerialResource::new("nic_tx"),
                 nic_rx: SerialResource::new("nic_rx"),
-                dev_up: n.devices.iter().map(|_| SerialResource::new("pcie_up")).collect(),
+                dev_up: n
+                    .devices
+                    .iter()
+                    .map(|_| SerialResource::new("pcie_up"))
+                    .collect(),
                 dev_down: n
                     .devices
                     .iter()
@@ -386,7 +390,8 @@ mod tests {
         let near = r.reserve_hd_copy(0, 0, HdDir::HtoD, false, true, bytes, SimTime::ZERO);
         let r2 = psg_res();
         let far = r2.reserve_hd_copy(0, 0, HdDir::HtoD, true, true, bytes, SimTime::ZERO);
-        let ratio = far.since(SimTime::ZERO).as_secs_f64() / near.since(SimTime::ZERO).as_secs_f64();
+        let ratio =
+            far.since(SimTime::ZERO).as_secs_f64() / near.since(SimTime::ZERO).as_secs_f64();
         assert!((ratio - 3.5).abs() < 0.05, "ratio = {ratio}");
     }
 
@@ -396,8 +401,12 @@ mod tests {
         let near = r.reserve_hd_copy(0, 0, HdDir::HtoD, false, true, 64, SimTime::ZERO);
         let r2 = psg_res();
         let far = r2.reserve_hd_copy(0, 0, HdDir::HtoD, true, true, 64, SimTime::ZERO);
-        let ratio = far.since(SimTime::ZERO).as_secs_f64() / near.since(SimTime::ZERO).as_secs_f64();
-        assert!(ratio < 1.2, "64B transfers should be latency-dominated, ratio = {ratio}");
+        let ratio =
+            far.since(SimTime::ZERO).as_secs_f64() / near.since(SimTime::ZERO).as_secs_f64();
+        assert!(
+            ratio < 1.2,
+            "64B transfers should be latency-dominated, ratio = {ratio}"
+        );
     }
 
     #[test]

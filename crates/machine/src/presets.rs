@@ -239,8 +239,12 @@ pub fn table1() -> String {
         )
     };
     out.push_str(&row("Nodes (modelled)", &|m| m.node_count().to_string()));
-    out.push_str(&row("Sockets/node", &|m| m.nodes[0].sockets.len().to_string()));
-    out.push_str(&row("Devices/node", &|m| m.nodes[0].devices.len().to_string()));
+    out.push_str(&row("Sockets/node", &|m| {
+        m.nodes[0].sockets.len().to_string()
+    }));
+    out.push_str(&row("Devices/node", &|m| {
+        m.nodes[0].devices.len().to_string()
+    }));
     out.push_str(&row("Device kind", &|m| {
         m.nodes[0]
             .devices
@@ -263,9 +267,7 @@ pub fn table1() -> String {
     out.push_str(&row("GPUDirect RDMA", &|m| {
         m.network.gpudirect_rdma.to_string()
     }));
-    out.push_str(&row("MPI threading", &|m| {
-        format!("{:?}", m.mpi_threading)
-    }));
+    out.push_str(&row("MPI threading", &|m| format!("{:?}", m.mpi_threading)));
     out
 }
 

@@ -106,9 +106,9 @@ impl NodeHeap {
     /// `calloc(n, size)`: like [`NodeHeap::malloc`]; fresh backing is
     /// already zeroed, so this is an alias with the libc-compatible shape.
     pub fn calloc(&self, space: &AddressSpace, n: u64, size: u64) -> Result<HeapPtr, HeapError> {
-        let len = n.checked_mul(size).ok_or_else(|| {
-            HeapError::Alloc(format!("calloc overflow: {n} * {size}"))
-        })?;
+        let len = n
+            .checked_mul(size)
+            .ok_or_else(|| HeapError::Alloc(format!("calloc overflow: {n} * {size}")))?;
         self.malloc(space, len)
     }
 
@@ -212,10 +212,7 @@ impl NodeHeap {
         Self::entry_containing_locked(&inner, addr).map(|(_, e)| e.clone())
     }
 
-    fn entry_containing_locked<'a>(
-        inner: &'a HeapInner,
-        addr: VirtAddr,
-    ) -> Option<(u64, &'a HeapEntry)> {
+    fn entry_containing_locked(inner: &HeapInner, addr: VirtAddr) -> Option<(u64, &HeapEntry)> {
         let (k, e) = inner.entries.range(..=addr.0).next_back()?;
         if e.region.contains_range(addr, 0) && addr.0 < e.region.addr.0 + e.region.len.max(1) {
             Some((*k, e))
@@ -234,7 +231,10 @@ impl NodeHeap {
         inner
             .ptrs
             .values()
-            .filter(|a| entry.region.contains_range(**a, 0) && a.0 < entry.region.addr.0 + entry.region.len.max(1))
+            .filter(|a| {
+                entry.region.contains_range(**a, 0)
+                    && a.0 < entry.region.addr.0 + entry.region.len.max(1)
+            })
             .count()
     }
 
@@ -243,10 +243,7 @@ impl NodeHeap {
     /// released. The pointer variable itself is dropped.
     pub fn free(&self, space: &AddressSpace, ptr: HeapPtr) -> Result<bool, HeapError> {
         let mut inner = self.inner.lock();
-        let addr = inner
-            .ptrs
-            .remove(&ptr)
-            .ok_or(HeapError::DanglingPtr(ptr))?;
+        let addr = inner.ptrs.remove(&ptr).ok_or(HeapError::DanglingPtr(ptr))?;
         let key = Self::entry_containing_locked(&inner, addr)
             .map(|(k, _)| k)
             .ok_or(HeapError::NotAHeapAddress(addr))?;

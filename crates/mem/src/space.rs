@@ -294,7 +294,10 @@ mod tests {
         assert_eq!(b.addr.0 % 64, 0);
         assert!(b.addr.0 >= a.addr.0 + 100);
         let d = s.alloc(MemSpace::Device(0), 64).unwrap();
-        assert!(d.addr.0 >= HOST_BASE + SPACE_STRIDE, "device range far from host");
+        assert!(
+            d.addr.0 >= HOST_BASE + SPACE_STRIDE,
+            "device range far from host"
+        );
     }
 
     #[test]

@@ -141,12 +141,16 @@ mod tests {
         let evens = w.split(&colors, &keys, 0);
         // color 0: ranks 0(k5), 2(k3), 4(k1) -> order 4, 2, 0
         assert_eq!(
-            (0..evens.size()).map(|r| evens.global_of(r)).collect::<Vec<_>>(),
+            (0..evens.size())
+                .map(|r| evens.global_of(r))
+                .collect::<Vec<_>>(),
             vec![4, 2, 0]
         );
         let odds = w.split(&colors, &keys, 1);
         assert_eq!(
-            (0..odds.size()).map(|r| odds.global_of(r)).collect::<Vec<_>>(),
+            (0..odds.size())
+                .map(|r| odds.global_of(r))
+                .collect::<Vec<_>>(),
             vec![1, 3, 5]
         );
         // Same color from two members: identical ids (messages match).

@@ -224,10 +224,16 @@ impl SysMpi {
                 matches!(buf.loc, BufLoc::Host),
                 "system MPI cannot read device memory for intra-node sends; stage explicitly"
             );
-            let end = self.res.reserve_host_copy(src_node, buf.len, now)
-                + self.res.ipc_msg_overhead();
+            let end =
+                self.res.reserve_host_copy(src_node, buf.len, now) + self.res.ipc_msg_overhead();
             ctx.metrics().add("HtoH", buf.len);
             ctx.metrics().add("t_HtoH", end.since(now).0);
+            ctx.span("HtoH", now, end, || {
+                vec![
+                    ("bytes", buf.len.to_string()),
+                    ("staging", "ipc_in".to_string()),
+                ]
+            });
             (end, end, true)
         } else {
             let src_dev = match buf.loc {
@@ -244,21 +250,31 @@ impl SysMpi {
             // special NIC integration (Mellanox OFED GPUDirect on Titan);
             // elsewhere every host send stages through the library's
             // internal pinned pool.
-            let zero_copy = src_dev.is_some()
-                || (buf.pinned && self.res.spec.network.gpudirect_rdma);
-            let parts = self.res.reserve_net_parts(
-                src_node,
-                dst_node,
-                buf.len,
-                now,
-                src_dev,
-                None,
-                zero_copy,
-            );
+            let zero_copy =
+                src_dev.is_some() || (buf.pinned && self.res.spec.network.gpudirect_rdma);
+            let parts = self
+                .res
+                .reserve_net_parts(src_node, dst_node, buf.len, now, src_dev, None, zero_copy);
             (parts.rx_end, parts.tx_end, false)
         };
 
         ctx.metrics().add("mpi_bytes_sent", buf.len);
+        let bytes = buf.len;
+        let path = if src_global == dst_global {
+            "self"
+        } else if intra {
+            "intra"
+        } else {
+            "inter"
+        };
+        ctx.span("mpi_send", now, sender_done, || {
+            vec![
+                ("bytes", bytes.to_string()),
+                ("dst", dst_global.to_string()),
+                ("tag", tag.to_string()),
+                ("path", path.to_string()),
+            ]
+        });
         let rec = SendRec {
             src_global,
             tag,
@@ -272,8 +288,7 @@ impl SysMpi {
         let key = (comm.id(), dst_global);
         let posted = st.posted.entry(key).or_default();
         if let Some(pos) = posted.iter().position(|r| {
-            r.src.map_or(true, |s| comm.global_of(s) == src_global)
-                && r.tag.map_or(true, |t| t == tag)
+            r.src.is_none_or(|s| comm.global_of(s) == src_global) && r.tag.is_none_or(|t| t == tag)
         }) {
             let recv = posted.remove(pos).expect("position valid");
             drop(st);
@@ -315,8 +330,8 @@ impl SysMpi {
         let key = (comm.id(), dst_global);
         let unexpected = st.unexpected.entry(key).or_default();
         if let Some(pos) = unexpected.iter().position(|s| {
-            src.map_or(true, |want| comm.global_of(want) == s.src_global)
-                && tag.map_or(true, |want| want == s.tag)
+            src.is_none_or(|want| comm.global_of(want) == s.src_global)
+                && tag.is_none_or(|want| want == s.tag)
         }) {
             let send = unexpected.remove(pos).expect("position valid");
             drop(st);
@@ -349,6 +364,12 @@ impl SysMpi {
             let end = self.res.reserve_host_copy(dst_node, send.buf.len, earliest);
             ctx.metrics().add("HtoH", send.buf.len);
             ctx.metrics().add("t_HtoH", end.since(earliest).0);
+            ctx.span("HtoH", earliest, end, || {
+                vec![
+                    ("bytes", send.buf.len.to_string()),
+                    ("staging", "ipc_out".to_string()),
+                ]
+            });
             end
         } else {
             earliest
@@ -361,6 +382,16 @@ impl SysMpi {
             tag: send.tag,
             len: send.buf.len,
         };
+        // Emitted by whichever actor performed the match; the span covers
+        // posted-receive to payload-available.
+        ctx.span("mpi_recv", recv.posted_at, complete, || {
+            vec![
+                ("bytes", status.len.to_string()),
+                ("src", send.src_global.to_string()),
+                ("tag", send.tag.to_string()),
+                ("intra", send.intra.to_string()),
+            ]
+        });
         recv.req.complete(ctx, complete, Some(status));
     }
 
@@ -384,8 +415,8 @@ impl SysMpi {
             q.iter()
                 .find(|s| {
                     s.arrival <= now
-                        && src.map_or(true, |want| comm.global_of(want) == s.src_global)
-                        && tag.map_or(true, |want| want == s.tag)
+                        && src.is_none_or(|want| comm.global_of(want) == s.src_global)
+                        && tag.is_none_or(|want| want == s.tag)
                 })
                 .map(|s| Status {
                     src: s.comm.rel_of(s.src_global).expect("member"),
@@ -543,7 +574,14 @@ mod tests {
             } else {
                 let buf = empty_buf(3);
                 let st = ep.recv(ctx, &buf, Some(0), Some(7), &world);
-                assert_eq!(st, Status { src: 0, tag: 7, len: 24 });
+                assert_eq!(
+                    st,
+                    Status {
+                        src: 0,
+                        tag: 7,
+                        len: 24
+                    }
+                );
                 assert_eq!(buf.read_f64s(), vec![1.0, 2.0, 3.0]);
             }
         });

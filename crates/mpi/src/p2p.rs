@@ -51,6 +51,17 @@ fn scratch(len: u64) -> MsgBuf {
     MsgBuf::host(Backing::new(len, None), 0, len)
 }
 
+/// Wrap a collective's body in an `mpi_coll` span (zero-cost when no span
+/// sink is attached).
+fn coll_span<R>(ctx: &Ctx, op: &'static str, bytes: u64, f: impl FnOnce() -> R) -> R {
+    let t0 = ctx.now();
+    let r = f();
+    ctx.span("mpi_coll", t0, ctx.now(), || {
+        vec![("op", op.to_string()), ("bytes", bytes.to_string())]
+    });
+    r
+}
+
 /// Point-to-point transport with derived collectives.
 pub trait PointToPoint {
     /// Send `buf` to communicator-relative rank `dst` with `tag`.
@@ -67,6 +78,7 @@ pub trait PointToPoint {
     /// sends synchronously (as IMPACC's fused intra-node path does).
     /// Implementations must issue the send non-blockingly before waiting
     /// on the receive.
+    #[allow(clippy::too_many_arguments)] // mirrors the MPI_Sendrecv signature
     fn pt_sendrecv(
         &self,
         ctx: &Ctx,
@@ -86,15 +98,17 @@ pub trait PointToPoint {
         }
         let r = self.comm_rank(comm);
         let tag = self.coll_seq().next_tag(comm);
-        let token = scratch(0);
-        let token_in = scratch(0);
-        let mut k = 1u32;
-        while k < n {
-            let dst = (r + k) % n;
-            let src = (r + n - k) % n;
-            self.pt_sendrecv(ctx, &token, dst, &token_in, src, tag, comm);
-            k <<= 1;
-        }
+        coll_span(ctx, "barrier", 0, || {
+            let token = scratch(0);
+            let token_in = scratch(0);
+            let mut k = 1u32;
+            while k < n {
+                let dst = (r + k) % n;
+                let src = (r + n - k) % n;
+                self.pt_sendrecv(ctx, &token, dst, &token_in, src, tag, comm);
+                k <<= 1;
+            }
+        })
     }
 
     /// `MPI_Bcast`: binomial tree rooted at `root`. Every rank passes its
@@ -106,24 +120,26 @@ pub trait PointToPoint {
         }
         let r = self.comm_rank(comm);
         let tag = self.coll_seq().next_tag(comm);
-        let vr = (r + n - root) % n;
-        let mut mask = 1u32;
-        while mask < n {
-            if vr & mask != 0 {
-                let src = (vr - mask + root) % n;
-                self.pt_recv(ctx, buf, Some(src), Some(tag), comm);
-                break;
-            }
-            mask <<= 1;
-        }
-        mask >>= 1;
-        while mask > 0 {
-            if vr + mask < n {
-                let dst = (vr + mask + root) % n;
-                self.pt_send(ctx, buf, dst, tag, comm);
+        coll_span(ctx, "bcast", buf.len, || {
+            let vr = (r + n - root) % n;
+            let mut mask = 1u32;
+            while mask < n {
+                if vr & mask != 0 {
+                    let src = (vr - mask + root) % n;
+                    self.pt_recv(ctx, buf, Some(src), Some(tag), comm);
+                    break;
+                }
+                mask <<= 1;
             }
             mask >>= 1;
-        }
+            while mask > 0 {
+                if vr + mask < n {
+                    let dst = (vr + mask + root) % n;
+                    self.pt_send(ctx, buf, dst, tag, comm);
+                }
+                mask >>= 1;
+            }
+        })
     }
 
     /// `MPI_Reduce` over f64 elements: binomial tree; the reduced vector
@@ -142,26 +158,28 @@ pub trait PointToPoint {
         let tag = self.coll_seq().next_tag(comm);
         let mut acc = sendbuf.read_f64s();
         if n > 1 {
-            let vr = (r + n - root) % n;
-            let tmp = scratch(sendbuf.len);
-            let mut mask = 1u32;
-            while mask < n {
-                if vr & mask == 0 {
-                    let child = vr | mask;
-                    if child < n {
-                        let src = (child + root) % n;
-                        self.pt_recv(ctx, &tmp, Some(src), Some(tag), comm);
-                        op.combine(&mut acc, &tmp.read_f64s());
+            coll_span(ctx, "reduce", sendbuf.len, || {
+                let vr = (r + n - root) % n;
+                let tmp = scratch(sendbuf.len);
+                let mut mask = 1u32;
+                while mask < n {
+                    if vr & mask == 0 {
+                        let child = vr | mask;
+                        if child < n {
+                            let src = (child + root) % n;
+                            self.pt_recv(ctx, &tmp, Some(src), Some(tag), comm);
+                            op.combine(&mut acc, &tmp.read_f64s());
+                        }
+                    } else {
+                        let parent = vr & !mask;
+                        let dst = (parent + root) % n;
+                        tmp.write_f64s(&acc);
+                        self.pt_send(ctx, &tmp, dst, tag, comm);
+                        break;
                     }
-                } else {
-                    let parent = vr & !mask;
-                    let dst = (parent + root) % n;
-                    tmp.write_f64s(&acc);
-                    self.pt_send(ctx, &tmp, dst, tag, comm);
-                    break;
+                    mask <<= 1;
                 }
-                mask <<= 1;
-            }
+            });
         }
         if r == root {
             recvbuf
@@ -192,6 +210,7 @@ pub trait PointToPoint {
         let n = comm.size();
         let r = self.comm_rank(comm);
         let tag = self.coll_seq().next_tag(comm);
+        let t0 = ctx.now();
         if r == root {
             let rb = recvbuf.expect("root must supply a receive buffer");
             assert!(rb.len >= sendbuf.len * n as u64, "gather buffer too small");
@@ -212,6 +231,10 @@ pub trait PointToPoint {
         } else {
             self.pt_send(ctx, sendbuf, root, tag, comm);
         }
+        let bytes = sendbuf.len;
+        ctx.span("mpi_coll", t0, ctx.now(), || {
+            vec![("op", "gather".to_string()), ("bytes", bytes.to_string())]
+        });
     }
 
     /// `MPI_Scatter`: on `root`, `sendbuf` holds `size` slots of
@@ -227,6 +250,7 @@ pub trait PointToPoint {
         let n = comm.size();
         let r = self.comm_rank(comm);
         let tag = self.coll_seq().next_tag(comm);
+        let t0 = ctx.now();
         if r == root {
             let sb = sendbuf.expect("root must supply a send buffer");
             assert!(sb.len >= recvbuf.len * n as u64, "scatter buffer too small");
@@ -247,6 +271,10 @@ pub trait PointToPoint {
         } else {
             self.pt_recv(ctx, recvbuf, Some(root), Some(tag), comm);
         }
+        let bytes = recvbuf.len;
+        ctx.span("mpi_coll", t0, ctx.now(), || {
+            vec![("op", "scatter".to_string()), ("bytes", bytes.to_string())]
+        });
     }
 
     /// `MPI_Gatherv`: rank `i` contributes `counts[i]` bytes; the root
@@ -267,7 +295,10 @@ pub trait PointToPoint {
         assert_eq!(displs.len() as u32, n);
         let r = self.comm_rank(comm);
         let tag = self.coll_seq().next_tag(comm);
-        assert_eq!(sendbuf.len, counts[r as usize], "contribution size mismatch");
+        assert_eq!(
+            sendbuf.len, counts[r as usize],
+            "contribution size mismatch"
+        );
         if r == root {
             let rb = recvbuf.expect("root must supply a receive buffer");
             for i in 0..n {
@@ -341,14 +372,25 @@ pub trait PointToPoint {
     fn alltoall(&self, ctx: &Ctx, sendbuf: &MsgBuf, recvbuf: &MsgBuf, comm: &Comm) {
         let n = comm.size();
         let r = self.comm_rank(comm);
-        assert_eq!(sendbuf.len % n as u64, 0, "sendbuf not divisible into blocks");
+        assert_eq!(
+            sendbuf.len % n as u64,
+            0,
+            "sendbuf not divisible into blocks"
+        );
         let block = sendbuf.len / n as u64;
         assert!(recvbuf.len >= sendbuf.len, "recvbuf too small");
         let tag = self.coll_seq().next_tag(comm);
+        let t0 = ctx.now();
         // Own block first.
         let own_out = sendbuf.slice(r as u64 * block, block);
         let own_in = recvbuf.slice(r as u64 * block, block);
-        Backing::copy(&own_out.backing, own_out.off, &own_in.backing, own_in.off, block);
+        Backing::copy(
+            &own_out.backing,
+            own_out.off,
+            &own_in.backing,
+            own_in.off,
+            block,
+        );
         // Ring-offset schedule: in round k, send to r+k and receive from
         // r-k — every ordered pair exchanges exactly once for any n.
         for round in 1..n {
@@ -358,6 +400,10 @@ pub trait PointToPoint {
             let inn = recvbuf.slice(src as u64 * block, block);
             self.pt_sendrecv(ctx, &out, dst, &inn, src, tag, comm);
         }
+        let bytes = sendbuf.len;
+        ctx.span("mpi_coll", t0, ctx.now(), || {
+            vec![("op", "alltoall".to_string()), ("bytes", bytes.to_string())]
+        });
     }
 
     /// `MPI_Allgather` = gather to rank 0 + broadcast of the full vector.
@@ -394,6 +440,7 @@ impl PointToPoint for SysEndpoint {
         self.task.send(ctx, buf, dst, tag, comm);
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn pt_sendrecv(
         &self,
         ctx: &Ctx,
@@ -459,7 +506,11 @@ mod tests {
     }
 
     fn buf_of(vals: &[f64]) -> MsgBuf {
-        let m = MsgBuf::host(Backing::new(vals.len() as u64 * 8, None), 0, vals.len() as u64 * 8);
+        let m = MsgBuf::host(
+            Backing::new(vals.len() as u64 * 8, None),
+            0,
+            vals.len() as u64 * 8,
+        );
         m.write_f64s(vals);
         m
     }
@@ -474,7 +525,11 @@ mod tests {
             ctx.advance(impacc_vtime::SimDur::from_us(r as u64 * 100), "skew");
             b2.fetch_add(1, Ordering::SeqCst);
             ep.barrier(ctx, &world);
-            assert_eq!(b2.load(Ordering::SeqCst), 6, "all ranks entered before any exits");
+            assert_eq!(
+                b2.load(Ordering::SeqCst),
+                6,
+                "all ranks entered before any exits"
+            );
         });
     }
 

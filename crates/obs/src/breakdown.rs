@@ -1,0 +1,183 @@
+//! Span-derived breakdown tables (the Fig 11/14 normalized stacks).
+
+use std::collections::BTreeMap;
+use std::fmt::Write;
+
+use impacc_vtime::{SimDur, SimTime};
+
+use crate::{EventKind, Span};
+
+/// Total span duration per kind, optionally restricted to spans starting
+/// at or after `after` (used to cut off setup phases before the measured
+/// sweep — e.g. the initial `acc_copyin` of the whole grid).
+pub fn kind_totals(spans: &[Span], after: Option<SimTime>) -> BTreeMap<EventKind, SimDur> {
+    let cutoff = after.unwrap_or(SimTime::ZERO);
+    let mut totals: BTreeMap<EventKind, SimDur> = BTreeMap::new();
+    for s in spans {
+        if s.t0 < cutoff {
+            continue;
+        }
+        let slot = totals.entry(s.kind).or_insert(SimDur(0));
+        *slot = SimDur(slot.0 + s.dur().0);
+    }
+    totals
+}
+
+/// Start time of the first `Marker` span whose `phase` attribute equals
+/// `phase` — the cutoff to pass to [`kind_totals`].
+pub fn phase_start(spans: &[Span], phase: &str) -> Option<SimTime> {
+    spans
+        .iter()
+        .filter(|s| s.kind == EventKind::Marker && s.attr("phase") == Some(phase))
+        .map(|s| s.t0)
+        .min()
+}
+
+/// Instant by which *every* marking actor has entered phase `phase`: the
+/// max across actors of each actor's first matching marker. With one
+/// marker per rank this cuts off the whole setup — [`phase_start`] alone
+/// would let a slow rank's setup work leak past the fastest rank's marker.
+pub fn phase_entered(spans: &[Span], phase: &str) -> Option<SimTime> {
+    let mut first: BTreeMap<&str, SimTime> = BTreeMap::new();
+    for s in spans {
+        if s.kind == EventKind::Marker && s.attr("phase") == Some(phase) {
+            let e = first.entry(s.actor.as_str()).or_insert(s.t0);
+            *e = (*e).min(s.t0);
+        }
+    }
+    first.values().max().copied()
+}
+
+/// One labeled row of a copy-time breakdown.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CopyBreakdown {
+    /// Row label (usually the run/group name).
+    pub label: String,
+    /// Seconds per copy kind, ordered as `[HtoH, HtoD, DtoH, DtoD]`.
+    pub secs: [f64; 4],
+}
+
+impl CopyBreakdown {
+    /// Build from a span set, cutting off before `after` if given.
+    pub fn from_spans(label: &str, spans: &[Span], after: Option<SimTime>) -> CopyBreakdown {
+        let totals = kind_totals(spans, after);
+        let get = |k: EventKind| totals.get(&k).map_or(0.0, |d| d.as_secs_f64());
+        CopyBreakdown {
+            label: label.to_string(),
+            secs: [
+                get(EventKind::CopyHtoH),
+                get(EventKind::CopyHtoD),
+                get(EventKind::CopyDtoH),
+                get(EventKind::CopyDtoD),
+            ],
+        }
+    }
+
+    /// Total copy seconds across all four kinds.
+    pub fn total(&self) -> f64 {
+        self.secs.iter().sum()
+    }
+}
+
+/// Render rows as a text table with one column per copy kind plus a
+/// `total` and a `norm` column (each total normalized to the first row's,
+/// reproducing the paper's normalized stacked bars as numbers).
+pub fn copy_table(rows: &[CopyBreakdown]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<24} {:>10} {:>10} {:>10} {:>10} {:>10} {:>7}",
+        "run", "HtoH(s)", "HtoD(s)", "DtoH(s)", "DtoD(s)", "total(s)", "norm"
+    );
+    let base = rows.first().map(|r| r.total()).unwrap_or(0.0);
+    for r in rows {
+        let norm = if base > 0.0 { r.total() / base } else { 0.0 };
+        let _ = writeln!(
+            out,
+            "{:<24} {:>10.6} {:>10.6} {:>10.6} {:>10.6} {:>10.6} {:>7.3}",
+            r.label,
+            r.secs[0],
+            r.secs[1],
+            r.secs[2],
+            r.secs[3],
+            r.total(),
+            norm
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(kind: EventKind, t0: u64, t1: u64) -> Span {
+        Span {
+            actor: "rank0".into(),
+            kind,
+            t0: SimTime(t0),
+            t1: SimTime(t1),
+            attrs: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn totals_respect_cutoff() {
+        let spans = vec![
+            span(EventKind::CopyHtoD, 0, 100), // setup, before cutoff
+            span(EventKind::CopyHtoD, 200, 230),
+            span(EventKind::CopyDtoD, 240, 300),
+        ];
+        let all = kind_totals(&spans, None);
+        assert_eq!(all[&EventKind::CopyHtoD], SimDur(130));
+        let sweep = kind_totals(&spans, Some(SimTime(150)));
+        assert_eq!(sweep[&EventKind::CopyHtoD], SimDur(30));
+        assert_eq!(sweep[&EventKind::CopyDtoD], SimDur(60));
+    }
+
+    #[test]
+    fn phase_marker_lookup() {
+        let mut m = span(EventKind::Marker, 500, 500);
+        m.attrs.push(("phase", "sweep".into()));
+        let spans = vec![span(EventKind::CopyHtoD, 0, 10), m];
+        assert_eq!(phase_start(&spans, "sweep"), Some(SimTime(500)));
+        assert_eq!(phase_start(&spans, "absent"), None);
+    }
+
+    #[test]
+    fn phase_entered_waits_for_the_slowest_actor() {
+        let marker = |actor: &str, t0: u64| {
+            let mut m = span(EventKind::Marker, t0, t0);
+            m.actor = actor.to_string();
+            m.attrs.push(("phase", "sweep".into()));
+            m
+        };
+        let spans = vec![
+            marker("rank0", 100),
+            marker("rank1", 700),
+            marker("rank1", 900),
+        ];
+        // Earliest overall vs latest first-per-actor.
+        assert_eq!(phase_start(&spans, "sweep"), Some(SimTime(100)));
+        assert_eq!(phase_entered(&spans, "sweep"), Some(SimTime(700)));
+        assert_eq!(phase_entered(&spans, "absent"), None);
+    }
+
+    #[test]
+    fn table_normalizes_to_first_row() {
+        let rows = vec![
+            CopyBreakdown {
+                label: "baseline".into(),
+                secs: [1.0, 1.0, 1.0, 0.0],
+            },
+            CopyBreakdown {
+                label: "impacc".into(),
+                secs: [0.0, 0.0, 0.0, 1.0],
+            },
+        ];
+        let t = copy_table(&rows);
+        let last = t.lines().last().unwrap();
+        assert!(last.starts_with("impacc"), "{t}");
+        assert!(last.trim_end().ends_with("0.333"), "{t}");
+    }
+}

@@ -1,0 +1,188 @@
+//! Chrome `about://tracing` / Perfetto JSON exporter.
+//!
+//! Each run group becomes one trace *process* (pid); each actor within it
+//! becomes one *thread* lane (tid, sorted by actor name so output is
+//! deterministic). Non-zero-width spans become `"X"` complete events;
+//! zero-width spans become `"i"` instant events. Virtual picoseconds map
+//! to trace microseconds (`ts = ps / 1e6`), written with fixed six-digit
+//! precision so every picosecond survives the round-trip.
+
+use std::collections::BTreeMap;
+
+use crate::{json, Span};
+
+/// Render a single run's spans as a Chrome trace JSON document.
+pub fn trace(spans: &[Span]) -> String {
+    trace_groups(&[("run", spans)])
+}
+
+/// Render several runs (e.g. an IMPACC run and a baseline run) side by
+/// side, one trace process per `(label, spans)` group.
+pub fn trace_groups(groups: &[(&str, &[Span])]) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    let mut first = true;
+    let mut push = |out: &mut String, ev: String| {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push('\n');
+        out.push_str(&ev);
+    };
+
+    for (gi, (label, spans)) in groups.iter().enumerate() {
+        let pid = gi + 1;
+        // Deterministic lanes: tid assigned by sorted actor name.
+        let tids: BTreeMap<&str, usize> = spans
+            .iter()
+            .map(|s| s.actor.as_str())
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .zip(1..)
+            .collect();
+
+        push(
+            &mut out,
+            format!(
+                "{{\"ph\":\"M\",\"pid\":{pid},\"name\":\"process_name\",\"args\":{{\"name\":{}}}}}",
+                json::string(label)
+            ),
+        );
+        for (actor, tid) in &tids {
+            push(
+                &mut out,
+                format!(
+                    "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"name\":\"thread_name\",\"args\":{{\"name\":{}}}}}",
+                    json::string(actor)
+                ),
+            );
+        }
+
+        for s in *spans {
+            let tid = tids[s.actor.as_str()];
+            let ts = s.t0.0 as f64 / 1e6;
+            let mut args = String::from("{");
+            for (i, (k, v)) in s.attrs.iter().enumerate() {
+                if i > 0 {
+                    args.push(',');
+                }
+                json::push_str(&mut args, k);
+                args.push(':');
+                json::push_str(&mut args, v);
+            }
+            args.push('}');
+            let name = json::string(s.kind.label());
+            let ev = if s.t1 > s.t0 {
+                let dur = s.dur().0 as f64 / 1e6;
+                format!(
+                    "{{\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts:.6},\"dur\":{dur:.6},\"name\":{name},\"cat\":\"impacc\",\"args\":{args}}}"
+                )
+            } else {
+                format!(
+                    "{{\"ph\":\"i\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts:.6},\"s\":\"t\",\"name\":{name},\"cat\":\"impacc\",\"args\":{args}}}"
+                )
+            };
+            push(&mut out, ev);
+        }
+    }
+
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Extremely small JSON structural validator: checks that braces/brackets
+/// balance outside string literals. Used by tests and the export path as a
+/// belt-and-braces guard; not a general-purpose parser.
+pub fn structurally_valid(doc: &str) -> bool {
+    let mut depth: Vec<char> = Vec::new();
+    let mut in_str = false;
+    let mut escape = false;
+    for c in doc.chars() {
+        if in_str {
+            if escape {
+                escape = false;
+            } else if c == '\\' {
+                escape = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '{' => depth.push('}'),
+            '[' => depth.push(']'),
+            '}' | ']' if depth.pop() != Some(c) => {
+                return false;
+            }
+            _ => {}
+        }
+    }
+    !in_str && depth.is_empty()
+}
+
+/// Write a trace document to `path`.
+pub fn write_trace_groups(
+    path: &std::path::Path,
+    groups: &[(&str, &[Span])],
+) -> std::io::Result<()> {
+    let doc = trace_groups(groups);
+    debug_assert!(structurally_valid(&doc));
+    std::fs::write(path, doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EventKind;
+    use impacc_vtime::SimTime;
+
+    fn span(actor: &str, kind: EventKind, t0: u64, t1: u64) -> Span {
+        Span {
+            actor: actor.into(),
+            kind,
+            t0: SimTime(t0),
+            t1: SimTime(t1),
+            attrs: vec![("bytes", "64".into())],
+        }
+    }
+
+    #[test]
+    fn golden_small_trace() {
+        let spans = vec![
+            span("rank1", EventKind::Kernel, 2_000_000, 5_000_000),
+            span("rank0", EventKind::CopyHtoD, 0, 1_500_000),
+            span("rank0", EventKind::Marker, 1_500_000, 1_500_000),
+        ];
+        let doc = trace(&spans);
+        let expected = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n\
+{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\",\"args\":{\"name\":\"run\"}},\n\
+{\"ph\":\"M\",\"pid\":1,\"tid\":1,\"name\":\"thread_name\",\"args\":{\"name\":\"rank0\"}},\n\
+{\"ph\":\"M\",\"pid\":1,\"tid\":2,\"name\":\"thread_name\",\"args\":{\"name\":\"rank1\"}},\n\
+{\"ph\":\"X\",\"pid\":1,\"tid\":2,\"ts\":2.000000,\"dur\":3.000000,\"name\":\"kernel\",\"cat\":\"impacc\",\"args\":{\"bytes\":\"64\"}},\n\
+{\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":0.000000,\"dur\":1.500000,\"name\":\"HtoD\",\"cat\":\"impacc\",\"args\":{\"bytes\":\"64\"}},\n\
+{\"ph\":\"i\",\"pid\":1,\"tid\":1,\"ts\":1.500000,\"s\":\"t\",\"name\":\"marker\",\"cat\":\"impacc\",\"args\":{\"bytes\":\"64\"}}\n\
+]}\n";
+        assert_eq!(doc, expected);
+        assert!(structurally_valid(&doc));
+    }
+
+    #[test]
+    fn groups_get_distinct_pids() {
+        let a = vec![span("rank0", EventKind::Kernel, 0, 1)];
+        let b = vec![span("rank0", EventKind::Kernel, 0, 1)];
+        let doc = trace_groups(&[("impacc", &a), ("baseline", &b)]);
+        assert!(doc.contains("\"pid\":1,\"name\":\"process_name\",\"args\":{\"name\":\"impacc\"}"));
+        assert!(
+            doc.contains("\"pid\":2,\"name\":\"process_name\",\"args\":{\"name\":\"baseline\"}")
+        );
+        assert!(structurally_valid(&doc));
+    }
+
+    #[test]
+    fn validator_rejects_broken_docs() {
+        assert!(structurally_valid("{\"a\":[1,2,{\"b\":\"}\"}]}"));
+        assert!(!structurally_valid("{\"a\":[1,2}"));
+        assert!(!structurally_valid("{\"a\":\"unterminated"));
+    }
+}

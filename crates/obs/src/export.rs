@@ -1,0 +1,95 @@
+//! Flat metric dumps: CSV and JSON.
+
+use std::fmt::Write;
+
+use crate::{json, MetricsSnapshot};
+
+/// Render a snapshot as CSV with columns `class,key,value` (counters and
+/// gauges) plus histogram summary rows `hist,key.count|sum|min|max,value`.
+/// Rows are key-sorted, so output is deterministic.
+pub fn metrics_csv(m: &MetricsSnapshot) -> String {
+    let mut out = String::from("class,key,value\n");
+    for (k, v) in &m.counters {
+        let _ = writeln!(out, "counter,{k},{v}");
+    }
+    for (k, v) in &m.gauges {
+        let _ = writeln!(out, "gauge,{k},{v}");
+    }
+    for (k, h) in &m.histograms {
+        let _ = writeln!(out, "hist,{k}.count,{}", h.count);
+        let _ = writeln!(out, "hist,{k}.sum,{}", h.sum);
+        let _ = writeln!(out, "hist,{k}.min,{}", h.min);
+        let _ = writeln!(out, "hist,{k}.max,{}", h.max);
+    }
+    out
+}
+
+/// Render a snapshot as a JSON object
+/// `{"counters":{...},"gauges":{...},"histograms":{...}}` with key-sorted
+/// members.
+pub fn metrics_json(m: &MetricsSnapshot) -> String {
+    let mut out = String::from("{\"counters\":{");
+    for (i, (k, v)) in m.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json::push_str(&mut out, k);
+        let _ = write!(out, ":{v}");
+    }
+    out.push_str("},\"gauges\":{");
+    for (i, (k, v)) in m.gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json::push_str(&mut out, k);
+        let _ = write!(out, ":{v}");
+    }
+    out.push_str("},\"histograms\":{");
+    for (i, (k, h)) in m.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json::push_str(&mut out, k);
+        let _ = write!(
+            out,
+            ":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[",
+            h.count, h.sum, h.min, h.max
+        );
+        for (j, (bound, n)) in h.buckets.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "[{bound},{n}]");
+        }
+        out.push_str("]}");
+    }
+    out.push_str("}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Recorder;
+
+    #[test]
+    fn csv_and_json_are_deterministic() {
+        let r = Recorder::new();
+        r.counter_add("b", 2);
+        r.counter_add("a", 1);
+        r.gauge_set("g", -5);
+        r.observe("sizes", 8);
+        let m = r.metrics();
+        assert_eq!(
+            metrics_csv(&m),
+            "class,key,value\ncounter,a,1\ncounter,b,2\ngauge,g,-5\n\
+             hist,sizes.count,1\nhist,sizes.sum,8\nhist,sizes.min,8\nhist,sizes.max,8\n"
+        );
+        assert_eq!(
+            metrics_json(&m),
+            "{\"counters\":{\"a\":1,\"b\":2},\"gauges\":{\"g\":-5},\"histograms\":{\
+             \"sizes\":{\"count\":1,\"sum\":8,\"min\":8,\"max\":8,\"buckets\":[[16,1]]}}}"
+        );
+        assert!(crate::chrome::structurally_valid(&metrics_json(&m)));
+    }
+}

@@ -1,0 +1,58 @@
+//! Minimal hand-rolled JSON writing helpers (no serde in the tree).
+
+use std::fmt::Write;
+
+/// Append `s` to `out` as a JSON string literal (with surrounding quotes).
+pub fn push_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A string as a JSON literal.
+pub fn string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    push_str(&mut out, s);
+    out
+}
+
+/// An `f64` as a JSON number; non-finite values become `null`.
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        // {} on f64 is shortest-roundtrip, which is valid JSON.
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(string("a\"b\\c\nd"), r#""a\"b\\c\nd""#);
+        assert_eq!(string("\u{0001}"), "\"\\u0001\"");
+        assert_eq!(string("plain"), r#""plain""#);
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(number(1.5), "1.5");
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+    }
+}

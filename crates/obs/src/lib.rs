@@ -1,0 +1,194 @@
+//! # impacc-obs — structured observability for the IMPACC runtime
+//!
+//! The paper's evaluation (§4, Figures 5/11/14) is an exercise in
+//! *attributing virtual time to causes*: host stalls, copy kinds
+//! (HtoH/HtoD/DtoH/DtoD), kernel execution, message fusion, heap aliasing.
+//! This crate is the substrate for those attributions:
+//!
+//! * [`Span`] / [`EventKind`] — typed time spans replacing the engine's
+//!   legacy stringly `TraceEvent` ring;
+//! * [`Recorder`] — a bounded, thread-safe span buffer plus a
+//!   counter/gauge/histogram registry with deterministic (sorted)
+//!   snapshots; implements `impacc_vtime::SpanSink` so it plugs straight
+//!   into a simulation via `SimConfig::sink`;
+//! * exporters — [`chrome::trace`] (Chrome `about://tracing` JSON with one
+//!   lane per task/queue/handler actor), [`export::metrics_csv`] /
+//!   [`export::metrics_json`] flat dumps, and [`breakdown`] text tables
+//!   reproducing the Fig 11/14 normalized stacks directly from spans.
+//!
+//! Recording is zero-cost when disabled: a [`Recorder`] built with
+//! capacity 0 reports `enabled() == false`, so `Ctx::span` callers never
+//! evaluate their attribute closures and counters are no-ops. Virtual
+//! times are bit-identical with recording on or off — the recorder only
+//! observes, it never advances the clock.
+
+#![warn(missing_docs)]
+
+pub mod breakdown;
+pub mod chrome;
+pub mod export;
+pub mod json;
+mod recorder;
+
+pub use recorder::{HistogramSnapshot, MetricsSnapshot, Recorder, ScopedCounters};
+
+use impacc_vtime::{SimDur, SimTime};
+
+/// The closed set of span kinds the runtime emits.
+///
+/// Labels match the engine's accounting tags (`"HtoD"`, `"kernel"`, ...),
+/// so spans, per-actor tag accounting and the `Metrics` counters all speak
+/// the same vocabulary.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum EventKind {
+    /// Device kernel execution.
+    Kernel,
+    /// Host-to-host copy (intra-node staging, fused host messages).
+    CopyHtoH,
+    /// Host-to-device copy over PCIe.
+    CopyHtoD,
+    /// Device-to-host copy over PCIe.
+    CopyDtoH,
+    /// Device-to-device copy (PCIe peer-to-peer or same-device move).
+    CopyDtoD,
+    /// An MPI send entering the runtime (unified or system path).
+    MpiSend,
+    /// An MPI receive completing.
+    MpiRecv,
+    /// A collective operation (barrier, bcast, allreduce, ...).
+    MpiColl,
+    /// The node handler fused an intra-node send/recv pair (§3.7).
+    Fuse,
+    /// A heap-aliasing decision on a fused host message (§3.8):
+    /// the `outcome` attr distinguishes hits from misses.
+    Alias,
+    /// Time an operation sat in an activity queue before executing (§3.6).
+    QueueWait,
+    /// A command processed by the node message handler.
+    HandlerCmd,
+    /// Scheduler-observed blocked time, tagged with the blocking cause.
+    Stall,
+    /// Free-form annotation (phase changes, pinning placement, app marks).
+    Marker,
+}
+
+impl EventKind {
+    /// Every kind, in a fixed presentation order.
+    pub const ALL: [EventKind; 14] = [
+        EventKind::Kernel,
+        EventKind::CopyHtoH,
+        EventKind::CopyHtoD,
+        EventKind::CopyDtoH,
+        EventKind::CopyDtoD,
+        EventKind::MpiSend,
+        EventKind::MpiRecv,
+        EventKind::MpiColl,
+        EventKind::Fuse,
+        EventKind::Alias,
+        EventKind::QueueWait,
+        EventKind::HandlerCmd,
+        EventKind::Stall,
+        EventKind::Marker,
+    ];
+
+    /// The wire label (also the accounting-tag spelling where one exists).
+    pub fn label(self) -> &'static str {
+        match self {
+            EventKind::Kernel => "kernel",
+            EventKind::CopyHtoH => "HtoH",
+            EventKind::CopyHtoD => "HtoD",
+            EventKind::CopyDtoH => "DtoH",
+            EventKind::CopyDtoD => "DtoD",
+            EventKind::MpiSend => "mpi_send",
+            EventKind::MpiRecv => "mpi_recv",
+            EventKind::MpiColl => "mpi_coll",
+            EventKind::Fuse => "fuse",
+            EventKind::Alias => "alias",
+            EventKind::QueueWait => "queue_wait",
+            EventKind::HandlerCmd => "handler_cmd",
+            EventKind::Stall => "stall",
+            EventKind::Marker => "marker",
+        }
+    }
+
+    /// Parse a wire label back into a kind.
+    pub fn parse(label: &str) -> Option<EventKind> {
+        EventKind::ALL.iter().copied().find(|k| k.label() == label)
+    }
+
+    /// Is this one of the four data-copy kinds?
+    pub fn is_copy(self) -> bool {
+        matches!(
+            self,
+            EventKind::CopyHtoH | EventKind::CopyHtoD | EventKind::CopyDtoH | EventKind::CopyDtoD
+        )
+    }
+}
+
+/// One recorded span: `actor` spent `[t0, t1]` doing `kind`.
+///
+/// `t0 == t1` encodes an instantaneous event (fusion decisions, aliasing
+/// outcomes, markers). `attrs` carry structured detail — byte counts,
+/// fusion reasons, queue names — as key/value pairs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Span {
+    /// Name of the emitting actor (task, queue daemon, handler, ...).
+    pub actor: String,
+    /// What the time was spent on.
+    pub kind: EventKind,
+    /// Span start (virtual time).
+    pub t0: SimTime,
+    /// Span end (virtual time); `>= t0`.
+    pub t1: SimTime,
+    /// Structured detail attributes.
+    pub attrs: Vec<(&'static str, String)>,
+}
+
+impl Span {
+    /// The span's duration.
+    pub fn dur(&self) -> SimDur {
+        self.t1.since(self.t0)
+    }
+
+    /// Value of attribute `key`, if present.
+    pub fn attr(&self, key: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_roundtrip() {
+        for k in EventKind::ALL {
+            assert_eq!(EventKind::parse(k.label()), Some(k), "{k:?}");
+        }
+        assert_eq!(EventKind::parse("no_such_kind"), None);
+    }
+
+    #[test]
+    fn copy_kinds_are_exactly_four() {
+        assert_eq!(EventKind::ALL.iter().filter(|k| k.is_copy()).count(), 4);
+        assert!(EventKind::CopyDtoD.is_copy());
+        assert!(!EventKind::Kernel.is_copy());
+    }
+
+    #[test]
+    fn span_attrs_lookup() {
+        let s = Span {
+            actor: "rank0".into(),
+            kind: EventKind::CopyHtoD,
+            t0: SimTime::ZERO,
+            t1: SimTime(10),
+            attrs: vec![("bytes", "4096".into())],
+        };
+        assert_eq!(s.dur(), SimDur(10));
+        assert_eq!(s.attr("bytes"), Some("4096"));
+        assert_eq!(s.attr("nope"), None);
+    }
+}

@@ -1,0 +1,455 @@
+//! The span recorder and counter/gauge/histogram registry.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use impacc_vtime::{SimTime, SpanSink};
+use parking_lot::Mutex;
+
+use crate::{EventKind, Span};
+
+/// Log2-bucketed histogram, built for message-size distributions.
+///
+/// Value `v` lands in bucket `⌊log2(v)⌋ + 1` (bucket 0 holds zeros), so
+/// bucket `i > 0` covers `[2^(i-1), 2^i)`.
+#[derive(Clone, Debug)]
+struct Histogram {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: [u64; 65],
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+            buckets: [0; 65],
+        }
+    }
+}
+
+impl Histogram {
+    fn observe(&mut self, v: u64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        let b = if v == 0 { 0 } else { v.ilog2() as usize + 1 };
+        self.buckets[b] += 1;
+    }
+}
+
+/// Point-in-time view of one histogram.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observed values (saturating).
+    pub sum: u64,
+    /// Smallest observed value (0 when empty).
+    pub min: u64,
+    /// Largest observed value (0 when empty).
+    pub max: u64,
+    /// Non-empty buckets as `(upper_bound_exclusive, count)`; the bound for
+    /// the zero bucket is 1.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+/// Deterministic (sorted) snapshot of every counter, gauge and histogram.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters, sorted by key.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-write-wins gauges, sorted by key.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histograms, sorted by key.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+struct Inner {
+    capacity: usize,
+    enabled: AtomicBool,
+    dropped: AtomicU64,
+    spans: Mutex<VecDeque<Span>>,
+    counters: Mutex<BTreeMap<String, u64>>,
+    gauges: Mutex<BTreeMap<String, i64>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+/// A shared handle to a bounded span buffer and a metrics registry.
+///
+/// Cloning is cheap (one `Arc`); all clones observe the same state. The
+/// recorder implements [`SpanSink`], so attach it to a run with
+/// `SimConfig { sink: Some(recorder.sink()), .. }` or
+/// `Launch::recorder(&recorder)`.
+///
+/// A recorder built with capacity 0 ([`Recorder::disabled`]) is inert:
+/// `enabled()` is false, spans are discarded before attribute closures are
+/// evaluated, and counter updates are no-ops — calibration numbers are
+/// unchanged by a disabled recorder in the loop.
+#[derive(Clone)]
+pub struct Recorder {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder")
+            .field("capacity", &self.inner.capacity)
+            .field("enabled", &self.enabled())
+            .field("spans", &self.inner.spans.lock().len())
+            .finish()
+    }
+}
+
+/// Default span capacity used by convenience constructors: roomy enough
+/// for every fig harness while bounding memory on runaway runs.
+pub const DEFAULT_CAPACITY: usize = 1 << 20;
+
+impl Recorder {
+    /// A recorder retaining at most `capacity` spans (oldest dropped
+    /// first). Capacity 0 builds a permanently disabled recorder.
+    pub fn with_capacity(capacity: usize) -> Recorder {
+        Recorder {
+            inner: Arc::new(Inner {
+                capacity,
+                enabled: AtomicBool::new(capacity > 0),
+                dropped: AtomicU64::new(0),
+                spans: Mutex::new(VecDeque::new()),
+                counters: Mutex::new(BTreeMap::new()),
+                gauges: Mutex::new(BTreeMap::new()),
+                histograms: Mutex::new(BTreeMap::new()),
+            }),
+        }
+    }
+
+    /// A recorder with [`DEFAULT_CAPACITY`].
+    pub fn new() -> Recorder {
+        Recorder::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// A permanently disabled, zero-cost recorder.
+    pub fn disabled() -> Recorder {
+        Recorder::with_capacity(0)
+    }
+
+    /// Is recording currently on?
+    pub fn enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Pause/resume recording. Ignored on a capacity-0 recorder, which can
+    /// never be enabled.
+    pub fn set_enabled(&self, on: bool) {
+        if self.inner.capacity > 0 {
+            self.inner.enabled.store(on, Ordering::Relaxed);
+        }
+    }
+
+    /// This recorder as an engine span sink.
+    pub fn sink(&self) -> Arc<dyn SpanSink> {
+        Arc::new(self.clone())
+    }
+
+    /// Record a span directly (bypassing the label-parsing sink path).
+    pub fn record(&self, span: Span) {
+        if !self.enabled() {
+            return;
+        }
+        let mut spans = self.inner.spans.lock();
+        if spans.len() == self.inner.capacity {
+            spans.pop_front();
+            self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        spans.push_back(span);
+    }
+
+    /// Add `v` to counter `key`.
+    pub fn counter_add(&self, key: &str, v: u64) {
+        if !self.enabled() {
+            return;
+        }
+        let mut c = self.inner.counters.lock();
+        match c.get_mut(key) {
+            Some(slot) => *slot += v,
+            None => {
+                c.insert(key.to_string(), v);
+            }
+        }
+    }
+
+    /// Increment counter `key` by one.
+    pub fn counter_inc(&self, key: &str) {
+        self.counter_add(key, 1);
+    }
+
+    /// Set gauge `key` to `v` (last write wins).
+    pub fn gauge_set(&self, key: &str, v: i64) {
+        if !self.enabled() {
+            return;
+        }
+        self.inner.gauges.lock().insert(key.to_string(), v);
+    }
+
+    /// Record one observation of `v` in histogram `key` (message sizes).
+    pub fn observe(&self, key: &str, v: u64) {
+        if !self.enabled() {
+            return;
+        }
+        self.inner
+            .histograms
+            .lock()
+            .entry(key.to_string())
+            .or_default()
+            .observe(v);
+    }
+
+    /// A counter/histogram view prefixing every key with `scope.` —
+    /// per-actor or per-queue scoping without string plumbing at each site.
+    pub fn scoped(&self, scope: &str) -> ScopedCounters {
+        ScopedCounters {
+            recorder: self.clone(),
+            prefix: format!("{scope}."),
+        }
+    }
+
+    /// Emission-ordered copy of the retained spans.
+    pub fn spans(&self) -> Vec<Span> {
+        self.inner.spans.lock().iter().cloned().collect()
+    }
+
+    /// Number of retained spans.
+    pub fn span_count(&self) -> usize {
+        self.inner.spans.lock().len()
+    }
+
+    /// Spans dropped because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.inner.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Deterministic snapshot of all counters/gauges/histograms, key-sorted.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.inner.counters.lock().clone(),
+            gauges: self.inner.gauges.lock().clone(),
+            histograms: self
+                .inner
+                .histograms
+                .lock()
+                .iter()
+                .map(|(k, h)| {
+                    (
+                        k.clone(),
+                        HistogramSnapshot {
+                            count: h.count,
+                            sum: h.sum,
+                            min: h.min,
+                            max: h.max,
+                            buckets: h
+                                .buckets
+                                .iter()
+                                .enumerate()
+                                .filter(|(_, n)| **n > 0)
+                                .map(|(i, n)| (1u64 << i.min(63), *n))
+                                .collect(),
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Drop all retained spans and metrics (the enable state is kept).
+    pub fn clear(&self) {
+        self.inner.spans.lock().clear();
+        self.inner.counters.lock().clear();
+        self.inner.gauges.lock().clear();
+        self.inner.histograms.lock().clear();
+        self.inner.dropped.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Default for Recorder {
+    fn default() -> Recorder {
+        Recorder::new()
+    }
+}
+
+impl SpanSink for Recorder {
+    fn enabled(&self) -> bool {
+        Recorder::enabled(self)
+    }
+
+    fn span(
+        &self,
+        actor: &str,
+        label: &'static str,
+        t0: SimTime,
+        t1: SimTime,
+        attrs: &mut dyn FnMut() -> Vec<(&'static str, String)>,
+    ) {
+        if !self.enabled() {
+            return;
+        }
+        // Unknown labels degrade to markers carrying the original label,
+        // keeping EventKind closed without losing information.
+        let (kind, mut attrs) = match EventKind::parse(label) {
+            Some(k) => (k, attrs()),
+            None => {
+                let mut a = attrs();
+                a.push(("label", label.to_string()));
+                (EventKind::Marker, a)
+            }
+        };
+        attrs.shrink_to_fit();
+        self.record(Span {
+            actor: actor.to_string(),
+            kind,
+            t0,
+            t1,
+            attrs,
+        });
+    }
+}
+
+/// Prefix-scoped counter/histogram view (see [`Recorder::scoped`]).
+#[derive(Clone, Debug)]
+pub struct ScopedCounters {
+    recorder: Recorder,
+    prefix: String,
+}
+
+impl ScopedCounters {
+    /// Add `v` to scoped counter `key`.
+    pub fn add(&self, key: &str, v: u64) {
+        if !self.recorder.enabled() {
+            return;
+        }
+        self.recorder
+            .counter_add(&format!("{}{key}", self.prefix), v);
+    }
+
+    /// Increment scoped counter `key`.
+    pub fn inc(&self, key: &str) {
+        self.add(key, 1);
+    }
+
+    /// Observe `v` in scoped histogram `key`.
+    pub fn observe(&self, key: &str, v: u64) {
+        if !self.recorder.enabled() {
+            return;
+        }
+        self.recorder.observe(&format!("{}{key}", self.prefix), v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use impacc_vtime::SimTime;
+
+    fn span(actor: &str, kind: EventKind, t0: u64, t1: u64) -> Span {
+        Span {
+            actor: actor.into(),
+            kind,
+            t0: SimTime(t0),
+            t1: SimTime(t1),
+            attrs: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn ring_drops_oldest() {
+        let r = Recorder::with_capacity(2);
+        r.record(span("a", EventKind::Kernel, 0, 1));
+        r.record(span("a", EventKind::Kernel, 1, 2));
+        r.record(span("a", EventKind::Kernel, 2, 3));
+        let spans = r.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].t0, SimTime(1));
+        assert_eq!(r.dropped(), 1);
+    }
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let r = Recorder::disabled();
+        assert!(!r.enabled());
+        r.set_enabled(true); // capacity 0: cannot be enabled
+        assert!(!r.enabled());
+        r.record(span("a", EventKind::Kernel, 0, 1));
+        r.counter_inc("x");
+        r.observe("h", 7);
+        assert_eq!(r.span_count(), 0);
+        assert_eq!(r.metrics(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn sink_parses_labels_and_defers_attrs() {
+        let r = Recorder::new();
+        let mut calls = 0;
+        SpanSink::span(&r, "rank0", "HtoD", SimTime(5), SimTime(9), &mut || {
+            calls += 1;
+            vec![("bytes", "64".into())]
+        });
+        assert_eq!(calls, 1);
+        let s = &r.spans()[0];
+        assert_eq!(s.kind, EventKind::CopyHtoD);
+        assert_eq!(s.attr("bytes"), Some("64"));
+
+        // Disabled: closure must never run.
+        let d = Recorder::disabled();
+        SpanSink::span(&d, "rank0", "HtoD", SimTime(5), SimTime(9), &mut || {
+            panic!("attrs evaluated on a disabled recorder")
+        });
+
+        // Unknown label: marker + original label attr.
+        SpanSink::span(&r, "rank0", "exotic", SimTime(1), SimTime(1), &mut Vec::new);
+        let s = r.spans().pop().unwrap();
+        assert_eq!(s.kind, EventKind::Marker);
+        assert_eq!(s.attr("label"), Some("exotic"));
+    }
+
+    #[test]
+    fn metrics_snapshot_is_sorted_and_scoped() {
+        let r = Recorder::new();
+        r.counter_add("zeta", 2);
+        r.counter_inc("alpha");
+        r.gauge_set("depth", -3);
+        let q = r.scoped("q1.rank0");
+        q.inc("ops");
+        q.observe("bytes", 4096);
+        let m = r.metrics();
+        let keys: Vec<&str> = m.counters.keys().map(|s| s.as_str()).collect();
+        assert_eq!(keys, vec!["alpha", "q1.rank0.ops", "zeta"]);
+        assert_eq!(m.gauges["depth"], -3);
+        let h = &m.histograms["q1.rank0.bytes"];
+        assert_eq!((h.count, h.sum, h.min, h.max), (1, 4096, 4096, 4096));
+        assert_eq!(h.buckets, vec![(1 << 13, 1)]); // 4096 ∈ [2^12, 2^13)
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        let r = Recorder::new();
+        for v in [0u64, 1, 2, 3, 4, 1024] {
+            r.observe("sizes", v);
+        }
+        let h = &r.metrics().histograms["sizes"];
+        assert_eq!(h.count, 6);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 1024);
+        // buckets: 0 → (1,1); 1 → (2,1); 2,3 → (4,2); 4 → (8,1); 1024 → (2048,1)
+        assert_eq!(h.buckets, vec![(1, 1), (2, 1), (4, 2), (8, 1), (2048, 1)]);
+    }
+}

@@ -1,0 +1,99 @@
+//! Multi-thread stress: many OS threads hammer one shared recorder — the
+//! DES runs one actor per thread, so the recorder must take concurrent
+//! spans, counters and histogram observations without losing consistency.
+
+use std::sync::Arc;
+use std::thread;
+
+use impacc_obs::{EventKind, Recorder, Span};
+use impacc_vtime::SimTime;
+
+const THREADS: u32 = 8;
+const PER_THREAD: u64 = 5_000;
+
+fn span(actor: String, i: u64) -> Span {
+    Span {
+        actor,
+        kind: EventKind::Kernel,
+        t0: SimTime(i),
+        t1: SimTime(i + 1),
+        attrs: Vec::new(),
+    }
+}
+
+#[test]
+fn concurrent_producers_never_corrupt_the_recorder() {
+    let rec = Arc::new(Recorder::with_capacity(1 << 20));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let rec = rec.clone();
+            thread::spawn(move || {
+                let scoped = rec.scoped(&format!("t{t}"));
+                for i in 0..PER_THREAD {
+                    rec.record(span(format!("t{t}"), i));
+                    rec.counter_inc("ops");
+                    scoped.observe("size", i);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let total = u64::from(THREADS) * PER_THREAD;
+    assert_eq!(rec.span_count() as u64, total);
+    assert_eq!(rec.dropped(), 0);
+    let m = rec.metrics();
+    assert_eq!(m.counters["ops"], total);
+    for t in 0..THREADS {
+        let h = &m.histograms[&format!("t{t}.size")];
+        assert_eq!(h.count, PER_THREAD);
+        assert_eq!(h.sum, PER_THREAD * (PER_THREAD - 1) / 2);
+    }
+}
+
+#[test]
+fn ring_overflow_under_contention_drops_exactly_the_excess() {
+    let cap = 1024;
+    let rec = Arc::new(Recorder::with_capacity(cap));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let rec = rec.clone();
+            thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    rec.record(span(format!("t{t}"), i));
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let total = u64::from(THREADS) * PER_THREAD;
+    assert_eq!(rec.span_count(), cap);
+    assert_eq!(rec.dropped(), total - cap as u64);
+}
+
+#[test]
+fn toggling_enabled_under_load_loses_only_disabled_spans() {
+    let rec = Arc::new(Recorder::with_capacity(1 << 20));
+    let writer = {
+        let rec = rec.clone();
+        thread::spawn(move || {
+            for i in 0..PER_THREAD {
+                rec.record(span("w".into(), i));
+            }
+        })
+    };
+    // Flip the gate concurrently; every record() observes one state or the
+    // other, so the count lands between 0 and the total — and nothing
+    // panics or tears.
+    for _ in 0..100 {
+        rec.set_enabled(false);
+        rec.set_enabled(true);
+    }
+    writer.join().unwrap();
+    assert!(rec.span_count() as u64 <= PER_THREAD);
+}

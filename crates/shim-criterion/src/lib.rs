@@ -1,0 +1,117 @@
+//! Offline drop-in replacement for the subset of `criterion` this
+//! workspace's micro-benchmarks use: `Criterion::bench_function`,
+//! `Bencher::iter`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! The build environment cannot reach crates.io, so the real criterion
+//! cannot be vendored. This shim is a plain wall-clock harness: a short
+//! calibration pass picks an iteration count targeting ~100 ms per
+//! benchmark, then one timed pass reports mean ns/iter. No statistics, no
+//! HTML reports — enough to eyeball hot-path regressions with
+//! `cargo bench`.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Per-benchmark iteration driver handed to `bench_function` closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `f` over the calibrated number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The benchmark registry/driver.
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Run one named benchmark and print its mean time per iteration.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: &str,
+        mut f: F,
+    ) -> &mut Criterion {
+        // Calibrate: grow the iteration count until one pass takes >= 10 ms,
+        // then scale to ~100 ms for the measured pass.
+        let mut iters: u64 = 1;
+        let per_iter = loop {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            if b.elapsed >= Duration::from_millis(10) || iters >= 1 << 20 {
+                break b.elapsed.as_secs_f64() / iters as f64;
+            }
+            iters *= 4;
+        };
+        let target = (0.1 / per_iter.max(1e-9)).clamp(1.0, 1e8) as u64;
+        let mut b = Bencher {
+            iters: target,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let ns = b.elapsed.as_secs_f64() * 1e9 / target as f64;
+        println!("{name:<48} {ns:>12.1} ns/iter ({target} iters)");
+        self
+    }
+
+    /// Compatibility no-op (criterion finalizer).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Group benchmark functions under one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut ran = 0u64;
+        Criterion::default().bench_function("smoke/add", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(1u64 + 2)
+            })
+        });
+        assert!(ran > 0);
+    }
+}

@@ -20,7 +20,7 @@
 //! calls [`Ctx::wake`] with the stored token; stale tokens (the waiter has
 //! since resumed) are ignored via a per-actor generation counter.
 
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap};
 use std::fmt;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::Arc;
@@ -109,7 +109,7 @@ struct ActorSlot {
     wait_gen: u64,
     blocked_since: SimTime,
     blocked_tag: &'static str,
-    acct: HashMap<&'static str, SimDur>,
+    acct: BTreeMap<&'static str, SimDur>,
 }
 
 #[derive(Copy, Clone, PartialEq, Eq)]
@@ -163,13 +163,44 @@ pub(crate) struct EngineShared {
     stack_size: usize,
     trace_capacity: usize,
     trace: Mutex<std::collections::VecDeque<TraceEvent>>,
+    sink: Option<Arc<dyn SpanSink>>,
+}
+
+/// Receiver for structured spans emitted by the engine and by the runtime
+/// layers built on top of it (copies, kernels, MPI traffic, handler work).
+///
+/// The canonical implementation is `impacc_obs::Recorder`; `vtime` only
+/// knows this trait so the observability crate can sit *above* the engine
+/// in the dependency graph. Attach one via [`SimConfig::sink`].
+///
+/// Implementations must be cheap and must never call back into the engine:
+/// spans are delivered from scheduler paths that may hold internal locks.
+pub trait SpanSink: Send + Sync {
+    /// Fast-path gate: when `false`, callers skip attribute construction
+    /// and do not deliver spans, making recording zero-cost when disabled.
+    fn enabled(&self) -> bool;
+
+    /// Record a completed span `[t0, t1]` attributed to `actor`. `label`
+    /// identifies the span kind ("HtoD", "kernel", "stall", ...); `attrs`
+    /// is invoked at most once, and only if the sink keeps the span.
+    fn span(
+        &self,
+        actor: &str,
+        label: &'static str,
+        t0: SimTime,
+        t1: SimTime,
+        attrs: &mut dyn FnMut() -> Vec<(&'static str, String)>,
+    );
 }
 
 /// Global, engine-wide counters for experiment instrumentation
 /// (bytes copied per path, messages fused, aliases taken, ...).
+///
+/// Backed by an ordered map so snapshots, dumps and report printing are
+/// deterministic (stable key order) run over run.
 #[derive(Default)]
 pub struct Metrics {
-    map: Mutex<HashMap<&'static str, u64>>,
+    map: Mutex<BTreeMap<&'static str, u64>>,
 }
 
 impl Metrics {
@@ -188,13 +219,14 @@ impl Metrics {
         self.map.lock().get(key).copied().unwrap_or(0)
     }
 
-    fn snapshot(&self) -> HashMap<&'static str, u64> {
+    /// A sorted point-in-time copy of every counter.
+    pub fn snapshot(&self) -> BTreeMap<&'static str, u64> {
         self.map.lock().clone()
     }
 }
 
 /// Configuration for a simulation run.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct SimConfig {
     /// Stack size for actor threads. Large runs (thousands of actors) should
     /// keep this small; application state lives on the heap.
@@ -204,8 +236,24 @@ pub struct SimConfig {
     pub max_events: u64,
     /// Keep the most recent `trace_capacity` [`TraceEvent`]s emitted via
     /// [`Ctx::trace`] (0 disables tracing; detail closures are then never
-    /// evaluated).
+    /// evaluated). Superseded by [`SimConfig::sink`] for structured
+    /// observability; retained for lightweight ad-hoc debugging.
     pub trace_capacity: usize,
+    /// Structured span sink (normally an `impacc_obs::Recorder`). `None`
+    /// disables span recording entirely — [`Ctx::span`] then returns before
+    /// evaluating attribute closures, so a sink-less run pays nothing.
+    pub sink: Option<Arc<dyn SpanSink>>,
+}
+
+impl fmt::Debug for SimConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimConfig")
+            .field("stack_size", &self.stack_size)
+            .field("max_events", &self.max_events)
+            .field("trace_capacity", &self.trace_capacity)
+            .field("sink", &self.sink.as_ref().map(|_| "SpanSink"))
+            .finish()
+    }
 }
 
 impl Default for SimConfig {
@@ -214,11 +262,17 @@ impl Default for SimConfig {
             stack_size: 512 * 1024,
             max_events: u64::MAX,
             trace_capacity: 0,
+            sink: None,
         }
     }
 }
 
 /// One traced event (see [`Ctx::trace`]).
+///
+/// Legacy lightweight tracing: a bounded ring of stringly events. New
+/// instrumentation should emit typed spans through [`Ctx::span`] into an
+/// `impacc_obs::Recorder` instead; this ring remains for quick ad-hoc
+/// debugging and for tests that predate the observability subsystem.
 #[derive(Clone, Debug)]
 pub struct TraceEvent {
     /// When it happened.
@@ -275,8 +329,9 @@ impl std::error::Error for SimError {}
 pub struct ActorAccount {
     /// The actor's name as given at spawn time.
     pub name: String,
-    /// Virtual time charged per tag (explicit advances and blocked waits).
-    pub tags: HashMap<&'static str, SimDur>,
+    /// Virtual time charged per tag (explicit advances and blocked waits),
+    /// in deterministic (sorted) key order.
+    pub tags: BTreeMap<&'static str, SimDur>,
 }
 
 impl ActorAccount {
@@ -302,8 +357,8 @@ pub struct SimReport {
     pub end_time: SimTime,
     /// Accounting per actor, in spawn order.
     pub actors: Vec<ActorAccount>,
-    /// Snapshot of engine-wide counters.
-    pub metrics: HashMap<&'static str, u64>,
+    /// Snapshot of engine-wide counters, in deterministic (sorted) key order.
+    pub metrics: BTreeMap<&'static str, u64>,
     /// Number of scheduler dispatches performed.
     pub events: u64,
     /// The retained trace (empty unless `trace_capacity` was set).
@@ -346,7 +401,9 @@ impl Ctx {
 
     /// This actor's name.
     pub fn name(&self) -> String {
-        self.engine.sched.lock().actors[self.me.0 as usize].name.clone()
+        self.engine.sched.lock().actors[self.me.0 as usize]
+            .name
+            .clone()
     }
 
     /// Current virtual time.
@@ -385,6 +442,42 @@ impl Ctx {
     /// their service loops promptly when they observe this.
     pub fn is_shutdown(&self) -> bool {
         self.engine.sched.lock().shutdown
+    }
+
+    /// True when a span sink is attached and currently recording. Callers
+    /// with expensive span bookkeeping (beyond the lazy attr closure) can
+    /// use this to skip it entirely.
+    pub fn sink_enabled(&self) -> bool {
+        self.engine.sink.as_ref().is_some_and(|s| s.enabled())
+    }
+
+    /// Emit a typed span `[t0, t1]` attributed to this actor into the
+    /// configured [`SpanSink`], if any. Zero-cost when no sink is attached
+    /// or recording is disabled: `attrs` is then never evaluated.
+    pub fn span(
+        &self,
+        label: &'static str,
+        t0: SimTime,
+        t1: SimTime,
+        attrs: impl FnOnce() -> Vec<(&'static str, String)>,
+    ) {
+        let Some(sink) = &self.engine.sink else {
+            return;
+        };
+        if !sink.enabled() {
+            return;
+        }
+        let actor = self.name();
+        let mut attrs = Some(attrs);
+        sink.span(&actor, label, t0, t1, &mut || {
+            attrs.take().map(|f| f()).unwrap_or_default()
+        });
+    }
+
+    /// Emit an instantaneous event (a zero-width span at the current time).
+    pub fn event(&self, label: &'static str, attrs: impl FnOnce() -> Vec<(&'static str, String)>) {
+        let now = self.now();
+        self.span(label, now, now, attrs);
     }
 
     /// Charge `dur` of virtual time to this actor under `tag` and let other
@@ -479,7 +572,12 @@ impl Ctx {
     /// when the virtual clock reaches `deadline`, whichever comes first.
     /// Used by service actors that must stay responsive to new work while
     /// a known future completion is outstanding.
-    pub fn wait_deadline(&self, token: WaitToken, deadline: SimTime, tag: &'static str) -> WakeReason {
+    pub fn wait_deadline(
+        &self,
+        token: WaitToken,
+        deadline: SimTime,
+        tag: &'static str,
+    ) -> WakeReason {
         assert_eq!(token.actor, self.me, "wait_deadline() with a foreign token");
         let park = {
             let mut sched = self.engine.sched.lock();
@@ -526,7 +624,8 @@ impl Ctx {
             return false;
         }
         slot.state = ActorState::Queued;
-        let elapsed = now.since(slot.blocked_since);
+        let since = slot.blocked_since;
+        let elapsed = now.since(since);
         let tag = slot.blocked_tag;
         *slot.acct.entry(tag).or_insert(SimDur::ZERO) += elapsed;
         let seq = sched.bump_seq();
@@ -537,6 +636,7 @@ impl Ctx {
             reason: WakeReason::Signaled,
             timer_gen: None,
         });
+        Engine::emit_stall(&self.engine, &sched, token.actor, tag, since, now);
         true
     }
 
@@ -572,10 +672,13 @@ impl Sched {
     }
 }
 
+/// A queued actor awaiting launch: name, daemon flag, and body.
+type PendingActor = (String, bool, Box<dyn FnOnce(&Ctx) + Send + 'static>);
+
 /// Builder for a simulation run.
 pub struct Sim {
     config: SimConfig,
-    initial: Vec<(String, bool, Box<dyn FnOnce(&Ctx) + Send + 'static>)>,
+    initial: Vec<PendingActor>,
 }
 
 impl Default for Sim {
@@ -625,6 +728,32 @@ impl Sim {
 pub(crate) struct Engine;
 
 impl Engine {
+    /// Scheduler-side stall span: the blocked window an actor just left,
+    /// labelled with the tag it was blocked under. Zero-width stalls (an
+    /// immediate wake at the same instant) are elided as noise.
+    fn emit_stall(
+        shared: &EngineShared,
+        sched: &Sched,
+        id: ActorId,
+        tag: &'static str,
+        t0: SimTime,
+        t1: SimTime,
+    ) {
+        if t1 <= t0 {
+            return;
+        }
+        let Some(sink) = &shared.sink else {
+            return;
+        };
+        if !sink.enabled() {
+            return;
+        }
+        let name = &sched.actors[id.0 as usize].name;
+        sink.span(name, "stall", t0, t1, &mut || {
+            vec![("tag", tag.to_string())]
+        });
+    }
+
     fn run(sim: Sim) -> Result<SimReport, SimError> {
         let shared = Arc::new(EngineShared {
             sched: Mutex::new(Sched {
@@ -648,6 +777,7 @@ impl Engine {
             stack_size: sim.config.stack_size,
             trace_capacity: sim.config.trace_capacity,
             trace: Mutex::new(std::collections::VecDeque::new()),
+            sink: sim.config.sink.clone(),
         });
 
         let had_initial = !sim.initial.is_empty();
@@ -737,7 +867,7 @@ impl Engine {
                 wait_gen: 0,
                 blocked_since: SimTime::ZERO,
                 blocked_tag: "",
-                acct: HashMap::new(),
+                acct: BTreeMap::new(),
             });
             sched.live_total += 1;
             if !daemon {
@@ -775,7 +905,11 @@ impl Engine {
     }
 
     /// Actor termination: release the baton and account for liveness.
-    fn finish(shared: &Arc<EngineShared>, id: ActorId, panic_payload: Option<Box<dyn std::any::Any + Send>>) {
+    fn finish(
+        shared: &Arc<EngineShared>,
+        id: ActorId,
+        panic_payload: Option<Box<dyn std::any::Any + Send>>,
+    ) {
         let mut sched = shared.sched.lock();
         let name = sched.actors[id.0 as usize].name.clone();
         sched.actors[id.0 as usize].state = ActorState::Finished;
@@ -847,11 +981,13 @@ impl Engine {
                     continue; // stale: the actor was notified earlier
                 }
                 sched.now = sched.now.max(entry.t);
-                let elapsed = sched.now.since(slot.blocked_since);
+                let since = slot.blocked_since;
+                let elapsed = sched.now.since(since);
                 let tag = slot.blocked_tag;
                 *slot.acct.entry(tag).or_insert(SimDur::ZERO) += elapsed;
                 slot.state = ActorState::Running;
                 slot.park.wake(entry.reason);
+                Engine::emit_stall(shared, sched, entry.id, tag, since, sched.now);
                 return;
             }
             debug_assert_eq!(
@@ -883,7 +1019,8 @@ impl Engine {
                 if sched.actors[i as usize].state == ActorState::Blocked {
                     let slot = &mut sched.actors[i as usize];
                     slot.state = ActorState::Queued;
-                    let elapsed = now.since(slot.blocked_since);
+                    let since = slot.blocked_since;
+                    let elapsed = now.since(since);
                     let tag = slot.blocked_tag;
                     *slot.acct.entry(tag).or_insert(SimDur::ZERO) += elapsed;
                     let seq = sched.bump_seq();
@@ -894,6 +1031,7 @@ impl Engine {
                         reason: WakeReason::Shutdown,
                         timer_gen: None,
                     });
+                    Engine::emit_stall(shared, sched, ActorId(i), tag, since, now);
                     woke = true;
                 }
             }
@@ -963,7 +1101,12 @@ mod tests {
             });
         }
         sim.run().unwrap();
-        let got: Vec<(&str, i32)> = log.lock().unwrap().iter().map(|(n, i, _)| (*n, *i)).collect();
+        let got: Vec<(&str, i32)> = log
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(n, i, _)| (*n, *i))
+            .collect();
         // b wakes at 2,4,6; a at 3,6,9; tie at 6 resolved by FIFO (a pushed
         // its t=6 entry when resuming at t=3; b pushed t=6 at t=4 — a first).
         assert_eq!(
@@ -993,7 +1136,10 @@ mod tests {
             assert!(!ctx.wake(tok), "second wake must be stale");
         });
         let report = sim.run().unwrap();
-        assert_eq!(report.actor("waiter").unwrap().tag("blocked"), SimDur::from_us(1));
+        assert_eq!(
+            report.actor("waiter").unwrap().tag("blocked"),
+            SimDur::from_us(1)
+        );
     }
 
     #[test]
@@ -1114,7 +1260,10 @@ mod tests {
             assert_eq!(ctx.now(), SimTime::ZERO + SimDur::from_us(25));
         });
         let report = sim.run().unwrap();
-        assert_eq!(report.actor("sleeper").unwrap().tag("nap"), SimDur::from_us(25));
+        assert_eq!(
+            report.actor("sleeper").unwrap().tag("nap"),
+            SimDur::from_us(25)
+        );
     }
 
     #[test]

@@ -47,7 +47,7 @@ mod sync;
 mod time;
 
 pub use engine::{
-    ActorAccount, ActorId, Ctx, Metrics, Sim, SimConfig, SimError, SimReport, TraceEvent,
+    ActorAccount, ActorId, Ctx, Metrics, Sim, SimConfig, SimError, SimReport, SpanSink, TraceEvent,
     WaitToken, WakeReason,
 };
 pub use resource::SerialResource;

@@ -13,7 +13,10 @@ fn main() {
         impacc::machine::presets::test_cluster(2, 2),
         RuntimeOptions::impacc(),
         None,
-        DgemmParams { n: 32, verify: true },
+        DgemmParams {
+            n: 32,
+            verify: true,
+        },
     )
     .expect("verified run");
     println!("32x32 product verified exactly over 2 nodes x 2 devices\n");

@@ -20,7 +20,11 @@ fn main() {
         impacc::machine::presets::test_cluster(1, 4),
         RuntimeOptions::impacc(),
         None,
-        JacobiParams { n: 64, iters: 10, verify: true },
+        JacobiParams {
+            n: 64,
+            iters: 10,
+            verify: true,
+        },
     )
     .expect("verified run");
     println!("64x64 mesh verified bit-exact against the serial reference\n");
@@ -42,7 +46,11 @@ fn main() {
             impacc::machine::presets::psg(),
             opts,
             Some(4096),
-            JacobiParams { n, iters, verify: false },
+            JacobiParams {
+                n,
+                iters,
+                verify: false,
+            },
         )
         .expect("timing run");
         let m = &s.report.metrics;

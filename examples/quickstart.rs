@@ -53,7 +53,10 @@ fn main() {
         })
         .expect("simulation runs to completion");
 
-    println!("\nvirtual wall clock: {:.3} ms", summary.elapsed_secs() * 1e3);
+    println!(
+        "\nvirtual wall clock: {:.3} ms",
+        summary.elapsed_secs() * 1e3
+    );
     println!(
         "bytes moved device-to-device: {} MiB (no host staging: {} HtoH bytes)",
         summary.report.metrics.get("DtoD").unwrap_or(&0) >> 20,

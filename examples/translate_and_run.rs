@@ -93,12 +93,7 @@ fn main() {
 
     println!("\nexecution profile:\n{}", summary.profile());
     println!("runtime trace (fusions observed by the message handlers):");
-    for e in summary
-        .report
-        .trace
-        .iter()
-        .filter(|e| e.label == "fuse")
-    {
+    for e in summary.report.trace.iter().filter(|e| e.label == "fuse") {
         println!("  {} {} {}", e.t, e.actor, e.detail);
     }
 }

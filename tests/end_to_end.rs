@@ -21,20 +21,30 @@ fn all_four_apps_verify_on_all_three_systems_impacc() {
             spec.clone(),
             RuntimeOptions::impacc(),
             None,
-            DgemmParams { n: 24, verify: true },
+            DgemmParams {
+                n: 24,
+                verify: true,
+            },
         )
         .unwrap();
         run_jacobi(
             spec.clone(),
             RuntimeOptions::impacc(),
             None,
-            JacobiParams { n: 16, iters: 5, verify: true },
+            JacobiParams {
+                n: 16,
+                iters: 5,
+                verify: true,
+            },
         )
         .unwrap();
         run_ep(
             spec.clone(),
             RuntimeOptions::impacc(),
-            EpParams { total_pairs: 1 << 20, sample_pairs: 1 << 10 },
+            EpParams {
+                total_pairs: 1 << 20,
+                sample_pairs: 1 << 10,
+            },
         )
         .unwrap();
         let cube = impacc::machine::presets::titan(8); // 8 = 2^3 tasks
@@ -42,7 +52,11 @@ fn all_four_apps_verify_on_all_three_systems_impacc() {
             cube,
             RuntimeOptions::impacc(),
             None,
-            LuleshParams { s: 3, iters: 2, verify: true },
+            LuleshParams {
+                s: 3,
+                iters: 2,
+                verify: true,
+            },
         )
         .unwrap();
         drop(spec);
@@ -57,27 +71,41 @@ fn all_four_apps_verify_under_the_baseline() {
         psg.clone(),
         RuntimeOptions::baseline(),
         None,
-        DgemmParams { n: 20, verify: true },
+        DgemmParams {
+            n: 20,
+            verify: true,
+        },
     )
     .unwrap();
     run_jacobi(
         psg.clone(),
         RuntimeOptions::baseline(),
         None,
-        JacobiParams { n: 12, iters: 4, verify: true },
+        JacobiParams {
+            n: 12,
+            iters: 4,
+            verify: true,
+        },
     )
     .unwrap();
     run_ep(
         psg,
         RuntimeOptions::baseline(),
-        EpParams { total_pairs: 1 << 20, sample_pairs: 1 << 10 },
+        EpParams {
+            total_pairs: 1 << 20,
+            sample_pairs: 1 << 10,
+        },
     )
     .unwrap();
     run_lulesh(
         impacc::machine::presets::titan(8),
         RuntimeOptions::baseline(),
         None,
-        LuleshParams { s: 3, iters: 2, verify: true },
+        LuleshParams {
+            s: 3,
+            iters: 2,
+            verify: true,
+        },
     )
     .unwrap();
 }
@@ -91,7 +119,10 @@ fn simulations_are_deterministic() {
             impacc::machine::presets::psg(),
             RuntimeOptions::impacc(),
             Some(4096),
-            DgemmParams { n: 256, verify: false },
+            DgemmParams {
+                n: 256,
+                verify: false,
+            },
         )
         .unwrap()
     };
@@ -106,7 +137,11 @@ fn simulations_are_deterministic() {
             impacc::machine::presets::titan(27),
             RuntimeOptions::impacc(),
             Some(4096),
-            LuleshParams { s: 8, iters: 3, verify: false },
+            LuleshParams {
+                s: 8,
+                iters: 3,
+                verify: false,
+            },
         )
         .unwrap()
     };
@@ -121,8 +156,18 @@ fn headline_claims_hold_end_to_end() {
 
     // Higher intra-node communication performance (Figure 9 family):
     let spec = impacc::machine::presets::psg();
-    let p = JacobiParams { n: 1024, iters: 8, verify: false };
-    let i = run_jacobi(spec.clone(), RuntimeOptions::impacc(), Some(4096), p.clone()).unwrap();
+    let p = JacobiParams {
+        n: 1024,
+        iters: 8,
+        verify: false,
+    };
+    let i = run_jacobi(
+        spec.clone(),
+        RuntimeOptions::impacc(),
+        Some(4096),
+        p.clone(),
+    )
+    .unwrap();
     let b = run_jacobi(spec, RuntimeOptions::baseline(), Some(4096), p).unwrap();
     assert!(i.elapsed_secs() < b.elapsed_secs());
 
@@ -131,7 +176,10 @@ fn headline_claims_hold_end_to_end() {
         impacc::machine::presets::psg(),
         RuntimeOptions::baseline(),
         Some(4096),
-        DgemmParams { n: 512, verify: false },
+        DgemmParams {
+            n: 512,
+            verify: false,
+        },
     )
     .unwrap();
     let speedup = |s: &RunSummary| d1.elapsed_secs() / s.elapsed_secs();
@@ -139,15 +187,31 @@ fn headline_claims_hold_end_to_end() {
         impacc::machine::presets::psg(),
         RuntimeOptions::impacc(),
         Some(4096),
-        DgemmParams { n: 512, verify: false },
+        DgemmParams {
+            n: 512,
+            verify: false,
+        },
     )
     .unwrap();
     assert!(speedup(&i8) > 1.0, "IMPACC 8-task beats baseline 1-task");
 
     // Parity where there is nothing to optimize (EP, Figure 12):
-    let p = EpParams { total_pairs: 1 << 28, sample_pairs: 1 << 10 };
-    let ei = run_ep(impacc::machine::presets::psg(), RuntimeOptions::impacc(), p.clone()).unwrap();
-    let eb = run_ep(impacc::machine::presets::psg(), RuntimeOptions::baseline(), p).unwrap();
+    let p = EpParams {
+        total_pairs: 1 << 28,
+        sample_pairs: 1 << 10,
+    };
+    let ei = run_ep(
+        impacc::machine::presets::psg(),
+        RuntimeOptions::impacc(),
+        p.clone(),
+    )
+    .unwrap();
+    let eb = run_ep(
+        impacc::machine::presets::psg(),
+        RuntimeOptions::baseline(),
+        p,
+    )
+    .unwrap();
     let ratio = eb.elapsed_secs() / ei.elapsed_secs();
     assert!((0.9..1.15).contains(&ratio), "EP parity: {ratio}");
 }
@@ -178,7 +242,11 @@ fn serialized_mpi_library_still_works() {
     // §3.7: without MPI_THREAD_MULTIPLE the runtime serializes internode
     // calls per node; results are unchanged, time increases.
     let mut spec = impacc::machine::presets::beacon(2);
-    let p = JacobiParams { n: 64, iters: 5, verify: true };
+    let p = JacobiParams {
+        n: 64,
+        iters: 5,
+        verify: true,
+    };
     run_jacobi(spec.clone(), RuntimeOptions::impacc(), None, p.clone()).unwrap();
     spec.mpi_threading = impacc::machine::MpiThreading::Serialized;
     run_jacobi(spec, RuntimeOptions::impacc(), None, p).unwrap();
@@ -192,7 +260,10 @@ fn fusion_ablated_impacc_still_correct() {
         impacc::machine::presets::psg(),
         opts,
         None,
-        DgemmParams { n: 24, verify: true },
+        DgemmParams {
+            n: 24,
+            verify: true,
+        },
     )
     .unwrap();
 }
@@ -201,11 +272,11 @@ fn fusion_ablated_impacc_still_correct() {
 fn directive_options_drive_the_runtime() {
     // Parse the paper's Figure 4(c) directive and use the resulting
     // options in a real exchange — the compiler-to-runtime handshake.
-    let d = impacc::directives::parse_directive("#pragma acc mpi sendbuf(device) async(1)")
-        .unwrap();
+    let d =
+        impacc::directives::parse_directive("#pragma acc mpi sendbuf(device) async(1)").unwrap();
     let send_opts = d.send_opts();
-    let d2 = impacc::directives::parse_directive("#pragma acc mpi recvbuf(device) async(1)")
-        .unwrap();
+    let d2 =
+        impacc::directives::parse_directive("#pragma acc mpi recvbuf(device) async(1)").unwrap();
     let recv_opts = d2.recv_opts();
     let mut spec = impacc::machine::presets::psg();
     spec.nodes[0].devices.truncate(2);

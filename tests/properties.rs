@@ -65,8 +65,11 @@ enum HeapOp {
 fn heap_op() -> impl Strategy<Value = HeapOp> {
     prop_oneof![
         (1u16..512).prop_map(HeapOp::Malloc),
-        (any::<u8>(), any::<u8>(), any::<u16>())
-            .prop_map(|(src, dst, off)| HeapOp::AliasInto { src, dst, off }),
+        (any::<u8>(), any::<u8>(), any::<u16>()).prop_map(|(src, dst, off)| HeapOp::AliasInto {
+            src,
+            dst,
+            off
+        }),
         any::<u8>().prop_map(HeapOp::Free),
     ]
 }
