@@ -16,4 +16,8 @@ cargo fmt --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> perf smoke: bench_speed --quick"
+cargo run --release -q -p impacc-bench --bin bench_speed -- --quick \
+    | grep -E '^\[speed\]|actors:'
+
 echo "ci: all green"

@@ -15,7 +15,7 @@ use impacc_core::{HBuf, MpiOpts, RunSummary, RuntimeOptions, TaskCtx};
 use impacc_machine::{KernelCost, MachineSpec};
 use impacc_vtime::{SimError, SpanSink};
 
-use crate::common::{launch_app_sink, math_ok, BlockPartition};
+use crate::common::{launch_app_tuned, math_ok, BlockPartition};
 
 /// Jacobi workload parameters.
 #[derive(Clone, Debug)]
@@ -343,7 +343,20 @@ pub fn run_jacobi_sink(
     sink: Option<Arc<dyn SpanSink>>,
     params: JacobiParams,
 ) -> Result<RunSummary, SimError> {
-    launch_app_sink(spec, options, phys_cap, sink, move |tc| {
+    run_jacobi_tuned(spec, options, phys_cap, sink, true, params)
+}
+
+/// [`run_jacobi_sink`] with explicit control over baton-handoff elision,
+/// for the determinism tests that pin the engine fast path on or off.
+pub fn run_jacobi_tuned(
+    spec: MachineSpec,
+    options: RuntimeOptions,
+    phys_cap: Option<u64>,
+    sink: Option<Arc<dyn SpanSink>>,
+    elide_handoff: bool,
+    params: JacobiParams,
+) -> Result<RunSummary, SimError> {
+    launch_app_tuned(spec, options, phys_cap, sink, elide_handoff, move |tc| {
         jacobi_task(tc, &params)
     })
 }

@@ -6,7 +6,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 use impacc_core::MpscQueue;
 use impacc_mem::{AddressSpace, DevPtr, MemSpace, NodeHeap, PresentEntry, PresentTable};
-use impacc_vtime::{Sim, SimDur};
+use impacc_vtime::{Metrics, Sim, SimConfig, SimDur};
 
 fn bench_present_table(c: &mut Criterion) {
     let space = AddressSpace::new(1 << 40, Some(0));
@@ -99,6 +99,45 @@ fn bench_engine(c: &mut Criterion) {
             black_box(sim.run().unwrap().events)
         })
     });
+    // The baton-handoff fast path: a lone actor's advance chain never has
+    // an earlier heap entry, so with elision on every advance skips the
+    // park/unpark round-trip. The elide-off variant is the old engine.
+    for elide in [true, false] {
+        let name = format!(
+            "des/1000 advances, 1 actor, elide {}",
+            if elide { "on" } else { "off" }
+        );
+        c.bench_function(&name, |b| {
+            b.iter(|| {
+                let mut sim = Sim::with_config(SimConfig {
+                    elide_handoff: elide,
+                    ..SimConfig::default()
+                });
+                sim.spawn("solo", |ctx| {
+                    for _ in 0..1000 {
+                        ctx.advance(SimDur::from_ns(1), "w");
+                    }
+                });
+                black_box(sim.run().unwrap().handoffs_elided)
+            })
+        });
+    }
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    c.bench_function("metrics/counter bump (own shard)", |b| {
+        let m = Metrics::default();
+        b.iter(|| m.add(black_box("t_HtoD"), black_box(7)))
+    });
+    c.bench_function("metrics/snapshot merge of 8 shards", |b| {
+        let m = Metrics::default();
+        let shards: Vec<Metrics> = (0..8).map(|_| m.new_shard()).collect();
+        for (i, s) in shards.iter().enumerate() {
+            s.add("t_HtoD", i as u64);
+            s.add("bytes", 64);
+        }
+        b.iter(|| black_box(m.snapshot()))
+    });
 }
 
 fn bench_matching(c: &mut Criterion) {
@@ -132,6 +171,37 @@ fn bench_matching(c: &mut Criterion) {
             black_box(sim.run().unwrap().end_time)
         })
     });
+
+    // Large-payload path: each send snapshots the buffer copy-on-write
+    // instead of cloning 1 MiB up front; the recv side materializes it
+    // directly into the destination backing.
+    c.bench_function("sysmpi/10 ping-pongs, 1MiB (zero-copy send)", |b| {
+        b.iter(|| {
+            let res = Arc::new(ClusterResources::new(Arc::new(presets::test_cluster(2, 1))));
+            let sys = SysMpi::new(res, vec![0, 1]);
+            let world = Comm::world(2);
+            let mut sim = Sim::new();
+            for r in 0..2u32 {
+                let sys = sys.clone();
+                let world = world.clone();
+                sim.spawn(format!("rank{r}"), move |ctx| {
+                    let ep = MpiTask::new(sys, r);
+                    let len = 1 << 20;
+                    let buf = MsgBuf::host(impacc_mem::Backing::new(len, None), 0, len);
+                    for i in 0..10 {
+                        if r == 0 {
+                            ep.send(ctx, &buf, 1, i, &world);
+                            ep.recv(ctx, &buf, Some(1), Some(i), &world);
+                        } else {
+                            ep.recv(ctx, &buf, Some(0), Some(i), &world);
+                            ep.send(ctx, &buf, 0, i, &world);
+                        }
+                    }
+                });
+            }
+            black_box(sim.run().unwrap().end_time)
+        })
+    });
 }
 
 criterion_group!(
@@ -140,6 +210,7 @@ criterion_group!(
     bench_mpsc,
     bench_heap_table,
     bench_engine,
+    bench_metrics,
     bench_matching
 );
 criterion_main!(benches);

@@ -290,9 +290,11 @@ mod tests {
     fn span_breakdown_reproduces_fig14_ratio() {
         // The acceptance shape: per-copy-kind span totals (sweep phase
         // only) must show IMPACC's direct DtoD as a fraction of the
-        // baseline's DtoH + HtoH + HtoD chain.
-        let i = traced_spans(RuntimeOptions::impacc(), 1024);
-        let b = traced_spans(RuntimeOptions::baseline(), 1024);
+        // baseline's DtoH + HtoH + HtoD chain. Needs a bandwidth-bound
+        // mesh: at 1024 the per-row transfers are latency-dominated and
+        // the chain advantage shrinks below the asserted 2x.
+        let i = traced_spans(RuntimeOptions::impacc(), 2048);
+        let b = traced_spans(RuntimeOptions::baseline(), 2048);
         let ib =
             breakdown::CopyBreakdown::from_spans("i", &i, breakdown::phase_entered(&i, "sweep"));
         let bb =

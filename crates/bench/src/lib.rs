@@ -19,4 +19,5 @@ pub mod fig5;
 pub mod fig8;
 pub mod fig9;
 pub mod specs;
+pub mod speed;
 pub mod util;

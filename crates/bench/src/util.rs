@@ -144,20 +144,37 @@ pub struct BenchReport {
     name: String,
     text: String,
     tables: Vec<TableSnapshot>,
+    /// Wall-clock of the captured section, in milliseconds.
+    wall_ms: f64,
+    /// Engine events dispatched per wall-clock second during the capture
+    /// (all simulations run by `f`, summed) — the perf trajectory number.
+    events_per_sec: f64,
 }
 
 impl BenchReport {
     /// Run `f` with table capture active and collect its output. Tables are
     /// snapshotted as they render (on this thread); `f`'s return value
-    /// becomes the report text.
+    /// becomes the report text. The capture also measures wall-clock time
+    /// and engine throughput (events/sec) over the section.
     pub fn capture(name: &str, f: impl FnOnce() -> String) -> BenchReport {
         CAPTURE.with(|c| *c.borrow_mut() = Some(Vec::new()));
+        let events0 = impacc_vtime::global_events();
+        let t0 = std::time::Instant::now();
         let text = f();
+        let wall = t0.elapsed();
+        let events = impacc_vtime::global_events() - events0;
         let tables = CAPTURE.with(|c| c.borrow_mut().take()).unwrap_or_default();
+        let secs = wall.as_secs_f64();
         BenchReport {
             name: name.to_string(),
             text,
             tables,
+            wall_ms: secs * 1e3,
+            events_per_sec: if secs > 0.0 {
+                events as f64 / secs
+            } else {
+                0.0
+            },
         }
     }
 
@@ -171,7 +188,18 @@ impl BenchReport {
         &self.tables
     }
 
-    /// Serialize as JSON: `{"name", "text", "tables": [{"header", "rows"}]}`.
+    /// Wall-clock of the captured section, in milliseconds.
+    pub fn wall_ms(&self) -> f64 {
+        self.wall_ms
+    }
+
+    /// Engine events per wall-clock second over the captured section.
+    pub fn events_per_sec(&self) -> f64 {
+        self.events_per_sec
+    }
+
+    /// Serialize as JSON: `{"name", "text", "tables": [{"header", "rows"}],
+    /// "wall_ms", "events_per_sec"}`.
     pub fn to_json(&self) -> String {
         use impacc_obs::json;
         let mut out = String::from("{\"name\":");
@@ -206,7 +234,11 @@ impl BenchReport {
             }
             out.push_str("]}");
         }
-        out.push_str("]}");
+        out.push_str("],\"wall_ms\":");
+        out.push_str(&format!("{:.3}", self.wall_ms));
+        out.push_str(",\"events_per_sec\":");
+        out.push_str(&format!("{:.0}", self.events_per_sec));
+        out.push('}');
         out
     }
 
@@ -232,6 +264,12 @@ impl BenchReport {
 pub fn bench_main(name: &str, f: impl FnOnce() -> String) {
     let report = BenchReport::capture(name, f);
     println!("{}", report.text());
+    println!(
+        "[{}] wall: {:.1} ms, engine throughput: {:.0} events/sec",
+        name,
+        report.wall_ms(),
+        report.events_per_sec()
+    );
     report.write_or_warn();
 }
 
@@ -337,10 +375,28 @@ mod tests {
     #[test]
     fn report_without_tables_is_valid_json() {
         let r = BenchReport::capture("empty", || "just text\n".to_string());
-        assert_eq!(
-            r.to_json(),
-            "{\"name\":\"empty\",\"text\":\"just text\\n\",\"tables\":[]}"
-        );
+        let j = r.to_json();
+        // Wall time varies run to run; check structure, not exact bytes.
+        assert!(j.starts_with("{\"name\":\"empty\",\"text\":\"just text\\n\",\"tables\":[]"));
+        assert!(j.contains(",\"wall_ms\":"));
+        assert!(j.contains(",\"events_per_sec\":"));
+        assert!(j.ends_with('}'));
+    }
+
+    #[test]
+    fn capture_measures_engine_throughput() {
+        let r = BenchReport::capture("speedy", || {
+            let mut sim = impacc_vtime::Sim::new();
+            sim.spawn("a", |ctx| {
+                for _ in 0..100 {
+                    ctx.advance(impacc_vtime::SimDur::from_ns(1), "w");
+                }
+            });
+            sim.run().unwrap();
+            "ran\n".to_string()
+        });
+        assert!(r.events_per_sec() > 0.0, "a run inside capture must count");
+        assert!(r.wall_ms() >= 0.0);
     }
 
     #[test]

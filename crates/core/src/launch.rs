@@ -110,6 +110,7 @@ pub struct Launch {
     stack_size: usize,
     max_events: u64,
     trace_capacity: usize,
+    elide_handoff: bool,
     sink: Option<Arc<dyn SpanSink>>,
 }
 
@@ -125,6 +126,7 @@ impl Launch {
             stack_size: 384 * 1024,
             max_events: u64::MAX,
             trace_capacity: 0,
+            elide_handoff: true,
             sink: None,
         }
     }
@@ -144,6 +146,14 @@ impl Launch {
     /// Limit scheduler dispatches (test hygiene).
     pub fn max_events(mut self, n: u64) -> Launch {
         self.max_events = n;
+        self
+    }
+
+    /// Enable or disable the scheduler's baton-handoff elision fast path.
+    /// On by default; determinism tests force it off to prove virtual-time
+    /// results are unchanged by the optimisation.
+    pub fn elide_handoff(mut self, on: bool) -> Launch {
+        self.elide_handoff = on;
         self
     }
 
@@ -265,6 +275,7 @@ impl Launch {
             stack_size: self.stack_size,
             max_events: self.max_events,
             trace_capacity: self.trace_capacity,
+            elide_handoff: self.elide_handoff,
             sink,
         });
 

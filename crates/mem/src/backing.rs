@@ -9,15 +9,28 @@
 //! timing — which depends only on logical sizes — is unaffected. This
 //! substitution is documented in DESIGN.md §2.
 
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Weak};
 
 use parking_lot::Mutex;
 
 /// Reference-counted storage for one allocation. All byte accesses clip to
 /// the physical prefix; logical sizes drive the cost model.
+///
+/// A backing can be *watched* by [`CowSnapshot`]s (zero-copy message
+/// payloads): every mutation first materializes any snapshot overlapping
+/// the written range, so snapshots always observe the bytes as they were
+/// at snapshot time without eagerly copying them.
 pub struct Backing {
     logical_len: u64,
     phys: Mutex<Vec<u8>>,
+    /// Live copy-on-write snapshots of ranges of this backing. Only
+    /// consulted on mutation, and only when `watcher_count` is nonzero —
+    /// the common unwatched write stays a single lock + memcpy.
+    watchers: Mutex<Vec<Weak<CowSnapshot>>>,
+    /// Fast-path gate: an upper bound on the live entries in `watchers`
+    /// (pruned lazily when a mutation walks the list).
+    watcher_count: AtomicUsize,
 }
 
 impl std::fmt::Debug for Backing {
@@ -42,6 +55,8 @@ impl Backing {
         Arc::new(Backing {
             logical_len,
             phys: Mutex::new(vec![0u8; phys_len as usize]),
+            watchers: Mutex::new(Vec::new()),
+            watcher_count: AtomicUsize::new(0),
         })
     }
 
@@ -58,6 +73,7 @@ impl Backing {
     /// Write `data` at `off`, clipping to the physical prefix.
     pub fn write(&self, off: u64, data: &[u8]) {
         debug_assert!(off + data.len() as u64 <= self.logical_len);
+        self.materialize_watchers(off, data.len() as u64);
         let mut phys = self.phys.lock();
         let plen = phys.len() as u64;
         if off >= plen {
@@ -65,6 +81,54 @@ impl Backing {
         }
         let n = ((plen - off) as usize).min(data.len());
         phys[off as usize..off as usize + n].copy_from_slice(&data[..n]);
+    }
+
+    /// Take a copy-on-write snapshot of `len` bytes at `off`: the snapshot
+    /// observes the bytes as of now, but nothing is copied unless (until)
+    /// the watched range is overwritten. Dropping the snapshot cancels the
+    /// watch.
+    pub fn snapshot(self: &Arc<Backing>, off: u64, len: u64) -> Arc<CowSnapshot> {
+        debug_assert!(off + len <= self.logical_len);
+        let snap = Arc::new(CowSnapshot {
+            backing: self.clone(),
+            off,
+            len,
+            owned: Mutex::new(None),
+        });
+        self.watchers.lock().push(Arc::downgrade(&snap));
+        self.watcher_count.fetch_add(1, Ordering::Release);
+        snap
+    }
+
+    /// Before mutating `[off, off+len)`: give every live snapshot that
+    /// overlaps the range its private copy of the bytes it watches, and
+    /// prune dead entries. Must be called before taking the `phys` lock.
+    fn materialize_watchers(&self, off: u64, len: u64) {
+        if self.watcher_count.load(Ordering::Acquire) == 0 || len == 0 {
+            return;
+        }
+        let mut watchers = self.watchers.lock();
+        watchers.retain(|w| {
+            let Some(snap) = w.upgrade() else {
+                return false; // snapshot dropped: unwatch
+            };
+            if snap.off >= off + len || off >= snap.off + snap.len {
+                return true; // no overlap: still watching
+            }
+            // Overlap: capture the physically stored prefix of the watched
+            // window. Bytes past the prefix read as zero both now and after
+            // the write, so storing only the prefix preserves semantics
+            // without ballooning phys-capped (Titan-scale) runs.
+            let phys = self.phys.lock();
+            let avail = (phys.len() as u64).saturating_sub(snap.off);
+            let n = avail.min(snap.len) as usize;
+            let mut owned = snap.owned.lock();
+            if owned.is_none() {
+                *owned = Some(phys[snap.off as usize..snap.off as usize + n].to_vec());
+            }
+            false // materialized: no longer needs watching
+        });
+        self.watcher_count.store(watchers.len(), Ordering::Release);
     }
 
     /// Read into `out` from `off`, clipping to the physical prefix
@@ -91,12 +155,14 @@ impl Backing {
         }
         if std::ptr::eq(src, dst) {
             // Self-copy (e.g. aliased regions resolve to one backing):
-            // must avoid double-locking; use an intermediate.
+            // must avoid double-locking; use an intermediate. (`write`
+            // runs the snapshot barrier.)
             let mut tmp = vec![0u8; len as usize];
             src.read(src_off, &mut tmp);
             dst.write(dst_off, &tmp);
             return;
         }
+        dst.materialize_watchers(dst_off, len);
         let sphys = src.phys.lock();
         let mut dphys = dst.phys.lock();
         let s_avail = (sphys.len() as u64).saturating_sub(src_off);
@@ -115,10 +181,32 @@ impl Backing {
         }
     }
 
-    /// Write a slice of `f64`s starting at byte offset `off`.
+    /// Write a slice of `f64`s starting at byte offset `off`, serializing
+    /// each value straight into the locked physical buffer (no intermediate
+    /// byte vector — this sits on the kernel hot path).
     pub fn write_f64s(&self, off: u64, vals: &[f64]) {
-        let bytes: Vec<u8> = vals.iter().flat_map(|v| v.to_le_bytes()).collect();
-        self.write(off, &bytes);
+        debug_assert!(off + 8 * vals.len() as u64 <= self.logical_len);
+        self.materialize_watchers(off, 8 * vals.len() as u64);
+        let mut phys = self.phys.lock();
+        let plen = phys.len() as u64;
+        if off >= plen {
+            return;
+        }
+        let avail = ((plen - off) / 8) as usize;
+        let whole = avail.min(vals.len());
+        for (i, v) in vals[..whole].iter().enumerate() {
+            let at = off as usize + 8 * i;
+            phys[at..at + 8].copy_from_slice(&v.to_le_bytes());
+        }
+        // A value straddling the physical boundary lands partially.
+        if whole < vals.len() {
+            let at = off + 8 * whole as u64;
+            if at < plen {
+                let part = (plen - at) as usize;
+                let bytes = vals[whole].to_le_bytes();
+                phys[at as usize..plen as usize].copy_from_slice(&bytes[..part]);
+            }
+        }
     }
 
     /// Read `n` `f64`s starting at byte offset `off`.
@@ -134,6 +222,108 @@ impl Backing {
     /// Number of f64 elements that are physically stored from offset 0.
     pub fn phys_f64_len(&self) -> usize {
         (self.phys_len() / 8) as usize
+    }
+}
+
+/// A copy-on-write view of `len` bytes at `off` in a [`Backing`], created
+/// by [`Backing::snapshot`]. Semantically an immutable copy taken at
+/// snapshot time; physically it aliases the live backing until (unless)
+/// the watched range is overwritten, at which point the writer pays for
+/// one private copy of the window's physically stored prefix. Readonly
+/// send buffers and fused intra-node transfers therefore never allocate.
+pub struct CowSnapshot {
+    backing: Arc<Backing>,
+    off: u64,
+    len: u64,
+    /// `Some(prefix)` once materialized: the physically stored prefix of
+    /// the window as of snapshot time (bytes past it read as zero).
+    owned: Mutex<Option<Vec<u8>>>,
+}
+
+impl std::fmt::Debug for CowSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "CowSnapshot(off={}, len={}, materialized={})",
+            self.off,
+            self.len,
+            self.owned.lock().is_some()
+        )
+    }
+}
+
+impl CowSnapshot {
+    /// Window length in bytes.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True for an empty window.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether the writer ever had to pay for a private copy.
+    pub fn is_materialized(&self) -> bool {
+        self.owned.lock().is_some()
+    }
+
+    /// Read the snapshot into `out` (clipped like [`Backing::read`]:
+    /// bytes beyond the stored prefix are zero).
+    pub fn read(&self, off: u64, out: &mut [u8]) {
+        debug_assert!(off + out.len() as u64 <= self.len);
+        {
+            // Scope the lock: the fall-through path re-locks the backing,
+            // whose watcher barrier takes snapshot locks itself.
+            let owned = self.owned.lock();
+            if let Some(data) = &*owned {
+                out.fill(0);
+                if (off as usize) < data.len() {
+                    let n = (data.len() - off as usize).min(out.len());
+                    out[..n].copy_from_slice(&data[off as usize..off as usize + n]);
+                }
+                return;
+            }
+        }
+        self.backing.read(self.off + off, out);
+    }
+
+    /// Copy `len` bytes of the snapshot into `dst@dst_off`, with
+    /// [`Backing::copy`] truncation semantics (the destination's stored
+    /// range past the snapshot's prefix is zeroed).
+    pub fn copy_to(&self, dst: &Backing, dst_off: u64, len: u64) {
+        debug_assert!(len <= self.len);
+        debug_assert!(dst_off + len <= dst.logical_len);
+        if len == 0 {
+            return;
+        }
+        {
+            let owned = self.owned.lock();
+            if let Some(data) = &*owned {
+                // The destination may itself be watched. Safe to barrier
+                // while holding `owned`: we are materialized, so the
+                // barrier can no longer reach back into this snapshot.
+                dst.materialize_watchers(dst_off, len);
+                let mut dphys = dst.phys.lock();
+                let d_avail = (dphys.len() as u64).saturating_sub(dst_off);
+                let stored = len.min(d_avail);
+                let n = stored.min(data.len() as u64) as usize;
+                if n > 0 {
+                    dphys[dst_off as usize..dst_off as usize + n].copy_from_slice(&data[..n]);
+                }
+                let extra = stored as usize - n;
+                if extra > 0 {
+                    dphys[dst_off as usize + n..dst_off as usize + n + extra].fill(0);
+                }
+                return;
+            }
+        }
+        // Untouched since the snapshot: the live backing still holds the
+        // snapshot bytes, so this is a straight (zero-allocation)
+        // backing-to-backing copy. `Backing::copy` handles the self-copy
+        // case (and its write barrier may materialize this very snapshot
+        // against the pre-write bytes — still the snapshot-time state).
+        Backing::copy(&self.backing, self.off, dst, dst_off, len);
     }
 }
 
@@ -216,5 +406,107 @@ mod tests {
         let a = Backing::new(8, None);
         let b = Backing::new(8, None);
         Backing::copy(&a, 8, &b, 8, 0); // offsets at end, len 0: legal
+    }
+
+    #[test]
+    fn snapshot_aliases_until_overwritten() {
+        let a = Backing::new(32, None);
+        a.write(0, &[1; 16]);
+        let snap = a.snapshot(0, 16);
+        assert!(!snap.is_materialized(), "snapshot must not copy eagerly");
+        let dst = Backing::new(32, None);
+        snap.copy_to(&dst, 0, 16);
+        assert!(
+            !snap.is_materialized(),
+            "copy-out of a clean range is zero-copy"
+        );
+        let mut out = [0u8; 16];
+        dst.read(0, &mut out);
+        assert_eq!(out, [1; 16]);
+    }
+
+    #[test]
+    fn snapshot_preserves_bytes_across_overwrite() {
+        let a = Backing::new(32, None);
+        a.write(0, &[1; 16]);
+        let snap = a.snapshot(0, 16);
+        a.write(4, &[9; 8]); // sender reuses its buffer
+        assert!(snap.is_materialized());
+        let mut out = [0u8; 16];
+        snap.read(0, &mut out);
+        assert_eq!(out, [1; 16], "snapshot must show snapshot-time bytes");
+        let dst = Backing::new(32, None);
+        snap.copy_to(&dst, 0, 16);
+        let mut got = [0u8; 16];
+        dst.read(0, &mut got);
+        assert_eq!(got, [1; 16]);
+    }
+
+    #[test]
+    fn non_overlapping_write_keeps_snapshot_lazy() {
+        let a = Backing::new(64, None);
+        a.write(0, &[3; 8]);
+        let snap = a.snapshot(0, 8);
+        a.write(32, &[7; 8]); // disjoint range
+        assert!(!snap.is_materialized());
+        a.write_f64s(16, &[1.5]); // still disjoint
+        assert!(!snap.is_materialized());
+        let mut out = [0u8; 8];
+        snap.read(0, &mut out);
+        assert_eq!(out, [3; 8]);
+    }
+
+    #[test]
+    fn dropped_snapshot_stops_watching() {
+        let a = Backing::new(32, None);
+        let snap = a.snapshot(0, 32);
+        drop(snap);
+        a.write(0, &[1; 32]); // prunes the dead watcher
+        assert_eq!(a.watcher_count.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn snapshot_of_truncated_backing_stores_only_prefix() {
+        let a = Backing::new(1 << 20, Some(8));
+        a.write(0, &[5; 8]);
+        let snap = a.snapshot(0, 1 << 20);
+        a.write(0, &[6; 8]);
+        assert!(snap.is_materialized());
+        let mut out = [0u8; 16];
+        snap.read(0, &mut out);
+        assert_eq!(&out[..8], &[5; 8]);
+        assert_eq!(&out[8..], &[0; 8], "beyond phys prefix reads as zero");
+        // copy_to zeroes the destination tail like Backing::copy.
+        let dst = Backing::new(32, None);
+        dst.write(0, &[9; 32]);
+        snap.copy_to(&dst, 0, 32);
+        let mut got = [0u8; 32];
+        dst.read(0, &mut got);
+        assert_eq!(&got[..8], &[5; 8]);
+        assert_eq!(&got[8..], &[0; 24]);
+    }
+
+    #[test]
+    fn snapshot_self_copy_within_one_backing() {
+        let a = Backing::new(32, None);
+        a.write(0, &(0u8..32).collect::<Vec<_>>());
+        let snap = a.snapshot(0, 8);
+        // Destination overlaps the watched range on the same backing.
+        snap.copy_to(&a, 4, 8);
+        let mut out = [0u8; 12];
+        a.read(0, &mut out);
+        assert_eq!(out, [0, 1, 2, 3, 0, 1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn write_f64s_straddling_phys_boundary() {
+        let a = Backing::new(80, Some(20)); // 2.5 f64 slots stored
+        a.write_f64s(0, &[1.0, 2.0, 3.0]);
+        assert_eq!(a.read_f64s(0, 2), vec![1.0, 2.0]);
+        // The third value landed partially (4 of 8 bytes).
+        let mut raw = [0u8; 8];
+        a.read(16, &mut raw);
+        assert_eq!(&raw[..4], &3.0f64.to_le_bytes()[..4]);
+        assert_eq!(&raw[4..], &[0; 4]);
     }
 }

@@ -18,7 +18,7 @@ pub mod heap;
 pub mod present;
 pub mod space;
 
-pub use backing::Backing;
+pub use backing::{Backing, CowSnapshot};
 pub use heap::{HeapEntry, HeapError, HeapPtr, NodeHeap};
 pub use present::{DevPtr, PresentEntry, PresentTable};
 pub use space::{AddressSpace, MemError, MemSpace, Region, RegionId, VirtAddr};

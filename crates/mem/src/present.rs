@@ -12,6 +12,7 @@
 //! modelled by [`DevPtr`].
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use parking_lot::Mutex;
 
@@ -60,7 +61,10 @@ pub struct PresentEntry {
 }
 
 struct Tables {
-    by_host: BTreeMap<u64, PresentEntry>,
+    /// Entries are `Arc`'d so lookups hand out a reference instead of
+    /// deep-cloning the entry (with its `Region`/`Arc<Backing>` fields)
+    /// on every `acc_deviceptr()`/`acc_hostptr()` call.
+    by_host: BTreeMap<u64, Arc<PresentEntry>>,
     /// device lookup address -> host key
     by_dev: BTreeMap<u64, u64>,
 }
@@ -106,7 +110,7 @@ impl PresentTable {
         }
         t.by_dev
             .insert(entry.dev.lookup_addr().0, entry.host_addr.0);
-        t.by_host.insert(entry.host_addr.0, entry);
+        t.by_host.insert(entry.host_addr.0, Arc::new(entry));
     }
 
     /// Remove the entry whose host range contains `addr`; returns it.
@@ -121,12 +125,12 @@ impl PresentTable {
         };
         let entry = t.by_host.remove(&key)?;
         t.by_dev.remove(&entry.dev.lookup_addr().0);
-        Some(entry)
+        Some(Arc::try_unwrap(entry).unwrap_or_else(|a| (*a).clone()))
     }
 
     /// `acc_deviceptr()`: find the entry containing host `addr`; returns
-    /// the entry and the offset of `addr` within it.
-    pub fn find_by_host(&self, addr: VirtAddr) -> Option<(PresentEntry, u64)> {
+    /// the entry (shared, not cloned) and the offset of `addr` within it.
+    pub fn find_by_host(&self, addr: VirtAddr) -> Option<(Arc<PresentEntry>, u64)> {
         let t = self.tables.lock();
         let (_, e) = t.by_host.range(..=addr.0).next_back()?;
         let off = addr.0.checked_sub(e.host_addr.0)?;
@@ -139,7 +143,7 @@ impl PresentTable {
 
     /// `acc_hostptr()`: find the entry containing device-side `addr`
     /// (raw CUDA pointer or OpenCL mapped address) and the offset.
-    pub fn find_by_dev(&self, addr: VirtAddr) -> Option<(PresentEntry, u64)> {
+    pub fn find_by_dev(&self, addr: VirtAddr) -> Option<(Arc<PresentEntry>, u64)> {
         let t = self.tables.lock();
         let (dkey, hkey) = t.by_dev.range(..=addr.0).next_back()?;
         let e = t.by_host.get(hkey)?;
@@ -221,8 +225,8 @@ mod tests {
         });
         let (e, off) = t.find_by_dev(shadow.addr.offset(8)).unwrap();
         assert_eq!(off, 8);
-        match e.dev {
-            DevPtr::OpenCl { handle, .. } => assert_eq!(handle, 77),
+        match &e.dev {
+            DevPtr::OpenCl { handle, .. } => assert_eq!(*handle, 77),
             _ => panic!("expected OpenCL entry"),
         }
     }

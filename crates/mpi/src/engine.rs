@@ -28,7 +28,7 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 use impacc_machine::{ClusterResources, MpiThreading};
-use impacc_mem::Backing;
+use impacc_mem::CowSnapshot;
 use impacc_vtime::{Ctx, Latch, SerialResource, SimTime};
 use parking_lot::Mutex;
 
@@ -116,7 +116,14 @@ impl Request {
 struct SendRec {
     src_global: u32,
     tag: i32,
-    buf: MsgBuf,
+    /// Copy-on-write snapshot of the send buffer taken at initiation:
+    /// eager semantics say the sender owns its buffer again as soon as
+    /// the send returns, so the in-flight message must not alias it. A
+    /// sender that never rewrites the buffer before the match (the common
+    /// case) pays no copy at all.
+    payload: Arc<CowSnapshot>,
+    /// Message length in bytes.
+    len: u64,
     /// When the payload is available at the destination side.
     arrival: SimTime,
     /// Same-node transport (needs the receiver-side staging copy-out).
@@ -278,7 +285,8 @@ impl SysMpi {
         let rec = SendRec {
             src_global,
             tag,
-            buf: buf.clone(),
+            payload: buf.backing.snapshot(buf.off, buf.len),
+            len: buf.len,
             arrival,
             intra,
             comm: comm.clone(),
@@ -346,27 +354,22 @@ impl SysMpi {
     /// completion instant, fill the status, open the request.
     fn complete_pair(&self, ctx: &Ctx, send: SendRec, recv: RecvRec, dst_node: usize) {
         assert!(
-            send.buf.len <= recv.buf.len,
+            send.len <= recv.buf.len,
             "message truncation: {} byte message into {} byte receive buffer",
-            send.buf.len,
+            send.len,
             recv.buf.len
         );
-        Backing::copy(
-            &send.buf.backing,
-            send.buf.off,
-            &recv.buf.backing,
-            recv.buf.off,
-            send.buf.len,
-        );
+        send.payload
+            .copy_to(&recv.buf.backing, recv.buf.off, send.len);
         let earliest = send.arrival.max(recv.posted_at);
         let complete = if send.intra {
             // Receiver-side copy-out of the staging segment.
-            let end = self.res.reserve_host_copy(dst_node, send.buf.len, earliest);
-            ctx.metrics().add("HtoH", send.buf.len);
+            let end = self.res.reserve_host_copy(dst_node, send.len, earliest);
+            ctx.metrics().add("HtoH", send.len);
             ctx.metrics().add("t_HtoH", end.since(earliest).0);
             ctx.span("HtoH", earliest, end, || {
                 vec![
-                    ("bytes", send.buf.len.to_string()),
+                    ("bytes", send.len.to_string()),
                     ("staging", "ipc_out".to_string()),
                 ]
             });
@@ -380,7 +383,7 @@ impl SysMpi {
                 .rel_of(send.src_global)
                 .expect("sender is a communicator member"),
             tag: send.tag,
-            len: send.buf.len,
+            len: send.len,
         };
         // Emitted by whichever actor performed the match; the span covers
         // posted-receive to payload-available.
@@ -421,7 +424,7 @@ impl SysMpi {
                 .map(|s| Status {
                     src: s.comm.rel_of(s.src_global).expect("member"),
                     tag: s.tag,
-                    len: s.buf.len,
+                    len: s.len,
                 })
         })
     }
@@ -728,6 +731,34 @@ mod tests {
             } else if ep.global_rank() == 4 {
                 let buf = empty_buf(8);
                 ep.recv(ctx, &buf, Some(0), Some(0), &world);
+            }
+        });
+    }
+
+    #[test]
+    fn eager_send_buffer_reuse_is_safe() {
+        // MPI_Send's eager contract: once it returns, the sender owns the
+        // buffer again. An unmatched in-flight message must therefore hold
+        // the bytes as of the send, not alias the live buffer (the COW
+        // snapshot materializes exactly when the sender rewrites it).
+        run_ranks(presets::test_cluster(2, 1), 1, 2, |ctx, ep, world| {
+            if ep.global_rank() == 0 {
+                let buf = buf_with(&[1.0, 2.0]);
+                ep.send(ctx, &buf, 1, 0, &world);
+                buf.write_f64s(&[-9.0, -9.0]);
+                ep.send(ctx, &buf, 1, 1, &world);
+            } else {
+                // Let both sends land in the unexpected queue first.
+                ctx.advance(SimDur::from_ms(5), "sleep");
+                let buf = empty_buf(2);
+                ep.recv(ctx, &buf, Some(0), Some(0), &world);
+                assert_eq!(
+                    buf.read_f64s(),
+                    vec![1.0, 2.0],
+                    "in-flight eager message must not see the sender's overwrite"
+                );
+                ep.recv(ctx, &buf, Some(0), Some(1), &world);
+                assert_eq!(buf.read_f64s(), vec![-9.0, -9.0]);
             }
         });
     }

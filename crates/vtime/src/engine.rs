@@ -20,15 +20,26 @@
 //! calls [`Ctx::wake`] with the stored token; stale tokens (the waiter has
 //! since resumed) are ignored via a per-actor generation counter.
 
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 use std::fmt;
 use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use parking_lot::{Condvar, Mutex};
 
 use crate::time::{SimDur, SimTime};
+
+/// Scheduler events dispatched by every engine run that has completed in
+/// this process (successful or poisoned). Benchmark harnesses diff this
+/// around a measured section to derive an events-per-wall-second rate.
+static GLOBAL_EVENTS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide total of scheduler events dispatched by completed runs.
+pub fn global_events() -> u64 {
+    GLOBAL_EVENTS.load(Ordering::Relaxed)
+}
 
 /// Identifies an actor within one engine run.
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
@@ -147,6 +158,7 @@ struct Sched {
     shutdown: bool,
     poison: Option<String>,
     events_dispatched: u64,
+    handoffs_elided: u64,
     max_events: u64,
 }
 
@@ -155,14 +167,26 @@ struct RunGate {
     cv: Condvar,
 }
 
+/// A per-actor bounded trace buffer: `(global seq, event)` pairs, merged
+/// into one chronological stream at report time.
+type TraceRing = Arc<Mutex<VecDeque<(u64, TraceEvent)>>>;
+
 pub(crate) struct EngineShared {
     sched: Mutex<Sched>,
     gate: RunGate,
     handles: Mutex<Vec<JoinHandle<()>>>,
     metrics: Metrics,
     stack_size: usize,
+    elide_handoff: bool,
     trace_capacity: usize,
-    trace: Mutex<std::collections::VecDeque<TraceEvent>>,
+    /// Global ordering for merged trace events. Execution is serialized
+    /// (one baton), so the order of assignment is deterministic.
+    trace_seq: AtomicU64,
+    /// Every actor's trace ring, for the report-time merge.
+    trace_rings: Mutex<Vec<TraceRing>>,
+    /// Mirror of `Sched::now`, updated under the scheduler lock, so the
+    /// actor holding the baton can read the clock without contending on it.
+    now_ps: AtomicU64,
     sink: Option<Arc<dyn SpanSink>>,
 }
 
@@ -193,20 +217,50 @@ pub trait SpanSink: Send + Sync {
     );
 }
 
-/// Global, engine-wide counters for experiment instrumentation
-/// (bytes copied per path, messages fused, aliases taken, ...).
+/// One shard of the engine-wide counter set.
+type CounterShard = Arc<Mutex<BTreeMap<&'static str, u64>>>;
+
+/// Engine-wide counters for experiment instrumentation (bytes copied per
+/// path, messages fused, aliases taken, ...).
 ///
-/// Backed by an ordered map so snapshots, dumps and report printing are
-/// deterministic (stable key order) run over run.
-#[derive(Default)]
+/// Logically one global counter set; physically **sharded per actor** so
+/// the hot path (`add`/`inc`) touches only the calling actor's own map
+/// behind an uncontended lock. Reads (`get`/`snapshot`) merge every shard.
+/// Because counter addition is commutative and the merge is key-sorted,
+/// snapshots are deterministic (stable key order, identical values) run
+/// over run regardless of how work was sharded.
+#[derive(Clone)]
 pub struct Metrics {
-    map: Mutex<BTreeMap<&'static str, u64>>,
+    /// The shard this handle writes to.
+    shard: CounterShard,
+    /// All shards, for merged reads.
+    registry: Arc<Mutex<Vec<CounterShard>>>,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        let shard: CounterShard = Arc::new(Mutex::new(BTreeMap::new()));
+        Metrics {
+            shard: shard.clone(),
+            registry: Arc::new(Mutex::new(vec![shard])),
+        }
+    }
 }
 
 impl Metrics {
+    /// A new write shard over the same logical counter set (one per actor).
+    pub fn new_shard(&self) -> Metrics {
+        let shard: CounterShard = Arc::new(Mutex::new(BTreeMap::new()));
+        self.registry.lock().push(shard.clone());
+        Metrics {
+            shard,
+            registry: self.registry.clone(),
+        }
+    }
+
     /// Add `v` to counter `key`.
     pub fn add(&self, key: &'static str, v: u64) {
-        *self.map.lock().entry(key).or_insert(0) += v;
+        *self.shard.lock().entry(key).or_insert(0) += v;
     }
 
     /// Increment counter `key` by one.
@@ -214,14 +268,24 @@ impl Metrics {
         self.add(key, 1);
     }
 
-    /// Current value of counter `key` (0 if never touched).
+    /// Current value of counter `key` across all shards (0 if never touched).
     pub fn get(&self, key: &'static str) -> u64 {
-        self.map.lock().get(key).copied().unwrap_or(0)
+        self.registry
+            .lock()
+            .iter()
+            .map(|s| s.lock().get(key).copied().unwrap_or(0))
+            .sum()
     }
 
-    /// A sorted point-in-time copy of every counter.
+    /// A sorted point-in-time merge of every counter across all shards.
     pub fn snapshot(&self) -> BTreeMap<&'static str, u64> {
-        self.map.lock().clone()
+        let mut out = BTreeMap::new();
+        for shard in self.registry.lock().iter() {
+            for (k, v) in shard.lock().iter() {
+                *out.entry(*k).or_insert(0) += v;
+            }
+        }
+        out
     }
 }
 
@@ -243,6 +307,13 @@ pub struct SimConfig {
     /// disables span recording entirely — [`Ctx::span`] then returns before
     /// evaluating attribute closures, so a sink-less run pays nothing.
     pub sink: Option<Arc<dyn SpanSink>>,
+    /// Baton-handoff elision (on by default): when an actor calling
+    /// [`Ctx::advance`] would be re-dispatched immediately (no earlier or
+    /// equal-time entry in the event heap), it keeps running on the same OS
+    /// thread instead of parking and unparking. Virtual-time results are
+    /// bit-identical either way; set `false` to force the park/unpark path
+    /// (determinism tests diff the two).
+    pub elide_handoff: bool,
 }
 
 impl fmt::Debug for SimConfig {
@@ -252,6 +323,7 @@ impl fmt::Debug for SimConfig {
             .field("max_events", &self.max_events)
             .field("trace_capacity", &self.trace_capacity)
             .field("sink", &self.sink.as_ref().map(|_| "SpanSink"))
+            .field("elide_handoff", &self.elide_handoff)
             .finish()
     }
 }
@@ -263,6 +335,7 @@ impl Default for SimConfig {
             max_events: u64::MAX,
             trace_capacity: 0,
             sink: None,
+            elide_handoff: true,
         }
     }
 }
@@ -273,7 +346,7 @@ impl Default for SimConfig {
 /// instrumentation should emit typed spans through [`Ctx::span`] into an
 /// `impacc_obs::Recorder` instead; this ring remains for quick ad-hoc
 /// debugging and for tests that predate the observability subsystem.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TraceEvent {
     /// When it happened.
     pub t: SimTime,
@@ -325,7 +398,7 @@ impl fmt::Display for SimError {
 impl std::error::Error for SimError {}
 
 /// Per-actor virtual-time accounting, keyed by tag.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ActorAccount {
     /// The actor's name as given at spawn time.
     pub name: String,
@@ -359,8 +432,14 @@ pub struct SimReport {
     pub actors: Vec<ActorAccount>,
     /// Snapshot of engine-wide counters, in deterministic (sorted) key order.
     pub metrics: BTreeMap<&'static str, u64>,
-    /// Number of scheduler dispatches performed.
+    /// Number of scheduler dispatches performed. Identical whether or not
+    /// handoff elision was enabled (an elided handoff still counts as one
+    /// dispatch), so event counts are comparable across configurations.
     pub events: u64,
+    /// How many of those dispatches skipped the park/unpark round-trip
+    /// because the advancing actor was still the earliest runnable one.
+    /// Wall-clock bookkeeping only — zero when `elide_handoff` is off.
+    pub handoffs_elided: u64,
     /// The retained trace (empty unless `trace_capacity` was set).
     pub trace: Vec<TraceEvent>,
 }
@@ -385,6 +464,13 @@ impl SimReport {
 pub struct Ctx {
     engine: Arc<EngineShared>,
     me: ActorId,
+    /// Cached at spawn so name lookups (spans, traces) skip the scheduler
+    /// lock entirely.
+    name: Arc<str>,
+    /// This actor's counter shard.
+    metrics: Metrics,
+    /// This actor's trace ring.
+    trace_ring: TraceRing,
 }
 
 impl fmt::Debug for Ctx {
@@ -401,41 +487,46 @@ impl Ctx {
 
     /// This actor's name.
     pub fn name(&self) -> String {
-        self.engine.sched.lock().actors[self.me.0 as usize]
-            .name
-            .clone()
+        self.name.to_string()
     }
 
-    /// Current virtual time.
+    /// Current virtual time. Lock-free: reads the clock mirror maintained
+    /// under the scheduler lock (the caller holds the baton, so nobody can
+    /// move the clock concurrently).
     pub fn now(&self) -> SimTime {
-        self.engine.sched.lock().now
+        SimTime(self.engine.now_ps.load(Ordering::Relaxed))
     }
 
-    /// Engine-wide counters.
+    /// Engine-wide counters (this handle writes to the calling actor's own
+    /// shard; reads merge all shards).
     pub fn metrics(&self) -> &Metrics {
-        &self.engine.metrics
+        &self.metrics
     }
 
     /// Emit a trace event (kept only when the run was configured with a
-    /// nonzero `trace_capacity`; `detail` is evaluated lazily).
+    /// nonzero `trace_capacity`; `detail` is evaluated lazily). Events land
+    /// in a per-actor ring — same capacity as the merged stream, so the
+    /// report-time merge always has the globally most recent events — and
+    /// are ordered by a global sequence number.
     pub fn trace(&self, label: &'static str, detail: impl FnOnce() -> String) {
         if self.engine.trace_capacity == 0 {
             return;
         }
-        let (t, actor) = {
-            let sched = self.engine.sched.lock();
-            (sched.now, sched.actors[self.me.0 as usize].name.clone())
-        };
-        let mut buf = self.engine.trace.lock();
-        if buf.len() == self.engine.trace_capacity {
-            buf.pop_front();
+        let t = self.now();
+        let seq = self.engine.trace_seq.fetch_add(1, Ordering::Relaxed);
+        let mut ring = self.trace_ring.lock();
+        if ring.len() == self.engine.trace_capacity {
+            ring.pop_front();
         }
-        buf.push_back(TraceEvent {
-            t,
-            actor,
-            label,
-            detail: detail(),
-        });
+        ring.push_back((
+            seq,
+            TraceEvent {
+                t,
+                actor: self.name.to_string(),
+                label,
+                detail: detail(),
+            },
+        ));
     }
 
     /// True once all non-daemon actors have finished. Daemons should exit
@@ -492,15 +583,42 @@ impl Ctx {
 
     /// Advance virtual time to the absolute instant `target` (no-op if the
     /// clock is already past it), charging the elapsed span under `tag`.
+    ///
+    /// Fast path (when [`SimConfig::elide_handoff`] is on): if no heap entry
+    /// is due at or before the target instant, this actor would be handed
+    /// the baton right back after parking — the scheduler instead moves the
+    /// clock and returns without the two condvar signals and two OS context
+    /// switches of a full handoff. The comparison is strict (`entry.t > t`)
+    /// because this actor's queue entry would carry the largest sequence
+    /// number: any equal-time entry wins the FIFO tie-break and must run
+    /// first, so ties take the slow path. Dispatch-order, event-count and
+    /// accounting behaviour are identical on both paths.
     pub fn advance_until(&self, target: SimTime, tag: &'static str) {
         let park = {
             let mut sched = self.engine.sched.lock();
             self.check_poison(&sched);
             let now = sched.now;
             let t = target.max(now);
+            {
+                let slot = &mut sched.actors[self.me.0 as usize];
+                debug_assert_eq!(slot.state, ActorState::Running);
+                *slot.acct.entry(tag).or_insert(SimDur::ZERO) += t.since(now);
+            }
+            if self.engine.elide_handoff && sched.heap.peek().is_none_or(|e| e.t > t) {
+                sched.events_dispatched += 1;
+                if sched.events_dispatched > sched.max_events {
+                    sched.poison = Some(format!("event-limit:{}", sched.max_events));
+                    Engine::poison_wake_all(&mut sched);
+                    Engine::open_gate(&self.engine, &mut sched);
+                } else {
+                    sched.now = t;
+                    self.engine.now_ps.store(t.0, Ordering::Relaxed);
+                    sched.handoffs_elided += 1;
+                }
+                self.check_poison(&sched);
+                return;
+            }
             let slot = &mut sched.actors[self.me.0 as usize];
-            debug_assert_eq!(slot.state, ActorState::Running);
-            *slot.acct.entry(tag).or_insert(SimDur::ZERO) += t.since(now);
             slot.state = ActorState::Queued;
             let park = slot.park.clone();
             let seq = sched.bump_seq();
@@ -766,6 +884,7 @@ impl Engine {
                 shutdown: false,
                 poison: None,
                 events_dispatched: 0,
+                handoffs_elided: 0,
                 max_events: sim.config.max_events,
             }),
             gate: RunGate {
@@ -775,8 +894,11 @@ impl Engine {
             handles: Mutex::new(Vec::new()),
             metrics: Metrics::default(),
             stack_size: sim.config.stack_size,
+            elide_handoff: sim.config.elide_handoff,
             trace_capacity: sim.config.trace_capacity,
-            trace: Mutex::new(std::collections::VecDeque::new()),
+            trace_seq: AtomicU64::new(0),
+            trace_rings: Mutex::new(Vec::new()),
+            now_ps: AtomicU64::new(0),
             sink: sim.config.sink.clone(),
         });
 
@@ -803,8 +925,24 @@ impl Engine {
             let _ = h.join();
         }
 
-        let trace: Vec<TraceEvent> = shared.trace.lock().iter().cloned().collect();
+        // Merge the per-actor trace rings into one stream ordered by the
+        // global emission sequence, keeping only the most recent
+        // `trace_capacity` events (matching the old single-ring semantics).
+        let trace: Vec<TraceEvent> = {
+            let rings = shared.trace_rings.lock();
+            let mut merged: Vec<(u64, TraceEvent)> = rings
+                .iter()
+                .flat_map(|r| r.lock().iter().cloned().collect::<Vec<_>>())
+                .collect();
+            merged.sort_by_key(|(seq, _)| *seq);
+            let keep = shared.trace_capacity.min(merged.len());
+            merged
+                .drain(merged.len() - keep..)
+                .map(|(_, e)| e)
+                .collect()
+        };
         let sched = shared.sched.lock();
+        GLOBAL_EVENTS.fetch_add(sched.events_dispatched, Ordering::Relaxed);
         if let Some(msg) = &sched.poison {
             return Err(Self::classify_poison(msg, &sched));
         }
@@ -820,6 +958,7 @@ impl Engine {
                 .collect(),
             metrics: shared.metrics.snapshot(),
             events: sched.events_dispatched,
+            handoffs_elided: sched.handoffs_elided,
             trace,
         })
     }
@@ -886,9 +1025,14 @@ impl Engine {
         };
 
         let shared2 = shared.clone();
+        let trace_ring: TraceRing = Arc::new(Mutex::new(VecDeque::new()));
+        shared.trace_rings.lock().push(trace_ring.clone());
         let ctx = Ctx {
             engine: shared.clone(),
             me: id,
+            name: name.as_str().into(),
+            metrics: shared.metrics.new_shard(),
+            trace_ring,
         };
         let handle = std::thread::Builder::new()
             .name(name.clone())
@@ -981,6 +1125,7 @@ impl Engine {
                     continue; // stale: the actor was notified earlier
                 }
                 sched.now = sched.now.max(entry.t);
+                shared.now_ps.store(sched.now.0, Ordering::Relaxed);
                 let since = slot.blocked_since;
                 let elapsed = sched.now.since(since);
                 let tag = slot.blocked_tag;
@@ -997,6 +1142,7 @@ impl Engine {
                 sched.actors[entry.id.0 as usize].name
             );
             sched.now = sched.now.max(entry.t);
+            shared.now_ps.store(sched.now.0, Ordering::Relaxed);
             sched.actors[entry.id.0 as usize].state = ActorState::Running;
             sched.actors[entry.id.0 as usize].park.wake(entry.reason);
             return;
@@ -1364,5 +1510,86 @@ mod tests {
         let report = sim.run().unwrap();
         assert_eq!(report.actors.len(), 500);
         assert_eq!(report.end_time, SimTime(10 * 500 * crate::time::PS_PER_NS));
+    }
+
+    /// The workload used by the elision tests: two actors with skewed
+    /// strides (so one is frequently sole-earliest and can elide) plus a
+    /// wait/wake pair (exercising the slow path and deadline timers).
+    fn elision_workload(elide: bool) -> SimReport {
+        use std::sync::Mutex as StdMutex;
+        let slot: Arc<StdMutex<Option<WaitToken>>> = Arc::new(StdMutex::new(None));
+        let s2 = slot.clone();
+        let mut sim = Sim::with_config(SimConfig {
+            elide_handoff: elide,
+            trace_capacity: 64,
+            ..SimConfig::default()
+        });
+        sim.spawn("fast", move |ctx| {
+            for i in 0..200u64 {
+                ctx.advance(SimDur::from_ns(1), "spin");
+                if i % 50 == 0 {
+                    ctx.trace("tick", || format!("i={i}"));
+                }
+            }
+            let tok = ctx.prepare_wait();
+            *s2.lock().unwrap() = Some(tok);
+            ctx.wait(tok, "wait_peer");
+            ctx.metrics().add("fast_done", 1);
+        });
+        sim.spawn("slow", move |ctx| {
+            for _ in 0..10u64 {
+                ctx.advance(SimDur::from_us(1), "walk");
+            }
+            let tok = slot.lock().unwrap().take().unwrap();
+            assert!(ctx.wake(tok));
+            ctx.metrics().add("slow_done", 1);
+        });
+        sim.run().unwrap()
+    }
+
+    #[test]
+    fn handoff_elision_preserves_report() {
+        let on = elision_workload(true);
+        let off = elision_workload(false);
+        assert!(on.handoffs_elided > 0, "fast path never taken");
+        assert_eq!(off.handoffs_elided, 0, "elision taken while disabled");
+        assert_eq!(on.end_time, off.end_time);
+        assert_eq!(on.events, off.events);
+        assert_eq!(on.metrics, off.metrics);
+        assert_eq!(on.trace, off.trace);
+        for (a, b) in on.actors.iter().zip(off.actors.iter()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.tags, b.tags);
+        }
+    }
+
+    #[test]
+    fn elision_respects_event_limit() {
+        // A single spinner elides every handoff; the event limit must
+        // still trip at exactly the configured count.
+        let mut sim = Sim::with_config(SimConfig {
+            max_events: 50,
+            ..SimConfig::default()
+        });
+        sim.spawn("spinner", |ctx| loop {
+            ctx.advance(SimDur::from_ns(1), "spin");
+        });
+        match sim.run() {
+            Err(SimError::EventLimit { limit }) => assert_eq!(limit, 50),
+            other => panic!("expected event limit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn global_event_counter_advances() {
+        let before = global_events();
+        let mut sim = Sim::new();
+        sim.spawn("n", |ctx| {
+            for _ in 0..7 {
+                ctx.advance(SimDur::from_ns(1), "w");
+            }
+        });
+        let report = sim.run().unwrap();
+        assert!(global_events() - before >= report.events);
     }
 }

@@ -47,8 +47,8 @@ mod sync;
 mod time;
 
 pub use engine::{
-    ActorAccount, ActorId, Ctx, Metrics, Sim, SimConfig, SimError, SimReport, SpanSink, TraceEvent,
-    WaitToken, WakeReason,
+    global_events, ActorAccount, ActorId, Ctx, Metrics, Sim, SimConfig, SimError, SimReport,
+    SpanSink, TraceEvent, WaitToken, WakeReason,
 };
 pub use resource::SerialResource;
 pub use sync::{Latch, Notify};
