@@ -4,11 +4,11 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "==> cargo build --release"
-cargo build --release
+echo "==> cargo build --release --workspace"
+cargo build --release --workspace
 
-echo "==> cargo test -q"
-cargo test -q
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
 
 echo "==> cargo fmt --check"
 cargo fmt --check
@@ -16,8 +16,41 @@ cargo fmt --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> profiler golden test"
+cargo test -q -p impacc-prof golden
+
 echo "==> perf smoke: bench_speed --quick"
-cargo run --release -q -p impacc-bench --bin bench_speed -- --quick \
+PERF_DIR=target/perf
+mkdir -p "$PERF_DIR"
+IMPACC_BENCH_DIR="$PERF_DIR" \
+    cargo run --release -q -p impacc-bench --bin bench_speed -- --quick \
     | grep -E '^\[speed\]|actors:'
+
+echo "==> perf regression gate"
+# Compare the fresh run's events/sec against the committed baseline
+# (baselines/speed.json, regenerated via ./ci.sh --rebaseline on the
+# reference machine). A drop of more than IMPACC_PERF_BASELINE_PCT percent
+# (default 30) fails CI. Skips with a notice when no baseline is committed.
+PCT="${IMPACC_PERF_BASELINE_PCT:-30}"
+fresh=$(grep -o '"events_per_sec":[0-9]*' "$PERF_DIR/BENCH_speed.json" | cut -d: -f2)
+if [[ "${1:-}" == "--rebaseline" ]]; then
+    mkdir -p baselines
+    cp "$PERF_DIR/BENCH_speed.json" baselines/speed.json
+    echo "perf gate: baseline reset to $fresh events/sec (commit baselines/speed.json)"
+elif baseline_json=$(git show HEAD:baselines/speed.json 2>/dev/null); then
+    base=$(printf '%s' "$baseline_json" | grep -o '"events_per_sec":[0-9]*' | cut -d: -f2)
+    awk -v fresh="$fresh" -v base="$base" -v pct="$PCT" 'BEGIN {
+        floor = base * (1 - pct / 100);
+        printf "perf gate: fresh %.0f vs baseline %.0f events/sec (floor %.0f, -%s%%)\n",
+            fresh, base, floor, pct;
+        if (fresh < floor) {
+            printf "perf gate: FAIL — throughput regressed more than %s%%\n", pct;
+            exit 1;
+        }
+        print "perf gate: ok";
+    }'
+else
+    echo "perf gate: skipped (no committed baselines/speed.json; run ./ci.sh --rebaseline)"
+fi
 
 echo "ci: all green"

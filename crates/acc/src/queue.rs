@@ -21,11 +21,15 @@ use parking_lot::Mutex;
 struct QueuedOp {
     label: &'static str,
     enq_at: SimTime,
+    /// Enqueuing actor, captured only while a span sink is recording: the
+    /// source end of the "enq" causal edge emitted when the op starts.
+    enq_by: Option<String>,
     exec: Box<dyn FnOnce(&Ctx) + Send>,
     done: Latch,
 }
 
 struct QInner {
+    name: String,
     ops: Mutex<VecDeque<QueuedOp>>,
     work: Notify,
     /// Opens briefly... not stored: idle tracking is via `pending`.
@@ -45,6 +49,7 @@ impl ActivityQueue {
     /// for the actor (diagnostics and accounting).
     pub fn spawn(ctx: &Ctx, name: String) -> ActivityQueue {
         let inner = Arc::new(QInner {
+            name: name.clone(),
             ops: Mutex::new(VecDeque::new()),
             work: Notify::new(),
             pending: Mutex::new(0),
@@ -63,6 +68,13 @@ impl ActivityQueue {
                             vec![("op", op.label.to_string())]
                         });
                     }
+                    // FIFO-order edge: this op could not start before the
+                    // actor that enqueued it reached the enqueue point.
+                    if let Some(enq_by) = &op.enq_by {
+                        qctx.edge_to_self("enq", enq_by, op.enq_at, started, || {
+                            vec![("op", op.label.to_string())]
+                        });
+                    }
                     (op.exec)(qctx);
                     op.done.open(qctx);
                     *inner.pending.lock() -= 1;
@@ -71,7 +83,11 @@ impl ActivityQueue {
                     if qctx.is_shutdown() {
                         return;
                     }
-                    if inner.work.wait(qctx, "queue_idle") == WakeReason::Shutdown {
+                    let name = &inner.name;
+                    let r = inner
+                        .work
+                        .wait_with_cause(qctx, "queue_idle", || format!("queue {name} empty"));
+                    if r == WakeReason::Shutdown {
                         return;
                     }
                 }
@@ -98,6 +114,7 @@ impl ActivityQueue {
             ops.push_back(QueuedOp {
                 label,
                 enq_at: ctx.now(),
+                enq_by: ctx.sink_enabled().then(|| ctx.name()),
                 exec: Box::new(exec),
                 done: done.clone(),
             });
@@ -112,7 +129,7 @@ impl ActivityQueue {
     /// `tag`.
     pub fn wait_all(&self, ctx: &Ctx, tag: &'static str) {
         let marker = self.enqueue(ctx, "wait_marker", |_| {});
-        marker.wait(ctx, tag);
+        marker.wait_with_cause(ctx, tag, || format!("drain queue {}", self.inner.name));
     }
 
     /// `#pragma acc wait(other) async(self)`: enqueue a dependency so that
@@ -123,8 +140,11 @@ impl ActivityQueue {
             return; // a queue is always ordered against itself
         }
         let marker = other.enqueue(ctx, "cross_wait_marker", |_| {});
+        let other_name = other.inner.name.clone();
         self.enqueue(ctx, "cross_wait", move |qctx| {
-            marker.wait(qctx, "cross_queue_wait");
+            marker.wait_with_cause(qctx, "cross_queue_wait", || {
+                format!("drain queue {other_name}")
+            });
         });
     }
 

@@ -16,7 +16,7 @@ use impacc_machine::{KernelCost, MachineSpec};
 use impacc_mpi::ReduceOp;
 use impacc_vtime::SimError;
 
-use crate::common::launch_app;
+use crate::common::launch_app_sink;
 
 /// NPB problem classes (number of random pairs = 2^exponent).
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
@@ -196,7 +196,18 @@ pub fn run_ep(
     options: RuntimeOptions,
     params: EpParams,
 ) -> Result<RunSummary, SimError> {
-    launch_app(spec, options, None, move |tc| {
+    run_ep_sink(spec, options, None, params)
+}
+
+/// [`run_ep`] with an optional span sink attached, so harnesses can
+/// trace and profile the EP timeline (fig 12's profiled variant).
+pub fn run_ep_sink(
+    spec: MachineSpec,
+    options: RuntimeOptions,
+    sink: Option<std::sync::Arc<dyn impacc_vtime::SpanSink>>,
+    params: EpParams,
+) -> Result<RunSummary, SimError> {
+    launch_app_sink(spec, options, None, sink, move |tc| {
         let stats = ep_task(tc, &params);
         // Every rank sees identical totals, and every counted pair is
         // accounted for in exactly one annulus.
@@ -208,6 +219,7 @@ pub fn run_ep(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::common::launch_app;
     use impacc_machine::presets;
 
     #[test]

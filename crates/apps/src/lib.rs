@@ -28,7 +28,7 @@ pub mod lulesh;
 
 pub use common::{launch_app, launch_app_sink, launch_app_tuned, math_ok, BlockPartition};
 pub use dgemm::{dgemm_task, run_dgemm, DgemmParams};
-pub use ep::{ep_kernel, ep_task, run_ep, EpClass, EpParams, EpStats, NpbRng};
+pub use ep::{ep_kernel, ep_task, run_ep, run_ep_sink, EpClass, EpParams, EpStats, NpbRng};
 pub use jacobi::{
     jacobi_task, run_jacobi, run_jacobi_sink, run_jacobi_tuned, serial_jacobi, JacobiParams,
 };

@@ -1,4 +1,14 @@
-//! See `impacc_bench::fig12`.
+//! See `impacc_bench::fig12`. Pass `--critical-path` (or set
+//! `IMPACC_PROF=1`) to append a critical-path profile of one EP run and
+//! write `PROF_fig12.json`.
 fn main() {
-    impacc_bench::util::bench_main("fig12", impacc_bench::fig12::run);
+    let prof = impacc_bench::prof::requested();
+    impacc_bench::util::bench_main("fig12", || {
+        let mut out = impacc_bench::fig12::run();
+        if prof {
+            out.push('\n');
+            out.push_str(&impacc_bench::prof::profile_figure("fig12", None));
+        }
+        out
+    });
 }

@@ -1,6 +1,16 @@
 //! See `impacc_bench::fig5`. Pass `--trace out.json` to also dump a merged
-//! Chrome trace of the three synchronization styles.
+//! Chrome trace of the three synchronization styles. Pass
+//! `--critical-path` (or set `IMPACC_PROF=1`) to append a critical-path
+//! profile of the unified-queue exchange and write `PROF_fig5.json`.
 fn main() {
     let trace = impacc_bench::util::trace_arg();
-    impacc_bench::util::bench_main("fig5", || impacc_bench::fig5::run_traced(trace.as_deref()));
+    let prof = impacc_bench::prof::requested();
+    impacc_bench::util::bench_main("fig5", || {
+        let mut out = impacc_bench::fig5::run_traced(trace.as_deref());
+        if prof {
+            out.push('\n');
+            out.push_str(&impacc_bench::prof::profile_figure("fig5", None));
+        }
+        out
+    });
 }

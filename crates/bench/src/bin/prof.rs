@@ -1,0 +1,20 @@
+//! Standalone critical-path profiler: re-runs a figure workload with the
+//! span/edge recorder attached, prints the blame/wait-state/what-if
+//! report, and writes `PROF_<name>.json`.
+//!
+//! Usage: `prof [fig5|fig12|fig14] [--trace out.json]`
+//!
+//! `--trace` also writes a Chrome trace with the critical path rendered
+//! as a dedicated track (pid 0) plus flow arrows over the cross-actor
+//! hops; open via ui.perfetto.dev.
+fn main() {
+    let name = std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with("--"))
+        .unwrap_or_else(|| "fig14".to_string());
+    let trace = impacc_bench::util::trace_arg();
+    print!(
+        "{}",
+        impacc_bench::prof::profile_figure(&name, trace.as_deref())
+    );
+}

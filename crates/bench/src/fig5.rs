@@ -108,6 +108,12 @@ pub fn run_style(style: Style) -> RunSummary {
     run_style_rec(style, None)
 }
 
+/// [`run_style`] with a span/edge recorder attached, for the
+/// critical-path profiler.
+pub fn run_style_recorded(style: Style, rec: &Recorder) -> RunSummary {
+    run_style_rec(style, Some(rec))
+}
+
 fn run_style_rec(style: Style, rec: Option<&Recorder>) -> RunSummary {
     let opts = match style {
         Style::UnifiedQueue => RuntimeOptions::impacc(),

@@ -18,6 +18,7 @@ pub mod fig15;
 pub mod fig5;
 pub mod fig8;
 pub mod fig9;
+pub mod prof;
 pub mod specs;
 pub mod speed;
 pub mod util;

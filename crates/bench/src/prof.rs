@@ -1,0 +1,202 @@
+//! Critical-path profiling plumbing shared by the figure binaries and the
+//! standalone `prof` bin.
+//!
+//! Any of `fig5`, `fig12`, `fig14` re-run one representative configuration
+//! with a span/edge recorder attached when `--critical-path` is passed (or
+//! `IMPACC_PROF=1` is set), feed the trace to [`impacc_prof::analyze`],
+//! print the text report, and persist a deterministic `PROF_<name>.json`
+//! next to the `BENCH_*.json` artifacts.
+
+use std::path::PathBuf;
+
+use impacc_apps::{run_ep_sink, run_jacobi_sink, EpClass, EpParams, JacobiParams};
+use impacc_core::RuntimeOptions;
+use impacc_obs::{chrome, Recorder};
+use impacc_prof::Report;
+
+use crate::specs::psg_tasks;
+use crate::util::quick;
+
+/// Was a critical-path profile requested? True when the binary got a
+/// `--critical-path` flag or `IMPACC_PROF=1` is set.
+pub fn requested() -> bool {
+    std::env::args().skip(1).any(|a| a == "--critical-path")
+        || std::env::var("IMPACC_PROF").is_ok_and(|v| v == "1")
+}
+
+/// Where `PROF_<name>.json` is written: `$IMPACC_BENCH_DIR` when set, else
+/// the current directory (mirrors `BenchReport::path`).
+pub fn prof_path(name: &str) -> PathBuf {
+    let dir = std::env::var("IMPACC_BENCH_DIR").unwrap_or_else(|_| ".".into());
+    PathBuf::from(dir).join(format!("PROF_{name}.json"))
+}
+
+/// Analyze a recorded run, persist `PROF_<name>.json` (and optionally a
+/// critical-path-highlighted Chrome trace), and return the text report
+/// plus the analysis itself.
+pub fn report_and_persist(name: &str, rec: &Recorder, trace: Option<&str>) -> (String, Report) {
+    let spans = rec.spans();
+    let report = impacc_prof::analyze(&spans, &rec.edges());
+    debug_assert_eq!(
+        report.blame_total(),
+        report.end_ps,
+        "critical-path blame must tile the run exactly"
+    );
+    let mut out = report.render_text(name);
+    let path = prof_path(name);
+    match std::fs::write(&path, report.to_json(name)) {
+        Ok(()) => out.push_str(&format!("\nprofile written to {}\n", path.display())),
+        Err(e) => out.push_str(&format!(
+            "\nwarning: could not write {}: {e}\n",
+            path.display()
+        )),
+    }
+    if let Some(tpath) = trace {
+        let crit: Vec<chrome::CritSeg> = report
+            .path
+            .iter()
+            .map(|p| chrome::CritSeg {
+                actor: p.actor.clone(),
+                kind: p.kind.clone(),
+                t0: p.t0,
+                t1: p.t1,
+            })
+            .collect();
+        match chrome::write_trace_with_critical_path(std::path::Path::new(tpath), &spans, &crit) {
+            Ok(()) => out.push_str(&format!(
+                "critical-path Chrome trace written to {tpath}; open via ui.perfetto.dev\n"
+            )),
+            Err(e) => out.push_str(&format!("warning: could not write {tpath}: {e}\n")),
+        }
+    }
+    (out, report)
+}
+
+/// Record one unified-queue fig 5 exchange and return its recorder.
+pub fn record_fig5() -> Recorder {
+    let rec = Recorder::new();
+    crate::fig5::run_style_recorded(crate::fig5::Style::UnifiedQueue, &rec);
+    rec
+}
+
+/// Record one fig 12 EP run (class A, 4 PSG tasks — pure compute plus a
+/// single allreduce) and return its recorder.
+pub fn record_fig12() -> Recorder {
+    let rec = Recorder::new();
+    run_ep_sink(
+        psg_tasks(4),
+        RuntimeOptions::impacc(),
+        Some(rec.sink()),
+        EpParams {
+            total_pairs: EpClass::A.pairs(),
+            sample_pairs: 1 << 10,
+        },
+    )
+    .expect("ep run");
+    rec
+}
+
+/// Record one fig 14 Jacobi run (IMPACC, 4 PSG tasks) and return its
+/// recorder. This is the DtoD-heavy workload the what-if projections are
+/// most interesting on.
+pub fn record_fig14() -> Recorder {
+    let rec = Recorder::new();
+    let n = if quick() { 512 } else { 2048 };
+    run_jacobi_sink(
+        psg_tasks(4),
+        RuntimeOptions::impacc(),
+        Some(4096),
+        Some(rec.sink()),
+        JacobiParams {
+            n,
+            iters: 10,
+            verify: false,
+        },
+    )
+    .expect("jacobi run");
+    rec
+}
+
+/// Profile the named figure workload; returns the text report section.
+/// `trace` optionally writes a critical-path-highlighted Chrome trace.
+pub fn profile_figure(name: &str, trace: Option<&str>) -> String {
+    let rec = match name {
+        "fig5" => record_fig5(),
+        "fig12" => record_fig12(),
+        "fig14" => record_fig14(),
+        other => {
+            return format!("unknown profile workload {other:?}; available: fig5, fig12, fig14\n")
+        }
+    };
+    let (out, _) = report_and_persist(name, &rec, trace);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use impacc_obs::EventKind;
+
+    #[test]
+    fn fig14_profile_blames_dtod_and_projects_improvement() {
+        let rec = record_fig14();
+        let r = impacc_prof::analyze(&rec.spans(), &rec.edges());
+        assert!(r.end_ps > 0);
+        assert_eq!(r.blame_total(), r.end_ps, "blame tiles the run");
+        // Jacobi halos ride direct DtoD copies under IMPACC, so the
+        // zero-cost-DtoD what-if must predict a faster run (the measured
+        // fig 14 direction).
+        let proj = r.what_if["zero_cost_dtod"];
+        assert!(
+            proj < r.end_ps,
+            "zero-DtoD projection {proj} should beat measured {}",
+            r.end_ps
+        );
+        // Edges were recorded: wakes at minimum, plus the fused-message
+        // machinery.
+        assert!(r.edges > 0, "causal edges must be recorded");
+    }
+
+    #[test]
+    fn fig12_profile_agrees_with_measured_null_ablation() {
+        // Fig 12's measured result: EP is pure compute and IMPACC ==
+        // MPI+OpenACC ("nothing to optimize"). The single-trace what-if
+        // must agree in direction: removing DtoD copies from the critical
+        // path projects (essentially) no speedup.
+        let rec = record_fig12();
+        let r = impacc_prof::analyze(&rec.spans(), &rec.edges());
+        assert!(r.end_ps > 0);
+        assert_eq!(r.blame_total(), r.end_ps);
+        let proj = r.what_if["zero_cost_dtod"];
+        let delta = (r.end_ps - proj) as f64 / r.end_ps as f64;
+        assert!(
+            delta < 0.05,
+            "EP projection should be ~null, got {:.1}% speedup",
+            delta * 100.0
+        );
+        // And compute (kernel + untracked host work) dominates the path.
+        let compute = r.blame_by_kind.get("kernel").copied().unwrap_or(0)
+            + r.blame_by_kind
+                .get(impacc_prof::COMPUTE)
+                .copied()
+                .unwrap_or(0);
+        assert!(
+            compute as f64 > 0.5 * r.end_ps as f64,
+            "EP critical path should be compute-dominated"
+        );
+    }
+
+    #[test]
+    fn fig5_profile_covers_the_exchange() {
+        let rec = record_fig5();
+        let r = impacc_prof::analyze(&rec.spans(), &rec.edges());
+        assert_eq!(r.blame_total(), r.end_ps);
+        assert!(r.end_ps > 0);
+        // The exchange moves data: some copy kind must sit on the path.
+        let any_copy = EventKind::ALL
+            .iter()
+            .filter(|k| k.is_copy())
+            .any(|k| r.blame_by_kind.contains_key(k.label()));
+        assert!(any_copy, "blame: {:?}", r.blame_by_kind);
+    }
+}

@@ -165,13 +165,21 @@ impl BenchReport {
         let events = impacc_vtime::global_events() - events0;
         let tables = CAPTURE.with(|c| c.borrow_mut().take()).unwrap_or_default();
         let secs = wall.as_secs_f64();
+        // Test hook for the CI perf gate: `IMPACC_PERF_INJECT_SLOWDOWN=2`
+        // divides reported throughput by 2, simulating a regression so the
+        // gate's failure path can be exercised without slowing anything.
+        let inject = std::env::var("IMPACC_PERF_INJECT_SLOWDOWN")
+            .ok()
+            .and_then(|v| v.parse::<f64>().ok())
+            .filter(|d| *d > 0.0)
+            .unwrap_or(1.0);
         BenchReport {
             name: name.to_string(),
             text,
             tables,
             wall_ms: secs * 1e3,
             events_per_sec: if secs > 0.0 {
-                events as f64 / secs
+                events as f64 / secs / inject
             } else {
                 0.0
             },

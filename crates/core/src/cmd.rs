@@ -18,6 +18,16 @@ use parking_lot::Mutex;
 pub struct TimedDone {
     latch: Latch,
     at: Arc<Mutex<Option<SimTime>>>,
+    /// What this handle completes ("fused send dst=1 tag=7"), recorded on
+    /// stall spans so the profiler can classify the wait. Only populated
+    /// while a span sink is recording.
+    cause: Arc<Mutex<Option<String>>>,
+    /// Actor that completed the handle (the message handler), recorded
+    /// while a sink is on: the source of the wake edge a waiter emits
+    /// when it rides virtual time out to the completion instant, so the
+    /// critical path lands on the handler's async copy span instead of
+    /// dead-ending in the waiter's advance.
+    completed_by: Arc<Mutex<Option<String>>>,
 }
 
 impl TimedDone {
@@ -26,17 +36,50 @@ impl TimedDone {
         TimedDone::default()
     }
 
+    /// Describe what a waiter of this handle is waiting for (profiler
+    /// stall-cause attribution).
+    pub fn set_cause(&self, cause: String) {
+        *self.cause.lock() = Some(cause);
+    }
+
     /// Mark complete at instant `t` (may be in the virtual future).
     pub fn complete(&self, ctx: &Ctx, t: SimTime) {
         *self.at.lock() = Some(t);
+        if ctx.sink_enabled() {
+            *self.completed_by.lock() = Some(ctx.name());
+        }
         self.latch.open(ctx);
     }
 
     /// Block the calling actor until the completion instant.
     pub fn wait(&self, ctx: &Ctx) {
-        self.latch.wait(ctx, impacc_mpi::tags::MPI_WAIT);
+        self.latch
+            .wait_with_cause(ctx, impacc_mpi::tags::MPI_WAIT, || {
+                self.cause
+                    .lock()
+                    .clone()
+                    .unwrap_or_else(|| "handler cmd".to_string())
+            });
         let t = self.at.lock().expect("latch open implies time set");
+        let woke = ctx.now();
         ctx.advance_until(t, impacc_mpi::tags::MPI_WAIT);
+        if ctx.sink_enabled() && t > woke {
+            // The handler issued the copy asynchronously; the waiter rode
+            // virtual time to the completion instant. Record the ride as
+            // a stall and hand the critical path back to the completer,
+            // whose copy span ends exactly at `t`.
+            let cause = self.cause.lock().clone();
+            ctx.span("stall", woke, t, || {
+                let mut a = vec![("tag", impacc_mpi::tags::MPI_WAIT.to_string())];
+                if let Some(c) = &cause {
+                    a.push(("cause", c.clone()));
+                }
+                a
+            });
+            if let Some(by) = self.completed_by.lock().clone() {
+                ctx.edge_to_self("wake", &by, t, t, Vec::new);
+            }
+        }
     }
 
     /// Completed and past its completion instant?
@@ -121,6 +164,10 @@ pub struct MsgCmd {
     pub done: TimedDone,
     /// Receive status slot (filled by the handler for `Recv` commands).
     pub status: Arc<Mutex<Option<Status>>>,
+    /// Submitting actor and submission instant, filled by
+    /// `NodeHandler::submit` while a span sink is recording: the source end
+    /// of the "deq"/"fuse" causal edges the handler emits.
+    pub submitted_by: Option<(String, SimTime)>,
 }
 
 /// Matching key for intra-node commands: FIFO per (comm, src, dst, tag).

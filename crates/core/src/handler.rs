@@ -71,8 +71,9 @@ impl NodeHandler {
 
     /// Submit an intra-node message command (task-thread side). Charges the
     /// command-creation overhead to the caller.
-    pub fn submit(&self, ctx: &Ctx, cmd: MsgCmd) {
+    pub fn submit(&self, ctx: &Ctx, mut cmd: MsgCmd) {
         ctx.advance(self.res.handler_cmd_overhead(), impacc_mpi::tags::MPI_CALL);
+        cmd.submitted_by = ctx.sink_enabled().then(|| (ctx.name(), ctx.now()));
         self.intra.push(cmd);
         self.work.notify_one(ctx);
     }
@@ -99,6 +100,11 @@ impl NodeHandler {
                     CmdKind::Send => "send",
                     CmdKind::Recv => "recv",
                 };
+                // Handler-thread dequeue edge: this command's processing
+                // could not start before the task pushed it.
+                if let Some((by, at)) = &cmd.submitted_by {
+                    ctx.edge_to_self("deq", by, *at, t0, || vec![("kind", kind.to_string())]);
+                }
                 // Dequeue + scheduling cost of one message command.
                 ctx.advance(self.res.handler_cmd_overhead(), "handler");
                 self.process(ctx, cmd, &mut unmatched_send, &mut unmatched_recv);
@@ -131,8 +137,16 @@ impl NodeHandler {
                 .filter_map(|p| p.req.completion_time())
                 .min();
             let reason = match deadline {
-                Some(t) => self.work.wait_deadline(ctx, t, "handler_idle"),
-                None => self.work.wait(ctx, "handler_idle"),
+                Some(t) => {
+                    let n = pendings.len();
+                    self.work
+                        .wait_deadline_with_cause(ctx, t, "handler_idle", || {
+                            format!("pending internode recv x{n}")
+                        })
+                }
+                None => self
+                    .work
+                    .wait_with_cause(ctx, "handler_idle", || "intra queue empty".to_string()),
             };
             if reason == WakeReason::Shutdown {
                 return;
@@ -338,6 +352,20 @@ impl NodeHandler {
             tag: send.tag,
             len,
         });
+        // Fusion-pairing edges: the fused copy's completion instant depends
+        // on *both* sides having submitted their command.
+        for (side, cmd) in [("send", &send), ("recv", &recv)] {
+            if let Some((by, at)) = &cmd.submitted_by {
+                ctx.edge_to_self("fuse", by, *at, complete, || {
+                    vec![
+                        ("side", side.to_string()),
+                        ("tag", send.tag.to_string()),
+                        ("bytes", len.to_string()),
+                        ("path", path.to_string()),
+                    ]
+                });
+            }
+        }
         send.done.complete(ctx, complete);
         recv.done.complete(ctx, complete);
     }

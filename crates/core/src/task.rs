@@ -246,6 +246,9 @@ impl CommCore {
         if fused {
             let handler = self.handler.as_ref().expect("IMPACC mode has a handler");
             let done = TimedDone::new();
+            if ctx.sink_enabled() {
+                done.set_cause(format!("fused send dst={dst_global} tag={tag}"));
+            }
             let status = Arc::new(Mutex::new(None));
             handler.submit(
                 ctx,
@@ -260,6 +263,7 @@ impl CommCore {
                     readonly,
                     done: done.clone(),
                     status: status.clone(),
+                    submitted_by: None,
                 },
             );
             return UReq::from_timed(done, status);
@@ -325,6 +329,9 @@ impl CommCore {
             let tag = tag.expect("the unified intra-node path needs an exact tag");
             let handler = self.handler.as_ref().expect("IMPACC mode has a handler");
             let done = TimedDone::new();
+            if ctx.sink_enabled() {
+                done.set_cause(format!("fused recv src={src_rel} tag={tag}"));
+            }
             let status = Arc::new(Mutex::new(None));
             handler.submit(
                 ctx,
@@ -339,6 +346,7 @@ impl CommCore {
                     readonly,
                     done: done.clone(),
                     status: status.clone(),
+                    submitted_by: None,
                 },
             );
             return UReq::from_timed(done, status);
@@ -355,6 +363,9 @@ impl CommCore {
                 let m = MsgBuf::host(staging.clone(), 0, buf.len).registered();
                 let req = self.sysmpi.irecv(ctx, &m, src, tag, comm);
                 let done = TimedDone::new();
+                if ctx.sink_enabled() {
+                    done.set_cause("pending internode recv".to_string());
+                }
                 let status = Arc::new(Mutex::new(None));
                 handler.submit_pending(
                     ctx,

@@ -108,26 +108,48 @@ impl Backing {
             return;
         }
         let mut watchers = self.watchers.lock();
-        watchers.retain(|w| {
+        let mut remaining: Vec<Weak<CowSnapshot>> = Vec::with_capacity(watchers.len());
+        let mut hit: Vec<Arc<CowSnapshot>> = Vec::new();
+        for w in watchers.drain(..) {
             let Some(snap) = w.upgrade() else {
-                return false; // snapshot dropped: unwatch
+                continue; // snapshot dropped: unwatch
             };
             if snap.off >= off + len || off >= snap.off + snap.len {
-                return true; // no overlap: still watching
+                remaining.push(w); // no overlap: still watching
+            } else {
+                hit.push(snap);
             }
+        }
+        let mut phys = self.phys.lock();
+        let plen = phys.len() as u64;
+        // Full-overwrite steal: the write is about to replace every stored
+        // byte, and exactly one snapshot — watching the whole stored
+        // prefix — needs the old ones. Hand it the Vec outright and let
+        // the writer rebuild from fresh zeroes: same bytes everywhere, and
+        // the double-buffer swap of a ping-pong send loop never memcpys.
+        if hit.len() == 1 && off == 0 && len >= plen && hit[0].off == 0 && hit[0].len >= plen {
+            let snap = hit.pop().expect("length checked");
+            let mut owned = snap.owned.lock();
+            if owned.is_none() {
+                let stolen = std::mem::take(&mut *phys);
+                *phys = vec![0u8; stolen.len()];
+                *owned = Some(stolen);
+            }
+        }
+        for snap in hit {
             // Overlap: capture the physically stored prefix of the watched
             // window. Bytes past the prefix read as zero both now and after
             // the write, so storing only the prefix preserves semantics
             // without ballooning phys-capped (Titan-scale) runs.
-            let phys = self.phys.lock();
-            let avail = (phys.len() as u64).saturating_sub(snap.off);
+            let avail = plen.saturating_sub(snap.off);
             let n = avail.min(snap.len) as usize;
             let mut owned = snap.owned.lock();
             if owned.is_none() {
                 *owned = Some(phys[snap.off as usize..snap.off as usize + n].to_vec());
             }
-            false // materialized: no longer needs watching
-        });
+            // materialized: no longer needs watching
+        }
+        *watchers = remaining;
         self.watcher_count.store(watchers.len(), Ordering::Release);
     }
 
@@ -496,6 +518,94 @@ mod tests {
         let mut out = [0u8; 12];
         a.read(0, &mut out);
         assert_eq!(out, [0, 1, 2, 3, 0, 1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn full_overwrite_steals_into_sole_snapshot() {
+        let a = Backing::new(16, None);
+        a.write(0, &[1; 16]);
+        let snap = a.snapshot(0, 16);
+        // The write replaces every stored byte: the snapshot takes
+        // ownership of the old Vec instead of copying it.
+        a.write(0, &[2; 16]);
+        assert!(snap.is_materialized());
+        let mut old = [0u8; 16];
+        snap.read(0, &mut old);
+        assert_eq!(old, [1; 16], "snapshot keeps pre-write bytes");
+        let mut new = [0u8; 16];
+        a.read(0, &mut new);
+        assert_eq!(new, [2; 16], "backing holds post-write bytes");
+    }
+
+    #[test]
+    fn full_overwrite_steal_with_short_write_zeroes_tail() {
+        // `copy` with a truncated source covers the whole destination
+        // range but lands fewer bytes; the steal must leave the unwritten
+        // remainder zeroed, exactly like the copying path.
+        let src = Backing::new(16, Some(4));
+        src.write(0, &[7; 4]);
+        let dst = Backing::new(16, None);
+        dst.write(0, &[1; 16]);
+        let snap = dst.snapshot(0, 16);
+        Backing::copy(&src, 0, &dst, 0, 16);
+        assert!(snap.is_materialized());
+        let mut old = [0u8; 16];
+        snap.read(0, &mut old);
+        assert_eq!(old, [1; 16]);
+        let mut new = [0u8; 16];
+        dst.read(0, &mut new);
+        assert_eq!(&new[..4], &[7; 4]);
+        assert_eq!(&new[4..], &[0; 12], "tail past truncated source is zero");
+    }
+
+    #[test]
+    fn partial_overwrite_does_not_steal() {
+        let a = Backing::new(16, None);
+        a.write(0, &(0u8..16).collect::<Vec<_>>());
+        let snap = a.snapshot(0, 16);
+        a.write(4, &[9; 4]); // covers part of the range: copying path
+        assert!(snap.is_materialized());
+        let mut old = [0u8; 16];
+        snap.read(0, &mut old);
+        assert_eq!(old, (0u8..16).collect::<Vec<_>>().as_slice());
+        let mut new = [0u8; 16];
+        a.read(0, &mut new);
+        assert_eq!(&new[..4], &[0, 1, 2, 3], "untouched prefix survives");
+        assert_eq!(&new[4..8], &[9; 4]);
+        assert_eq!(&new[8..], &(8u8..16).collect::<Vec<_>>()[..]);
+    }
+
+    #[test]
+    fn full_overwrite_with_two_watchers_preserves_both() {
+        let a = Backing::new(8, None);
+        a.write(0, &[3; 8]);
+        let s1 = a.snapshot(0, 8);
+        let s2 = a.snapshot(0, 8);
+        a.write(0, &[4; 8]); // two claimants: nobody steals, both copy
+        for s in [&s1, &s2] {
+            assert!(s.is_materialized());
+            let mut old = [0u8; 8];
+            s.read(0, &mut old);
+            assert_eq!(old, [3; 8]);
+        }
+        let mut new = [0u8; 8];
+        a.read(0, &mut new);
+        assert_eq!(new, [4; 8]);
+    }
+
+    #[test]
+    fn narrow_snapshot_is_not_stolen_by_full_overwrite() {
+        let a = Backing::new(16, None);
+        a.write(0, &(0u8..16).collect::<Vec<_>>());
+        let snap = a.snapshot(4, 4); // watches a slice, not the prefix
+        a.write(0, &[9; 16]);
+        assert!(snap.is_materialized());
+        let mut old = [0u8; 4];
+        snap.read(0, &mut old);
+        assert_eq!(old, [4, 5, 6, 7]);
+        let mut new = [0u8; 16];
+        a.read(0, &mut new);
+        assert_eq!(new, [9; 16]);
     }
 
     #[test]

@@ -52,6 +52,10 @@ pub struct Request {
 struct ReqInner {
     latch: Latch,
     done: Mutex<Option<(SimTime, Option<Status>)>>,
+    /// What this request is waiting for ("recv src=0 tag=7"), recorded on
+    /// stall spans so the profiler can classify the wait. Only populated
+    /// while a span sink is recording.
+    cause: Mutex<Option<String>>,
 }
 
 impl Request {
@@ -60,8 +64,13 @@ impl Request {
             inner: Arc::new(ReqInner {
                 latch: Latch::new(),
                 done: Mutex::new(None),
+                cause: Mutex::new(None),
             }),
         }
+    }
+
+    fn set_cause(&self, cause: String) {
+        *self.inner.cause.lock() = Some(cause);
     }
 
     fn completed(ctx: &Ctx, at: SimTime, status: Option<Status>) -> Request {
@@ -78,7 +87,13 @@ impl Request {
     /// `MPI_Wait`: block until the operation completes; returns the status
     /// for receives.
     pub fn wait(&self, ctx: &Ctx) -> Option<Status> {
-        self.inner.latch.wait(ctx, tags::MPI_WAIT);
+        self.inner.latch.wait_with_cause(ctx, tags::MPI_WAIT, || {
+            self.inner
+                .cause
+                .lock()
+                .clone()
+                .unwrap_or_else(|| "mpi_req".to_string())
+        });
         let (at, status) = self.inner.done.lock().expect("latch open implies done");
         ctx.advance_until(at, tags::MPI_WAIT);
         status
@@ -129,6 +144,10 @@ struct SendRec {
     /// Same-node transport (needs the receiver-side staging copy-out).
     intra: bool,
     comm: Comm,
+    /// Sending actor and send-initiation instant, captured only while a
+    /// span sink is recording: the source end of the "msg" causal edge
+    /// emitted when this send matches a receive.
+    sent_by: Option<(String, SimTime)>,
 }
 
 struct RecvRec {
@@ -290,6 +309,7 @@ impl SysMpi {
             arrival,
             intra,
             comm: comm.clone(),
+            sent_by: ctx.sink_enabled().then(|| (ctx.name(), now)),
         };
 
         let mut st = self.state.lock();
@@ -326,6 +346,11 @@ impl SysMpi {
             );
         }
         let req = Request::new();
+        if ctx.sink_enabled() {
+            let src = src.map_or("any".to_string(), |s| s.to_string());
+            let tag = tag.map_or("any".to_string(), |t| t.to_string());
+            req.set_cause(format!("recv src={src} tag={tag}"));
+        }
         let rec = RecvRec {
             src,
             tag,
@@ -395,6 +420,18 @@ impl SysMpi {
                 ("intra", send.intra.to_string()),
             ]
         });
+        // Send→recv matching edge: the completed receive was enabled by the
+        // sender initiating the send. Lets the profiler tell a late sender
+        // (send started after the receive was posted) from transit time.
+        if let Some((src_actor, sent_at)) = &send.sent_by {
+            ctx.edge_to_self("msg", src_actor, *sent_at, complete, || {
+                vec![
+                    ("bytes", send.len.to_string()),
+                    ("tag", send.tag.to_string()),
+                    ("posted_at", recv.posted_at.0.to_string()),
+                ]
+            });
+        }
         recv.req.complete(ctx, complete, Some(status));
     }
 

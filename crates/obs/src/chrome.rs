@@ -10,6 +10,7 @@
 use std::collections::BTreeMap;
 
 use crate::{json, Span};
+use impacc_vtime::SimTime;
 
 /// Render a single run's spans as a Chrome trace JSON document.
 pub fn trace(spans: &[Span]) -> String {
@@ -88,6 +89,99 @@ pub fn trace_groups(groups: &[(&str, &[Span])]) -> String {
 
     out.push_str("\n]}\n");
     out
+}
+
+/// One critical-path segment for highlight rendering. Mirrors the
+/// profiler's path segments structurally so the exporter doesn't depend
+/// on the analysis crate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CritSeg {
+    /// Actor the path runs through for `[t0, t1]`.
+    pub actor: String,
+    /// Blame label for the segment ("kernel", "stall", "compute", ...).
+    pub kind: String,
+    /// Segment start (virtual time).
+    pub t0: SimTime,
+    /// Segment end (virtual time).
+    pub t1: SimTime,
+}
+
+/// Render a run's spans plus its critical path: the ordinary trace
+/// (identical to [`trace`]) with an extra *critical path* process (pid 0)
+/// holding one lane that replays the path segments, and flow arrows
+/// stitching the cross-actor hops so the chain is followable in the
+/// Perfetto UI.
+pub fn trace_with_critical_path(spans: &[Span], path: &[CritSeg]) -> String {
+    let base = trace(spans);
+    let body = base
+        .strip_suffix("\n]}\n")
+        .expect("trace() output ends its event array");
+    let mut out = body.to_string();
+    // trace() always emits at least the process_name metadata event, so
+    // every appended event is preceded by a comma.
+    let push = |out: &mut String, ev: String| {
+        out.push(',');
+        out.push('\n');
+        out.push_str(&ev);
+    };
+
+    push(
+        &mut out,
+        "{\"ph\":\"M\",\"pid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"critical path\"}}"
+            .to_string(),
+    );
+    push(
+        &mut out,
+        "{\"ph\":\"M\",\"pid\":0,\"tid\":1,\"name\":\"thread_name\",\"args\":{\"name\":\"path\"}}"
+            .to_string(),
+    );
+    let mut flow = 0usize;
+    for (i, seg) in path.iter().enumerate() {
+        let ts = seg.t0.0 as f64 / 1e6;
+        let dur = (seg.t1.0 - seg.t0.0) as f64 / 1e6;
+        push(
+            &mut out,
+            format!(
+                "{{\"ph\":\"X\",\"pid\":0,\"tid\":1,\"ts\":{ts:.6},\"dur\":{dur:.6},\"name\":{},\"cat\":\"critical\",\"args\":{{\"actor\":{}}}}}",
+                json::string(&seg.kind),
+                json::string(&seg.actor)
+            ),
+        );
+        // Flow arrow on every cross-actor hop: start at the end of this
+        // segment, finish at the start of the next.
+        if let Some(next) = path.get(i + 1) {
+            if next.actor != seg.actor {
+                flow += 1;
+                let t_end = seg.t1.0 as f64 / 1e6;
+                let t_next = next.t0.0 as f64 / 1e6;
+                push(
+                    &mut out,
+                    format!(
+                        "{{\"ph\":\"s\",\"pid\":0,\"tid\":1,\"ts\":{t_end:.6},\"id\":{flow},\"name\":\"crit\",\"cat\":\"critical\"}}"
+                    ),
+                );
+                push(
+                    &mut out,
+                    format!(
+                        "{{\"ph\":\"f\",\"pid\":0,\"tid\":1,\"ts\":{t_next:.6},\"id\":{flow},\"bp\":\"e\",\"name\":\"crit\",\"cat\":\"critical\"}}"
+                    ),
+                );
+            }
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Write a trace-with-critical-path document to `path`.
+pub fn write_trace_with_critical_path(
+    path: &std::path::Path,
+    spans: &[Span],
+    crit: &[CritSeg],
+) -> std::io::Result<()> {
+    let doc = trace_with_critical_path(spans, crit);
+    debug_assert!(structurally_valid(&doc));
+    std::fs::write(path, doc)
 }
 
 /// Extremely small JSON structural validator: checks that braces/brackets
@@ -176,6 +270,39 @@ mod tests {
         assert!(
             doc.contains("\"pid\":2,\"name\":\"process_name\",\"args\":{\"name\":\"baseline\"}")
         );
+        assert!(structurally_valid(&doc));
+    }
+
+    #[test]
+    fn critical_path_track_is_additive() {
+        let spans = vec![
+            span("rank1", EventKind::Kernel, 2_000_000, 5_000_000),
+            span("rank0", EventKind::CopyHtoD, 0, 1_500_000),
+            span("rank0", EventKind::Marker, 1_500_000, 1_500_000),
+        ];
+        let crit = vec![
+            CritSeg {
+                actor: "rank0".into(),
+                kind: "HtoD".into(),
+                t0: SimTime(0),
+                t1: SimTime(2_000_000),
+            },
+            CritSeg {
+                actor: "rank1".into(),
+                kind: "kernel".into(),
+                t0: SimTime(2_000_000),
+                t1: SimTime(5_000_000),
+            },
+        ];
+        let doc = trace_with_critical_path(&spans, &crit);
+        // The plain trace is a strict prefix: the highlight only appends.
+        let base = trace(&spans);
+        assert!(doc.starts_with(base.strip_suffix("\n]}\n").unwrap()));
+        assert!(doc.contains("\"name\":\"critical path\""));
+        assert!(doc.contains("\"cat\":\"critical\""));
+        // One cross-actor hop => one s/f flow pair.
+        assert!(doc.contains("{\"ph\":\"s\",\"pid\":0,\"tid\":1,\"ts\":2.000000,\"id\":1,"));
+        assert!(doc.contains("{\"ph\":\"f\",\"pid\":0,\"tid\":1,\"ts\":2.000000,\"id\":1,"));
         assert!(structurally_valid(&doc));
     }
 

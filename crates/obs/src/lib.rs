@@ -32,6 +32,8 @@ mod recorder;
 
 pub use recorder::{HistogramSnapshot, MetricsSnapshot, Recorder, ScopedCounters};
 
+pub use impacc_vtime::SpanSink;
+
 use impacc_vtime::{SimDur, SimTime};
 
 /// The closed set of span kinds the runtime emits.
@@ -150,6 +152,41 @@ impl Span {
         self.t1.since(self.t0)
     }
 
+    /// Value of attribute `key`, if present.
+    pub fn attr(&self, key: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// One recorded causal edge: work at `(src_actor, src_t)` enabled work at
+/// `(dst_actor, dst_t)`.
+///
+/// Edges turn the flat span stream into a dependence DAG: send→recv
+/// matching (`"msg"`), fusion pairing (`"fuse"`), queue FIFO order
+/// (`"enq"`), handler dequeue (`"deq"`), park/wake causality (`"wake"`),
+/// actor creation (`"spawn"`). The critical-path profiler (`impacc-prof`)
+/// walks these backwards from the end of the run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Edge {
+    /// Dependence kind ("wake", "msg", "fuse", "enq", "deq", "spawn").
+    pub kind: &'static str,
+    /// Actor whose work enabled the destination.
+    pub src_actor: String,
+    /// Instant on the source actor's timeline.
+    pub src_t: SimTime,
+    /// Actor whose work was enabled.
+    pub dst_actor: String,
+    /// Instant on the destination actor's timeline; the profiler matches
+    /// this against stall-span ends.
+    pub dst_t: SimTime,
+    /// Structured detail attributes (awaited tag, queue name, bytes, ...).
+    pub attrs: Vec<(&'static str, String)>,
+}
+
+impl Edge {
     /// Value of attribute `key`, if present.
     pub fn attr(&self, key: &str) -> Option<&str> {
         self.attrs

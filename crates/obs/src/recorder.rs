@@ -7,7 +7,7 @@ use std::sync::Arc;
 use impacc_vtime::{SimTime, SpanSink};
 use parking_lot::Mutex;
 
-use crate::{EventKind, Span};
+use crate::{Edge, EventKind, Span};
 
 /// Log2-bucketed histogram, built for message-size distributions.
 ///
@@ -82,6 +82,7 @@ struct Inner {
     enabled: AtomicBool,
     dropped: AtomicU64,
     spans: Mutex<VecDeque<Span>>,
+    edges: Mutex<VecDeque<Edge>>,
     counters: Mutex<BTreeMap<String, u64>>,
     gauges: Mutex<BTreeMap<String, i64>>,
     histograms: Mutex<BTreeMap<String, Histogram>>,
@@ -127,6 +128,7 @@ impl Recorder {
                 enabled: AtomicBool::new(capacity > 0),
                 dropped: AtomicU64::new(0),
                 spans: Mutex::new(VecDeque::new()),
+                edges: Mutex::new(VecDeque::new()),
                 counters: Mutex::new(BTreeMap::new()),
                 gauges: Mutex::new(BTreeMap::new()),
                 histograms: Mutex::new(BTreeMap::new()),
@@ -224,9 +226,27 @@ impl Recorder {
         }
     }
 
+    /// Record a causal edge directly.
+    pub fn record_edge(&self, edge: Edge) {
+        if !self.enabled() {
+            return;
+        }
+        let mut edges = self.inner.edges.lock();
+        if edges.len() == self.inner.capacity {
+            edges.pop_front();
+            self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        edges.push_back(edge);
+    }
+
     /// Emission-ordered copy of the retained spans.
     pub fn spans(&self) -> Vec<Span> {
         self.inner.spans.lock().iter().cloned().collect()
+    }
+
+    /// Emission-ordered copy of the retained causal edges.
+    pub fn edges(&self) -> Vec<Edge> {
+        self.inner.edges.lock().iter().cloned().collect()
     }
 
     /// Number of retained spans.
@@ -274,6 +294,7 @@ impl Recorder {
     /// Drop all retained spans and metrics (the enable state is kept).
     pub fn clear(&self) {
         self.inner.spans.lock().clear();
+        self.inner.edges.lock().clear();
         self.inner.counters.lock().clear();
         self.inner.gauges.lock().clear();
         self.inner.histograms.lock().clear();
@@ -319,6 +340,30 @@ impl SpanSink for Recorder {
             kind,
             t0,
             t1,
+            attrs,
+        });
+    }
+
+    fn edge(
+        &self,
+        kind: &'static str,
+        src_actor: &str,
+        src_t: SimTime,
+        dst_actor: &str,
+        dst_t: SimTime,
+        attrs: &mut dyn FnMut() -> Vec<(&'static str, String)>,
+    ) {
+        if !self.enabled() {
+            return;
+        }
+        let mut attrs = attrs();
+        attrs.shrink_to_fit();
+        self.record_edge(Edge {
+            kind,
+            src_actor: src_actor.to_string(),
+            src_t,
+            dst_actor: dst_actor.to_string(),
+            dst_t,
             attrs,
         });
     }

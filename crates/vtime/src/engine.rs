@@ -120,6 +120,11 @@ struct ActorSlot {
     wait_gen: u64,
     blocked_since: SimTime,
     blocked_tag: &'static str,
+    /// What the actor is concretely waiting *for* (awaited MPI tag, queue
+    /// name, latch label). Attached to the stall span as a `cause` attr so
+    /// the profiler's wait-state classifier never buckets it "unknown".
+    /// Only populated when a sink is recording.
+    blocked_cause: Option<String>,
     acct: BTreeMap<&'static str, SimDur>,
 }
 
@@ -215,6 +220,23 @@ pub trait SpanSink: Send + Sync {
         t1: SimTime,
         attrs: &mut dyn FnMut() -> Vec<(&'static str, String)>,
     );
+
+    /// Record a causal edge: work at `(src_actor, src_t)` enabled work at
+    /// `(dst_actor, dst_t)`. `kind` names the dependence ("wake", "msg",
+    /// "fuse", "enq", "spawn", ...). Sinks that don't build dependence
+    /// graphs can ignore this; the default does nothing, so edge emission
+    /// is invisible to pre-existing sinks.
+    fn edge(
+        &self,
+        kind: &'static str,
+        src_actor: &str,
+        src_t: SimTime,
+        dst_actor: &str,
+        dst_t: SimTime,
+        attrs: &mut dyn FnMut() -> Vec<(&'static str, String)>,
+    ) {
+        let _ = (kind, src_actor, src_t, dst_actor, dst_t, attrs);
+    }
 }
 
 /// One shard of the engine-wide counter set.
@@ -571,6 +593,31 @@ impl Ctx {
         self.span(label, now, now, attrs);
     }
 
+    /// Emit a causal edge into the configured [`SpanSink`]: work at
+    /// `(src_actor, src_t)` enabled work on *this* actor at `dst_t`. Used by
+    /// the runtime layers to record send→recv matching, fusion pairing and
+    /// queue FIFO order for the critical-path profiler. Zero-cost when no
+    /// sink is recording.
+    pub fn edge_to_self(
+        &self,
+        kind: &'static str,
+        src_actor: &str,
+        src_t: SimTime,
+        dst_t: SimTime,
+        attrs: impl FnOnce() -> Vec<(&'static str, String)>,
+    ) {
+        let Some(sink) = &self.engine.sink else {
+            return;
+        };
+        if !sink.enabled() {
+            return;
+        }
+        let mut attrs = Some(attrs);
+        sink.edge(kind, src_actor, src_t, &self.name, dst_t, &mut || {
+            attrs.take().map(|f| f()).unwrap_or_default()
+        });
+    }
+
     /// Charge `dur` of virtual time to this actor under `tag` and let other
     /// actors run in the meantime.
     pub fn advance(&self, dur: SimDur, tag: &'static str) {
@@ -659,6 +706,24 @@ impl Ctx {
     /// Suspend until another actor calls [`Ctx::wake`] with `token`, or the
     /// engine shuts down. Blocked time is charged under `tag`.
     pub fn wait(&self, token: WaitToken, tag: &'static str) -> WakeReason {
+        self.wait_inner(token, tag, None)
+    }
+
+    /// Like [`Ctx::wait`], but records *what* is being awaited (an MPI tag,
+    /// a queue name, a latch label). The cause lands on the resulting stall
+    /// span as a `cause` attr; `cause` is only evaluated while a sink is
+    /// recording, so instrumented waits stay free when observability is off.
+    pub fn wait_with_cause(
+        &self,
+        token: WaitToken,
+        tag: &'static str,
+        cause: impl FnOnce() -> String,
+    ) -> WakeReason {
+        let cause = self.sink_enabled().then(cause);
+        self.wait_inner(token, tag, cause)
+    }
+
+    fn wait_inner(&self, token: WaitToken, tag: &'static str, cause: Option<String>) -> WakeReason {
         assert_eq!(token.actor, self.me, "wait() with a foreign token");
         let park = {
             let mut sched = self.engine.sched.lock();
@@ -677,6 +742,7 @@ impl Ctx {
             slot.state = ActorState::Blocked;
             slot.blocked_since = now;
             slot.blocked_tag = tag;
+            slot.blocked_cause = cause;
             let park = slot.park.clone();
             Engine::dispatch(&self.engine, &mut sched);
             park
@@ -696,6 +762,29 @@ impl Ctx {
         deadline: SimTime,
         tag: &'static str,
     ) -> WakeReason {
+        self.wait_deadline_inner(token, deadline, tag, None)
+    }
+
+    /// [`Ctx::wait_deadline`] with a recorded wait cause (see
+    /// [`Ctx::wait_with_cause`]).
+    pub fn wait_deadline_with_cause(
+        &self,
+        token: WaitToken,
+        deadline: SimTime,
+        tag: &'static str,
+        cause: impl FnOnce() -> String,
+    ) -> WakeReason {
+        let cause = self.sink_enabled().then(cause);
+        self.wait_deadline_inner(token, deadline, tag, cause)
+    }
+
+    fn wait_deadline_inner(
+        &self,
+        token: WaitToken,
+        deadline: SimTime,
+        tag: &'static str,
+        cause: Option<String>,
+    ) -> WakeReason {
         assert_eq!(token.actor, self.me, "wait_deadline() with a foreign token");
         let park = {
             let mut sched = self.engine.sched.lock();
@@ -713,6 +802,7 @@ impl Ctx {
             slot.state = ActorState::Blocked;
             slot.blocked_since = now;
             slot.blocked_tag = tag;
+            slot.blocked_cause = cause;
             let park = slot.park.clone();
             let seq = sched.bump_seq();
             sched.heap.push(HeapEntry {
@@ -745,6 +835,7 @@ impl Ctx {
         let since = slot.blocked_since;
         let elapsed = now.since(since);
         let tag = slot.blocked_tag;
+        let cause = slot.blocked_cause.take();
         *slot.acct.entry(tag).or_insert(SimDur::ZERO) += elapsed;
         let seq = sched.bump_seq();
         sched.heap.push(HeapEntry {
@@ -754,7 +845,29 @@ impl Ctx {
             reason: WakeReason::Signaled,
             timer_gen: None,
         });
-        Engine::emit_stall(&self.engine, &sched, token.actor, tag, since, now);
+        Engine::emit_stall(
+            &self.engine,
+            &sched,
+            token.actor,
+            tag,
+            cause.as_deref(),
+            since,
+            now,
+        );
+        // The causal backbone: every cross-actor resume (latch opens,
+        // notifies) funnels through here, so one edge covers them all.
+        if let Some(sink) = &self.engine.sink {
+            if sink.enabled() {
+                let dst = sched.actors[token.actor.0 as usize].name.clone();
+                sink.edge("wake", &self.name, now, &dst, now, &mut || {
+                    let mut a = vec![("tag", tag.to_string())];
+                    if let Some(c) = &cause {
+                        a.push(("cause", c.clone()));
+                    }
+                    a
+                });
+            }
+        }
         true
     }
 
@@ -763,7 +876,9 @@ impl Ctx {
     where
         F: FnOnce(&Ctx) + Send + 'static,
     {
-        Engine::spawn_inner(&self.engine, name.into(), false, f)
+        let name = name.into();
+        self.emit_spawn_edge(&name);
+        Engine::spawn_inner(&self.engine, name, false, f)
     }
 
     /// Spawn a daemon actor: the simulation may finish while it is blocked;
@@ -772,7 +887,44 @@ impl Ctx {
     where
         F: FnOnce(&Ctx) + Send + 'static,
     {
-        Engine::spawn_inner(&self.engine, name.into(), true, f)
+        let name = name.into();
+        self.emit_spawn_edge(&name);
+        Engine::spawn_inner(&self.engine, name, true, f)
+    }
+
+    /// A "spawn" edge from this actor to a child it creates mid-run: the
+    /// child's first instant is caused by the parent reaching `now`.
+    fn emit_spawn_edge(&self, child: &str) {
+        let Some(sink) = &self.engine.sink else {
+            return;
+        };
+        if !sink.enabled() {
+            return;
+        }
+        let now = self.now();
+        sink.edge("spawn", &self.name, now, child, now, &mut Vec::new);
+    }
+
+    /// Like [`Ctx::edge_to_self`] with an explicit destination actor.
+    pub fn edge(
+        &self,
+        kind: &'static str,
+        src_actor: &str,
+        src_t: SimTime,
+        dst_actor: &str,
+        dst_t: SimTime,
+        attrs: impl FnOnce() -> Vec<(&'static str, String)>,
+    ) {
+        let Some(sink) = &self.engine.sink else {
+            return;
+        };
+        if !sink.enabled() {
+            return;
+        }
+        let mut attrs = Some(attrs);
+        sink.edge(kind, src_actor, src_t, dst_actor, dst_t, &mut || {
+            attrs.take().map(|f| f()).unwrap_or_default()
+        });
     }
 
     fn check_poison(&self, sched: &Sched) {
@@ -854,6 +1006,7 @@ impl Engine {
         sched: &Sched,
         id: ActorId,
         tag: &'static str,
+        cause: Option<&str>,
         t0: SimTime,
         t1: SimTime,
     ) {
@@ -868,7 +1021,11 @@ impl Engine {
         }
         let name = &sched.actors[id.0 as usize].name;
         sink.span(name, "stall", t0, t1, &mut || {
-            vec![("tag", tag.to_string())]
+            let mut a = vec![("tag", tag.to_string())];
+            if let Some(c) = cause {
+                a.push(("cause", c.to_string()));
+            }
+            a
         });
     }
 
@@ -1006,6 +1163,7 @@ impl Engine {
                 wait_gen: 0,
                 blocked_since: SimTime::ZERO,
                 blocked_tag: "",
+                blocked_cause: None,
                 acct: BTreeMap::new(),
             });
             sched.live_total += 1;
@@ -1129,10 +1287,19 @@ impl Engine {
                 let since = slot.blocked_since;
                 let elapsed = sched.now.since(since);
                 let tag = slot.blocked_tag;
+                let cause = slot.blocked_cause.take();
                 *slot.acct.entry(tag).or_insert(SimDur::ZERO) += elapsed;
                 slot.state = ActorState::Running;
                 slot.park.wake(entry.reason);
-                Engine::emit_stall(shared, sched, entry.id, tag, since, sched.now);
+                Engine::emit_stall(
+                    shared,
+                    sched,
+                    entry.id,
+                    tag,
+                    cause.as_deref(),
+                    since,
+                    sched.now,
+                );
                 return;
             }
             debug_assert_eq!(
@@ -1168,6 +1335,7 @@ impl Engine {
                     let since = slot.blocked_since;
                     let elapsed = now.since(since);
                     let tag = slot.blocked_tag;
+                    let cause = slot.blocked_cause.take();
                     *slot.acct.entry(tag).or_insert(SimDur::ZERO) += elapsed;
                     let seq = sched.bump_seq();
                     sched.heap.push(HeapEntry {
@@ -1177,7 +1345,15 @@ impl Engine {
                         reason: WakeReason::Shutdown,
                         timer_gen: None,
                     });
-                    Engine::emit_stall(shared, sched, ActorId(i), tag, since, now);
+                    Engine::emit_stall(
+                        shared,
+                        sched,
+                        ActorId(i),
+                        tag,
+                        cause.as_deref(),
+                        since,
+                        now,
+                    );
                     woke = true;
                 }
             }

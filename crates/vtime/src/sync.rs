@@ -36,6 +36,20 @@ impl Notify {
         ctx.wait(tok, tag)
     }
 
+    /// [`Notify::wait`] with a recorded wait cause (what is being awaited;
+    /// see [`Ctx::wait_with_cause`]). `cause` is only evaluated while a
+    /// span sink is recording.
+    pub fn wait_with_cause(
+        &self,
+        ctx: &Ctx,
+        tag: &'static str,
+        cause: impl FnOnce() -> String,
+    ) -> WakeReason {
+        let tok = ctx.prepare_wait();
+        self.waiters.lock().push_back(tok);
+        ctx.wait_with_cause(tok, tag, cause)
+    }
+
     /// Like [`Notify::wait`], but also returns when the clock reaches
     /// `deadline`. The caller cannot distinguish a notification from a
     /// timeout (poll your condition either way).
@@ -48,6 +62,20 @@ impl Notify {
         let tok = ctx.prepare_wait();
         self.waiters.lock().push_back(tok);
         ctx.wait_deadline(tok, deadline, tag)
+    }
+
+    /// [`Notify::wait_deadline`] with a recorded wait cause (see
+    /// [`Ctx::wait_with_cause`]).
+    pub fn wait_deadline_with_cause(
+        &self,
+        ctx: &Ctx,
+        deadline: crate::time::SimTime,
+        tag: &'static str,
+        cause: impl FnOnce() -> String,
+    ) -> WakeReason {
+        let tok = ctx.prepare_wait();
+        self.waiters.lock().push_back(tok);
+        ctx.wait_deadline_with_cause(tok, deadline, tag, cause)
     }
 
     /// Wake the longest-waiting actor. Returns `true` if one was woken.
@@ -116,6 +144,27 @@ impl Latch {
             tok
         };
         ctx.wait(tok, tag)
+    }
+
+    /// [`Latch::wait`] with a recorded wait cause (see
+    /// [`Ctx::wait_with_cause`]). `cause` is only evaluated if the actor
+    /// actually suspends and a span sink is recording.
+    pub fn wait_with_cause(
+        &self,
+        ctx: &Ctx,
+        tag: &'static str,
+        cause: impl FnOnce() -> String,
+    ) -> WakeReason {
+        let tok = {
+            let mut st = self.state.lock();
+            if st.open {
+                return WakeReason::Signaled;
+            }
+            let tok = ctx.prepare_wait();
+            st.waiters.push(tok);
+            tok
+        };
+        ctx.wait_with_cause(tok, tag, cause)
     }
 
     /// Open the latch and wake all waiters. Idempotent.
