@@ -53,4 +53,10 @@ else
     echo "perf gate: skipped (no committed baselines/speed.json; run ./ci.sh --rebaseline)"
 fi
 
+echo "==> chaos smoke: fixed-seed fault injection"
+# A seeded faulted exchange must complete bit-correct with retries > 0,
+# and a device-loss run must finish via the §3.2 remap. The binary
+# panics (nonzero exit) on any violation.
+cargo run --release -q -p impacc-bench --bin bench_chaos -- --smoke
+
 echo "ci: all green"

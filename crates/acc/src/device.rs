@@ -123,6 +123,17 @@ impl Device {
         &self.inner.res
     }
 
+    /// Has the active fault plan marked this device as failed? The §3.2
+    /// task–device mapper must not assign work here; kernel launches on a
+    /// failed device panic (a real driver would return an error on every
+    /// call).
+    pub fn is_failed(&self) -> bool {
+        self.inner
+            .res
+            .chaos
+            .device_failed(self.inner.node, self.inner.idx)
+    }
+
     /// Allocate `len` bytes of device memory. CUDA devices return the raw
     /// device address (UVA-style); OpenCL devices additionally reserve a
     /// host shadow range and return a handle+mapped pointer (§3.4).
@@ -181,19 +192,26 @@ impl Device {
     ) {
         let d = &self.inner;
         ctx.advance(d.res.acc_copy_overhead(d.spec.kind), tags::OVERHEAD);
-        let end = d
-            .res
-            .reserve_hd_copy(d.node, d.idx, dir, far, pinned, bytes, ctx.now());
+        // Transient DMA faults re-reserve the link per attempt; only the
+        // final attempt commits bytes (impacc-mem owns that invariant).
+        let end = impacc_mem::reserve_hd_with_faults(
+            ctx,
+            &d.res,
+            d.node,
+            d.idx,
+            dir,
+            far,
+            pinned,
+            bytes,
+            ctx.now(),
+        );
         let (tag, tkey) = match dir {
             HdDir::HtoD => (tags::HTOD, "t_HtoD"),
             HdDir::DtoH => (tags::DTOH, "t_DtoH"),
         };
         let issue = ctx.now();
         ctx.advance_until(end, tag);
-        match dir {
-            HdDir::HtoD => Backing::copy(host.0, host.1, dev.0, dev.1, bytes),
-            HdDir::DtoH => Backing::copy(dev.0, dev.1, host.0, host.1, bytes),
-        }
+        impacc_mem::commit_copy(dir, host, dev, bytes);
         ctx.metrics().add(tag, bytes);
         ctx.metrics().add(tkey, end.since(issue).0);
         ctx.span(tag, issue, end, || {
@@ -283,6 +301,12 @@ impl Device {
         f: impl FnOnce(),
     ) {
         let d = &self.inner;
+        assert!(
+            !self.is_failed(),
+            "kernel launched on failed device n{}.d{}: the launcher should have remapped",
+            d.node,
+            d.idx
+        );
         ctx.advance(d.res.launch_overhead(d.spec.kind), tags::OVERHEAD);
         let dur = d.res.kernel_dur_cfg(d.node, d.idx, cost, cfg);
         let issue = ctx.now();

@@ -14,6 +14,7 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
+use impacc_machine::{Chaos, FaultSite};
 use impacc_vtime::{Ctx, Latch, Notify, SimTime, WakeReason};
 use parking_lot::Mutex;
 
@@ -34,6 +35,8 @@ struct QInner {
     work: Notify,
     /// Opens briefly... not stored: idle tracking is via `pending`.
     pending: Mutex<usize>,
+    /// Fault injection: queue-abort rolls before each op executes.
+    chaos: Chaos,
 }
 
 /// An in-order asynchronous operation stream served by a daemon actor.
@@ -46,13 +49,23 @@ pub struct ActivityQueue {
 
 impl ActivityQueue {
     /// Create a queue and spawn its daemon service actor. `name` is used
-    /// for the actor (diagnostics and accounting).
+    /// for the actor (diagnostics and accounting). Fault injection is
+    /// disabled; the runtime uses [`ActivityQueue::spawn_with_chaos`].
     pub fn spawn(ctx: &Ctx, name: String) -> ActivityQueue {
+        ActivityQueue::spawn_with_chaos(ctx, name, Chaos::disabled())
+    }
+
+    /// Like [`ActivityQueue::spawn`] with a fault-injection handle: each
+    /// op rolls [`FaultSite::QueueAbort`] before executing; a fired abort
+    /// flushes the op's launch and replays it after a fixed penalty, so
+    /// data effects are unchanged and only timing moves.
+    pub fn spawn_with_chaos(ctx: &Ctx, name: String, chaos: Chaos) -> ActivityQueue {
         let inner = Arc::new(QInner {
             name: name.clone(),
             ops: Mutex::new(VecDeque::new()),
             work: Notify::new(),
             pending: Mutex::new(0),
+            chaos,
         });
         let q = ActivityQueue {
             inner: inner.clone(),
@@ -74,6 +87,26 @@ impl ActivityQueue {
                         qctx.edge_to_self("enq", enq_by, op.enq_at, started, || {
                             vec![("op", op.label.to_string())]
                         });
+                    }
+                    // Injected queue abort (impacc-chaos): the op's launch
+                    // is flushed and replayed after a penalty. The replay
+                    // runs to completion, so data effects are unchanged.
+                    if inner.chaos.roll(FaultSite::QueueAbort, started) {
+                        let p = inner
+                            .chaos
+                            .plan()
+                            .expect("fault implies plan")
+                            .abort_penalty;
+                        qctx.metrics().inc("retries");
+                        qctx.metrics().inc("chaos_queue_abort");
+                        let t0 = qctx.now();
+                        qctx.span("fault", t0, t0 + p, || {
+                            vec![
+                                ("site", "queue_abort".to_string()),
+                                ("op", op.label.to_string()),
+                            ]
+                        });
+                        qctx.advance(p, "queue_abort");
                     }
                     (op.exec)(qctx);
                     op.done.open(qctx);
@@ -282,6 +315,29 @@ mod tests {
             // Host exits with the queue idle; daemon must shut down.
         });
         sim.run().unwrap();
+    }
+
+    #[test]
+    fn queue_abort_replays_with_penalty() {
+        use impacc_machine::FaultPlan;
+        let mut sim = Sim::new();
+        sim.spawn("host", move |ctx| {
+            let chaos = Chaos::new(FaultPlan::new(1).with_rate(FaultSite::QueueAbort, 1.0));
+            let p = chaos.plan().unwrap().abort_penalty;
+            let q = ActivityQueue::spawn_with_chaos(ctx, "q".into(), chaos);
+            let hit = Arc::new(StdMutex::new(0u32));
+            let h = hit.clone();
+            let l = q.enqueue(ctx, "op", move |qctx| {
+                qctx.advance(SimDur::from_us(10), "w");
+                *h.lock().unwrap() += 1;
+            });
+            l.wait(ctx, "wait");
+            assert_eq!(ctx.now(), SimTime::ZERO + p + SimDur::from_us(10));
+            assert_eq!(*hit.lock().unwrap(), 1, "the replayed op runs exactly once");
+        });
+        let report = sim.run().unwrap();
+        assert_eq!(report.metrics["chaos_queue_abort"], 1);
+        assert_eq!(report.metrics["retries"], 1);
     }
 
     #[test]

@@ -7,7 +7,9 @@ fn main() {
         let mut out = impacc_bench::fig12::run();
         if prof {
             out.push('\n');
-            out.push_str(&impacc_bench::prof::profile_figure("fig12", None));
+            out.push_str(
+                &impacc_bench::prof::profile_figure("fig12", None, false).expect("known workload"),
+            );
         }
         out
     });

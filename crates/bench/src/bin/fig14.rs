@@ -9,7 +9,9 @@ fn main() {
         let mut out = impacc_bench::fig13::run_fig14_traced(trace.as_deref());
         if prof {
             out.push('\n');
-            out.push_str(&impacc_bench::prof::profile_figure("fig14", None));
+            out.push_str(
+                &impacc_bench::prof::profile_figure("fig14", None, false).expect("known workload"),
+            );
         }
         out
     });

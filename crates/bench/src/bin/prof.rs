@@ -2,19 +2,31 @@
 //! span/edge recorder attached, prints the blame/wait-state/what-if
 //! report, and writes `PROF_<name>.json`.
 //!
-//! Usage: `prof [fig5|fig12|fig14] [--trace out.json]`
+//! Usage: `prof [fig5|fig12|fig14] [--trace out.json] [--slack]`
 //!
 //! `--trace` also writes a Chrome trace with the critical path rendered
 //! as a dedicated track (pid 0) plus flow arrows over the cross-actor
 //! hops; open via ui.perfetto.dev.
+//!
+//! `--slack` prints the ranked off-path slack view instead of the full
+//! blame report: the top segments by how much they could grow before
+//! joining the critical path (second-order optimization targets).
+//!
+//! An unknown workload name is a readable error and a nonzero exit, so
+//! scripts piping this binary fail loudly instead of shipping an empty
+//! profile.
 fn main() {
     let name = std::env::args()
         .skip(1)
         .find(|a| !a.starts_with("--"))
         .unwrap_or_else(|| "fig14".to_string());
     let trace = impacc_bench::util::trace_arg();
-    print!(
-        "{}",
-        impacc_bench::prof::profile_figure(&name, trace.as_deref())
-    );
+    let slack = std::env::args().skip(1).any(|a| a == "--slack");
+    match impacc_bench::prof::profile_figure(&name, trace.as_deref(), slack) {
+        Ok(out) => print!("{out}"),
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(1);
+        }
+    }
 }

@@ -11,6 +11,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod chaos;
 pub mod fig10;
 pub mod fig12;
 pub mod fig13;

@@ -117,19 +117,54 @@ pub fn record_fig14() -> Recorder {
     rec
 }
 
-/// Profile the named figure workload; returns the text report section.
-/// `trace` optionally writes a critical-path-highlighted Chrome trace.
-pub fn profile_figure(name: &str, trace: Option<&str>) -> String {
+/// Render the ranked slack view of a report (the `prof --slack` output):
+/// top off-path segments by how much they could grow before joining the
+/// critical path.
+pub fn render_slack(name: &str, r: &Report) -> String {
+    let us = |ps: u64| ps as f64 / 1e6;
+    let mut out = format!(
+        "slack: {name} — top {} off-path segments by grow-room before joining \
+         the critical path\n",
+        r.slack.len()
+    );
+    if r.slack.is_empty() {
+        out.push_str("  (none: every work segment sits on the critical path)\n");
+    }
+    for s in &r.slack {
+        out.push_str(&format!(
+            "  [{:>12.3} .. {:>12.3}] us  {:<12} on {:<16} slack {:>12.3} us\n",
+            us(s.t0.0),
+            us(s.t1.0),
+            s.kind,
+            s.actor,
+            us(s.slack_ps)
+        ));
+    }
+    out
+}
+
+/// Profile the named figure workload; returns the text report section, or
+/// a readable error for an unknown workload name (callers exit nonzero).
+/// `trace` optionally writes a critical-path-highlighted Chrome trace;
+/// `slack` selects the ranked off-path slack view instead of the full
+/// blame report.
+pub fn profile_figure(name: &str, trace: Option<&str>, slack: bool) -> Result<String, String> {
     let rec = match name {
         "fig5" => record_fig5(),
         "fig12" => record_fig12(),
         "fig14" => record_fig14(),
         other => {
-            return format!("unknown profile workload {other:?}; available: fig5, fig12, fig14\n")
+            return Err(format!(
+                "unknown profile workload {other:?}; available: fig5, fig12, fig14"
+            ))
         }
     };
-    let (out, _) = report_and_persist(name, &rec, trace);
-    out
+    let (out, report) = report_and_persist(name, &rec, trace);
+    Ok(if slack {
+        render_slack(name, &report)
+    } else {
+        out
+    })
 }
 
 #[cfg(test)]

@@ -1,0 +1,53 @@
+//! Fault-injection determinism: the same fault seed and workload must
+//! produce identical virtual-time observables across reruns *and* across
+//! the scheduler's baton-handoff elision fast path. Chaos rolls are a pure
+//! function of per-site counters, never of wall-clock, recording state, or
+//! scheduling strategy — this is the tier-1 guard on that claim.
+
+use impacc_bench::chaos::{internode_spec, run_exchange, SWEEP_SEED};
+use impacc_core::RunSummary;
+use impacc_machine::FaultPlan;
+use impacc_obs::{Recorder, Span};
+
+fn faulted_run(elide: bool) -> (RunSummary, Vec<Span>, Vec<impacc_obs::Edge>) {
+    let rec = Recorder::new();
+    let plan = FaultPlan::new(SWEEP_SEED).with_uniform_rate(0.1);
+    let s = run_exchange(internode_spec(), Some(plan), 3, elide, Some(&rec));
+    (s, rec.spans(), rec.edges())
+}
+
+#[test]
+fn faulted_run_is_bit_identical_across_reruns_and_elision() {
+    let (on, spans_on, edges_on) = faulted_run(true);
+    let (off, spans_off, edges_off) = faulted_run(false);
+    let (again, spans_again, _) = faulted_run(true);
+
+    // The injection actually fired — this is a faulted run, not a no-op.
+    let retries = on.report.metrics.get("retries").copied().unwrap_or(0);
+    assert!(retries > 0, "seeded 10% plan must cause retries");
+
+    // Rerun with identical configuration: bit-identical.
+    assert_eq!(on.report.end_time, again.report.end_time, "rerun end time");
+    assert_eq!(on.report.metrics, again.report.metrics, "rerun metrics");
+    assert_eq!(spans_on, spans_again, "rerun span stream");
+
+    // Elision on vs off: the fast path must not perturb fault rolls.
+    assert_eq!(
+        off.report.handoffs_elided, 0,
+        "forced-off run must not elide"
+    );
+    assert_eq!(on.report.end_time, off.report.end_time, "virtual end time");
+    assert_eq!(on.report.events, off.report.events, "dispatch count");
+    assert_eq!(on.report.metrics, off.report.metrics, "engine metrics");
+    assert_eq!(on.report.actors, off.report.actors, "per-actor breakdown");
+    assert_eq!(spans_on, spans_off, "span streams must match exactly");
+
+    // The derived profile — fault/retry spans included — is byte-identical.
+    let prof_on = impacc_prof::analyze(&spans_on, &edges_on).to_json("chaos");
+    let prof_off = impacc_prof::analyze(&spans_off, &edges_off).to_json("chaos");
+    assert_eq!(prof_on, prof_off, "PROF json must not depend on elision");
+    assert!(
+        prof_on.contains("\"fault\"") || retries == 0,
+        "fault spans must reach the recorded trace"
+    );
+}

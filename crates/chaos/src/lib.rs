@@ -1,0 +1,421 @@
+//! Deterministic fault injection (`impacc-chaos`).
+//!
+//! A [`FaultPlan`] is a declarative fault schedule: a seed, per-site
+//! probabilities, and optional explicit `(vtime, site)` triggers. The
+//! runtime layers consult a shared [`Chaos`] handle at fixed *injection
+//! sites* — the internode network path in the MPI engine, the per-node
+//! message handler, the unified activity queues, and host↔device copies —
+//! and the handle answers "does a fault fire here?" purely as a function
+//! of the seed and a per-site roll counter.
+//!
+//! # Determinism
+//!
+//! The simulation engine runs exactly one actor at a time and hands the
+//! baton over in a schedule that is a pure function of the workload, so
+//! the k-th roll at any site is the same roll in every run of the same
+//! program — independent of wall clock, recording on/off, and of the
+//! `elide_handoff` fast path (which changes *how* the baton moves, never
+//! *who runs when*). Each roll hashes `(seed, site, k)` with SplitMix64
+//! and compares against the site's rate, so a fault schedule is exactly
+//! reproducible from `(seed, workload)` and two runs with the same plan
+//! produce byte-identical traces.
+//!
+//! Faults are *transient* by design: a retried attempt may fail again,
+//! but a bounded retry budget ([`FaultPlan::max_retries`]) caps the
+//! sequence and the final allowed attempt always succeeds, so a faulted
+//! run completes with bit-correct results — slower, never wrong. The one
+//! *permanent* fault class, device loss ([`FaultPlan::fail_device`]), is
+//! absorbed at launch time by remapping the victim task onto a surviving
+//! device (§3.2 task–device mapping).
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use impacc_vtime::{SimDur, SimTime};
+
+/// An injection site: where in the runtime a fault class fires.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// Internode message lost in flight (MPI engine resends after a
+    /// timeout + exponential backoff).
+    LinkDrop,
+    /// Internode message arrives late by [`FaultPlan::link_delay_penalty`].
+    LinkDelay,
+    /// Internode message duplicated on the wire (extra NIC occupancy;
+    /// the receiver dedups, so matching semantics are unchanged).
+    LinkDup,
+    /// NIC brown-out: the receive side of a transfer is degraded and
+    /// finishes late.
+    NicBrownout,
+    /// Handler thread stalls before processing a command.
+    HandlerStall,
+    /// MPSC enqueue into the handler is delayed on the producer side.
+    EnqueueJitter,
+    /// An activity-queue operation aborts and is replayed after a flush
+    /// penalty.
+    QueueAbort,
+    /// Transient host↔device DMA fault; the copy is re-attempted and
+    /// only the final attempt commits bytes.
+    CopyFault,
+    /// Direct peer-to-peer DtoD transfer faulted; the handler falls back
+    /// to the staged DtoH+HtoD path.
+    DtodFault,
+}
+
+impl FaultSite {
+    /// All sites, in roll-counter order.
+    pub const ALL: [FaultSite; 9] = [
+        FaultSite::LinkDrop,
+        FaultSite::LinkDelay,
+        FaultSite::LinkDup,
+        FaultSite::NicBrownout,
+        FaultSite::HandlerStall,
+        FaultSite::EnqueueJitter,
+        FaultSite::QueueAbort,
+        FaultSite::CopyFault,
+        FaultSite::DtodFault,
+    ];
+
+    fn idx(self) -> usize {
+        match self {
+            FaultSite::LinkDrop => 0,
+            FaultSite::LinkDelay => 1,
+            FaultSite::LinkDup => 2,
+            FaultSite::NicBrownout => 3,
+            FaultSite::HandlerStall => 4,
+            FaultSite::EnqueueJitter => 5,
+            FaultSite::QueueAbort => 6,
+            FaultSite::CopyFault => 7,
+            FaultSite::DtodFault => 8,
+        }
+    }
+
+    /// Stable label (metric key suffix / span attribute).
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultSite::LinkDrop => "link_drop",
+            FaultSite::LinkDelay => "link_delay",
+            FaultSite::LinkDup => "link_dup",
+            FaultSite::NicBrownout => "nic_brownout",
+            FaultSite::HandlerStall => "handler_stall",
+            FaultSite::EnqueueJitter => "enqueue_jitter",
+            FaultSite::QueueAbort => "queue_abort",
+            FaultSite::CopyFault => "copy_fault",
+            FaultSite::DtodFault => "dtod_fault",
+        }
+    }
+}
+
+/// A declarative fault schedule: seed + per-site rates + explicit
+/// triggers + recovery-tuning knobs. Build with [`FaultPlan::new`] and
+/// the `with_*` setters.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    /// Seed hashed into every roll.
+    pub seed: u64,
+    /// Per-site fault probability, indexed by [`FaultSite::idx`]-order
+    /// (use [`FaultPlan::with_rate`]).
+    pub rates: [f64; 9],
+    /// Explicit one-shot triggers: the first roll of `site` at
+    /// `vtime >= at` fires regardless of its rate.
+    pub triggers: Vec<(SimTime, FaultSite)>,
+    /// Devices `(node, dev_idx)` that are down from launch; the mapper
+    /// remaps their tasks onto surviving devices.
+    pub failed_devices: Vec<(usize, usize)>,
+    /// Retry budget per operation; the final allowed attempt always
+    /// succeeds (transient-fault model).
+    pub max_retries: u32,
+    /// Time for the sender to detect a lost message (ack timeout).
+    pub timeout: SimDur,
+    /// First backoff step; attempt `k` waits `backoff_base * 2^(k-1)`.
+    pub backoff_base: SimDur,
+    /// Extra arrival latency charged by [`FaultSite::LinkDelay`].
+    pub link_delay_penalty: SimDur,
+    /// Receive-side degradation charged by [`FaultSite::NicBrownout`].
+    pub brownout_penalty: SimDur,
+    /// Stall charged by [`FaultSite::HandlerStall`] /
+    /// [`FaultSite::EnqueueJitter`].
+    pub stall_penalty: SimDur,
+    /// Flush+replay penalty charged by [`FaultSite::QueueAbort`].
+    pub abort_penalty: SimDur,
+}
+
+impl FaultPlan {
+    /// A plan with the given seed, all rates zero, and default recovery
+    /// knobs.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            rates: [0.0; 9],
+            triggers: Vec::new(),
+            failed_devices: Vec::new(),
+            max_retries: 4,
+            timeout: SimDur::from_us(50),
+            backoff_base: SimDur::from_us(20),
+            link_delay_penalty: SimDur::from_us(30),
+            brownout_penalty: SimDur::from_us(80),
+            stall_penalty: SimDur::from_us(10),
+            abort_penalty: SimDur::from_us(15),
+        }
+    }
+
+    /// Set the fault probability of one site.
+    pub fn with_rate(mut self, site: FaultSite, rate: f64) -> FaultPlan {
+        assert!((0.0..=1.0).contains(&rate), "rate must be in [0,1]");
+        self.rates[site.idx()] = rate;
+        self
+    }
+
+    /// Set one probability for every rolled site (uniform chaos level).
+    pub fn with_uniform_rate(mut self, rate: f64) -> FaultPlan {
+        assert!((0.0..=1.0).contains(&rate), "rate must be in [0,1]");
+        self.rates = [rate; 9];
+        self
+    }
+
+    /// Add an explicit one-shot trigger: the first roll of `site` at or
+    /// after `at` fires.
+    pub fn with_trigger(mut self, at: SimTime, site: FaultSite) -> FaultPlan {
+        self.triggers.push((at, site));
+        self
+    }
+
+    /// Mark device `dev_idx` on `node` as failed from launch.
+    pub fn fail_device(mut self, node: usize, dev_idx: usize) -> FaultPlan {
+        self.failed_devices.push((node, dev_idx));
+        self
+    }
+
+    /// Set the retry budget.
+    pub fn with_max_retries(mut self, n: u32) -> FaultPlan {
+        self.max_retries = n;
+        self
+    }
+}
+
+struct ChaosInner {
+    plan: FaultPlan,
+    /// Per-site roll counters; the k-th roll at a site is `hash(seed,
+    /// site, k)` so the schedule is independent of rolls at other sites.
+    counters: [AtomicU64; 9],
+    /// One-shot latches for `plan.triggers`.
+    fired: Vec<AtomicBool>,
+}
+
+/// Shared handle consulted at every injection site. Cheap to clone;
+/// [`Chaos::disabled`] (the default everywhere) is a no-op that rolls
+/// nothing and costs one branch.
+#[derive(Clone, Default)]
+pub struct Chaos {
+    inner: Option<Arc<ChaosInner>>,
+}
+
+/// SplitMix64 finalizer: avalanche a 64-bit value.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+impl Chaos {
+    /// The no-fault handle.
+    pub fn disabled() -> Chaos {
+        Chaos { inner: None }
+    }
+
+    /// A handle driving the given plan.
+    pub fn new(plan: FaultPlan) -> Chaos {
+        let fired = plan
+            .triggers
+            .iter()
+            .map(|_| AtomicBool::new(false))
+            .collect();
+        Chaos {
+            inner: Some(Arc::new(ChaosInner {
+                plan,
+                counters: Default::default(),
+                fired,
+            })),
+        }
+    }
+
+    /// Is any fault plan active?
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The active plan, if any.
+    pub fn plan(&self) -> Option<&FaultPlan> {
+        self.inner.as_ref().map(|i| &i.plan)
+    }
+
+    /// Roll the dice at `site` at virtual time `now`. Returns `true` when
+    /// a fault fires. Deterministic: the outcome depends only on the
+    /// seed, the site, and how many times this site has rolled before
+    /// (plus any pending `(vtime, site)` trigger). Call this
+    /// unconditionally on the injection path — never gate it on
+    /// trace-recording state — so the roll sequence is identical across
+    /// instrumented and bare runs.
+    pub fn roll(&self, site: FaultSite, now: SimTime) -> bool {
+        let Some(inner) = &self.inner else {
+            return false;
+        };
+        let k = inner.counters[site.idx()].fetch_add(1, Ordering::Relaxed);
+        for (ti, (at, tsite)) in inner.plan.triggers.iter().enumerate() {
+            if *tsite == site && now >= *at && !inner.fired[ti].swap(true, Ordering::Relaxed) {
+                return true;
+            }
+        }
+        let rate = inner.plan.rates[site.idx()];
+        if rate <= 0.0 {
+            return false;
+        }
+        if rate >= 1.0 {
+            return true;
+        }
+        let h = splitmix64(
+            inner
+                .plan
+                .seed
+                .wrapping_add((site.idx() as u64 + 1).wrapping_mul(0xa076_1d64_78bd_642f))
+                .wrapping_add(k.wrapping_mul(0xe703_7ed1_a0b4_28db)),
+        );
+        // Map the hash onto [0,1) with 53 bits of precision.
+        let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+        u < rate
+    }
+
+    /// How many extra attempts a transient-faultable operation needs at
+    /// `site`: rolls until a roll comes up clean or the retry budget is
+    /// exhausted. `0` means the first attempt succeeds.
+    pub fn extra_attempts(&self, site: FaultSite, now: SimTime) -> u32 {
+        let Some(plan) = self.plan() else { return 0 };
+        let mut extra = 0;
+        while extra < plan.max_retries && self.roll(site, now) {
+            extra += 1;
+        }
+        extra
+    }
+
+    /// Is device `dev_idx` on `node` failed from launch?
+    pub fn device_failed(&self, node: usize, dev_idx: usize) -> bool {
+        self.plan()
+            .map(|p| p.failed_devices.contains(&(node, dev_idx)))
+            .unwrap_or(false)
+    }
+
+    /// Backoff before resend attempt `attempt` (1-based):
+    /// `backoff_base * 2^(attempt-1)`, capped at 2^10 steps.
+    pub fn backoff(&self, attempt: u32) -> SimDur {
+        let base = self.plan().map(|p| p.backoff_base).unwrap_or(SimDur::ZERO);
+        SimDur(
+            base.0
+                .saturating_mul(1u64 << attempt.saturating_sub(1).min(10)),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_never_fires() {
+        let c = Chaos::disabled();
+        for _ in 0..100 {
+            assert!(!c.roll(FaultSite::LinkDrop, SimTime(0)));
+        }
+        assert!(!c.enabled());
+        assert_eq!(c.extra_attempts(FaultSite::CopyFault, SimTime(0)), 0);
+    }
+
+    #[test]
+    fn rate_zero_and_one() {
+        let c = Chaos::new(FaultPlan::new(7).with_rate(FaultSite::LinkDrop, 1.0));
+        assert!(c.roll(FaultSite::LinkDrop, SimTime(0)));
+        assert!(!c.roll(FaultSite::LinkDelay, SimTime(0)));
+    }
+
+    #[test]
+    fn roll_sequence_is_deterministic() {
+        let mk = || Chaos::new(FaultPlan::new(42).with_uniform_rate(0.3));
+        let a = mk();
+        let b = mk();
+        for i in 0..1000 {
+            let site = FaultSite::ALL[i % FaultSite::ALL.len()];
+            assert_eq!(
+                a.roll(site, SimTime(i as u64)),
+                b.roll(site, SimTime(i as u64))
+            );
+        }
+    }
+
+    #[test]
+    fn sites_roll_independently() {
+        // Interleaving rolls at another site must not perturb a site's
+        // own sequence (per-site counters, not one global stream).
+        let a = Chaos::new(FaultPlan::new(9).with_uniform_rate(0.5));
+        let b = Chaos::new(FaultPlan::new(9).with_uniform_rate(0.5));
+        let mut seq_a = Vec::new();
+        for i in 0..200 {
+            seq_a.push(a.roll(FaultSite::CopyFault, SimTime(i)));
+        }
+        let mut seq_b = Vec::new();
+        for i in 0..200 {
+            // Extra rolls at a different site in between.
+            b.roll(FaultSite::LinkDrop, SimTime(i));
+            seq_b.push(b.roll(FaultSite::CopyFault, SimTime(i)));
+        }
+        assert_eq!(seq_a, seq_b);
+    }
+
+    #[test]
+    fn rate_is_roughly_honored() {
+        let c = Chaos::new(FaultPlan::new(1234).with_rate(FaultSite::LinkDrop, 0.2));
+        let fired = (0..10_000)
+            .filter(|i| c.roll(FaultSite::LinkDrop, SimTime(*i)))
+            .count();
+        assert!((1600..2400).contains(&fired), "got {fired} of 10000");
+    }
+
+    #[test]
+    fn trigger_fires_once_at_vtime() {
+        let c = Chaos::new(FaultPlan::new(0).with_trigger(SimTime(100), FaultSite::QueueAbort));
+        assert!(!c.roll(FaultSite::QueueAbort, SimTime(50)));
+        assert!(c.roll(FaultSite::QueueAbort, SimTime(150)));
+        assert!(!c.roll(FaultSite::QueueAbort, SimTime(200)), "one-shot");
+        // Other sites unaffected.
+        assert!(!c.roll(FaultSite::LinkDrop, SimTime(300)));
+    }
+
+    #[test]
+    fn extra_attempts_bounded_by_budget() {
+        let c = Chaos::new(
+            FaultPlan::new(3)
+                .with_rate(FaultSite::CopyFault, 1.0)
+                .with_max_retries(3),
+        );
+        assert_eq!(c.extra_attempts(FaultSite::CopyFault, SimTime(0)), 3);
+    }
+
+    #[test]
+    fn device_failed_lookup() {
+        let c = Chaos::new(FaultPlan::new(0).fail_device(1, 0));
+        assert!(c.device_failed(1, 0));
+        assert!(!c.device_failed(0, 0));
+        assert!(!Chaos::disabled().device_failed(1, 0));
+    }
+
+    #[test]
+    fn backoff_doubles() {
+        let c = Chaos::new(FaultPlan::new(0));
+        let b1 = c.backoff(1);
+        let b2 = c.backoff(2);
+        let b3 = c.backoff(3);
+        assert_eq!(b2.0, b1.0 * 2);
+        assert_eq!(b3.0, b1.0 * 4);
+    }
+}

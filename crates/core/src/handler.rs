@@ -20,7 +20,7 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 use impacc_acc::{tags, Device};
-use impacc_machine::{ClusterResources, HdDir};
+use impacc_machine::{ClusterResources, FaultSite, HdDir};
 use impacc_mem::{AddressSpace, Backing, NodeHeap};
 use impacc_mpi::{BufLoc, Status};
 use impacc_vtime::{Ctx, Notify, SimDur, SimTime, WakeReason};
@@ -73,6 +73,7 @@ impl NodeHandler {
     /// command-creation overhead to the caller.
     pub fn submit(&self, ctx: &Ctx, mut cmd: MsgCmd) {
         ctx.advance(self.res.handler_cmd_overhead(), impacc_mpi::tags::MPI_CALL);
+        self.enqueue_jitter(ctx);
         cmd.submitted_by = ctx.sink_enabled().then(|| (ctx.name(), ctx.now()));
         self.intra.push(cmd);
         self.work.notify_one(ctx);
@@ -81,9 +82,29 @@ impl NodeHandler {
     /// Submit a pending internode receive (task-thread side).
     pub fn submit_pending(&self, ctx: &Ctx, p: PendingRecv) {
         ctx.advance(self.res.handler_cmd_overhead(), impacc_mpi::tags::MPI_CALL);
+        self.enqueue_jitter(ctx);
         p.req.subscribe(&self.work);
         self.pending.push(p);
         self.work.notify_one(ctx);
+    }
+
+    /// Injected MPSC enqueue jitter: a scheduling hiccup between building a
+    /// command and it landing on the handler queue, charged to the caller.
+    fn enqueue_jitter(&self, ctx: &Ctx) {
+        if self.res.chaos.roll(FaultSite::EnqueueJitter, ctx.now()) {
+            let p = self
+                .res
+                .chaos
+                .plan()
+                .expect("fault implies plan")
+                .stall_penalty;
+            ctx.metrics().inc("chaos_enqueue_jitter");
+            let t0 = ctx.now();
+            ctx.span("fault", t0, t0 + p, || {
+                vec![("site", "enqueue_jitter".to_string())]
+            });
+            ctx.advance(p, impacc_mpi::tags::MPI_CALL);
+        }
     }
 
     /// The handler daemon body. Spawn with
@@ -107,6 +128,22 @@ impl NodeHandler {
                 }
                 // Dequeue + scheduling cost of one message command.
                 ctx.advance(self.res.handler_cmd_overhead(), "handler");
+                if self.res.chaos.roll(FaultSite::HandlerStall, ctx.now()) {
+                    // The handler thread loses its core for a scheduling
+                    // quantum; every queued command behind this one waits.
+                    let p = self
+                        .res
+                        .chaos
+                        .plan()
+                        .expect("fault implies plan")
+                        .stall_penalty;
+                    ctx.metrics().inc("chaos_handler_stall");
+                    let s0 = ctx.now();
+                    ctx.span("fault", s0, s0 + p, || {
+                        vec![("site", "handler_stall".to_string())]
+                    });
+                    ctx.advance(p, "handler");
+                }
                 self.process(ctx, cmd, &mut unmatched_send, &mut unmatched_recv);
                 ctx.span("handler_cmd", t0, ctx.now(), || {
                     vec![("kind", kind.to_string())]
@@ -290,7 +327,9 @@ impl NodeHandler {
                         vec![("bytes", len.to_string()), ("fused", "true".to_string())]
                     });
                     end
-                } else if self.res.spec.nodes[self.node].p2p_dtod {
+                } else if self.res.spec.nodes[self.node].p2p_dtod
+                    && !self.dtod_faulted(ctx, sd, rd, len)
+                {
                     // Direct peer copy over the shared PCIe root complex
                     // (GPUDirect / DirectGMA): no CPU, no system memory.
                     let kind = self.devices[sd].spec().kind;
@@ -370,6 +409,26 @@ impl NodeHandler {
         recv.done.complete(ctx, complete);
     }
 
+    /// Roll the direct-DtoD fault site for a peer copy; on a fault the
+    /// caller falls back to the staged (DtoH + HtoD) path, which does not
+    /// depend on the faulted peer link.
+    fn dtod_faulted(&self, ctx: &Ctx, sd: usize, rd: usize, len: u64) -> bool {
+        let now = ctx.now();
+        if !self.res.chaos.roll(FaultSite::DtodFault, now) {
+            return false;
+        }
+        ctx.metrics().inc("chaos_dtod_fault");
+        ctx.span("fault", now, now, || {
+            vec![
+                ("site", "dtod_fault".to_string()),
+                ("pair", format!("d{sd}->d{rd}")),
+                ("bytes", len.to_string()),
+                ("fallback", "staged".to_string()),
+            ]
+        });
+        true
+    }
+
     /// Issue an asynchronous host<->device copy: reserve the PCIe link
     /// (behind the driver-call latency), move the bytes, return the
     /// completion instant. `src`/`dst` are in copy direction.
@@ -386,8 +445,12 @@ impl NodeHandler {
     ) -> SimTime {
         let kind = self.devices[dev].spec().kind;
         // Handler-issued copies stream through the runtime's pre-pinned
-        // staging pool, so they run at full PCIe rate.
-        let end = self.res.reserve_hd_copy(
+        // staging pool, so they run at full PCIe rate. The reservation is
+        // chaos-aware: transient DMA faults re-reserve the link, and the
+        // bytes land only at the final attempt's completion instant.
+        let end = impacc_mem::reserve_hd_with_faults(
+            ctx,
+            &self.res,
             self.node,
             dev,
             dir,

@@ -15,7 +15,9 @@
 use std::sync::Arc;
 
 use impacc_acc::Device;
-use impacc_machine::{ClusterResources, DeviceKind, DeviceSpec, DeviceTypeMask, MachineSpec};
+use impacc_machine::{
+    Chaos, ClusterResources, DeviceKind, DeviceSpec, DeviceTypeMask, FaultPlan, MachineSpec,
+};
 use impacc_mem::{AddressSpace, NodeHeap};
 use impacc_mpi::{Comm, MpiTask, SysMpi};
 use impacc_obs::Recorder;
@@ -112,6 +114,7 @@ pub struct Launch {
     trace_capacity: usize,
     elide_handoff: bool,
     sink: Option<Arc<dyn SpanSink>>,
+    chaos: Chaos,
 }
 
 impl Launch {
@@ -128,7 +131,16 @@ impl Launch {
             trace_capacity: 0,
             elide_handoff: true,
             sink: None,
+            chaos: Chaos::disabled(),
         }
+    }
+
+    /// Install a deterministic fault-injection plan (`impacc-chaos`) for
+    /// this run. The plan is consulted by every runtime layer; devices
+    /// listed as failed are remapped away from at launch (§3.2).
+    pub fn chaos(mut self, plan: FaultPlan) -> Launch {
+        self.chaos = Chaos::new(plan);
+        self
     }
 
     /// Set the `IMPACC_ACC_DEVICE_TYPE` filter.
@@ -249,9 +261,54 @@ impl Launch {
         if let Err(e) = impacc_machine::validate(&self.spec) {
             panic!("refusing to launch on an invalid machine: {e}");
         }
-        let (spec, tasks) = Launch::plan(&self.spec, self.mask, self.options.numa_pinning);
+        let (spec, mut tasks) = Launch::plan(&self.spec, self.mask, self.options.numa_pinning);
         let impacc = self.options.is_impacc();
-        let res = Arc::new(ClusterResources::new(Arc::new(spec)));
+        let res = Arc::new(ClusterResources::with_chaos(
+            Arc::new(spec),
+            self.chaos.clone(),
+        ));
+
+        // Graceful degradation (§3.2): a task mapped onto a device the
+        // fault plan declares failed is remapped onto a surviving device
+        // on the same node, round-robin over the node's healthy devices.
+        let mut remapped: Vec<bool> = vec![false; tasks.len()];
+        if self.chaos.enabled() {
+            let survivors: Vec<Vec<usize>> = (0..res.spec.node_count())
+                .map(|n| {
+                    let mut v: Vec<usize> = tasks
+                        .iter()
+                        .filter(|t| t.node == n && !self.chaos.device_failed(n, t.dev_idx))
+                        .map(|t| t.dev_idx)
+                        .collect();
+                    v.sort_unstable();
+                    v.dedup();
+                    v
+                })
+                .collect();
+            let mut rr = vec![0usize; res.spec.node_count()];
+            for (i, t) in tasks.iter_mut().enumerate() {
+                if !self.chaos.device_failed(t.node, t.dev_idx) {
+                    continue;
+                }
+                let pool = &survivors[t.node];
+                assert!(
+                    !pool.is_empty(),
+                    "device n{}.d{} failed and node {} has no surviving device \
+                     to remap rank {} onto",
+                    t.node,
+                    t.dev_idx,
+                    t.node,
+                    t.rank
+                );
+                let d = pool[rr[t.node] % pool.len()];
+                rr[t.node] += 1;
+                t.dev_idx = d;
+                t.kind = res.spec.nodes[t.node].devices[d].kind;
+                t.far = t.socket != res.spec.nodes[t.node].devices[d].socket;
+                remapped[i] = true;
+            }
+        }
+
         let node_of: Arc<Vec<usize>> = Arc::new(tasks.iter().map(|t| t.node).collect());
         let sysmpi = SysMpi::new(res.clone(), node_of.as_ref().clone());
         let world = Comm::world(tasks.len() as u32);
@@ -321,7 +378,8 @@ impl Launch {
         }
 
         let app = Arc::new(app);
-        for t in &tasks {
+        for (i, t) in tasks.iter().enumerate() {
+            let was_remapped = remapped[i];
             let (space, heap, devices, handler) = if impacc {
                 (
                     node_space[t.node].clone().expect("built above"),
@@ -371,6 +429,16 @@ impl Launch {
                         ("far", far.to_string()),
                     ]
                 });
+                if was_remapped {
+                    ctx.metrics().inc("device_remaps");
+                    ctx.event("marker", || {
+                        vec![
+                            ("phase", "remap".to_string()),
+                            ("node", node.to_string()),
+                            ("device", dev_idx.to_string()),
+                        ]
+                    });
+                }
                 let tc = TaskCtx::from_seed(ctx.clone(), seed);
                 app(&tc);
             });
@@ -458,5 +526,31 @@ mod tests {
     fn empty_mapping_is_an_error() {
         let m = presets::beacon(1);
         let _ = Launch::plan(&m, DeviceTypeMask::NVIDIA, true);
+    }
+
+    #[test]
+    fn device_loss_remaps_onto_survivor() {
+        let mut spec = presets::psg();
+        spec.nodes[0].devices.truncate(2);
+        let s = Launch::new(spec, RuntimeOptions::impacc())
+            .chaos(FaultPlan::new(7).fail_device(0, 0))
+            .run(|tc| {
+                tc.mpi_barrier();
+            })
+            .unwrap();
+        assert_eq!(s.tasks[0].dev_idx, 1, "rank 0 moved onto the survivor");
+        assert_eq!(s.tasks[1].dev_idx, 1, "rank 1 kept its healthy device");
+        let remaps = s.report.metrics.get("device_remaps").copied().unwrap_or(0);
+        assert_eq!(remaps, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no surviving device")]
+    fn total_device_loss_is_an_error() {
+        let mut spec = presets::psg();
+        spec.nodes[0].devices.truncate(1);
+        let _ = Launch::new(spec, RuntimeOptions::impacc())
+            .chaos(FaultPlan::new(7).fail_device(0, 0))
+            .run(|_tc| {});
     }
 }

@@ -744,7 +744,11 @@ impl TaskCtx {
         let mut map = self.queues.lock();
         map.entry(q)
             .or_insert_with(|| {
-                ActivityQueue::spawn(&self.ctx, format!("q{}.rank{}", q, self.comm.rank))
+                ActivityQueue::spawn_with_chaos(
+                    &self.ctx,
+                    format!("q{}.rank{}", q, self.comm.rank),
+                    self.comm.res.chaos.clone(),
+                )
             })
             .clone()
     }

@@ -1,0 +1,167 @@
+//! Property tests for the handler's lock-free MPSC queues under injected
+//! scheduling chaos.
+//!
+//! The chaos subsystem injects *enqueue jitter* (a producer loses its core
+//! between building a command and linking it into the queue) and *handler
+//! stalls* (the single consumer stops draining for a while). These
+//! properties drive the Vyukov queue with real threads whose yield points
+//! are drawn from a deterministic proptest strategy, and check the two
+//! invariants the runtime depends on:
+//!
+//! 1. **Nothing is lost** — every pushed value is popped exactly once.
+//! 2. **Per-producer FIFO** — a producer's values arrive in push order
+//!    (MPI's non-overtaking rule through the handler).
+
+use std::sync::Arc;
+
+use impacc_core::MpscQueue;
+use proptest::prelude::*;
+
+/// One producer's schedule: how many items to push and a jitter bitmask
+/// deciding after which pushes the thread yields (injected enqueue jitter).
+#[derive(Clone, Debug)]
+struct ProducerPlan {
+    items: usize,
+    jitter: u64,
+}
+
+fn producer_plan() -> impl Strategy<Value = ProducerPlan> {
+    (1usize..400, any::<u64>()).prop_map(|(items, jitter)| ProducerPlan { items, jitter })
+}
+
+/// Run `plans.len()` real producer threads against one consumer. The
+/// consumer stalls (yields `stall_len` times) whenever the low bits of
+/// `stall_mask` say so, modelling an injected handler stall. Returns the
+/// popped `(producer, seq)` pairs in arrival order.
+fn drive(plans: &[ProducerPlan], stall_mask: u64, stall_len: usize) -> Vec<(usize, usize)> {
+    let q = Arc::new(MpscQueue::new());
+    let total: usize = plans.iter().map(|p| p.items).sum();
+    let mut handles = Vec::new();
+    for (p, plan) in plans.iter().enumerate() {
+        let q = q.clone();
+        let plan = plan.clone();
+        handles.push(std::thread::spawn(move || {
+            for i in 0..plan.items {
+                q.push((p, i));
+                if plan.jitter >> (i % 64) & 1 == 1 {
+                    std::thread::yield_now();
+                }
+            }
+        }));
+    }
+    let mut got = Vec::with_capacity(total);
+    let mut polls = 0u64;
+    while got.len() < total {
+        if stall_mask >> (polls % 64) & 1 == 1 {
+            for _ in 0..stall_len {
+                std::thread::yield_now();
+            }
+        }
+        polls += 1;
+        if let Some(pair) = q.pop() {
+            got.push(pair);
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert!(q.is_empty(), "drained queue reports non-empty");
+    assert_eq!(q.pop(), None);
+    got
+}
+
+fn check_fifo_and_complete(plans: &[ProducerPlan], got: &[(usize, usize)]) {
+    let total: usize = plans.iter().map(|p| p.items).sum();
+    assert_eq!(got.len(), total, "lost or duplicated items");
+    let mut next = vec![0usize; plans.len()];
+    for &(p, i) in got {
+        assert_eq!(i, next[p], "producer {p} out of order");
+        next[p] += 1;
+    }
+    for (p, plan) in plans.iter().enumerate() {
+        assert_eq!(next[p], plan.items, "producer {p} items missing");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A single queue under jittered producers and a stalling consumer
+    /// loses nothing and preserves per-producer FIFO.
+    #[test]
+    fn queue_survives_jitter_and_stalls(
+        plans in prop::collection::vec(producer_plan(), 1..5),
+        stall_mask in any::<u64>(),
+        stall_len in 1usize..64,
+    ) {
+        let got = drive(&plans, stall_mask, stall_len);
+        check_fifo_and_complete(&plans, &got);
+    }
+
+    /// The handler owns *two* queues (intra + pending) drained from one
+    /// thread, exactly like `NodeHandler::run`. Interleaved drains of both
+    /// must preserve each queue's per-producer FIFO independently.
+    #[test]
+    fn paired_queues_drain_independently(
+        items_a in 1usize..300,
+        items_b in 1usize..300,
+        jitter in any::<u64>(),
+        drain_mask in any::<u64>(),
+    ) {
+        let qa = Arc::new(MpscQueue::new());
+        let qb = Arc::new(MpscQueue::new());
+        let ha = {
+            let qa = qa.clone();
+            std::thread::spawn(move || {
+                for i in 0..items_a {
+                    qa.push(i);
+                    if jitter >> (i % 64) & 1 == 1 {
+                        std::thread::yield_now();
+                    }
+                }
+            })
+        };
+        let hb = {
+            let qb = qb.clone();
+            std::thread::spawn(move || {
+                for i in 0..items_b {
+                    qb.push(i);
+                    if jitter >> ((i + 17) % 64) & 1 == 1 {
+                        std::thread::yield_now();
+                    }
+                }
+            })
+        };
+        let (mut got_a, mut got_b) = (0usize, 0usize);
+        let mut polls = 0u64;
+        while got_a < items_a || got_b < items_b {
+            // The drain mask decides which queue the "handler" polls
+            // first this round, so the interleaving itself is fuzzed.
+            let a_first = drain_mask >> (polls % 64) & 1 == 1;
+            polls += 1;
+            let order = if a_first { [0, 1] } else { [1, 0] };
+            let mut progressed = false;
+            for which in order {
+                if which == 0 {
+                    if let Some(i) = qa.pop() {
+                        prop_assert_eq!(i, got_a, "queue A out of order");
+                        got_a += 1;
+                        progressed = true;
+                    }
+                } else if let Some(i) = qb.pop() {
+                    prop_assert_eq!(i, got_b, "queue B out of order");
+                    got_b += 1;
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                std::hint::spin_loop();
+            }
+        }
+        ha.join().unwrap();
+        hb.join().unwrap();
+        prop_assert!(qa.is_empty() && qb.is_empty());
+    }
+}

@@ -12,6 +12,7 @@
 
 use std::sync::Arc;
 
+use impacc_chaos::Chaos;
 use impacc_vtime::{SerialResource, SimDur, SimTime};
 
 use crate::spec::{CostParams, DeviceKind, MachineSpec};
@@ -101,11 +102,23 @@ pub struct ClusterResources {
     pub spec: Arc<MachineSpec>,
     /// Per-node resources, indexed like `spec.nodes`.
     pub nodes: Vec<NodeResources>,
+    /// Fault-injection handle consulted by the runtime layers that hold
+    /// these resources (MPI engine, message handler, devices). Disabled
+    /// unless the launcher installs a plan via
+    /// [`ClusterResources::with_chaos`].
+    pub chaos: Chaos,
 }
 
 impl ClusterResources {
-    /// Instantiate fresh (idle) resources for `spec`.
+    /// Instantiate fresh (idle) resources for `spec` with fault
+    /// injection disabled.
     pub fn new(spec: Arc<MachineSpec>) -> ClusterResources {
+        ClusterResources::with_chaos(spec, Chaos::disabled())
+    }
+
+    /// Instantiate fresh resources for `spec` with the given
+    /// fault-injection handle.
+    pub fn with_chaos(spec: Arc<MachineSpec>, chaos: Chaos) -> ClusterResources {
         let nodes = spec
             .nodes
             .iter()
@@ -125,7 +138,7 @@ impl ClusterResources {
                     .collect(),
             })
             .collect();
-        ClusterResources { spec, nodes }
+        ClusterResources { spec, nodes, chaos }
     }
 
     fn costs(&self) -> &CostParams {

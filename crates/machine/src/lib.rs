@@ -19,6 +19,7 @@ pub mod presets;
 pub mod spec;
 
 pub use build::{validate, ClusterBuilder, NodeBuilder, SpecError};
+pub use impacc_chaos::{Chaos, FaultPlan, FaultSite};
 pub use inst::{ClusterResources, HdDir, KernelCost, LaunchConfig, NetTimes, NodeResources};
 pub use spec::{
     CostParams, DeviceKind, DeviceSpec, DeviceTypeMask, MachineSpec, MpiThreading, NetworkSpec,

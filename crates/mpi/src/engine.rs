@@ -27,7 +27,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
-use impacc_machine::{ClusterResources, MpiThreading};
+use impacc_machine::{ClusterResources, FaultSite, MpiThreading};
 use impacc_mem::CowSnapshot;
 use impacc_vtime::{Ctx, Latch, SerialResource, SimTime};
 use parking_lot::Mutex;
@@ -278,10 +278,87 @@ impl SysMpi {
             // internal pinned pool.
             let zero_copy =
                 src_dev.is_some() || (buf.pinned && self.res.spec.network.gpudirect_rdma);
-            let parts = self
-                .res
-                .reserve_net_parts(src_node, dst_node, buf.len, now, src_dev, None, zero_copy);
-            (parts.rx_end, parts.tx_end, false)
+            // Injected link faults (impacc-chaos): a dropped message is
+            // detected by ack timeout and resent after exponential
+            // backoff. Resends are idempotent — the receiver sees exactly
+            // one SendRec — and the final allowed attempt always delivers
+            // (transient-fault model), so a faulted run is late, never
+            // wrong. Rolls are NOT gated on recording state: the fault
+            // schedule must be identical with and without a span sink.
+            let chaos = &self.res.chaos;
+            let max_retries = chaos.plan().map_or(0, |p| p.max_retries);
+            let mut attempt = 0u32;
+            let mut from = now;
+            let (arrival, sender_done) = loop {
+                let parts = self
+                    .res
+                    .reserve_net_parts(src_node, dst_node, buf.len, from, src_dev, None, zero_copy);
+                if attempt < max_retries && chaos.roll(FaultSite::LinkDrop, from) {
+                    attempt += 1;
+                    let plan = chaos.plan().expect("a fault fired, so a plan is active");
+                    let detected = parts.tx_end + plan.timeout;
+                    let resume = detected + chaos.backoff(attempt);
+                    ctx.metrics().inc("retries");
+                    ctx.metrics().inc("chaos_link_drop");
+                    let a = attempt;
+                    ctx.span("fault", from, detected, || {
+                        vec![
+                            ("site", "link_drop".to_string()),
+                            ("dst", dst_global.to_string()),
+                            ("attempt", a.to_string()),
+                        ]
+                    });
+                    ctx.span("retry", detected, resume, || {
+                        vec![
+                            ("site", "link_drop".to_string()),
+                            ("dst", dst_global.to_string()),
+                            ("attempt", a.to_string()),
+                        ]
+                    });
+                    from = resume;
+                    continue;
+                }
+                let mut arrival = parts.rx_end;
+                if chaos.roll(FaultSite::LinkDup, from) {
+                    // Duplicated on the wire: the ghost copy occupies the
+                    // NICs again, but receiver-side dedup drops it — the
+                    // matching engine never sees a second message.
+                    self.res.reserve_net_parts(
+                        src_node,
+                        dst_node,
+                        buf.len,
+                        parts.tx_end,
+                        src_dev,
+                        None,
+                        zero_copy,
+                    );
+                    ctx.metrics().inc("chaos_link_dup");
+                    ctx.span("fault", parts.tx_end, parts.tx_end, || {
+                        vec![
+                            ("site", "link_dup".to_string()),
+                            ("dst", dst_global.to_string()),
+                        ]
+                    });
+                }
+                if chaos.roll(FaultSite::LinkDelay, from) {
+                    let p = chaos.plan().expect("plan active").link_delay_penalty;
+                    ctx.metrics().inc("chaos_link_delay");
+                    let (a0, a1) = (arrival, arrival + p);
+                    ctx.span("fault", a0, a1, || vec![("site", "link_delay".to_string())]);
+                    arrival = a1;
+                }
+                if chaos.roll(FaultSite::NicBrownout, from) {
+                    let p = chaos.plan().expect("plan active").brownout_penalty;
+                    ctx.metrics().inc("chaos_nic_brownout");
+                    let (a0, a1) = (arrival, arrival + p);
+                    ctx.span("fault", a0, a1, || {
+                        vec![("site", "nic_brownout".to_string())]
+                    });
+                    arrival = a1;
+                }
+                break (arrival, parts.tx_end);
+            };
+            (arrival, sender_done, false)
         };
 
         ctx.metrics().add("mpi_bytes_sent", buf.len);
@@ -594,6 +671,32 @@ mod tests {
         sim.run().unwrap()
     }
 
+    /// Like `run_ranks` but with a fault plan installed.
+    fn run_ranks_chaos(
+        spec: impacc_machine::MachineSpec,
+        chaos: impacc_machine::Chaos,
+        per_node: usize,
+        n: usize,
+        f: impl Fn(&Ctx, MpiTask, Comm) + Send + Sync + 'static,
+    ) -> impacc_vtime::SimReport {
+        let res = Arc::new(ClusterResources::with_chaos(Arc::new(spec), chaos));
+        let node_of: Vec<usize> = (0..n).map(|r| r / per_node).collect();
+        let sys = SysMpi::new(res, node_of);
+        let world = Comm::world(n as u32);
+        let f = Arc::new(f);
+        let mut sim = Sim::new();
+        for r in 0..n {
+            let sys = sys.clone();
+            let world = world.clone();
+            let f = f.clone();
+            sim.spawn(format!("rank{r}"), move |ctx| {
+                let ep = MpiTask::new(sys, r as u32);
+                f(ctx, ep, world);
+            });
+        }
+        sim.run().unwrap()
+    }
+
     fn buf_with(vals: &[f64]) -> MsgBuf {
         let b = Backing::new(vals.len() as u64 * 8, None);
         let m = MsgBuf::host(b, 0, vals.len() as u64 * 8);
@@ -875,6 +978,95 @@ mod tests {
                 assert!(ep.iprobe(ctx, Some(0), Some(9), &world).is_none());
             }
         });
+    }
+
+    #[test]
+    fn link_drop_retries_deliver_correct_data_late() {
+        use impacc_machine::{Chaos, FaultPlan};
+        // Every send drops until the retry budget runs out; the final
+        // attempt delivers, so data is bit-correct and only timing moves.
+        let chaos = Chaos::new(
+            FaultPlan::new(11)
+                .with_rate(FaultSite::LinkDrop, 1.0)
+                .with_max_retries(2),
+        );
+        let report = run_ranks_chaos(
+            presets::test_cluster(2, 1),
+            chaos,
+            1,
+            2,
+            |ctx, ep, world| {
+                if ep.global_rank() == 0 {
+                    ep.send(ctx, &buf_with(&[3.0, 4.0]), 1, 0, &world);
+                } else {
+                    let buf = empty_buf(2);
+                    ep.recv(ctx, &buf, Some(0), Some(0), &world);
+                    assert_eq!(buf.read_f64s(), vec![3.0, 4.0]);
+                }
+            },
+        );
+        assert_eq!(report.metrics["retries"], 2, "budget fully consumed");
+        assert_eq!(report.metrics["chaos_link_drop"], 2);
+    }
+
+    #[test]
+    fn faulted_run_is_slower_but_identical_data() {
+        use impacc_machine::{Chaos, FaultPlan};
+        let body = |ctx: &Ctx, ep: MpiTask, world: Comm| {
+            if ep.global_rank() == 0 {
+                for i in 0..8 {
+                    ep.send(ctx, &buf_with(&[i as f64]), 1, i, &world);
+                }
+            } else {
+                for i in 0..8 {
+                    let buf = empty_buf(1);
+                    ep.recv(ctx, &buf, Some(0), Some(i), &world);
+                    assert_eq!(buf.read_f64s(), vec![i as f64]);
+                }
+            }
+        };
+        let clean = run_ranks(presets::test_cluster(2, 1), 1, 2, body);
+        let faulted = run_ranks_chaos(
+            presets::test_cluster(2, 1),
+            Chaos::new(FaultPlan::new(5).with_rate(FaultSite::LinkDrop, 0.5)),
+            1,
+            2,
+            body,
+        );
+        assert!(faulted.metrics.get("retries").copied().unwrap_or(0) > 0);
+        assert!(
+            faulted.end_time > clean.end_time,
+            "retries must cost virtual time"
+        );
+    }
+
+    #[test]
+    fn link_dup_is_deduped() {
+        use impacc_machine::{Chaos, FaultPlan};
+        // Every message is duplicated on the wire; the receiver must see
+        // each exactly once (dedup) and FIFO order must hold.
+        let report = run_ranks_chaos(
+            presets::test_cluster(2, 1),
+            Chaos::new(FaultPlan::new(0).with_rate(FaultSite::LinkDup, 1.0)),
+            1,
+            2,
+            |ctx, ep, world| {
+                if ep.global_rank() == 0 {
+                    for i in 0..4 {
+                        ep.send(ctx, &buf_with(&[i as f64]), 1, 3, &world);
+                    }
+                } else {
+                    for i in 0..4 {
+                        let buf = empty_buf(1);
+                        ep.recv(ctx, &buf, Some(0), Some(3), &world);
+                        assert_eq!(buf.read_f64s()[0], i as f64);
+                    }
+                    // No ghost copies left behind.
+                    assert!(ep.iprobe(ctx, Some(0), Some(3), &world).is_none());
+                }
+            },
+        );
+        assert_eq!(report.metrics["chaos_link_dup"], 4);
     }
 
     #[test]

@@ -70,13 +70,19 @@ pub enum EventKind {
     HandlerCmd,
     /// Scheduler-observed blocked time, tagged with the blocking cause.
     Stall,
+    /// An injected fault firing (`impacc-chaos`); the `site` attr names
+    /// the injection site.
+    Fault,
+    /// A recovery action absorbing a fault: resend backoff, copy
+    /// re-attempt, staged-path fallback (`impacc-chaos`).
+    Retry,
     /// Free-form annotation (phase changes, pinning placement, app marks).
     Marker,
 }
 
 impl EventKind {
     /// Every kind, in a fixed presentation order.
-    pub const ALL: [EventKind; 14] = [
+    pub const ALL: [EventKind; 16] = [
         EventKind::Kernel,
         EventKind::CopyHtoH,
         EventKind::CopyHtoD,
@@ -90,6 +96,8 @@ impl EventKind {
         EventKind::QueueWait,
         EventKind::HandlerCmd,
         EventKind::Stall,
+        EventKind::Fault,
+        EventKind::Retry,
         EventKind::Marker,
     ];
 
@@ -109,6 +117,8 @@ impl EventKind {
             EventKind::QueueWait => "queue_wait",
             EventKind::HandlerCmd => "handler_cmd",
             EventKind::Stall => "stall",
+            EventKind::Fault => "fault",
+            EventKind::Retry => "retry",
             EventKind::Marker => "marker",
         }
     }

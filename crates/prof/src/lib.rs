@@ -55,6 +55,25 @@ pub struct PathSeg {
     pub t1: SimTime,
 }
 
+/// One off-path work segment ranked by its *slack*: how many picoseconds
+/// it could grow before it would join the critical path. Small slack marks
+/// second-order optimization targets — work that is almost critical and
+/// will dominate as soon as the current path is shortened.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SlackEntry {
+    /// Actor owning the off-path segment.
+    pub actor: String,
+    /// Blame label of the segment (an [`EventKind::label`]).
+    pub kind: String,
+    /// Segment start.
+    pub t0: SimTime,
+    /// Segment end.
+    pub t1: SimTime,
+    /// Picoseconds of growth before the segment reaches the actor's next
+    /// critical-path join (or the end of the run if it never rejoins).
+    pub slack_ps: u64,
+}
+
 /// The profiler's output for one trace.
 #[derive(Clone, Debug, Default)]
 pub struct Report {
@@ -77,7 +96,13 @@ pub struct Report {
     pub what_if: BTreeMap<String, u64>,
     /// The critical path itself, forward in time.
     pub path: Vec<PathSeg>,
+    /// Top off-path work segments by ascending slack (at most
+    /// [`SLACK_TOP_N`] entries).
+    pub slack: Vec<SlackEntry>,
 }
+
+/// Number of entries retained in [`Report::slack`].
+pub const SLACK_TOP_N: usize = 10;
 
 /// Classify a stall's recorded `cause` attribute into a wait-state class.
 ///
@@ -360,6 +385,51 @@ pub fn analyze(spans: &[Span], edges: &[Edge]) -> Report {
     rev_path.reverse();
     report.path = rev_path;
 
+    // Slack analysis: rank off-path *work* segments (tracked, non-stall)
+    // by how much they could grow before joining the critical path — the
+    // distance from the segment's end to the owning actor's next on-path
+    // segment (or the end of the run if it never rejoins).
+    let mut on_path: BTreeMap<&str, Vec<(SimTime, SimTime)>> = BTreeMap::new();
+    for p in &report.path {
+        on_path
+            .entry(p.actor.as_str())
+            .or_default()
+            .push((p.t0, p.t1));
+    }
+    let mut slack: Vec<SlackEntry> = Vec::new();
+    for (actor, asegs) in &segs {
+        let joins = on_path.get(actor);
+        for s in asegs {
+            let Some(kind) = s.kind else { continue };
+            if kind == EventKind::Stall {
+                continue;
+            }
+            let overlaps_path =
+                joins.is_some_and(|js| js.iter().any(|&(p0, p1)| s.t0 < p1 && p0 < s.t1));
+            if overlaps_path {
+                continue;
+            }
+            let next_join = joins
+                .and_then(|js| js.iter().map(|&(p0, _)| p0).find(|&p0| p0 >= s.t1))
+                .unwrap_or(end);
+            slack.push(SlackEntry {
+                actor: actor.to_string(),
+                kind: kind.label().to_string(),
+                t0: s.t0,
+                t1: s.t1,
+                slack_ps: next_join.since(s.t1).0,
+            });
+        }
+    }
+    slack.sort_by(|a, b| {
+        a.slack_ps
+            .cmp(&b.slack_ps)
+            .then_with(|| a.actor.cmp(&b.actor))
+            .then_with(|| a.t0.cmp(&b.t0))
+    });
+    slack.truncate(SLACK_TOP_N);
+    report.slack = slack;
+
     // What-if projections: remove selected kinds' on-path blame.
     let b = |k: EventKind| report.blame_by_kind.get(k.label()).copied().unwrap_or(0);
     report.what_if.insert(
@@ -418,6 +488,20 @@ impl Report {
         ));
         out.push_str(&format!("  \"wait_states\": {},\n", map(&self.wait_states)));
         out.push_str(&format!("  \"what_if\": {},\n", map(&self.what_if)));
+        out.push_str("  \"slack\": [\n");
+        for (i, s) in self.slack.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"actor\": {}, \"kind\": {}, \"t0_ps\": {}, \"t1_ps\": {}, \
+                 \"slack_ps\": {}}}{}\n",
+                json::string(&s.actor),
+                json::string(&s.kind),
+                s.t0.0,
+                s.t1.0,
+                s.slack_ps,
+                if i + 1 < self.slack.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
         out.push_str("  \"critical_path\": [\n");
         for (i, p) in self.path.iter().enumerate() {
             out.push_str(&format!(
@@ -488,6 +572,19 @@ impl Report {
                 us(*v),
                 pct(*v) - 100.0
             ));
+        }
+        if !self.slack.is_empty() {
+            out.push_str("\ntop off-path slack (grow-room before joining the path):\n");
+            for s in &self.slack {
+                out.push_str(&format!(
+                    "  [{:>12.3} .. {:>12.3}] us  {:<12} on {:<16} slack {:>12.3} us\n",
+                    us(s.t0.0),
+                    us(s.t1.0),
+                    s.kind,
+                    s.actor,
+                    us(s.slack_ps)
+                ));
+            }
         }
         out.push_str(&format!("\npath: {} segments; head:\n", self.path.len()));
         for p in self.path.iter().rev().take(8).rev() {
@@ -719,6 +816,60 @@ mod tests {
         assert!(j1.contains("\"end_ps\": 25"));
         let text = analyze(&spans, &edges).render_text("golden");
         assert!(text.contains("blame by kind"));
+    }
+
+    #[test]
+    fn slack_ranks_off_path_work_by_grow_room() {
+        // `a` holds the whole path: kernel[0..10], send[10..25].
+        // `b` does off-path work kernel[0..8] and never joins: its slack
+        // is end - 8 = 17. `a`'s own off-path copy cannot exist here (all
+        // of `a` is on-path), so exactly one entry survives.
+        let spans = vec![
+            span("a", EventKind::Kernel, 0, 10),
+            span("a", EventKind::MpiSend, 10, 25),
+            span("b", EventKind::Kernel, 0, 8),
+        ];
+        let r = analyze(&spans, &[]);
+        assert_eq!(r.end_ps, 25);
+        assert_eq!(r.slack.len(), 1);
+        assert_eq!(r.slack[0].actor, "b");
+        assert_eq!(r.slack[0].kind, "kernel");
+        assert_eq!(r.slack[0].slack_ps, 17);
+        // The JSON carries the slack section.
+        let j = r.to_json("slacky");
+        assert!(j.contains("\"slack\": ["));
+        assert!(j.contains("\"slack_ps\": 17"));
+        // Ranking: a nearly-critical segment sorts first.
+        let spans = vec![
+            span("a", EventKind::Kernel, 0, 10),
+            span("a", EventKind::MpiSend, 10, 25),
+            span("b", EventKind::Kernel, 0, 8),
+            span("c", EventKind::CopyHtoD, 0, 24),
+        ];
+        let r = analyze(&spans, &[]);
+        assert_eq!(r.slack[0].actor, "c", "1 ps of grow-room ranks first");
+        assert_eq!(r.slack[0].slack_ps, 1);
+        assert_eq!(r.slack[1].slack_ps, 17);
+    }
+
+    #[test]
+    fn on_path_and_stall_segments_carry_no_slack() {
+        let spans = vec![
+            span("a", EventKind::Kernel, 0, 10),
+            stall("a", 10, 20, "recv src=1 tag=7"),
+            span("a", EventKind::Kernel, 20, 25),
+            span("b", EventKind::Kernel, 0, 15),
+            span("b", EventKind::MpiSend, 15, 20),
+        ];
+        let edges = vec![wake("b", "a", 20)];
+        let r = analyze(&spans, &edges);
+        // a.kernel[0..10] is the only off-path work: b is fully on-path,
+        // and a's stall is excluded by definition.
+        assert_eq!(r.slack.len(), 1);
+        assert_eq!(r.slack[0].actor, "a");
+        assert_eq!(r.slack[0].t1, SimTime(10));
+        // It could grow until a rejoins the path at t=20.
+        assert_eq!(r.slack[0].slack_ps, 10);
     }
 
     #[test]
