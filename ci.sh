@@ -59,4 +59,36 @@ echo "==> chaos smoke: fixed-seed fault injection"
 # panics (nonzero exit) on any violation.
 cargo run --release -q -p impacc-bench --bin bench_chaos -- --smoke
 
+echo "==> coll smoke: hierarchical vs flat collectives"
+# The two-level hierarchical allreduce must beat the flat binomial
+# schedule at a small and a large payload on a multi-rank-per-node
+# cluster; the binary panics (nonzero exit) on a regression.
+cargo run --release -q -p impacc-bench --bin bench_coll -- --smoke
+
+echo "==> coll sweep + regression gate"
+# Same shape as the speed gate: fresh events/sec from the collective
+# sweep vs the committed baselines/coll.json, floor at -$PCT%.
+IMPACC_BENCH_DIR="$PERF_DIR" IMPACC_BENCH_QUICK=1 \
+    cargo run --release -q -p impacc-bench --bin bench_coll \
+    | grep -E '^\[coll\]'
+fresh=$(grep -o '"events_per_sec":[0-9]*' "$PERF_DIR/BENCH_coll.json" | cut -d: -f2)
+if [[ "${1:-}" == "--rebaseline" ]]; then
+    cp "$PERF_DIR/BENCH_coll.json" baselines/coll.json
+    echo "coll gate: baseline reset to $fresh events/sec (commit baselines/coll.json)"
+elif baseline_json=$(git show HEAD:baselines/coll.json 2>/dev/null); then
+    base=$(printf '%s' "$baseline_json" | grep -o '"events_per_sec":[0-9]*' | cut -d: -f2)
+    awk -v fresh="$fresh" -v base="$base" -v pct="$PCT" 'BEGIN {
+        floor = base * (1 - pct / 100);
+        printf "coll gate: fresh %.0f vs baseline %.0f events/sec (floor %.0f, -%s%%)\n",
+            fresh, base, floor, pct;
+        if (fresh < floor) {
+            printf "coll gate: FAIL — throughput regressed more than %s%%\n", pct;
+            exit 1;
+        }
+        print "coll gate: ok";
+    }'
+else
+    echo "coll gate: skipped (no committed baselines/coll.json; run ./ci.sh --rebaseline)"
+fi
+
 echo "ci: all green"

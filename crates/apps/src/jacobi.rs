@@ -115,7 +115,14 @@ pub fn jacobi_task(tc: &TaskCtx, p: &JacobiParams) {
     tc.ctx()
         .event("marker", || vec![("phase", "sweep".to_string())]);
 
-    for _ in 0..p.iters {
+    // Local residual max|unew − u| written by the sweep kernel (shared
+    // because the kernel may run asynchronously on queue 1). Huge-scale
+    // runs with capped backings skip the math; they fall back to a
+    // deterministic decreasing sequence so the reduce stays meaningful.
+    let local_res: Arc<parking_lot::Mutex<f64>> = Arc::new(parking_lot::Mutex::new(0.0));
+    let mut residuals: Vec<f64> = Vec::new();
+
+    for it in 0..p.iters {
         if rows > 0 {
             // ---- halo exchange on u -------------------------------------
             if impacc && tc.options().unified_queue {
@@ -238,22 +245,28 @@ pub fn jacobi_task(tc: &TaskCtx, p: &JacobiParams) {
             // ---- stencil sweep ------------------------------------------
             let uv = tc.dev_view(&u);
             let vv = tc.dev_view(&unew);
+            let res_out = local_res.clone();
             let sweep = move || {
                 if !math_ok(&uv) {
+                    *res_out.lock() = 1.0 / (it + 1) as f64;
                     return;
                 }
                 let src = uv.read_f64s(0, (rows + 2) * n);
                 let mut dst = vv.read_f64s(0, (rows + 2) * n);
+                let mut res = 0.0f64;
                 for i in 1..=rows {
                     for j in 1..n - 1 {
-                        dst[i * n + j] = 0.25
+                        let next = 0.25
                             * (src[(i - 1) * n + j]
                                 + src[(i + 1) * n + j]
                                 + src[i * n + j - 1]
                                 + src[i * n + j + 1]);
+                        res = res.max((next - src[i * n + j]).abs());
+                        dst[i * n + j] = next;
                     }
                 }
                 vv.write_f64s(0, &dst);
+                *res_out.lock() = res;
             };
             if impacc && tc.options().unified_queue {
                 tc.acc_kernel(Some(1), stencil_cost, sweep);
@@ -262,10 +275,28 @@ pub fn jacobi_task(tc: &TaskCtx, p: &JacobiParams) {
             }
         }
         // Convergence check: the global residual, reduced every sweep —
-        // the log(p) term that eventually dominates at Titan scale.
-        let residual = tc.mpi_allreduce_f64(&[1.0], impacc_mpi::ReduceOp::Max);
-        assert_eq!(residual, vec![1.0]);
+        // the log(p) term that eventually dominates at Titan scale. The
+        // sweep kernel must have completed before its residual is read.
+        if impacc && tc.options().unified_queue {
+            tc.acc_wait(1);
+        }
+        let mine = *local_res.lock();
+        let residual = tc.mpi_allreduce_f64(&[mine], impacc_mpi::ReduceOp::Max);
+        assert!(
+            residual[0].is_finite() && residual[0] >= mine,
+            "global residual must bound the local one"
+        );
+        residuals.push(residual[0]);
         std::mem::swap(&mut u, &mut unew);
+    }
+    // The reduced residual drives convergence: Jacobi on this boundary
+    // problem relaxes, so the final global residual cannot exceed the
+    // first (every rank agrees — it came out of the allreduce).
+    if p.iters > 1 && rows > 0 {
+        assert!(
+            residuals.last().unwrap() <= residuals.first().unwrap(),
+            "jacobi residual failed to relax: {residuals:?}"
+        );
     }
     if impacc && tc.options().unified_queue {
         tc.acc_wait(1);

@@ -148,6 +148,14 @@ pub fn lulesh_task(tc: &TaskCtx, p: &LuleshParams) {
     // pay these PCIe transfers — pinning decides how fast they are).
     let boundary_bytes = ((6 * s * s * 8) as u64).min(field.len);
 
+    // The Courant-style time constraint: each rank derives a local dt
+    // from the boundary state it actually received this iteration, and
+    // the global step is the Min-allreduce of those. Advancing the
+    // simulated clock by the reduced value is what makes every rank
+    // march in lock-step.
+    let mut sim_time = 0.0f64;
+    let mut prev_dt = f64::INFINITY;
+
     for iter in 0..p.iters {
         // ---- phase 1: node-centred exchange over all 26 neighbours -----
         tc.acc_update_host(&field, 0, boundary_bytes, None);
@@ -227,9 +235,43 @@ pub fn lulesh_task(tc: &TaskCtx, p: &LuleshParams) {
         tc.acc_kernel(None, phase_cost[2], || {});
 
         // ---- time-constraint reduction ----------------------------------
-        let dt = tc.mpi_allreduce_f64(&[1.0 / (iter + 1) as f64], ReduceOp::Min);
-        assert!(dt[0] > 0.0);
+        // Local constraint from the received boundary payloads (their
+        // magnitude grows with the iteration stamp, so dt shrinks);
+        // huge-scale runs without live data fall back to a deterministic
+        // decreasing sequence.
+        let mut boundary_max = 0.0f64;
+        let mut have_data = false;
+        for (di, d) in dirs.iter().enumerate() {
+            if me.neighbor(*d).is_none() {
+                continue;
+            }
+            let v = tc.host_view(&recv_bufs[di]);
+            if math_ok(&v) {
+                boundary_max = boundary_max.max(v.read_f64s(0, 1)[0].abs());
+                have_data = true;
+            }
+        }
+        let local_dt = if have_data {
+            1.0 / (2.0 + boundary_max)
+        } else {
+            1.0 / (iter + 1) as f64
+        };
+        let dt = tc.mpi_allreduce_f64(&[local_dt], ReduceOp::Min);
+        assert!(
+            dt[0] > 0.0 && dt[0] <= local_dt,
+            "global dt must satisfy every rank's constraint"
+        );
+        assert!(
+            dt[0] < prev_dt,
+            "time constraint must tighten as the boundary state advances"
+        );
+        prev_dt = dt[0];
+        sim_time += dt[0];
     }
+    assert!(
+        p.iters == 0 || sim_time > 0.0,
+        "the reduced dt drives the simulated clock"
+    );
 }
 
 /// Run the LULESH proxy and return the report.

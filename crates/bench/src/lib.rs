@@ -12,6 +12,7 @@
 
 pub mod ablations;
 pub mod chaos;
+pub mod coll;
 pub mod fig10;
 pub mod fig12;
 pub mod fig13;

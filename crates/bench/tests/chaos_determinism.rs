@@ -5,6 +5,7 @@
 //! scheduling strategy — this is the tier-1 guard on that claim.
 
 use impacc_bench::chaos::{internode_spec, run_exchange, SWEEP_SEED};
+use impacc_bench::coll::run_coll_chaos;
 use impacc_core::RunSummary;
 use impacc_machine::FaultPlan;
 use impacc_obs::{Recorder, Span};
@@ -50,4 +51,44 @@ fn faulted_run_is_bit_identical_across_reruns_and_elision() {
         prof_on.contains("\"fault\"") || retries == 0,
         "fault spans must reach the recorded trace"
     );
+}
+
+fn faulted_coll_run(elide: bool) -> (RunSummary, Vec<Span>, Vec<impacc_obs::Edge>) {
+    let rec = Recorder::new();
+    let plan = FaultPlan::new(23).with_uniform_rate(0.08);
+    let s = run_coll_chaos(Some(plan), elide, Some(&rec));
+    (s, rec.spans(), rec.edges())
+}
+
+/// Collectives under fault injection: the hierarchical engine's internode
+/// edges traverse the link fault sites and its intra-node folds roll the
+/// copy-fault site, and the whole mixed workload must stay bit-identical
+/// for a fixed seed — across reruns and across handoff elision.
+#[test]
+fn faulted_collectives_are_bit_identical_across_reruns_and_elision() {
+    let (on, spans_on, edges_on) = faulted_coll_run(true);
+    let (off, spans_off, edges_off) = faulted_coll_run(false);
+    let (again, spans_again, _) = faulted_coll_run(true);
+
+    // The injection reached the collective paths: retries fired, and the
+    // hierarchical engine actually ran (its phase counters are nonzero).
+    let m = |k: &str| on.report.metrics.get(k).copied().unwrap_or(0);
+    assert!(m("retries") > 0, "seeded 8% plan must cause retries");
+    assert!(m("coll_algo_hier") > 0, "workload must take the hier path");
+    assert!(
+        m("coll_intra_bytes") > 0,
+        "intra-node folds must be charged"
+    );
+
+    assert_eq!(on.report.end_time, again.report.end_time, "rerun end time");
+    assert_eq!(on.report.metrics, again.report.metrics, "rerun metrics");
+    assert_eq!(spans_on, spans_again, "rerun span stream");
+
+    assert_eq!(on.report.end_time, off.report.end_time, "virtual end time");
+    assert_eq!(on.report.metrics, off.report.metrics, "engine metrics");
+    assert_eq!(spans_on, spans_off, "span streams must match exactly");
+
+    let prof_on = impacc_prof::analyze(&spans_on, &edges_on).to_json("coll");
+    let prof_off = impacc_prof::analyze(&spans_off, &edges_off).to_json("coll");
+    assert_eq!(prof_on, prof_off, "PROF json must not depend on elision");
 }

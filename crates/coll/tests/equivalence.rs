@@ -1,0 +1,151 @@
+//! Registry equivalence: every collective algorithm — the flat p2p
+//! schedules, the dedicated trees/rings, and the two-level hierarchical
+//! path — must deliver bit-identical results to the flat reference, on
+//! random communicator splits, roots, message sizes and node shapes
+//! (including the 1-rank-per-node and all-on-one-node degenerate cases).
+//!
+//! Payloads are chosen so that every reduction order is exact (integer
+//! sums, order-independent Max/Min, power-of-two products); a divergence
+//! is therefore a real schedule bug, never float noise.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use impacc_coll::testutil::{buf_of, run_world_engine, zeros};
+use impacc_coll::{CollAlgo, CollOpts};
+use impacc_mpi::{MsgBuf, PointToPoint, ReduceOp};
+use proptest::prelude::*;
+
+/// Node shapes under test; indices pick one per case. The first three are
+/// the degenerate placements the hierarchical path must survive.
+const SHAPES: &[&[usize]] = &[
+    &[1],          // single rank
+    &[5],          // all on one node
+    &[1, 1, 1, 1], // one rank per node (no intra phase anywhere)
+    &[3, 2],
+    &[2, 2, 1],
+    &[1, 3],
+    &[2, 1, 2, 1],
+    &[4, 4],
+];
+
+fn opts(algo: CollAlgo) -> CollOpts {
+    CollOpts { algo: Some(algo) }
+}
+
+/// Exact payload for rank `r`: integers for Sum/Max/Min, powers of two
+/// for Prod, so every fold order is bit-identical.
+fn payload(op: ReduceOp, r: u32, elems: usize) -> Vec<f64> {
+    (0..elems)
+        .map(|i| match op {
+            ReduceOp::Prod => {
+                if (r as usize + i).is_multiple_of(2) {
+                    1.0
+                } else {
+                    2.0
+                }
+            }
+            _ => ((r as usize * 13 + i * 7) % 97) as f64 - 40.0,
+        })
+        .collect()
+}
+
+fn bits(b: &MsgBuf) -> Vec<u64> {
+    b.read_f64s().iter().map(|v| v.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn every_algorithm_matches_the_flat_reference(
+        shape_idx in 0usize..8,
+        elems in 0usize..12,
+        op_idx in 0usize..4,
+        root_sel in 0u32..64,
+        ncolors in 1i64..4,
+        color_mul in 1i64..5,
+    ) {
+        let shape = SHAPES[shape_idx];
+        let n: usize = shape.iter().sum();
+        let op = [ReduceOp::Sum, ReduceOp::Max, ReduceOp::Min, ReduceOp::Prod][op_idx];
+        let barriers = Arc::new(AtomicUsize::new(0));
+        let barriers_in = barriers.clone();
+        // Shared split parameters: every rank derives the identical
+        // colors/keys vectors locally, like an application would.
+        let colors: Vec<i64> = (0..n as i64).map(|r| (r * color_mul) % ncolors).collect();
+        let keys: Vec<i64> = (0..n as i64).map(|r| (r * 7919) % n as i64).collect();
+
+        run_world_engine(shape, None, move |ctx, ep, engine, world| {
+            let barriers = barriers_in.clone();
+            let suite = |comm: &impacc_mpi::Comm| {
+                let me = ep.comm_rank(comm);
+                let size = comm.size();
+                let root = root_sel % size;
+                // Payloads are keyed by *global* rank so sub-communicator
+                // reductions mix distinct contributions.
+                let mine = payload(op, comm.global_of(me), elems);
+
+                // ---- allreduce ----
+                let sb = buf_of(&mine);
+                let flat = zeros(elems);
+                engine.allreduce(&ep, ctx, &sb, &flat, op, comm, opts(CollAlgo::Flat));
+                for algo in CollAlgo::ALL {
+                    let rb = zeros(elems);
+                    engine.allreduce(&ep, ctx, &sb, &rb, op, comm, opts(algo));
+                    assert_eq!(
+                        bits(&rb),
+                        bits(&flat),
+                        "allreduce {algo:?} diverged from flat (rank {me}, op {op:?})"
+                    );
+                }
+
+                // ---- bcast ----
+                let base = payload(op, comm.global_of(root), elems.max(1));
+                let flat_b = if me == root { buf_of(&base) } else { zeros(base.len()) };
+                engine.bcast(&ep, ctx, &flat_b, root, comm, opts(CollAlgo::Flat));
+                for algo in CollAlgo::ALL {
+                    let b = if me == root { buf_of(&base) } else { zeros(base.len()) };
+                    engine.bcast(&ep, ctx, &b, root, comm, opts(algo));
+                    assert_eq!(
+                        bits(&b),
+                        bits(&flat_b),
+                        "bcast {algo:?} diverged from flat (rank {me}, root {root})"
+                    );
+                }
+
+                // ---- allgather ----
+                let block = payload(op, comm.global_of(me), elems.max(1));
+                let sb = buf_of(&block);
+                let flat_g = zeros(block.len() * size as usize);
+                engine.allgather(&ep, ctx, &sb, &flat_g, comm, opts(CollAlgo::Flat));
+                for algo in CollAlgo::ALL {
+                    let rb = zeros(block.len() * size as usize);
+                    engine.allgather(&ep, ctx, &sb, &rb, comm, opts(algo));
+                    assert_eq!(
+                        bits(&rb),
+                        bits(&flat_g),
+                        "allgather {algo:?} diverged from flat (rank {me})"
+                    );
+                }
+
+                // ---- barrier ----
+                for algo in CollAlgo::ALL {
+                    engine.barrier(&ep, ctx, comm, opts(algo));
+                    barriers.fetch_add(1, Ordering::Relaxed);
+                }
+            };
+
+            suite(&world);
+            let my_rel = ep.comm_rank(&world);
+            let sub = world.split(&colors, &keys, my_rel);
+            suite(&sub);
+        });
+
+        // Every rank completed every barrier variant on both comms.
+        prop_assert_eq!(
+            barriers.load(Ordering::Relaxed),
+            n * CollAlgo::ALL.len() * 2
+        );
+    }
+}

@@ -15,6 +15,7 @@
 use std::sync::Arc;
 
 use impacc_acc::Device;
+use impacc_coll::{CollAlgo, NodeColl};
 use impacc_machine::{
     Chaos, ClusterResources, DeviceKind, DeviceSpec, DeviceTypeMask, FaultPlan, MachineSpec,
 };
@@ -115,6 +116,7 @@ pub struct Launch {
     elide_handoff: bool,
     sink: Option<Arc<dyn SpanSink>>,
     chaos: Chaos,
+    coll_algo: Option<CollAlgo>,
 }
 
 impl Launch {
@@ -132,7 +134,17 @@ impl Launch {
             elide_handoff: true,
             sink: None,
             chaos: Chaos::disabled(),
+            coll_algo: None,
         }
+    }
+
+    /// Force one collective algorithm for every dispatched collective in
+    /// this run (equivalent to `IMPACC_COLL_ALGO`, but scoped to the
+    /// launch). Requesting an algorithm that cannot serve an operation
+    /// clamps deterministically; see `impacc_coll`.
+    pub fn coll_algo(mut self, algo: CollAlgo) -> Launch {
+        self.coll_algo = Some(algo);
+        self
     }
 
     /// Install a deterministic fault-injection plan (`impacc-chaos`) for
@@ -343,6 +355,10 @@ impl Launch {
         let mut node_heap: Vec<Option<Arc<NodeHeap>>> = vec![None; n_nodes];
         let mut node_devices: Vec<Option<Vec<Device>>> = vec![None; n_nodes];
         let mut node_handler: Vec<Option<Arc<NodeHandler>>> = vec![None; n_nodes];
+        // Hierarchical collectives rendezvous through one NodeColl per
+        // node, alongside the node VAS. The baseline has no shared node
+        // memory, so its tasks get none and the engine stays flat/p2p.
+        let mut node_coll: Vec<Option<Arc<NodeColl>>> = vec![None; n_nodes];
         if impacc {
             for t in &tasks {
                 if node_space[t.node].is_none() {
@@ -373,6 +389,7 @@ impl Launch {
                     node_heap[t.node] = Some(heap);
                     node_devices[t.node] = Some(devices);
                     node_handler[t.node] = Some(handler);
+                    node_coll[t.node] = Some(NodeColl::new());
                 }
             }
         }
@@ -416,6 +433,8 @@ impl Launch {
                     opts: self.options,
                     phys_cap: self.phys_cap,
                 },
+                node_coll: node_coll[t.node].clone(),
+                coll_algo: self.coll_algo,
             };
             let app = app.clone();
             let (node, dev_idx, socket, far) = (t.node, t.dev_idx, t.socket, t.far);

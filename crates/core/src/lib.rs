@@ -24,6 +24,7 @@ pub mod task;
 
 pub use cmd::{CmdKind, HeapRef, MsgCmd, PendingRecv, ResolvedBuf};
 pub use handler::NodeHandler;
+pub use impacc_coll::{CollAlgo, CollEngine, CollOp, CollOpts, NodeColl};
 pub use launch::{Launch, RunSummary, TaskInfo};
 pub use mode::{Mode, RuntimeOptions};
 pub use mpsc::MpscQueue;

@@ -17,6 +17,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use impacc_acc::{ActivityQueue, Device};
+use impacc_coll::{CollAlgo, CollEngine, CollOpts, NodeColl};
 use impacc_machine::{ClusterResources, DeviceKind, HdDir, KernelCost};
 use impacc_mem::{AddressSpace, Backing, HeapPtr, NodeHeap, PresentTable, VirtAddr};
 use impacc_mem::{DevPtr, PresentEntry};
@@ -398,6 +399,7 @@ pub struct TaskCtx {
     queues: Mutex<HashMap<u32, ActivityQueue>>,
     comm: CommCore,
     coll: CollSeq,
+    engine: CollEngine,
 }
 
 /// Bundle the launcher hands to each task actor to build its context.
@@ -409,10 +411,22 @@ pub(crate) struct TaskSeed {
     pub space: Arc<AddressSpace>,
     pub heap: Arc<NodeHeap>,
     pub comm: CommCore,
+    pub node_coll: Option<Arc<NodeColl>>,
+    pub coll_algo: Option<CollAlgo>,
 }
 
 impl TaskCtx {
     pub(crate) fn from_seed(ctx: Ctx, seed: TaskSeed) -> TaskCtx {
+        let costs = &seed.comm.res.spec.costs;
+        let engine = CollEngine::new(
+            seed.comm.node_of.clone(),
+            seed.comm.node,
+            costs.host_memcpy_bw,
+            costs.host_memcpy_lat,
+            seed.comm.res.chaos.clone(),
+            seed.node_coll,
+            seed.coll_algo,
+        );
         TaskCtx {
             ctx,
             world: seed.world,
@@ -425,7 +439,15 @@ impl TaskCtx {
             queues: Mutex::new(HashMap::new()),
             comm: seed.comm,
             coll: CollSeq::new(),
+            engine,
         }
+    }
+
+    /// The collectives engine behind this task's `barrier` / `bcast` /
+    /// `allreduce` / `allgather`: call it directly to pass per-call
+    /// [`CollOpts`] (e.g. force a registry algorithm for one operation).
+    pub fn coll_engine(&self) -> &CollEngine {
+        &self.engine
     }
 
     /// The engine context (virtual time, metrics, spawning).
@@ -1226,5 +1248,28 @@ impl PointToPoint for TaskCtx {
 
     fn coll_seq(&self) -> &CollSeq {
         &self.coll
+    }
+
+    // The four dispatched collectives route through the engine, which
+    // selects a registry algorithm (hierarchical under IMPACC when the
+    // placement has multi-rank nodes) instead of the flat p2p defaults.
+
+    fn barrier(&self, ctx: &Ctx, comm: &Comm) {
+        self.engine.barrier(self, ctx, comm, CollOpts::default());
+    }
+
+    fn bcast(&self, ctx: &Ctx, buf: &MsgBuf, root: u32, comm: &Comm) {
+        self.engine
+            .bcast(self, ctx, buf, root, comm, CollOpts::default());
+    }
+
+    fn allreduce(&self, ctx: &Ctx, sendbuf: &MsgBuf, recvbuf: &MsgBuf, op: ReduceOp, comm: &Comm) {
+        self.engine
+            .allreduce(self, ctx, sendbuf, recvbuf, op, comm, CollOpts::default());
+    }
+
+    fn allgather(&self, ctx: &Ctx, sendbuf: &MsgBuf, recvbuf: &MsgBuf, comm: &Comm) {
+        self.engine
+            .allgather(self, ctx, sendbuf, recvbuf, comm, CollOpts::default());
     }
 }

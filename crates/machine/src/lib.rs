@@ -17,6 +17,7 @@ pub mod build;
 pub mod inst;
 pub mod presets;
 pub mod spec;
+pub mod topo;
 
 pub use build::{validate, ClusterBuilder, NodeBuilder, SpecError};
 pub use impacc_chaos::{Chaos, FaultPlan, FaultSite};
@@ -25,3 +26,4 @@ pub use spec::{
     CostParams, DeviceKind, DeviceSpec, DeviceTypeMask, MachineSpec, MpiThreading, NetworkSpec,
     NodeSpec, NumaSpec, SocketSpec,
 };
+pub use topo::JobTopo;

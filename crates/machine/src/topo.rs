@@ -1,0 +1,86 @@
+//! Job topology queries: the rank→node placement a launch produced,
+//! summarized for consumers that pick communication strategies.
+//!
+//! The collectives engine (`impacc-coll`) selects between flat and
+//! hierarchical algorithms from this shape: a job with several ranks
+//! co-resident on a node has a cheap shared-memory intra-node phase
+//! available; a one-rank-per-node job does not.
+
+/// Shape of a job's rank→node placement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobTopo {
+    /// Total ranks in the job.
+    pub ranks: usize,
+    /// Distinct nodes hosting at least one rank.
+    pub nodes_used: usize,
+    /// Largest number of ranks co-resident on one node.
+    pub max_ranks_per_node: usize,
+}
+
+impl JobTopo {
+    /// Summarize a rank→node map (`node_of[rank]` = hosting node index).
+    pub fn from_node_of(node_of: &[usize]) -> JobTopo {
+        let mut counts: Vec<usize> = Vec::new();
+        for &n in node_of {
+            if n >= counts.len() {
+                counts.resize(n + 1, 0);
+            }
+            counts[n] += 1;
+        }
+        JobTopo {
+            ranks: node_of.len(),
+            nodes_used: counts.iter().filter(|&&c| c > 0).count(),
+            max_ranks_per_node: counts.iter().copied().max().unwrap_or(0),
+        }
+    }
+
+    /// Does any node host more than one rank? (The precondition for a
+    /// hierarchical collective to have a non-trivial intra-node phase.)
+    pub fn multi_rank(&self) -> bool {
+        self.max_ranks_per_node > 1
+    }
+
+    /// Does the job span more than one node?
+    pub fn multi_node(&self) -> bool {
+        self.nodes_used > 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summarizes_mixed_placement() {
+        let t = JobTopo::from_node_of(&[0, 0, 1, 1, 1, 3]);
+        assert_eq!(t.ranks, 6);
+        assert_eq!(t.nodes_used, 3); // node 2 hosts nobody
+        assert_eq!(t.max_ranks_per_node, 3);
+        assert!(t.multi_rank());
+        assert!(t.multi_node());
+    }
+
+    #[test]
+    fn one_rank_per_node_is_not_multi_rank() {
+        let t = JobTopo::from_node_of(&[0, 1, 2, 3]);
+        assert_eq!(t.max_ranks_per_node, 1);
+        assert!(!t.multi_rank());
+        assert!(t.multi_node());
+    }
+
+    #[test]
+    fn all_on_one_node_is_not_multi_node() {
+        let t = JobTopo::from_node_of(&[0, 0, 0]);
+        assert!(t.multi_rank());
+        assert!(!t.multi_node());
+    }
+
+    #[test]
+    fn empty_job_degenerates() {
+        let t = JobTopo::from_node_of(&[]);
+        assert_eq!(t.ranks, 0);
+        assert_eq!(t.nodes_used, 0);
+        assert_eq!(t.max_ranks_per_node, 0);
+        assert!(!t.multi_rank());
+    }
+}

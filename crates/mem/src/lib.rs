@@ -16,11 +16,13 @@
 pub mod backing;
 pub mod faulty;
 pub mod heap;
+pub mod pool;
 pub mod present;
 pub mod space;
 
 pub use backing::{Backing, CowSnapshot};
 pub use faulty::{commit_copy, reserve_hd_with_faults};
 pub use heap::{HeapEntry, HeapError, HeapPtr, NodeHeap};
+pub use pool::ReducePool;
 pub use present::{DevPtr, PresentEntry, PresentTable};
 pub use space::{AddressSpace, MemError, MemSpace, Region, RegionId, VirtAddr};

@@ -1,0 +1,113 @@
+//! Shared-memory reduce-buffer pool (§3.4 adjacent): recycled
+//! [`Backing`]s a node's collective leaders publish reduction results
+//! through.
+//!
+//! A hierarchical collective allocates one node-shared result buffer per
+//! operation; without a pool every allreduce would malloc a fresh backing
+//! and drop it when the last member copies out. The pool keeps returned
+//! backings binned by size class so steady-state collectives reuse the
+//! same few allocations — the simulated analogue of the pinned
+//! scratch-buffer pools real MPI runtimes keep per node.
+//!
+//! Buffers are always created uncapped (`phys_cap = None`): reduction
+//! scratch must hold real bytes even in phys-capped Titan-scale runs,
+//! exactly like the message-engine staging buffers.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::backing::Backing;
+
+/// Size classes are power-of-two bytes; a request is served from the
+/// smallest class that fits.
+fn class_of(len: u64) -> u64 {
+    len.max(1).next_power_of_two()
+}
+
+/// A node-shared pool of recycled reduce/publish buffers.
+#[derive(Default)]
+pub struct ReducePool {
+    free: Mutex<Vec<(u64, Arc<Backing>)>>,
+    taken: Mutex<u64>,
+    reused: Mutex<u64>,
+}
+
+impl ReducePool {
+    /// An empty pool.
+    pub fn new() -> ReducePool {
+        ReducePool::default()
+    }
+
+    /// Take a backing with at least `len` logical bytes. Reuses a pooled
+    /// backing of the same size class when one is free.
+    pub fn take(&self, len: u64) -> Arc<Backing> {
+        let class = class_of(len);
+        *self.taken.lock() += 1;
+        let mut free = self.free.lock();
+        if let Some(pos) = free.iter().position(|(c, _)| *c == class) {
+            let (_, b) = free.swap_remove(pos);
+            *self.reused.lock() += 1;
+            return b;
+        }
+        drop(free);
+        Backing::new(class, None)
+    }
+
+    /// Return a backing for reuse. Callers hand back the `Arc` they took;
+    /// clones held elsewhere keep the bytes alive but the pool will hand
+    /// the backing out again, so only return it once every reader is done.
+    pub fn put(&self, b: Arc<Backing>) {
+        let class = b.logical_len();
+        self.free.lock().push((class, b));
+    }
+
+    /// (take calls, takes served from the free list) — for tests and
+    /// metrics.
+    pub fn stats(&self) -> (u64, u64) {
+        (*self.taken.lock(), *self.reused.lock())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_put_take_reuses_the_backing() {
+        let pool = ReducePool::new();
+        let a = pool.take(100);
+        assert_eq!(a.logical_len(), 128, "rounded to the size class");
+        let a_ptr = Arc::as_ptr(&a);
+        pool.put(a);
+        let b = pool.take(120); // same class
+        assert_eq!(Arc::as_ptr(&b), a_ptr, "served from the free list");
+        assert_eq!(pool.stats(), (2, 1));
+    }
+
+    #[test]
+    fn different_classes_do_not_alias() {
+        let pool = ReducePool::new();
+        let small = pool.take(8);
+        pool.put(small);
+        let big = pool.take(4096);
+        assert_eq!(big.logical_len(), 4096);
+        assert_eq!(pool.stats().1, 0, "no cross-class reuse");
+    }
+
+    #[test]
+    fn pooled_backings_hold_real_bytes() {
+        let pool = ReducePool::new();
+        let b = pool.take(64);
+        b.write_f64s(0, &[1.5, 2.5]);
+        assert_eq!(b.read_f64s(0, 2), vec![1.5, 2.5]);
+        assert_eq!(b.phys_len(), b.logical_len(), "never phys-capped");
+    }
+
+    #[test]
+    fn zero_len_requests_are_served() {
+        let pool = ReducePool::new();
+        let b = pool.take(0);
+        assert!(b.logical_len() >= 1);
+    }
+}

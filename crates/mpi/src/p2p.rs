@@ -90,8 +90,16 @@ pub trait PointToPoint {
         comm: &Comm,
     ) -> Status;
 
-    /// `MPI_Barrier`: dissemination algorithm, ⌈log2 n⌉ rounds.
+    /// `MPI_Barrier`. Dispatches to the flat dissemination algorithm;
+    /// runtimes with a collectives engine (`impacc-coll`) override this to
+    /// route through the algorithm registry.
     fn barrier(&self, ctx: &Ctx, comm: &Comm) {
+        self.flat_barrier(ctx, comm)
+    }
+
+    /// Flat dissemination barrier, ⌈log2 n⌉ rounds — the registry's
+    /// `flat` entry and the correctness reference.
+    fn flat_barrier(&self, ctx: &Ctx, comm: &Comm) {
         let n = comm.size();
         if n <= 1 {
             return;
@@ -111,9 +119,16 @@ pub trait PointToPoint {
         })
     }
 
-    /// `MPI_Bcast`: binomial tree rooted at `root`. Every rank passes its
-    /// own `buf` of identical length; non-roots receive into it.
+    /// `MPI_Bcast`. Every rank passes its own `buf` of identical length;
+    /// non-roots receive into it. Dispatches to the flat binomial tree;
+    /// engine-backed runtimes override this.
     fn bcast(&self, ctx: &Ctx, buf: &MsgBuf, root: u32, comm: &Comm) {
+        self.flat_bcast(ctx, buf, root, comm)
+    }
+
+    /// Flat binomial-tree broadcast rooted at `root` — the registry's
+    /// `flat` entry and the correctness reference.
+    fn flat_bcast(&self, ctx: &Ctx, buf: &MsgBuf, root: u32, comm: &Comm) {
         let n = comm.size();
         if n <= 1 {
             return;
@@ -188,11 +203,24 @@ pub trait PointToPoint {
         }
     }
 
-    /// `MPI_Allreduce` = reduce to rank 0 + broadcast. Every rank supplies
-    /// `recvbuf`.
+    /// `MPI_Allreduce`. Every rank supplies `recvbuf`. Dispatches to the
+    /// flat reduce+bcast composition; engine-backed runtimes override this.
     fn allreduce(&self, ctx: &Ctx, sendbuf: &MsgBuf, recvbuf: &MsgBuf, op: ReduceOp, comm: &Comm) {
+        self.flat_allreduce(ctx, sendbuf, recvbuf, op, comm)
+    }
+
+    /// Flat allreduce = binomial reduce to rank 0 + binomial broadcast —
+    /// the registry's `flat` entry and the correctness reference.
+    fn flat_allreduce(
+        &self,
+        ctx: &Ctx,
+        sendbuf: &MsgBuf,
+        recvbuf: &MsgBuf,
+        op: ReduceOp,
+        comm: &Comm,
+    ) {
         self.reduce(ctx, sendbuf, Some(recvbuf), op, 0, comm);
-        self.bcast(ctx, recvbuf, 0, comm);
+        self.flat_bcast(ctx, recvbuf, 0, comm);
     }
 
     /// `MPI_Gather`: every rank contributes `sendbuf`; on `root`,
@@ -406,11 +434,18 @@ pub trait PointToPoint {
         });
     }
 
-    /// `MPI_Allgather` = gather to rank 0 + broadcast of the full vector.
-    /// `recvbuf` must hold `size * sendbuf.len` bytes on every rank.
+    /// `MPI_Allgather`. `recvbuf` must hold `size * sendbuf.len` bytes on
+    /// every rank. Dispatches to the flat gather+bcast composition;
+    /// engine-backed runtimes override this.
     fn allgather(&self, ctx: &Ctx, sendbuf: &MsgBuf, recvbuf: &MsgBuf, comm: &Comm) {
+        self.flat_allgather(ctx, sendbuf, recvbuf, comm)
+    }
+
+    /// Flat allgather = gather to rank 0 + broadcast of the full vector —
+    /// the registry's `flat` entry and the correctness reference.
+    fn flat_allgather(&self, ctx: &Ctx, sendbuf: &MsgBuf, recvbuf: &MsgBuf, comm: &Comm) {
         self.gather(ctx, sendbuf, Some(recvbuf), 0, comm);
-        self.bcast(ctx, recvbuf, 0, comm);
+        self.flat_bcast(ctx, recvbuf, 0, comm);
     }
 }
 

@@ -59,6 +59,10 @@ pub enum EventKind {
     MpiRecv,
     /// A collective operation (barrier, bcast, allreduce, ...).
     MpiColl,
+    /// The intra-node phase of a hierarchical collective: shared-memory
+    /// reduction folds and result copies through the node VAS
+    /// (`impacc-coll`).
+    CollIntra,
     /// The node handler fused an intra-node send/recv pair (§3.7).
     Fuse,
     /// A heap-aliasing decision on a fused host message (§3.8):
@@ -82,7 +86,7 @@ pub enum EventKind {
 
 impl EventKind {
     /// Every kind, in a fixed presentation order.
-    pub const ALL: [EventKind; 16] = [
+    pub const ALL: [EventKind; 17] = [
         EventKind::Kernel,
         EventKind::CopyHtoH,
         EventKind::CopyHtoD,
@@ -91,6 +95,7 @@ impl EventKind {
         EventKind::MpiSend,
         EventKind::MpiRecv,
         EventKind::MpiColl,
+        EventKind::CollIntra,
         EventKind::Fuse,
         EventKind::Alias,
         EventKind::QueueWait,
@@ -112,6 +117,7 @@ impl EventKind {
             EventKind::MpiSend => "mpi_send",
             EventKind::MpiRecv => "mpi_recv",
             EventKind::MpiColl => "mpi_coll",
+            EventKind::CollIntra => "coll_intra",
             EventKind::Fuse => "fuse",
             EventKind::Alias => "alias",
             EventKind::QueueWait => "queue_wait",

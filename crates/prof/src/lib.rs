@@ -448,6 +448,10 @@ pub fn analyze(spans: &[Span], edges: &[Edge]) -> Report {
             .end_ps
             .saturating_sub(b(EventKind::MpiSend) + b(EventKind::MpiRecv) + b(EventKind::MpiColl)),
     );
+    report.what_if.insert(
+        "free_intranode_coll".to_string(),
+        report.end_ps.saturating_sub(b(EventKind::CollIntra)),
+    );
 
     report
 }
@@ -725,6 +729,24 @@ mod tests {
         assert_eq!(r.blame_by_kind["DtoD"], 10);
         assert_eq!(r.what_if["zero_cost_dtod"], 20);
         assert_eq!(r.what_if["free_fusion"], 10);
+    }
+
+    #[test]
+    fn free_intranode_coll_removes_on_path_intra_phase() {
+        // A hierarchical collective: the coll_intra fold nests inside the
+        // coarse mpi_coll span; the projection removes only the fold.
+        let spans = vec![
+            span("r0", EventKind::Kernel, 0, 10),
+            span("r0", EventKind::MpiColl, 10, 40),
+            span("r0", EventKind::CollIntra, 15, 30),
+        ];
+        let r = analyze(&spans, &[]);
+        assert_eq!(r.end_ps, 40);
+        assert_eq!(r.blame_by_kind["coll_intra"], 15);
+        assert_eq!(r.blame_by_kind["mpi_coll"], 15);
+        assert_eq!(r.what_if["free_intranode_coll"], 25);
+        // The existing NIC projection keeps ignoring the intra phase.
+        assert_eq!(r.what_if["infinite_nic"], 25);
     }
 
     #[test]

@@ -35,7 +35,8 @@ pub use impacc_vtime as vtime;
 /// The things almost every IMPACC program needs.
 pub mod prelude {
     pub use impacc_core::{
-        BufView, HBuf, Launch, Mode, MpiOpts, RunSummary, RuntimeOptions, TaskCtx, UReq,
+        BufView, CollAlgo, CollOp, CollOpts, HBuf, Launch, Mode, MpiOpts, RunSummary,
+        RuntimeOptions, TaskCtx, UReq,
     };
     pub use impacc_machine::{DeviceKind, DeviceTypeMask, KernelCost, MachineSpec};
     pub use impacc_mpi::{Comm, PointToPoint, ReduceOp, Status};
