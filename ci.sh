@@ -91,4 +91,55 @@ else
     echo "coll gate: skipped (no committed baselines/coll.json; run ./ci.sh --rebaseline)"
 fi
 
+echo "==> serve smoke: admission control + cache determinism"
+# Backpressure must reject with a reason, and a resubmitted job set must
+# be 100% cache hits with byte-identical results. The binary panics
+# (nonzero exit) on any violation.
+cargo run --release -q -p impacc-bench --bin bench_serve -- --smoke
+
+echo "==> serve load test + regression gate"
+# Same shape as the speed/coll gates: fresh cold-pass throughput from
+# the serving-layer load test vs the committed baselines/serve.json,
+# floor at -$PCT%. The load test itself asserts a 100% warm hit rate.
+IMPACC_BENCH_DIR="$PERF_DIR" IMPACC_BENCH_QUICK=1 \
+    cargo run --release -q -p impacc-bench --bin bench_serve \
+    | grep -E '^\[serve\]'
+fresh=$(grep -o '"events_per_sec":[0-9]*' "$PERF_DIR/BENCH_serve.json" | cut -d: -f2)
+if [[ "${1:-}" == "--rebaseline" ]]; then
+    cp "$PERF_DIR/BENCH_serve.json" baselines/serve.json
+    echo "serve gate: baseline reset to $fresh events/sec (commit baselines/serve.json)"
+elif baseline_json=$(git show HEAD:baselines/serve.json 2>/dev/null); then
+    base=$(printf '%s' "$baseline_json" | grep -o '"events_per_sec":[0-9]*' | cut -d: -f2)
+    awk -v fresh="$fresh" -v base="$base" -v pct="$PCT" 'BEGIN {
+        floor = base * (1 - pct / 100);
+        printf "serve gate: fresh %.0f vs baseline %.0f events/sec (floor %.0f, -%s%%)\n",
+            fresh, base, floor, pct;
+        if (fresh < floor) {
+            printf "serve gate: FAIL — throughput regressed more than %s%%\n", pct;
+            exit 1;
+        }
+        print "serve gate: ok";
+    }'
+else
+    echo "serve gate: skipped (no committed baselines/serve.json; run ./ci.sh --rebaseline)"
+fi
+
+echo "==> serve campaign: cached resubmit executes nothing"
+# Drive the shipped collective campaign through the spool daemon twice.
+# The second drain must be answered entirely by the content-addressed
+# cache: 'executed 0' or the serving layer broke its core contract.
+SPOOL=target/ci-spool
+rm -rf "$SPOOL"
+serve_bin=target/release/serve
+"$serve_bin" campaign --spool "$SPOOL" campaigns/coll_sweep.campaign
+"$serve_bin" daemon --spool "$SPOOL" --workers 4 --drain
+"$serve_bin" campaign --spool "$SPOOL" campaigns/coll_sweep.campaign
+second=$("$serve_bin" daemon --spool "$SPOOL" --workers 4 --drain)
+echo "$second"
+if ! grep -q "executed 0," <<<"$second"; then
+    echo "serve campaign gate: FAIL — resubmitted campaign re-executed jobs"
+    exit 1
+fi
+echo "serve campaign gate: ok"
+
 echo "ci: all green"

@@ -1,15 +1,15 @@
 //! Chaos sweep binary: fault rate vs completion time/goodput plus the
 //! device-loss remap scenario; writes `BENCH_chaos.json`.
 //!
-//! Usage: `bench_chaos [--smoke]`
+//! Usage: `bench_chaos [--quick] [--smoke]`
 //!
 //! `--smoke` runs the fixed-seed CI check instead of the sweep: a faulted
 //! exchange must complete bit-correct with `retries > 0`, and a device-loss
 //! run must finish via remap. Any violation panics (nonzero exit).
 fn main() {
-    if std::env::args().skip(1).any(|a| a == "--smoke") {
-        print!("{}", impacc_bench::chaos::smoke());
-        return;
-    }
-    impacc_bench::util::bench_main("chaos", impacc_bench::chaos::run);
+    impacc_bench::bench_bin(
+        "chaos",
+        impacc_bench::chaos::run,
+        Some(impacc_bench::chaos::smoke),
+    );
 }

@@ -1,0 +1,17 @@
+//! Serving-layer load test binary: client threads × jobs against the
+//! impacc-serve engine, cold pass then cached resubmit; writes
+//! `BENCH_serve.json`.
+//!
+//! Usage: `bench_serve [--quick] [--smoke]`
+//!
+//! `--smoke` runs the fixed CI check instead of the load test:
+//! backpressure must reject with a reason, and a resubmitted job set
+//! must be 100% cache hits with byte-identical results. Any violation
+//! panics (nonzero exit).
+fn main() {
+    impacc_bench::bench_bin(
+        "serve",
+        impacc_bench::serve::run,
+        Some(impacc_bench::serve::smoke),
+    );
+}

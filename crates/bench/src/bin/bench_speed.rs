@@ -1,8 +1,5 @@
 //! See `impacc_bench::speed`. `--quick` is a convenience alias for
 //! `IMPACC_BENCH_QUICK=1` so CI can invoke the perf smoke in one line.
 fn main() {
-    if std::env::args().skip(1).any(|a| a == "--quick") {
-        std::env::set_var("IMPACC_BENCH_QUICK", "1");
-    }
-    impacc_bench::util::bench_main("speed", impacc_bench::speed::run);
+    impacc_bench::bench_bin("speed", impacc_bench::speed::run, None);
 }

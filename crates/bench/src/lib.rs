@@ -21,6 +21,37 @@ pub mod fig5;
 pub mod fig8;
 pub mod fig9;
 pub mod prof;
+pub mod serve;
 pub mod specs;
 pub mod speed;
 pub mod util;
+
+/// Shared entry point for the sweep binaries (`bench_speed`, `bench_chaos`,
+/// `bench_coll`, `bench_serve`): one place owning the argument parse and
+/// the print-plus-`BENCH_<name>.json` emit boilerplate the bins used to
+/// duplicate.
+///
+/// * `--quick` is an alias for `IMPACC_BENCH_QUICK=1` (trim sweeps);
+/// * `--smoke` dispatches the binary's fixed CI check instead of the
+///   sweep, when the binary has one (the check panics — nonzero exit — on
+///   any violation and writes no artifact);
+/// * anything else is a readable error and a nonzero exit.
+pub fn bench_bin(name: &str, run: fn() -> String, smoke: Option<fn() -> String>) {
+    let mut want_smoke = false;
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--quick" => std::env::set_var("IMPACC_BENCH_QUICK", "1"),
+            "--smoke" if smoke.is_some() => want_smoke = true,
+            other => {
+                let extra = if smoke.is_some() { " [--smoke]" } else { "" };
+                eprintln!("bench_{name}: unknown argument {other:?}; usage: bench_{name} [--quick]{extra}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if want_smoke {
+        print!("{}", smoke.expect("guarded above")());
+        return;
+    }
+    util::bench_main(name, run);
+}

@@ -21,14 +21,13 @@ use crate::util::quick;
 /// `--critical-path` flag or `IMPACC_PROF=1` is set.
 pub fn requested() -> bool {
     std::env::args().skip(1).any(|a| a == "--critical-path")
-        || std::env::var("IMPACC_PROF").is_ok_and(|v| v == "1")
+        || impacc_core::config::prof_requested()
 }
 
 /// Where `PROF_<name>.json` is written: `$IMPACC_BENCH_DIR` when set, else
 /// the current directory (mirrors `BenchReport::path`).
 pub fn prof_path(name: &str) -> PathBuf {
-    let dir = std::env::var("IMPACC_BENCH_DIR").unwrap_or_else(|_| ".".into());
-    PathBuf::from(dir).join(format!("PROF_{name}.json"))
+    impacc_core::config::bench_dir().join(format!("PROF_{name}.json"))
 }
 
 /// Analyze a recorded run, persist `PROF_<name>.json` (and optionally a

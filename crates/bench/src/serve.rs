@@ -1,0 +1,200 @@
+//! Serving-layer load test — N client threads × M jobs against the
+//! impacc-serve engine, cold then resubmitted.
+//!
+//! The first pass is all cache misses (every job executes on the worker
+//! pool); the second pass resubmits the identical job set and must be
+//! served entirely from the content-addressed cache. The table reports
+//! throughput and client-observed latency for both passes; the headline
+//! numbers (`throughput_jobs_per_sec`, `p50_ms`, `p99_ms`,
+//! `cache_hit_rate`) land as top-level `BENCH_serve.json` fields for the
+//! CI gate.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use impacc_serve::{JobSpec, Reject, Serve, ServeConfig};
+
+use crate::util::{quick, report_extra, Table};
+
+/// The job grid: `count` distinct allreduce points (seed × payload), so
+/// every job is a genuine execution on the cold pass.
+fn job_grid(count: usize) -> Vec<JobSpec> {
+    (0..count)
+        .map(|i| {
+            JobSpec::parse(&format!(
+                "workload=allreduce\ngpus=2\nelems={}\nrounds=1\nseed={}",
+                16 << (i % 3),
+                1000 + i
+            ))
+            .expect("grid job parses")
+        })
+        .collect()
+}
+
+struct PassStats {
+    wall_ms: f64,
+    throughput: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    hit_rate: f64,
+}
+
+/// Drive `jobs` through `serve` from `clients` threads; collect
+/// client-observed latency (submit → result) and the pass hit rate.
+fn drive(serve: &Serve, jobs: &[JobSpec], clients: usize) -> PassStats {
+    let before = serve.status();
+    let start = Instant::now();
+    let latencies: Vec<f64> = std::thread::scope(|s| {
+        let chunks: Vec<&[JobSpec]> = jobs.chunks(jobs.len().div_ceil(clients)).collect();
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                s.spawn(move || {
+                    let mut lats = Vec::with_capacity(chunk.len());
+                    for job in chunk {
+                        let t0 = Instant::now();
+                        let ticket = loop {
+                            match serve.submit(job.clone()) {
+                                Ok(t) => break t,
+                                Err(Reject::QueueFull { .. }) => std::thread::yield_now(),
+                                Err(e) => panic!("unexpected reject: {e}"),
+                            }
+                        };
+                        let done = ticket.wait();
+                        assert!(done.is_ok(), "job failed: {:?}", done.error);
+                        lats.push(t0.elapsed().as_secs_f64() * 1e3);
+                    }
+                    lats
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let after = serve.status();
+    let submitted = (after.admitted - before.admitted) as f64;
+    let hits = (after.cache_hits - before.cache_hits) as f64;
+    let mut sorted = latencies;
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let pct = |p: f64| sorted[((sorted.len() - 1) as f64 * p) as usize];
+    PassStats {
+        wall_ms,
+        throughput: submitted / (wall_ms / 1e3),
+        p50_ms: pct(0.50),
+        p99_ms: pct(0.99),
+        hit_rate: hits / submitted,
+    }
+}
+
+/// The two-pass load test; returns the rendered report.
+pub fn run() -> String {
+    let (clients, count) = if quick() { (2, 12) } else { (4, 48) };
+    let jobs = job_grid(count);
+    let serve = Serve::start(ServeConfig {
+        workers: 4,
+        queue_cap: 256,
+        ..ServeConfig::default()
+    });
+    let mut out = format!(
+        "Serving layer: {clients} clients x {} jobs, 4 workers, cold then resubmit\n\
+         (latency is client-observed submit->result wall time)\n\n",
+        count / clients
+    );
+    let mut t = Table::new(&["pass", "jobs", "wall", "jobs/sec", "p50", "p99", "hit rate"]);
+    let mut row = |label: &str, st: &PassStats| {
+        t.row(vec![
+            label.to_string(),
+            count.to_string(),
+            format!("{:.1}ms", st.wall_ms),
+            format!("{:.0}", st.throughput),
+            format!("{:.2}ms", st.p50_ms),
+            format!("{:.2}ms", st.p99_ms),
+            format!("{:.0}%", st.hit_rate * 100.0),
+        ]);
+    };
+    let cold = drive(&serve, &jobs, clients);
+    row("cold", &cold);
+    let warm = drive(&serve, &jobs, clients);
+    row("resubmit", &warm);
+    assert!(
+        (warm.hit_rate - 1.0).abs() < f64::EPSILON,
+        "resubmit pass must be 100% cache hits, got {:.0}%",
+        warm.hit_rate * 100.0
+    );
+    let st = serve.status();
+    assert_eq!(
+        st.jobs_done as usize, count,
+        "resubmit pass must not re-execute anything"
+    );
+    out.push_str(&t.render());
+    out.push_str(
+        "\nthe resubmit pass answers every request from the content-addressed\n\
+         cache: zero re-executions, bit-identical bytes, and latency that is\n\
+         pure lookup cost instead of simulation cost.\n",
+    );
+    // Headline fields for the BENCH_serve.json CI gate: cold-pass
+    // throughput/latency (the expensive path) and the warm hit rate.
+    report_extra("throughput_jobs_per_sec", cold.throughput);
+    report_extra("p50_ms", cold.p50_ms);
+    report_extra("p99_ms", cold.p99_ms);
+    report_extra("cache_hit_rate", warm.hit_rate);
+    out
+}
+
+/// CI smoke: backpressure rejects with a reason, and a resubmitted job
+/// set is served 100% from cache with byte-identical results. Panics
+/// (nonzero exit) on any violation.
+pub fn smoke() -> String {
+    let mut out = String::from("serve smoke: admission control + cache determinism\n");
+
+    // 1. A zero-capacity queue must reject with QueueFull, not block.
+    let tiny = Serve::start(ServeConfig {
+        workers: 1,
+        queue_cap: 0,
+        ..ServeConfig::default()
+    });
+    match tiny.submit(job_grid(1).pop().expect("one job")) {
+        Err(Reject::QueueFull { depth, cap }) => {
+            out.push_str(&format!("  queue full rejected at depth {depth}/{cap}\n"));
+        }
+        other => panic!("expected QueueFull from a zero-capacity queue, got {other:?}"),
+    }
+
+    // 2. Cold pass executes, resubmit pass is all hits, bytes identical.
+    let serve = Serve::start(ServeConfig {
+        workers: 2,
+        queue_cap: 64,
+        ..ServeConfig::default()
+    });
+    let jobs = job_grid(6);
+    let cold: Vec<Arc<String>> = jobs
+        .iter()
+        .map(|j| {
+            let done = serve.submit(j.clone()).expect("admit").wait();
+            assert!(!done.cache_hit, "cold pass must execute");
+            done.result.expect("cold result")
+        })
+        .collect();
+    let executed = serve.status().jobs_done;
+    for (j, first) in jobs.iter().zip(&cold) {
+        let done = serve.submit(j.clone()).expect("admit").wait();
+        assert!(done.cache_hit, "resubmit must hit the cache");
+        assert_eq!(
+            **done.result.expect("warm result"),
+            ***first,
+            "cached bytes must be identical"
+        );
+    }
+    let st = serve.status();
+    assert_eq!(st.jobs_done, executed, "resubmit must not re-execute");
+    assert_eq!(st.cache_hits as usize, jobs.len());
+    out.push_str(&format!(
+        "  {} jobs executed once, {} resubmissions all cache hits, bytes identical\n",
+        executed, st.cache_hits
+    ));
+    out.push_str("serve smoke: OK\n");
+    out
+}

@@ -10,13 +10,13 @@ use parking_lot::Mutex;
 
 /// Quick mode trims sweeps for CI (`IMPACC_BENCH_QUICK=1`).
 pub fn quick() -> bool {
-    std::env::var("IMPACC_BENCH_QUICK").is_ok_and(|v| v == "1")
+    impacc_core::config::bench_quick()
 }
 
 /// Full mode unlocks the largest Titan-scale points
 /// (`IMPACC_BENCH_FULL=1`); they spawn tens of thousands of actor threads.
 pub fn full() -> bool {
-    std::env::var("IMPACC_BENCH_FULL").is_ok_and(|v| v == "1")
+    impacc_core::config::bench_full()
 }
 
 /// Geometric size sweep `[from, to]` multiplying by `factor`.
@@ -125,6 +125,24 @@ impl Table {
 thread_local! {
     /// Active table collector for [`BenchReport::capture`].
     static CAPTURE: RefCell<Option<Vec<TableSnapshot>>> = const { RefCell::new(None) };
+    /// Active extra-field collector for [`BenchReport::capture`].
+    static EXTRAS: RefCell<Option<Vec<(String, f64)>>> = const { RefCell::new(None) };
+}
+
+/// Publish an extra top-level numeric field into the active
+/// [`BenchReport::capture`] (e.g. `bench_serve`'s throughput, p50/p99
+/// latency and cache-hit rate). Outside a capture this is a no-op. A key
+/// reported twice keeps the last value.
+pub fn report_extra(key: &str, value: f64) {
+    EXTRAS.with(|e| {
+        if let Some(extras) = e.borrow_mut().as_mut() {
+            if let Some(slot) = extras.iter_mut().find(|(k, _)| k == key) {
+                slot.1 = value;
+            } else {
+                extras.push((key.to_string(), value));
+            }
+        }
+    });
 }
 
 /// A rendered table captured for the machine-readable report.
@@ -149,6 +167,9 @@ pub struct BenchReport {
     /// Engine events dispatched per wall-clock second during the capture
     /// (all simulations run by `f`, summed) — the perf trajectory number.
     events_per_sec: f64,
+    /// Extra top-level numeric fields published via [`report_extra`]
+    /// during the capture, in publish order.
+    extras: Vec<(String, f64)>,
 }
 
 impl BenchReport {
@@ -158,21 +179,19 @@ impl BenchReport {
     /// and engine throughput (events/sec) over the section.
     pub fn capture(name: &str, f: impl FnOnce() -> String) -> BenchReport {
         CAPTURE.with(|c| *c.borrow_mut() = Some(Vec::new()));
+        EXTRAS.with(|e| *e.borrow_mut() = Some(Vec::new()));
         let events0 = impacc_vtime::global_events();
         let t0 = std::time::Instant::now();
         let text = f();
         let wall = t0.elapsed();
         let events = impacc_vtime::global_events() - events0;
         let tables = CAPTURE.with(|c| c.borrow_mut().take()).unwrap_or_default();
+        let extras = EXTRAS.with(|e| e.borrow_mut().take()).unwrap_or_default();
         let secs = wall.as_secs_f64();
         // Test hook for the CI perf gate: `IMPACC_PERF_INJECT_SLOWDOWN=2`
         // divides reported throughput by 2, simulating a regression so the
         // gate's failure path can be exercised without slowing anything.
-        let inject = std::env::var("IMPACC_PERF_INJECT_SLOWDOWN")
-            .ok()
-            .and_then(|v| v.parse::<f64>().ok())
-            .filter(|d| *d > 0.0)
-            .unwrap_or(1.0);
+        let inject = impacc_core::config::perf_inject_slowdown();
         BenchReport {
             name: name.to_string(),
             text,
@@ -183,6 +202,7 @@ impl BenchReport {
             } else {
                 0.0
             },
+            extras,
         }
     }
 
@@ -206,11 +226,21 @@ impl BenchReport {
         self.events_per_sec
     }
 
-    /// Serialize as JSON: `{"name", "text", "tables": [{"header", "rows"}],
-    /// "wall_ms", "events_per_sec"}`.
+    /// Extra top-level fields published via [`report_extra`] during the
+    /// capture.
+    pub fn extras(&self) -> &[(String, f64)] {
+        &self.extras
+    }
+
+    /// Serialize as JSON: `{"schema_version", "name", "text",
+    /// "tables": [{"header", "rows"}], "wall_ms", "events_per_sec"}` plus
+    /// one top-level key per [`report_extra`] field.
     pub fn to_json(&self) -> String {
         use impacc_obs::json;
-        let mut out = String::from("{\"name\":");
+        let mut out = format!(
+            "{{\"schema_version\":{},\"name\":",
+            impacc_obs::SCHEMA_VERSION
+        );
         out.push_str(&json::string(&self.name));
         out.push_str(",\"text\":");
         out.push_str(&json::string(&self.text));
@@ -246,6 +276,12 @@ impl BenchReport {
         out.push_str(&format!("{:.3}", self.wall_ms));
         out.push_str(",\"events_per_sec\":");
         out.push_str(&format!("{:.0}", self.events_per_sec));
+        for (k, v) in &self.extras {
+            out.push(',');
+            out.push_str(&json::string(k));
+            out.push(':');
+            out.push_str(&json::number(*v));
+        }
         out.push('}');
         out
     }
@@ -253,8 +289,7 @@ impl BenchReport {
     /// Where the report is written: `$IMPACC_BENCH_DIR` when set, else the
     /// current directory.
     pub fn path(&self) -> PathBuf {
-        let dir = std::env::var("IMPACC_BENCH_DIR").unwrap_or_else(|_| ".".into());
-        PathBuf::from(dir).join(format!("BENCH_{}.json", self.name))
+        impacc_core::config::bench_dir().join(format!("BENCH_{}.json", self.name))
     }
 
     /// Write `BENCH_<name>.json`, warning (not failing) on I/O errors so a
@@ -370,7 +405,11 @@ mod tests {
         assert_eq!(r.tables()[0].header, vec!["a", "b"]);
         assert_eq!(r.tables()[1].rows[0][0], "\"quoted\"");
         let j = r.to_json();
-        assert!(j.starts_with("{\"name\":\"t\""));
+        let prefix = format!(
+            "{{\"schema_version\":{},\"name\":\"t\"",
+            impacc_obs::SCHEMA_VERSION
+        );
+        assert!(j.starts_with(&prefix), "got: {j}");
         assert!(j.contains("\"header\":[\"a\",\"b\"]"));
         assert!(j.contains("\\\"quoted\\\""));
         // Capture is deactivated afterwards: renders outside don't leak in.
@@ -385,10 +424,37 @@ mod tests {
         let r = BenchReport::capture("empty", || "just text\n".to_string());
         let j = r.to_json();
         // Wall time varies run to run; check structure, not exact bytes.
-        assert!(j.starts_with("{\"name\":\"empty\",\"text\":\"just text\\n\",\"tables\":[]"));
+        let prefix = format!(
+            "{{\"schema_version\":{},\"name\":\"empty\",\"text\":\"just text\\n\",\"tables\":[]",
+            impacc_obs::SCHEMA_VERSION
+        );
+        assert!(j.starts_with(&prefix), "got: {j}");
         assert!(j.contains(",\"wall_ms\":"));
         assert!(j.contains(",\"events_per_sec\":"));
         assert!(j.ends_with('}'));
+    }
+
+    #[test]
+    fn extras_become_top_level_fields() {
+        let r = BenchReport::capture("x", || {
+            report_extra("p50_ms", 1.5);
+            report_extra("cache_hit_rate", 0.25);
+            report_extra("p50_ms", 2.5); // republish keeps the last value
+            "t\n".to_string()
+        });
+        assert_eq!(
+            r.extras(),
+            &[
+                ("p50_ms".to_string(), 2.5),
+                ("cache_hit_rate".to_string(), 0.25)
+            ]
+        );
+        let j = r.to_json();
+        assert!(j.contains(",\"p50_ms\":2.5"), "got: {j}");
+        assert!(j.contains(",\"cache_hit_rate\":0.25"));
+        // Outside a capture, publishing is a no-op.
+        report_extra("orphan", 1.0);
+        assert!(!r.to_json().contains("orphan"));
     }
 
     #[test]

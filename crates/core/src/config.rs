@@ -1,0 +1,130 @@
+//! Centralized `IMPACC_*` environment-variable parsing.
+//!
+//! Every runtime/bench knob that used to be a scattered `std::env::var`
+//! call site resolves through one typed accessor here, so the full knob
+//! surface is greppable in one place and each variable has exactly one
+//! spelling and one parse:
+//!
+//! | variable | accessor | meaning |
+//! |---|---|---|
+//! | `IMPACC_TRACE` | [`trace_path`] | auto-record a Chrome trace to this path |
+//! | `IMPACC_PROF` | [`prof_requested`] | `1` ⇒ append a critical-path profile |
+//! | `IMPACC_COLL_ALGO` | [`coll_algo`] | force one collective registry entry |
+//! | `IMPACC_BENCH_DIR` | [`bench_dir`] | where `BENCH_*`/`PROF_*` artifacts go |
+//! | `IMPACC_BENCH_QUICK` | [`bench_quick`] | `1` ⇒ trim sweeps for CI |
+//! | `IMPACC_BENCH_FULL` | [`bench_full`] | `1` ⇒ unlock the largest points |
+//! | `IMPACC_PERF_INJECT_SLOWDOWN` | [`perf_inject_slowdown`] | CI-gate failure-path test hook |
+//! | `IMPACC_SERVE_WORKERS` | [`serve_workers`] | worker-pool size override for `impacc-serve` |
+//!
+//! (`IMPACC_PERF_BASELINE_PCT` is consumed by `ci.sh` itself and never
+//! read from Rust; `IMPACC_ACC_DEVICE_TYPE` is modelled as a typed
+//! [`Launch`](crate::Launch) parameter, not an env read.)
+
+use std::path::PathBuf;
+
+use impacc_coll::CollAlgo;
+
+/// `true` iff `var` is set to exactly `"1"` (the repo-wide flag idiom).
+fn flag(var: &str) -> bool {
+    std::env::var(var).is_ok_and(|v| v == "1")
+}
+
+/// `IMPACC_TRACE=<path>`: auto-record any launched run and write a Chrome
+/// trace to `path` on completion. Empty values count as unset.
+pub fn trace_path() -> Option<PathBuf> {
+    match std::env::var("IMPACC_TRACE") {
+        Ok(p) if !p.is_empty() => Some(PathBuf::from(p)),
+        _ => None,
+    }
+}
+
+/// `IMPACC_PROF=1`: figure binaries append a critical-path profile and
+/// persist `PROF_<name>.json`.
+pub fn prof_requested() -> bool {
+    flag("IMPACC_PROF")
+}
+
+/// `IMPACC_COLL_ALGO=<entry>`: force one collective algorithm globally.
+/// Panics on an unknown spelling (the parse itself lives next to the
+/// registry in `impacc-coll`, the one crate below this module that owns
+/// the algorithm names).
+pub fn coll_algo() -> Option<CollAlgo> {
+    CollAlgo::from_env()
+}
+
+/// `IMPACC_BENCH_DIR=<dir>`: where bench/prof/serve artifacts are
+/// written; defaults to the current directory.
+pub fn bench_dir() -> PathBuf {
+    PathBuf::from(std::env::var("IMPACC_BENCH_DIR").unwrap_or_else(|_| ".".into()))
+}
+
+/// `IMPACC_BENCH_QUICK=1`: trim sweeps for CI.
+pub fn bench_quick() -> bool {
+    flag("IMPACC_BENCH_QUICK")
+}
+
+/// `IMPACC_BENCH_FULL=1`: unlock the largest (Titan-scale) sweep points.
+pub fn bench_full() -> bool {
+    flag("IMPACC_BENCH_FULL")
+}
+
+/// `IMPACC_PERF_INJECT_SLOWDOWN=<d>`: divide reported bench throughput by
+/// `d` (a test hook so the CI perf gate's failure path can be exercised
+/// without slowing anything). Unset, unparsable or non-positive ⇒ `1.0`.
+pub fn perf_inject_slowdown() -> f64 {
+    std::env::var("IMPACC_PERF_INJECT_SLOWDOWN")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|d| *d > 0.0)
+        .unwrap_or(1.0)
+}
+
+/// `IMPACC_SERVE_WORKERS=<n>`: override the `impacc-serve` worker-pool
+/// size. Unset, unparsable or zero ⇒ `None` (the daemon's default wins).
+pub fn serve_workers() -> Option<usize> {
+    std::env::var("IMPACC_SERVE_WORKERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|n| *n > 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Env-var state is process-global, so one test walks every accessor
+    // (cargo runs tests in threads; touching distinct var names per
+    // accessor keeps them independent anyway).
+    #[test]
+    fn accessors_parse_and_default() {
+        std::env::remove_var("IMPACC_TRACE");
+        assert_eq!(trace_path(), None);
+        std::env::set_var("IMPACC_TRACE", "");
+        assert_eq!(trace_path(), None, "empty IMPACC_TRACE counts as unset");
+        std::env::set_var("IMPACC_TRACE", "/tmp/t.json");
+        assert_eq!(trace_path(), Some(PathBuf::from("/tmp/t.json")));
+        std::env::remove_var("IMPACC_TRACE");
+
+        std::env::remove_var("IMPACC_PERF_INJECT_SLOWDOWN");
+        assert_eq!(perf_inject_slowdown(), 1.0);
+        std::env::set_var("IMPACC_PERF_INJECT_SLOWDOWN", "2.5");
+        assert_eq!(perf_inject_slowdown(), 2.5);
+        std::env::set_var("IMPACC_PERF_INJECT_SLOWDOWN", "-3");
+        assert_eq!(perf_inject_slowdown(), 1.0, "non-positive is ignored");
+        std::env::remove_var("IMPACC_PERF_INJECT_SLOWDOWN");
+
+        std::env::remove_var("IMPACC_SERVE_WORKERS");
+        assert_eq!(serve_workers(), None);
+        std::env::set_var("IMPACC_SERVE_WORKERS", "6");
+        assert_eq!(serve_workers(), Some(6));
+        std::env::set_var("IMPACC_SERVE_WORKERS", "0");
+        assert_eq!(serve_workers(), None, "zero workers is not a pool");
+        std::env::remove_var("IMPACC_SERVE_WORKERS");
+
+        std::env::remove_var("IMPACC_PROF");
+        assert!(!prof_requested());
+        std::env::set_var("IMPACC_PROF", "1");
+        assert!(prof_requested());
+        std::env::remove_var("IMPACC_PROF");
+    }
+}

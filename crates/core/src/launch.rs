@@ -331,12 +331,10 @@ impl Launch {
         let mut sink = self.sink.clone();
         let mut auto_trace: Option<(Recorder, std::path::PathBuf)> = None;
         if sink.is_none() {
-            if let Ok(path) = std::env::var("IMPACC_TRACE") {
-                if !path.is_empty() {
-                    let rec = Recorder::new();
-                    sink = Some(rec.sink());
-                    auto_trace = Some((rec, path.into()));
-                }
+            if let Some(path) = crate::config::trace_path() {
+                let rec = Recorder::new();
+                sink = Some(rec.sink());
+                auto_trace = Some((rec, path));
             }
         }
 

@@ -16,6 +16,7 @@
 #![warn(missing_docs)]
 
 pub mod cmd;
+pub mod config;
 pub mod handler;
 pub mod launch;
 pub mod mode;

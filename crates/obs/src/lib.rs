@@ -36,6 +36,17 @@ pub use impacc_vtime::SpanSink;
 
 use impacc_vtime::{SimDur, SimTime};
 
+/// Schema version stamped into every machine-readable artifact the stack
+/// emits (`BENCH_*.json`, `PROF_*.json`, serve job results). Downstream
+/// tooling — most importantly the `impacc-serve` content-addressed result
+/// cache — rejects artifacts whose version differs from its own, so a
+/// schema change can never resurface a stale cached result as fresh.
+///
+/// History: artifacts written before the field existed are implicitly
+/// version `1`; `2` introduced the explicit field (old readers that
+/// ignore unknown keys keep working — the bump is additive).
+pub const SCHEMA_VERSION: u32 = 2;
+
 /// The closed set of span kinds the runtime emits.
 ///
 /// Labels match the engine's accounting tags (`"HtoD"`, `"kernel"`, ...),

@@ -471,6 +471,10 @@ impl Report {
     /// artifact body). Contains no wall-clock data.
     pub fn to_json(&self, name: &str) -> String {
         let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "  \"schema_version\": {},\n",
+            impacc_obs::SCHEMA_VERSION
+        ));
         out.push_str(&format!("  \"name\": {},\n", json::string(name)));
         out.push_str(&format!("  \"end_ps\": {},\n", self.end_ps));
         out.push_str(&format!("  \"spans\": {},\n", self.spans));

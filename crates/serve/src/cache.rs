@@ -1,0 +1,171 @@
+//! Content-addressed result cache: memory tier + optional disk tier.
+//!
+//! Values are the deterministic result bodies produced by
+//! [`crate::workload::run_job`]; keys are [`crate::JobSpec::key`]
+//! content addresses. Because the key covers the code version and the
+//! artifact schema version, and every cached body opens with its
+//! `schema_version`, a stale artifact (written by an older build or an
+//! older schema) can never be served as fresh: the key moved *and* the
+//! disk tier re-validates the stored bytes before trusting them.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Parse the `schema_version` a stored artifact declares, if any.
+pub fn artifact_schema_version(bytes: &str) -> Option<u32> {
+    let idx = bytes.find("\"schema_version\":")?;
+    let rest = bytes[idx + "\"schema_version\":".len()..].trim_start();
+    let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
+/// Is this artifact body current — i.e. does it declare exactly our
+/// [`impacc_obs::SCHEMA_VERSION`]? Artifacts predating the field (implicit
+/// version 1) are stale by definition.
+pub fn artifact_is_current(bytes: &str) -> bool {
+    artifact_schema_version(bytes) == Some(impacc_obs::SCHEMA_VERSION)
+}
+
+/// The two-tier cache. Cheap to share behind an `Arc`.
+pub struct ResultCache {
+    mem: Mutex<HashMap<String, Arc<String>>>,
+    dir: Option<PathBuf>,
+}
+
+impl ResultCache {
+    /// A cache with an optional disk tier rooted at `dir` (created on
+    /// first use; I/O errors degrade to memory-only with a warning).
+    pub fn new(dir: Option<PathBuf>) -> ResultCache {
+        if let Some(d) = &dir {
+            if let Err(e) = std::fs::create_dir_all(d) {
+                eprintln!("serve cache: cannot create {}: {e}", d.display());
+            }
+        }
+        ResultCache {
+            mem: Mutex::new(HashMap::new()),
+            dir,
+        }
+    }
+
+    fn disk_path(&self, key: &str) -> Option<PathBuf> {
+        self.dir.as_ref().map(|d| d.join(format!("{key}.json")))
+    }
+
+    /// Look a key up: memory first, then disk. A disk hit is validated
+    /// (schema version current, body echoes the key) before being
+    /// promoted to memory; anything invalid is treated as a miss.
+    pub fn get(&self, key: &str) -> Option<Arc<String>> {
+        if let Some(v) = self.mem.lock().get(key) {
+            return Some(v.clone());
+        }
+        let path = self.disk_path(key)?;
+        let bytes = std::fs::read_to_string(&path).ok()?;
+        if !artifact_is_current(&bytes) || !bytes.contains(&format!("\"key\":\"{key}\"")) {
+            return None; // stale or foreign artifact: never serve it
+        }
+        let v = Arc::new(bytes);
+        self.mem.lock().insert(key.to_string(), v.clone());
+        Some(v)
+    }
+
+    /// Store a completed result under its key (both tiers). The disk
+    /// write is atomic (tmp + rename) so a crashed daemon never leaves a
+    /// half-written artifact a later `get` could trust.
+    pub fn put(&self, key: &str, value: Arc<String>) {
+        self.mem.lock().insert(key.to_string(), value.clone());
+        if let Some(path) = self.disk_path(key) {
+            if let Err(e) = write_atomic(&path, value.as_bytes()) {
+                eprintln!("serve cache: cannot write {}: {e}", path.display());
+            }
+        }
+    }
+
+    /// Number of entries in the memory tier.
+    pub fn len(&self) -> usize {
+        self.mem.lock().len()
+    }
+
+    /// Is the memory tier empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Write `bytes` to `path` atomically via a sibling tmp file + rename.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d =
+            std::env::temp_dir().join(format!("impacc-serve-cache-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn body(key: &str) -> String {
+        format!(
+            "{{\"schema_version\":{},\"key\":\"{key}\",\"end_ps\":1}}",
+            impacc_obs::SCHEMA_VERSION
+        )
+    }
+
+    #[test]
+    fn memory_roundtrip_and_miss() {
+        let c = ResultCache::new(None);
+        assert!(c.get("deadbeef").is_none());
+        c.put("deadbeef", Arc::new(body("deadbeef")));
+        assert_eq!(*c.get("deadbeef").unwrap(), body("deadbeef"));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn disk_tier_survives_a_new_cache_instance() {
+        let dir = tmpdir("disk");
+        let c = ResultCache::new(Some(dir.clone()));
+        c.put("cafe0123", Arc::new(body("cafe0123")));
+        let fresh = ResultCache::new(Some(dir.clone()));
+        assert_eq!(*fresh.get("cafe0123").unwrap(), body("cafe0123"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_schema_and_foreign_artifacts_are_misses() {
+        let dir = tmpdir("stale");
+        std::fs::create_dir_all(&dir).unwrap();
+        // Older schema version: rejected.
+        std::fs::write(
+            dir.join("aaaa.json"),
+            "{\"schema_version\":1,\"key\":\"aaaa\",\"end_ps\":1}",
+        )
+        .unwrap();
+        // No schema_version at all (pre-field artifact): rejected.
+        std::fs::write(dir.join("bbbb.json"), "{\"key\":\"bbbb\",\"end_ps\":1}").unwrap();
+        // Body claiming a different key (corrupt/renamed file): rejected.
+        std::fs::write(dir.join("cccc.json"), body("dddd")).unwrap();
+        let c = ResultCache::new(Some(dir.clone()));
+        assert!(c.get("aaaa").is_none());
+        assert!(c.get("bbbb").is_none());
+        assert!(c.get("cccc").is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn schema_version_parsing() {
+        assert_eq!(artifact_schema_version("{\"schema_version\":2,"), Some(2));
+        assert_eq!(
+            artifact_schema_version("{\n  \"schema_version\": 17,\n"),
+            Some(17)
+        );
+        assert_eq!(artifact_schema_version("{\"key\":\"x\"}"), None);
+    }
+}

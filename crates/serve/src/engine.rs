@@ -1,0 +1,572 @@
+//! The serving engine: admission control, priority lanes, a bounded
+//! worker pool, and the content-addressed cache stitched together.
+//!
+//! Life of a request:
+//!
+//! ```text
+//! submit(job) ── validate ──► cache probe ──hit──► ready Ticket (no queue slot)
+//!                               │ miss
+//!                               ├─ in-flight? ──► coalesce onto the running job
+//!                               │
+//!                               └─ lanes full? ──► Reject::QueueFull (backpressure)
+//!                                  else enqueue by priority, wake a worker
+//! worker: pop highest lane → run_job (panic-fenced) → cache.put →
+//!         JOB_<key>.json / PROF_<key>.json → fulfill every waiter
+//! ```
+//!
+//! Every decision increments an [`impacc_obs::Recorder`] counter
+//! (`serve_admitted`, `serve_rejected`, `serve_cache_hit`,
+//! `serve_cache_miss`, `serve_coalesced`, `serve_jobs_done`,
+//! `serve_jobs_failed`) and the gauges `serve_queue_depth` /
+//! `serve_workers_busy` track live occupancy, so a daemon's health is
+//! observable through the same metrics surface as the simulator itself.
+
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+
+use impacc_obs::Recorder;
+use parking_lot::{Condvar, Mutex};
+
+use crate::cache::{write_atomic, ResultCache};
+use crate::job::JobSpec;
+use crate::workload;
+
+/// Engine tuning knobs. `Default` reads `IMPACC_SERVE_WORKERS` (via
+/// [`impacc_core::config::serve_workers`]) and falls back to 4 workers
+/// and a 64-deep queue.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Worker threads executing jobs.
+    pub workers: usize,
+    /// Maximum queued (admitted, not yet running) jobs across all lanes.
+    pub queue_cap: usize,
+    /// Disk tier for the result cache; `None` keeps it memory-only.
+    pub cache_dir: Option<PathBuf>,
+    /// Where `JOB_<key>.json` / `PROF_<key>.json` artifacts land;
+    /// `None` skips artifact files (results still flow via tickets).
+    pub out_dir: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            workers: impacc_core::config::serve_workers().unwrap_or(4),
+            queue_cap: 64,
+            cache_dir: None,
+            out_dir: None,
+        }
+    }
+}
+
+/// Why a submission was refused. Admission control is explicit: callers
+/// always learn *why*, so clients can back off (`QueueFull`), fix the
+/// request (`Invalid`), or give up (`ShuttingDown`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Reject {
+    /// All lanes are at capacity; retry after completions drain.
+    QueueFull {
+        /// Jobs currently queued.
+        depth: usize,
+        /// Configured queue capacity.
+        cap: usize,
+    },
+    /// The job failed validation before touching the queue.
+    Invalid(String),
+    /// The engine is stopping; no new work is admitted.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for Reject {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Reject::QueueFull { depth, cap } => {
+                write!(f, "queue full ({depth}/{cap}); back off and retry")
+            }
+            Reject::Invalid(why) => write!(f, "invalid job: {why}"),
+            Reject::ShuttingDown => write!(f, "engine shutting down"),
+        }
+    }
+}
+
+/// Terminal state of one submission, delivered through its [`Ticket`].
+#[derive(Clone, Debug)]
+pub struct JobDone {
+    /// Content address of the job.
+    pub key: String,
+    /// Served from cache without executing anything?
+    pub cache_hit: bool,
+    /// The deterministic result body (absent only on failure).
+    pub result: Option<Arc<String>>,
+    /// Failure reason, if the job errored or panicked.
+    pub error: Option<String>,
+}
+
+impl JobDone {
+    /// Did the job produce a result?
+    pub fn is_ok(&self) -> bool {
+        self.error.is_none()
+    }
+}
+
+/// Handle to one admitted submission.
+#[derive(Debug)]
+pub struct Ticket {
+    /// The job's content address.
+    pub key: String,
+    rx: mpsc::Receiver<JobDone>,
+}
+
+impl Ticket {
+    /// Block until the job completes (or its cached result is ready).
+    pub fn wait(self) -> JobDone {
+        self.rx
+            .recv()
+            .expect("engine drains every admitted job before exit")
+    }
+
+    /// Non-blocking poll.
+    pub fn try_wait(&mut self) -> Option<JobDone> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// Point-in-time engine health, readable while jobs are in flight.
+#[derive(Clone, Debug, Default)]
+pub struct Status {
+    /// Queued (admitted, not running) jobs across all lanes.
+    pub queue_depth: usize,
+    /// Configured worker count.
+    pub workers: usize,
+    /// Workers currently executing a job.
+    pub workers_busy: usize,
+    /// Submissions accepted (queued, coalesced, or cache-served).
+    pub admitted: u64,
+    /// Submissions refused.
+    pub rejected: u64,
+    /// Submissions answered from cache without execution.
+    pub cache_hits: u64,
+    /// Submissions that required (or joined) an execution.
+    pub cache_misses: u64,
+    /// Submissions that piggybacked on an in-flight identical job.
+    pub coalesced: u64,
+    /// Executions completed successfully.
+    pub jobs_done: u64,
+    /// Executions that errored or panicked.
+    pub jobs_failed: u64,
+}
+
+impl Status {
+    /// Compact JSON for `status.json` / logs.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"schema_version\":{},\"queue_depth\":{},\"workers\":{},\"workers_busy\":{},\"admitted\":{},\"rejected\":{},\"cache_hits\":{},\"cache_misses\":{},\"coalesced\":{},\"jobs_done\":{},\"jobs_failed\":{}}}",
+            impacc_obs::SCHEMA_VERSION,
+            self.queue_depth,
+            self.workers,
+            self.workers_busy,
+            self.admitted,
+            self.rejected,
+            self.cache_hits,
+            self.cache_misses,
+            self.coalesced,
+            self.jobs_done,
+            self.jobs_failed,
+        )
+    }
+}
+
+struct State {
+    /// One FIFO per priority: index 0 = High, 1 = Normal, 2 = Low.
+    lanes: [VecDeque<JobSpec>; 3],
+    /// Waiters per in-flight key (queued or running). Presence here is
+    /// what makes a later identical submission coalesce instead of
+    /// enqueueing a duplicate execution.
+    waiters: HashMap<String, Vec<mpsc::Sender<JobDone>>>,
+    busy: usize,
+    stopping: bool,
+}
+
+impl State {
+    fn depth(&self) -> usize {
+        self.lanes.iter().map(VecDeque::len).sum()
+    }
+
+    fn pop(&mut self) -> Option<JobSpec> {
+        self.lanes.iter_mut().find_map(VecDeque::pop_front)
+    }
+}
+
+struct Shared {
+    state: Mutex<State>,
+    wake: Condvar,
+    cache: ResultCache,
+    rec: Recorder,
+    cfg: ServeConfig,
+}
+
+impl Shared {
+    fn gauges(&self, st: &State) {
+        self.rec.gauge_set("serve_queue_depth", st.depth() as i64);
+        self.rec.gauge_set("serve_workers_busy", st.busy as i64);
+    }
+
+    /// Write `JOB_<key>.json` (and `PROF_<key>.json`) under `out_dir`.
+    /// Idempotent: an artifact that already exists is left untouched,
+    /// which keeps resubmit passes write-free.
+    fn write_artifacts(&self, key: &str, result: &str, prof: Option<&str>) {
+        let Some(dir) = &self.cfg.out_dir else {
+            return;
+        };
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("serve: cannot create {}: {e}", dir.display());
+            return;
+        }
+        let mut targets = vec![(format!("JOB_{key}.json"), result)];
+        if let Some(p) = prof {
+            targets.push((format!("PROF_{key}.json"), p));
+        }
+        for (name, body) in targets {
+            let path = dir.join(name);
+            if path.exists() {
+                continue;
+            }
+            if let Err(e) = write_atomic(&path, body.as_bytes()) {
+                eprintln!("serve: cannot write {}: {e}", path.display());
+            }
+        }
+    }
+}
+
+/// The running engine. Dropping it shuts down cleanly (draining queued
+/// jobs first), so every admitted ticket always resolves.
+pub struct Serve {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Serve {
+    /// Spin up the worker pool.
+    pub fn start(cfg: ServeConfig) -> Serve {
+        Serve::with_recorder(cfg, Recorder::new())
+    }
+
+    /// Spin up the worker pool with a caller-owned metrics recorder.
+    pub fn with_recorder(cfg: ServeConfig, rec: Recorder) -> Serve {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                lanes: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
+                waiters: HashMap::new(),
+                busy: 0,
+                stopping: false,
+            }),
+            wake: Condvar::new(),
+            cache: ResultCache::new(cfg.cache_dir.clone()),
+            rec,
+            cfg: cfg.clone(),
+        });
+        let handles = (0..cfg.workers.max(1))
+            .map(|i| {
+                let sh = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&sh))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        Serve { shared, handles }
+    }
+
+    /// The engine's metrics recorder (counters/gauges listed in the
+    /// module docs).
+    pub fn recorder(&self) -> &Recorder {
+        &self.shared.rec
+    }
+
+    /// Submit one job. Returns a [`Ticket`] on admission — already
+    /// resolved when the cache had the answer — or a [`Reject`] telling
+    /// the caller exactly why not.
+    pub fn submit(&self, job: JobSpec) -> Result<Ticket, Reject> {
+        if let Err(why) = job.validate() {
+            self.shared.rec.counter_inc("serve_rejected");
+            return Err(Reject::Invalid(why));
+        }
+        let key = job.key();
+        let (tx, rx) = mpsc::channel();
+        let ticket = Ticket {
+            key: key.clone(),
+            rx,
+        };
+
+        // Cache probe before taking a queue slot: a hit consumes no
+        // capacity and resolves the ticket immediately.
+        if let Some(result) = self.shared.cache.get(&key) {
+            self.shared.rec.counter_inc("serve_admitted");
+            self.shared.rec.counter_inc("serve_cache_hit");
+            self.shared.write_artifacts(&key, &result, None);
+            let _ = tx.send(JobDone {
+                key,
+                cache_hit: true,
+                result: Some(result),
+                error: None,
+            });
+            return Ok(ticket);
+        }
+
+        let mut st = self.shared.state.lock();
+        if st.stopping {
+            self.shared.rec.counter_inc("serve_rejected");
+            return Err(Reject::ShuttingDown);
+        }
+        if let Some(ws) = st.waiters.get_mut(&key) {
+            // Identical job already queued or running: ride along.
+            ws.push(tx);
+            self.shared.rec.counter_inc("serve_admitted");
+            self.shared.rec.counter_inc("serve_coalesced");
+            return Ok(ticket);
+        }
+        let depth = st.depth();
+        if depth >= self.shared.cfg.queue_cap {
+            self.shared.rec.counter_inc("serve_rejected");
+            return Err(Reject::QueueFull {
+                depth,
+                cap: self.shared.cfg.queue_cap,
+            });
+        }
+        st.waiters.insert(key, vec![tx]);
+        st.lanes[job.priority.lane()].push_back(job);
+        self.shared.rec.counter_inc("serve_admitted");
+        self.shared.rec.counter_inc("serve_cache_miss");
+        self.shared.gauges(&st);
+        drop(st);
+        self.shared.wake.notify_one();
+        Ok(ticket)
+    }
+
+    /// Block until every admitted job has completed.
+    pub fn drain(&self) {
+        let mut st = self.shared.state.lock();
+        while st.depth() > 0 || st.busy > 0 {
+            self.shared.wake.wait(&mut st);
+        }
+    }
+
+    /// Current engine health.
+    pub fn status(&self) -> Status {
+        let (depth, busy) = {
+            let st = self.shared.state.lock();
+            (st.depth(), st.busy)
+        };
+        let m = self.shared.rec.metrics();
+        let c = |k: &str| m.counters.get(k).copied().unwrap_or(0);
+        Status {
+            queue_depth: depth,
+            workers: self.shared.cfg.workers.max(1),
+            workers_busy: busy,
+            admitted: c("serve_admitted"),
+            rejected: c("serve_rejected"),
+            cache_hits: c("serve_cache_hit"),
+            cache_misses: c("serve_cache_miss"),
+            coalesced: c("serve_coalesced"),
+            jobs_done: c("serve_jobs_done"),
+            jobs_failed: c("serve_jobs_failed"),
+        }
+    }
+
+    /// Stop admitting, finish everything already queued, join workers.
+    pub fn shutdown(&mut self) {
+        {
+            let mut st = self.shared.state.lock();
+            st.stopping = true;
+        }
+        self.shared.wake.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Serve {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(sh: &Shared) {
+    loop {
+        let job = {
+            let mut st = sh.state.lock();
+            loop {
+                if let Some(job) = st.pop() {
+                    st.busy += 1;
+                    sh.gauges(&st);
+                    break job;
+                }
+                if st.stopping {
+                    return;
+                }
+                sh.wake.wait(&mut st);
+            }
+        };
+        let key = job.key();
+        let outcome = catch_unwind(AssertUnwindSafe(|| workload::run_job(&job)));
+        let done = match outcome {
+            Ok(Ok(out)) => {
+                let result = Arc::new(out.result);
+                sh.cache.put(&key, result.clone());
+                sh.write_artifacts(&key, &result, out.prof.as_deref());
+                sh.rec.counter_inc("serve_jobs_done");
+                JobDone {
+                    key: key.clone(),
+                    cache_hit: false,
+                    result: Some(result),
+                    error: None,
+                }
+            }
+            Ok(Err(why)) => {
+                sh.rec.counter_inc("serve_jobs_failed");
+                JobDone {
+                    key: key.clone(),
+                    cache_hit: false,
+                    result: None,
+                    error: Some(why),
+                }
+            }
+            Err(panic) => {
+                sh.rec.counter_inc("serve_jobs_failed");
+                let why = panic
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_else(|| "job panicked".to_string());
+                JobDone {
+                    key: key.clone(),
+                    cache_hit: false,
+                    result: None,
+                    error: Some(why),
+                }
+            }
+        };
+        let waiters = {
+            let mut st = sh.state.lock();
+            st.busy -= 1;
+            let ws = st.waiters.remove(&key).unwrap_or_default();
+            sh.gauges(&st);
+            ws
+        };
+        for tx in waiters {
+            let _ = tx.send(done.clone());
+        }
+        // Wake idle workers (spurious, harmless) and anyone in drain().
+        sh.wake.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_job(seed: u64) -> JobSpec {
+        JobSpec::parse(&format!(
+            "workload=allreduce\nelems=16\nrounds=1\nseed={seed}"
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn execute_then_cache_hit_with_identical_bytes() {
+        let serve = Serve::start(ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        });
+        let first = serve.submit(quick_job(7)).unwrap().wait();
+        assert!(first.is_ok() && !first.cache_hit);
+        let second = serve.submit(quick_job(7)).unwrap().wait();
+        assert!(
+            second.cache_hit,
+            "second submission must be served by cache"
+        );
+        assert_eq!(first.result.unwrap(), second.result.unwrap());
+        let st = serve.status();
+        assert_eq!(st.jobs_done, 1, "only one execution for two submissions");
+        assert_eq!(st.cache_hits, 1);
+    }
+
+    #[test]
+    fn queue_full_rejects_with_reason() {
+        // Zero-capacity queue plus a held worker: nothing can be admitted
+        // through the queue path, so the reject reason is deterministic.
+        let serve = Serve::start(ServeConfig {
+            workers: 1,
+            queue_cap: 0,
+            ..ServeConfig::default()
+        });
+        match serve.submit(quick_job(1)) {
+            Err(Reject::QueueFull { depth: 0, cap: 0 }) => {}
+            other => panic!("expected QueueFull, got {other:?}"),
+        }
+        assert_eq!(serve.status().rejected, 1);
+    }
+
+    #[test]
+    fn invalid_jobs_never_reach_the_queue() {
+        let serve = Serve::start(ServeConfig::default());
+        let mut job = quick_job(0);
+        job.spec = "psg".into();
+        job.gpus = 99;
+        match serve.submit(job) {
+            Err(Reject::Invalid(why)) => assert!(why.contains("psg")),
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn failed_jobs_resolve_tickets_with_errors() {
+        let serve = Serve::start(ServeConfig::default());
+        // An unknown preset passes shape validation but fails when the
+        // worker builds the machine — the run-time failure path.
+        let mut job = quick_job(0);
+        job.spec = "not_a_machine".into();
+        let done = serve.submit(job).unwrap().wait();
+        assert!(!done.is_ok());
+        assert!(done.error.unwrap().contains("not_a_machine"));
+        assert!(done.result.is_none());
+        assert_eq!(serve.status().jobs_failed, 1);
+    }
+
+    #[test]
+    fn drain_waits_for_all_lanes() {
+        let serve = Serve::start(ServeConfig {
+            workers: 4,
+            ..ServeConfig::default()
+        });
+        let tickets: Vec<_> = (0..8)
+            .map(|s| serve.submit(quick_job(s)).unwrap())
+            .collect();
+        serve.drain();
+        let st = serve.status();
+        assert_eq!(st.queue_depth, 0);
+        assert_eq!(st.workers_busy, 0);
+        assert_eq!(st.jobs_done, 8);
+        for t in tickets {
+            assert!(t.wait().is_ok());
+        }
+    }
+
+    #[test]
+    fn shutdown_finishes_queued_work_then_rejects() {
+        let mut serve = Serve::start(ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        });
+        let t = serve.submit(quick_job(3)).unwrap();
+        serve.shutdown();
+        assert!(t.wait().is_ok(), "queued work drains before exit");
+        match serve.submit(quick_job(4)) {
+            Err(Reject::ShuttingDown) => {}
+            other => panic!("expected ShuttingDown, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,426 @@
+//! Job specifications: parse, validate, canonicalize, content-address.
+//!
+//! A [`JobSpec`] is one queued simulation request — workload, machine,
+//! parameters, seed, fault plan, and collective options. Its
+//! [`canonical`](JobSpec::canonical) rendering is a *normal form*:
+//! key-sorted `key=value` pairs with every default materialized, so two
+//! spellings of the same request (different field order, extra
+//! whitespace, `0128` vs `128`, defaults written out vs omitted)
+//! canonicalize to the same bytes. The cache key is a stable 64-bit hash
+//! of that normal form plus the code version — and because the engine is
+//! deterministic, equal keys are *guaranteed* to produce bit-identical
+//! results, which is what makes content-addressed caching sound here.
+
+use std::collections::BTreeMap;
+
+use impacc_core::CollAlgo;
+
+/// Scheduling lane of a job. Priority orders dequeueing only — it is
+/// *not* part of the cache key (it cannot change the result).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum Priority {
+    /// Served before everything else.
+    High,
+    /// The default lane.
+    #[default]
+    Normal,
+    /// Served only when the other lanes are empty.
+    Low,
+}
+
+impl Priority {
+    /// Lane index (0 is served first).
+    pub fn lane(self) -> usize {
+        match self {
+            Priority::High => 0,
+            Priority::Normal => 1,
+            Priority::Low => 2,
+        }
+    }
+
+    /// The `priority=` spelling.
+    pub fn label(self) -> &'static str {
+        match self {
+            Priority::High => "high",
+            Priority::Normal => "normal",
+            Priority::Low => "low",
+        }
+    }
+
+    fn parse(s: &str) -> Result<Priority, String> {
+        match s {
+            "high" => Ok(Priority::High),
+            "normal" => Ok(Priority::Normal),
+            "low" => Ok(Priority::Low),
+            other => Err(format!("unknown priority {other:?} (high|normal|low)")),
+        }
+    }
+}
+
+/// The workload a job runs. Each entry is a self-contained deterministic
+/// program over the launched runtime.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Workload {
+    /// `rounds` verified Sum-allreduces of `elems` f64s (the `bench_coll`
+    /// sweep body).
+    Allreduce,
+    /// The fig-5-class kernel→copy→send/recv→copy→kernel exchange between
+    /// two ranks (the `bench_chaos` sweep body).
+    Exchange,
+    /// The paper's Jacobi solver (`n×n` mesh, `iters` sweeps).
+    Jacobi,
+}
+
+impl Workload {
+    /// The `workload=` spelling.
+    pub fn label(self) -> &'static str {
+        match self {
+            Workload::Allreduce => "allreduce",
+            Workload::Exchange => "exchange",
+            Workload::Jacobi => "jacobi",
+        }
+    }
+
+    fn parse(s: &str) -> Result<Workload, String> {
+        match s {
+            "allreduce" => Ok(Workload::Allreduce),
+            "exchange" => Ok(Workload::Exchange),
+            "jacobi" => Ok(Workload::Jacobi),
+            other => Err(format!(
+                "unknown workload {other:?} (allreduce|exchange|jacobi)"
+            )),
+        }
+    }
+}
+
+/// One simulation request. Build with [`JobSpec::parse`] /
+/// [`JobSpec::from_pairs`]; every field not given takes the documented
+/// default, and the canonical form always spells every relevant field
+/// out.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobSpec {
+    /// What to run.
+    pub workload: Workload,
+    /// Machine preset: `test_cluster` | `psg` | `titan`.
+    pub spec: String,
+    /// Node count (presets that take one; default 2).
+    pub nodes: usize,
+    /// Devices per node / preset size parameter (default 1).
+    pub gpus: usize,
+    /// Payload seed folded into workload payloads (default 0).
+    pub seed: u64,
+    /// Allreduce payload length in f64s (default 128).
+    pub elems: usize,
+    /// Allreduce/exchange round count (default 2).
+    pub rounds: u32,
+    /// Jacobi mesh dimension (default 64).
+    pub n: usize,
+    /// Jacobi sweep count (default 4).
+    pub iters: usize,
+    /// Forced collective algorithm (default: engine policy).
+    pub algo: Option<CollAlgo>,
+    /// Uniform chaos fault rate over all sites (default 0 = no plan).
+    pub chaos_rate: f64,
+    /// Chaos seed (default 0; only meaningful with a plan).
+    pub chaos_seed: u64,
+    /// Devices failed from launch, as `(node, dev)` pairs.
+    pub fail_device: Vec<(usize, usize)>,
+    /// Also record the run and write a per-job `PROF_<key>.json`.
+    /// Recording never changes results, so this is not part of the key.
+    pub prof: bool,
+    /// Scheduling lane; not part of the key.
+    pub priority: Priority,
+    /// Force engine baton-handoff elision on/off (`None` = engine
+    /// default). Elision is bit-identical by contract (the fastpath
+    /// determinism suite), so this is not part of the key either.
+    pub elide: Option<bool>,
+}
+
+impl Default for JobSpec {
+    fn default() -> JobSpec {
+        JobSpec {
+            workload: Workload::Allreduce,
+            spec: "test_cluster".into(),
+            nodes: 2,
+            gpus: 1,
+            seed: 0,
+            elems: 128,
+            rounds: 2,
+            n: 64,
+            iters: 4,
+            algo: None,
+            chaos_rate: 0.0,
+            chaos_seed: 0,
+            fail_device: Vec::new(),
+            prof: false,
+            priority: Priority::Normal,
+            elide: None,
+        }
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(key: &str, v: &str) -> Result<T, String> {
+    v.parse::<T>()
+        .map_err(|_| format!("field {key}: cannot parse {v:?}"))
+}
+
+impl JobSpec {
+    /// Parse a job from `key = value` text: one pair per line (or several
+    /// pairs on one line separated by whitespace when values carry no
+    /// spaces), `#` starts a comment. Unknown keys are errors — a typo'd
+    /// knob silently ignored would poison the cache key space.
+    pub fn parse(text: &str) -> Result<JobSpec, String> {
+        let mut pairs = Vec::new();
+        for raw in text.lines() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (k, v) = line
+                .split_once('=')
+                .ok_or_else(|| format!("expected key=value, got {line:?}"))?;
+            pairs.push((k.trim().to_string(), v.trim().to_string()));
+        }
+        JobSpec::from_pairs(pairs.iter().map(|(k, v)| (k.as_str(), v.as_str())))
+    }
+
+    /// Build a job from `(key, value)` pairs. Later pairs override
+    /// earlier ones (campaign expansion relies on this).
+    pub fn from_pairs<'a>(
+        pairs: impl IntoIterator<Item = (&'a str, &'a str)>,
+    ) -> Result<JobSpec, String> {
+        let mut job = JobSpec::default();
+        for (k, v) in pairs {
+            match k {
+                "workload" => job.workload = Workload::parse(v)?,
+                "spec" => {
+                    if !matches!(v, "test_cluster" | "psg" | "titan") {
+                        return Err(format!(
+                            "unknown machine preset {v:?} (test_cluster|psg|titan)"
+                        ));
+                    }
+                    job.spec = v.to_string();
+                }
+                "nodes" => job.nodes = parse_num(k, v)?,
+                "gpus" => job.gpus = parse_num(k, v)?,
+                "seed" => job.seed = parse_num(k, v)?,
+                "elems" => job.elems = parse_num(k, v)?,
+                "rounds" => job.rounds = parse_num(k, v)?,
+                "n" => job.n = parse_num(k, v)?,
+                "iters" => job.iters = parse_num(k, v)?,
+                "algo" => {
+                    job.algo = match v {
+                        "auto" => None,
+                        other => Some(CollAlgo::parse(other).ok_or_else(|| {
+                            format!("unknown algo {other:?} (auto or a registry entry)")
+                        })?),
+                    }
+                }
+                "chaos_rate" => {
+                    let r: f64 = parse_num(k, v)?;
+                    if !(0.0..=1.0).contains(&r) {
+                        return Err(format!("chaos_rate {r} out of [0,1]"));
+                    }
+                    job.chaos_rate = r;
+                }
+                "chaos_seed" => job.chaos_seed = parse_num(k, v)?,
+                "fail_device" => {
+                    let mut devs = Vec::new();
+                    for part in v.split(',').filter(|p| !p.trim().is_empty()) {
+                        let (n, d) = part
+                            .trim()
+                            .split_once(':')
+                            .ok_or_else(|| format!("fail_device entry {part:?}: want node:dev"))?;
+                        devs.push((parse_num("fail_device", n)?, parse_num("fail_device", d)?));
+                    }
+                    devs.sort_unstable();
+                    devs.dedup();
+                    job.fail_device = devs;
+                }
+                "prof" => job.prof = v == "1" || v == "true",
+                "priority" => job.priority = Priority::parse(v)?,
+                "elide" => job.elide = Some(v == "1" || v == "true"),
+                other => return Err(format!("unknown job field {other:?}")),
+            }
+        }
+        job.validate()?;
+        Ok(job)
+    }
+
+    /// Reject requests the runner cannot execute, with the reason.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes == 0 || self.gpus == 0 {
+            return Err("nodes and gpus must be >= 1".into());
+        }
+        if self.spec == "psg" && (self.gpus > 8 || self.nodes != 1) {
+            return Err("psg is one node with up to 8 GPUs".into());
+        }
+        if self.workload == Workload::Exchange && self.task_count() != 2 {
+            return Err(format!(
+                "exchange needs exactly 2 tasks, spec hosts {}",
+                self.task_count()
+            ));
+        }
+        if self.workload == Workload::Jacobi && (self.n < 8 || !self.n.is_multiple_of(2)) {
+            return Err("jacobi mesh n must be even and >= 8".into());
+        }
+        for &(n, d) in &self.fail_device {
+            if n >= self.nodes || d >= self.gpus {
+                return Err(format!("fail_device {n}:{d} outside the machine"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Tasks the §3.2 mapper will create on this job's machine.
+    pub fn task_count(&self) -> usize {
+        match self.spec.as_str() {
+            "psg" => self.gpus,
+            "titan" => self.nodes,
+            _ => self.nodes * self.gpus,
+        }
+    }
+
+    /// The result-affecting fields in normal form: key-sorted, defaults
+    /// materialized, numbers re-rendered from their parsed values. Fields
+    /// that cannot change the result bytes (`prof`, `priority`) are
+    /// excluded, as are parameters the selected workload ignores.
+    pub fn canonical(&self) -> String {
+        let mut m: BTreeMap<&'static str, String> = BTreeMap::new();
+        m.insert("workload", self.workload.label().to_string());
+        m.insert("spec", self.spec.clone());
+        m.insert("nodes", self.nodes.to_string());
+        m.insert("gpus", self.gpus.to_string());
+        m.insert("seed", self.seed.to_string());
+        match self.workload {
+            Workload::Allreduce => {
+                m.insert("elems", self.elems.to_string());
+                m.insert("rounds", self.rounds.to_string());
+                m.insert("algo", self.algo.map_or("auto", |a| a.label()).to_string());
+            }
+            Workload::Exchange => {
+                m.insert("rounds", self.rounds.to_string());
+            }
+            Workload::Jacobi => {
+                m.insert("n", self.n.to_string());
+                m.insert("iters", self.iters.to_string());
+            }
+        }
+        m.insert("chaos_rate", format!("{}", self.chaos_rate));
+        m.insert("chaos_seed", self.chaos_seed.to_string());
+        m.insert(
+            "fail_device",
+            self.fail_device
+                .iter()
+                .map(|(n, d)| format!("{n}:{d}"))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        m.iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    /// Content address: FNV-1a over the code version and the canonical
+    /// form, avalanched, as 16 hex chars. Equal keys ⇒ bit-identical
+    /// results (engine determinism); any result-affecting change —
+    /// including a code/schema bump — moves the key.
+    pub fn key(&self) -> String {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |s: &str| {
+            for b in s.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        eat(&crate::code_version());
+        eat("\n");
+        eat(&self.canonical());
+        // Finalize (splitmix64) so near-identical canonicals avalanche.
+        h = h.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        h ^= h >> 31;
+        format!("{h:016x}")
+    }
+
+    /// Render the job as a `key=value` file body that [`JobSpec::parse`]
+    /// round-trips exactly — the spool wire format. Unlike
+    /// [`JobSpec::canonical`] this keeps the non-result fields (`prof`,
+    /// `priority`, `elide`) a request carries through the daemon.
+    pub fn to_file(&self) -> String {
+        let mut out = self.canonical().split(' ').collect::<Vec<_>>().join("\n");
+        if self.prof {
+            out.push_str("\nprof=1");
+        }
+        if self.priority != Priority::Normal {
+            out.push_str(&format!("\npriority={}", self.priority.label()));
+        }
+        if let Some(e) = self.elide {
+            out.push_str(&format!("\nelide={}", if e { 1 } else { 0 }));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn to_file_round_trips_through_parse() {
+        let job = JobSpec::parse(
+            "workload=exchange\nnodes=2\ngpus=1\nrounds=3\nchaos_rate=0.05\nchaos_seed=9\nprof=1\npriority=low\nelide=0",
+        )
+        .unwrap();
+        let back = JobSpec::parse(&job.to_file()).unwrap();
+        assert_eq!(job.key(), back.key());
+        assert_eq!(job.canonical(), back.canonical());
+        assert!(back.prof);
+        assert_eq!(back.priority, Priority::Low);
+        assert_eq!(back.elide, Some(false));
+    }
+
+    #[test]
+    fn parse_normalizes_spellings() {
+        let a = JobSpec::parse("workload = allreduce\nelems = 128\nseed = 7\n").unwrap();
+        let b = JobSpec::parse("seed=0007\n  elems =  0128  # padded\nworkload=allreduce").unwrap();
+        assert_eq!(a.canonical(), b.canonical());
+        assert_eq!(a.key(), b.key());
+    }
+
+    #[test]
+    fn defaults_are_materialized() {
+        let implicit = JobSpec::parse("workload = allreduce").unwrap();
+        let explicit =
+            JobSpec::parse("workload=allreduce\nelems=128\nrounds=2\nseed=0\nalgo=auto").unwrap();
+        assert_eq!(implicit.canonical(), explicit.canonical());
+    }
+
+    #[test]
+    fn irrelevant_and_excluded_fields_do_not_move_the_key() {
+        // Jacobi ignores elems/algo; prof/priority are observability only.
+        let a = JobSpec::parse("workload=jacobi\nn=64\nelems=128").unwrap();
+        let b = JobSpec::parse("workload=jacobi\nn=64\nelems=4096\nprof=1\npriority=high").unwrap();
+        assert_eq!(a.key(), b.key());
+    }
+
+    #[test]
+    fn unknown_fields_and_bad_values_are_rejected() {
+        assert!(JobSpec::parse("wrokload=allreduce").is_err());
+        assert!(JobSpec::parse("workload=frobnicate").is_err());
+        assert!(JobSpec::parse("workload=allreduce\nchaos_rate=1.5").is_err());
+        assert!(JobSpec::parse("workload=exchange\ngpus=4").is_err());
+        assert!(JobSpec::parse("workload=allreduce\nfail_device=9:9").is_err());
+    }
+
+    #[test]
+    fn fail_device_list_is_order_insensitive() {
+        let a = JobSpec::parse("workload=allreduce\nnodes=2\ngpus=3\nfail_device=0:1,1:2").unwrap();
+        let b =
+            JobSpec::parse("workload=allreduce\nnodes=2\ngpus=3\nfail_device=1:2,0:1,0:1").unwrap();
+        assert_eq!(a.key(), b.key());
+    }
+}

@@ -1,0 +1,45 @@
+//! impacc-serve — simulation-as-a-service for the IMPACC simulator.
+//!
+//! The deterministic engine underneath (impacc-vtime) guarantees that a
+//! job's result bytes are a pure function of its inputs. This crate
+//! turns that guarantee into a service: a job queue with admission
+//! control and priority lanes ([`engine`]), a bounded worker pool, and a
+//! content-addressed result cache ([`cache`]) where equal keys imply
+//! bit-identical stored answers — so a cache hit *is* the result, not an
+//! approximation of it.
+//!
+//! - [`job`] — the request schema: `key=value` job specs, canonical
+//!   form, and the content address ([`JobSpec::key`]).
+//! - [`workload`] — job execution against the simulator and the
+//!   deterministic result body.
+//! - [`cache`] — memory + disk result cache with schema-version
+//!   validation of stored artifacts.
+//! - [`engine`] — the queue / worker-pool / backpressure core.
+//! - [`campaign`] — declarative sweep files that expand into job lists;
+//!   shared points across campaigns memoize through the cache.
+//!
+//! The `serve` binary wraps [`engine::Serve`] in a dependency-free
+//! spool-directory daemon (see its `--help`).
+
+pub mod cache;
+pub mod campaign;
+pub mod engine;
+pub mod job;
+pub mod workload;
+
+pub use cache::ResultCache;
+pub use campaign::Campaign;
+pub use engine::{JobDone, Reject, Serve, ServeConfig, Status, Ticket};
+pub use job::{JobSpec, Priority, Workload};
+pub use workload::{run_job, JobOutcome};
+
+/// The code-version component of every content address. Bumping the
+/// crate version or the artifact schema moves every key, so results
+/// produced by older builds are never served as current.
+pub fn code_version() -> String {
+    format!(
+        "impacc/{}+schema{}",
+        env!("CARGO_PKG_VERSION"),
+        impacc_obs::SCHEMA_VERSION
+    )
+}

@@ -1,0 +1,265 @@
+//! Job execution: build the machine, run the workload, serialize the
+//! deterministic result body.
+//!
+//! Every byte of a [`JobOutcome`]'s result is a pure function of the
+//! job's canonical form: virtual end time, engine event count, task
+//! count and the engine metric counters — never wall-clock. That purity
+//! is what lets the cache return stored bytes in place of re-execution
+//! and still claim bit-identical responses.
+
+use impacc_apps::{math_ok, run_jacobi_sink, JacobiParams};
+use impacc_core::{Launch, MpiOpts, RunSummary, RuntimeOptions, TaskCtx};
+use impacc_machine::{presets, FaultPlan, KernelCost, MachineSpec};
+use impacc_mpi::ReduceOp;
+use impacc_obs::{json, Recorder};
+
+use crate::job::{JobSpec, Workload};
+
+/// A completed execution: the deterministic result body plus the
+/// optional per-job critical-path profile.
+#[derive(Clone, Debug)]
+pub struct JobOutcome {
+    /// Deterministic result JSON (`JOB_<key>.json` body, cache value).
+    pub result: String,
+    /// `PROF_<key>.json` body when the job asked for one.
+    pub prof: Option<String>,
+}
+
+/// Build the job's machine from its preset fields.
+pub fn machine_of(job: &JobSpec) -> Result<MachineSpec, String> {
+    Ok(match job.spec.as_str() {
+        "test_cluster" => presets::test_cluster(job.nodes, job.gpus),
+        "psg" => {
+            let mut s = presets::psg();
+            s.nodes[0].devices.truncate(job.gpus);
+            s
+        }
+        "titan" => presets::titan(job.nodes),
+        other => return Err(format!("unknown machine preset {other:?}")),
+    })
+}
+
+/// `rounds` verified Sum-allreduces of `elems` f64s; the job seed shifts
+/// every contribution so distinct seeds produce distinct payloads while
+/// staying integer-valued (all fold orders bit-identical).
+fn allreduce_rounds(tc: &TaskCtx, elems: usize, rounds: u32, seed: u64) {
+    let size = tc.size();
+    let shift = (seed % 1024) as f64;
+    for round in 0..rounds {
+        let vals = vec![(tc.rank() + round) as f64 + shift; elems];
+        let out = tc.mpi_allreduce_f64(&vals, ReduceOp::Sum);
+        let expect = (0..size).map(|r| (r + round) as f64 + shift).sum::<f64>();
+        assert!(
+            out.len() == elems && out.iter().all(|&x| x == expect),
+            "allreduce corrupted: want {expect}"
+        );
+    }
+}
+
+/// The fig-5-class two-rank exchange: kernel → copyout → send/recv →
+/// copyin → kernel, `rounds` times, every consume kernel asserting its
+/// input — so completion is itself a correctness result.
+fn exchange(tc: &TaskCtx, rounds: u32, seed: u64) {
+    const N: usize = 1 << 12; // 32 KiB per buffer
+    let peer = 1 - tc.rank();
+    let shift = (seed % 1024) as f64;
+    let me = tc.rank() as f64 + shift;
+    let buf0 = tc.malloc_f64(N);
+    let buf1 = tc.malloc_f64(N);
+    tc.acc_create(&buf0);
+    tc.acc_create(&buf1);
+    let cost = KernelCost::new(10.0 * N as f64, 16.0 * N as f64);
+    for round in 0..rounds {
+        let produce = {
+            let d = tc.dev_view(&buf0);
+            let v = me + round as f64;
+            move || {
+                if math_ok(&d) {
+                    d.write_f64s(0, &vec![v; N]);
+                }
+            }
+        };
+        let consume = {
+            let d = tc.dev_view(&buf1);
+            let expect = peer as f64 + shift + round as f64;
+            move || {
+                if math_ok(&d) {
+                    let got = d.read_f64s(0, N);
+                    assert!(
+                        got.iter().all(|&x| x == expect),
+                        "round {round}: corrupted payload after recovery"
+                    );
+                }
+            }
+        };
+        tc.acc_kernel(None, cost, produce);
+        tc.acc_update_host(&buf0, 0, buf0.len, None);
+        let sreq = tc.mpi_isend(&buf0, 0, buf0.len, peer, round as i32, MpiOpts::host());
+        tc.mpi_recv(&buf1, 0, buf1.len, peer, round as i32, MpiOpts::host());
+        sreq.wait(tc.ctx());
+        tc.acc_update_device(&buf1, 0, buf1.len, None);
+        tc.acc_kernel(None, cost, consume);
+    }
+}
+
+fn fault_plan(job: &JobSpec) -> Option<FaultPlan> {
+    if job.chaos_rate == 0.0 && job.fail_device.is_empty() {
+        return None;
+    }
+    let mut plan = FaultPlan::new(job.chaos_seed).with_uniform_rate(job.chaos_rate);
+    for &(n, d) in &job.fail_device {
+        plan = plan.fail_device(n, d);
+    }
+    Some(plan)
+}
+
+/// Execute one job and serialize its deterministic result body. `Err` is
+/// a readable reason (bad machine, engine error); panics inside the
+/// simulation are caught by the worker pool, not here.
+pub fn run_job(job: &JobSpec) -> Result<JobOutcome, String> {
+    let spec = machine_of(job)?;
+    let rec = job.prof.then(Recorder::new);
+    let summary = match job.workload {
+        Workload::Jacobi => {
+            let params = JacobiParams {
+                n: job.n,
+                iters: job.iters,
+                verify: false,
+            };
+            run_jacobi_sink(
+                spec,
+                RuntimeOptions::impacc(),
+                None,
+                rec.as_ref().map(|r| r.sink()),
+                params,
+            )
+            .map_err(|e| format!("jacobi failed: {e:?}"))?
+        }
+        wl => {
+            let mut l = Launch::new(spec, RuntimeOptions::impacc());
+            if let Some(plan) = fault_plan(job) {
+                l = l.chaos(plan);
+            }
+            if let Some(algo) = job.algo {
+                l = l.coll_algo(algo);
+            }
+            if let Some(elide) = job.elide {
+                l = l.elide_handoff(elide);
+            }
+            if let Some(rec) = &rec {
+                l = l.recorder(rec);
+            }
+            let (elems, rounds, seed) = (job.elems, job.rounds, job.seed);
+            let app = move |tc: &TaskCtx| match wl {
+                Workload::Allreduce => allreduce_rounds(tc, elems, rounds, seed),
+                Workload::Exchange => exchange(tc, rounds, seed),
+                Workload::Jacobi => unreachable!("handled above"),
+            };
+            l.run(app).map_err(|e| format!("run failed: {e:?}"))?
+        }
+    };
+    let prof = rec.map(|rec| {
+        impacc_prof::analyze(&rec.spans(), &rec.edges()).to_json(&format!("job_{}", job.key()))
+    });
+    Ok(JobOutcome {
+        result: result_json(job, &summary),
+        prof,
+    })
+}
+
+/// Serialize the result body: schema version, key, canonical job echo,
+/// virtual end time (integer picoseconds), event count, task count, and
+/// every engine metric — all integers, so the bytes are reproducible.
+fn result_json(job: &JobSpec, s: &RunSummary) -> String {
+    let mut out = format!(
+        "{{\"schema_version\":{},\"key\":{},\"code_version\":{},\"job\":{},\"end_ps\":{},\"events\":{},\"tasks\":{},\"metrics\":{{",
+        impacc_obs::SCHEMA_VERSION,
+        json::string(&job.key()),
+        json::string(&crate::code_version()),
+        json::string(&job.canonical()),
+        s.report.end_time.0,
+        s.report.events,
+        s.tasks.len(),
+    );
+    for (i, (k, v)) in s.report.metrics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&json::string(k));
+        out.push(':');
+        out.push_str(&v.to_string());
+    }
+    out.push_str("}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_jobs_produce_identical_bytes() {
+        let job = JobSpec::parse("workload=allreduce\nelems=32\nrounds=1\ngpus=2").unwrap();
+        let a = run_job(&job).unwrap();
+        let b = run_job(&job).unwrap();
+        assert_eq!(a.result, b.result, "determinism is the cache's contract");
+        assert!(a.result.contains("\"end_ps\":"));
+        assert!(a.result.contains("\"metrics\":{"));
+        assert!(a.prof.is_none());
+    }
+
+    #[test]
+    fn seed_changes_key_but_runs_still_verify() {
+        let a = JobSpec::parse("workload=allreduce\nelems=32\nrounds=1\nseed=1").unwrap();
+        let b = JobSpec::parse("workload=allreduce\nelems=32\nrounds=1\nseed=2").unwrap();
+        assert_ne!(a.key(), b.key());
+        run_job(&a).unwrap();
+        run_job(&b).unwrap();
+    }
+
+    #[test]
+    fn exchange_and_chaos_jobs_complete() {
+        let job = JobSpec::parse(
+            "workload=exchange\nnodes=2\ngpus=1\nrounds=2\nchaos_rate=0.05\nchaos_seed=17",
+        )
+        .unwrap();
+        let out = run_job(&job).unwrap();
+        assert!(out.result.contains("\"mpi_bytes_sent\":"));
+        // Same plan, same bytes: the chaos schedule is part of the key.
+        let again = run_job(&job).unwrap();
+        assert_eq!(out.result, again.result);
+    }
+
+    #[test]
+    fn elide_toggle_never_moves_the_key_or_the_bytes() {
+        // Handoff elision is bit-identical by the fastpath determinism
+        // contract, so it is an execution hint like `prof`: same content
+        // address, same result bytes, either way.
+        let plain = JobSpec::parse("workload=allreduce\nelems=32\nrounds=1\ngpus=2").unwrap();
+        let on = JobSpec::parse("workload=allreduce\nelems=32\nrounds=1\ngpus=2\nelide=1").unwrap();
+        let off =
+            JobSpec::parse("workload=allreduce\nelems=32\nrounds=1\ngpus=2\nelide=0").unwrap();
+        assert_eq!(on.elide, Some(true));
+        assert_eq!(off.elide, Some(false));
+        assert_eq!(plain.key(), on.key(), "elide is result-invariant");
+        assert_eq!(plain.key(), off.key());
+        let a = run_job(&plain).unwrap();
+        let b = run_job(&on).unwrap();
+        let c = run_job(&off).unwrap();
+        assert_eq!(a.result, b.result);
+        assert_eq!(a.result, c.result);
+    }
+
+    #[test]
+    fn prof_jobs_emit_a_profile_without_changing_the_result() {
+        let plain = JobSpec::parse("workload=allreduce\nelems=32\nrounds=1").unwrap();
+        let prof = JobSpec::parse("workload=allreduce\nelems=32\nrounds=1\nprof=1").unwrap();
+        assert_eq!(plain.key(), prof.key(), "prof is observability only");
+        let a = run_job(&plain).unwrap();
+        let b = run_job(&prof).unwrap();
+        assert_eq!(a.result, b.result);
+        let pj = b.prof.expect("profile requested");
+        assert!(pj.contains("\"schema_version\""));
+        assert!(pj.contains("\"critical_path\""));
+    }
+}

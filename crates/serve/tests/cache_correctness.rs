@@ -1,0 +1,220 @@
+//! Cache correctness: the content address must hit exactly when it
+//! should and never when it shouldn't.
+//!
+//! Three contracts:
+//! 1. Same job ⇒ cache hit, and the hit's bytes equal the executed
+//!    report exactly (the engine's determinism makes this sound).
+//! 2. Changing any result-affecting field ⇒ different key ⇒ miss.
+//! 3. The canonical form — and therefore the key — is insensitive to
+//!    pair order, whitespace, comments, zero-padding, and spelling out
+//!    defaults (property-tested).
+
+use std::path::PathBuf;
+
+use impacc_serve::{JobSpec, Serve, ServeConfig};
+use proptest::prelude::*;
+
+fn tmp(tag: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(format!("cache-correctness-{tag}"))
+}
+
+fn base_job() -> JobSpec {
+    JobSpec::parse(
+        "workload=allreduce\nelems=64\nrounds=2\nseed=3\nnodes=2\ngpus=2\nalgo=ring\nchaos_rate=0.01\nchaos_seed=5",
+    )
+    .expect("base job parses")
+}
+
+/// Every single-field mutation of the base job that can change result
+/// bytes. Each must move the key.
+fn mutations() -> Vec<(&'static str, JobSpec)> {
+    let m = |line: &str| {
+        let mut text = String::from(
+            "workload=allreduce\nelems=64\nrounds=2\nseed=3\nnodes=2\ngpus=2\nalgo=ring\nchaos_rate=0.01\nchaos_seed=5\n",
+        );
+        text.push_str(line);
+        JobSpec::parse(&text).expect("mutated job parses")
+    };
+    vec![
+        ("elems", m("elems=65")),
+        ("rounds", m("rounds=3")),
+        ("seed", m("seed=4")),
+        ("nodes", m("nodes=1")),
+        ("gpus", m("gpus=4")),
+        ("algo", m("algo=hier")),
+        ("chaos_rate", m("chaos_rate=0.02")),
+        ("chaos_seed", m("chaos_seed=6")),
+        ("workload", m("workload=jacobi")),
+    ]
+}
+
+#[test]
+fn same_job_hits_with_byte_identical_report() {
+    let dir = tmp("hit");
+    let _ = std::fs::remove_dir_all(&dir);
+    let serve = Serve::start(ServeConfig {
+        workers: 2,
+        cache_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    });
+    let executed = serve.submit(base_job()).unwrap().wait();
+    assert!(!executed.cache_hit);
+    let cached = serve.submit(base_job()).unwrap().wait();
+    assert!(cached.cache_hit, "identical job must be served from cache");
+    assert_eq!(
+        executed.result.unwrap(),
+        cached.result.unwrap(),
+        "a hit must return the executed report byte for byte"
+    );
+
+    // The disk tier gives the same bytes to a brand-new engine.
+    let fresh = Serve::start(ServeConfig {
+        workers: 2,
+        cache_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    });
+    let from_disk = fresh.submit(base_job()).unwrap().wait();
+    assert!(from_disk.cache_hit, "disk tier must survive a restart");
+    assert_eq!(fresh.status().jobs_done, 0, "nothing re-executes");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn any_result_affecting_change_misses() {
+    let base = base_job();
+    let mut keys = vec![("base", base.key())];
+    for (field, job) in mutations() {
+        assert_ne!(
+            job.key(),
+            base.key(),
+            "changing {field} must move the content address"
+        );
+        keys.push((field, job.key()));
+    }
+    // And the mutations are pairwise distinct — no two collapse.
+    for i in 0..keys.len() {
+        for j in i + 1..keys.len() {
+            assert_ne!(
+                keys[i].1, keys[j].1,
+                "{} and {} share a key",
+                keys[i].0, keys[j].0
+            );
+        }
+    }
+}
+
+#[test]
+fn mutated_jobs_execute_instead_of_hitting() {
+    let serve = Serve::start(ServeConfig {
+        workers: 4,
+        ..ServeConfig::default()
+    });
+    assert!(!serve.submit(base_job()).unwrap().wait().cache_hit);
+    for (field, job) in mutations() {
+        let done = serve.submit(job).unwrap().wait();
+        assert!(!done.cache_hit, "mutation of {field} must miss the cache");
+    }
+    let st = serve.status();
+    assert_eq!(st.cache_hits, 0);
+    assert_eq!(st.jobs_done as usize, 1 + mutations().len());
+}
+
+/// Tiny deterministic shuffler (splitmix-fed Fisher-Yates).
+fn shuffle<T>(items: &mut [T], mut seed: u64) {
+    for i in (1..items.len()).rev() {
+        seed = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = seed;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        items.swap(i, (z as usize) % (i + 1));
+    }
+}
+
+const ALGOS: [&str; 8] = [
+    "auto",
+    "flat",
+    "binomial",
+    "ring",
+    "rd",
+    "rabenseifner",
+    "bruck",
+    "hier",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Rendering the same logical job with shuffled pair order, noisy
+    /// whitespace, comments, zero-padded numbers, and defaults spelled
+    /// out must not move the canonical form or the key.
+    #[test]
+    fn canonicalization_ignores_presentation(
+        elems in 1usize..5000,
+        rounds in 1u32..5,
+        seed in any::<u64>(),
+        nodes in 1usize..4,
+        gpus in 1usize..5,
+        algo_idx in 0usize..8,
+        shuffle_seed in any::<u64>(),
+        noise in any::<u64>(),
+    ) {
+        let mut pairs = vec![
+            ("workload".to_string(), "allreduce".to_string()),
+            ("elems".to_string(), elems.to_string()),
+            ("rounds".to_string(), rounds.to_string()),
+            ("seed".to_string(), seed.to_string()),
+            ("nodes".to_string(), nodes.to_string()),
+            ("gpus".to_string(), gpus.to_string()),
+            ("algo".to_string(), ALGOS[algo_idx].to_string()),
+        ];
+        let plain: String = pairs
+            .iter()
+            .map(|(k, v)| format!("{k}={v}\n"))
+            .collect();
+
+        // Presentation noise: defaults made explicit, pairs shuffled,
+        // numbers zero-padded, whitespace and comments sprinkled in.
+        pairs.push(("spec".to_string(), "test_cluster".to_string()));
+        pairs.push(("chaos_rate".to_string(), "0".to_string()));
+        pairs.push(("chaos_seed".to_string(), "0".to_string()));
+        pairs.push(("fail_device".to_string(), String::new()));
+        shuffle(&mut pairs, shuffle_seed);
+        let noisy: String = pairs
+            .iter()
+            .enumerate()
+            .map(|(i, (k, v))| {
+                let v = if noise >> (i % 16) & 1 == 1 && v.chars().all(|c| c.is_ascii_digit()) && !v.is_empty() {
+                    format!("000{v}")
+                } else {
+                    v.clone()
+                };
+                match noise >> (i % 8) & 3 {
+                    0 => format!("{k}={v}\n"),
+                    1 => format!("  {k} = {v}  \n"),
+                    2 => format!("{k}={v} # inline comment\n\n"),
+                    _ => format!("# standalone comment\n\t{k}\t=\t{v}\n"),
+                }
+            })
+            .collect();
+
+        let a = JobSpec::parse(&plain).expect("plain form parses");
+        let b = JobSpec::parse(&noisy).expect("noisy form parses");
+        prop_assert_eq!(a.canonical(), b.canonical());
+        prop_assert_eq!(a.key(), b.key());
+    }
+
+    /// Distinct payload/seed points never collide on the 16-hex key
+    /// (sanity on the avalanche, not a cryptographic claim).
+    #[test]
+    fn nearby_points_get_distinct_keys(
+        elems in 1usize..1000,
+        seed in 0u64..1000,
+    ) {
+        let a = JobSpec::parse(&format!("workload=allreduce\nelems={elems}\nseed={seed}")).unwrap();
+        let b = JobSpec::parse(&format!("workload=allreduce\nelems={}\nseed={seed}", elems + 1)).unwrap();
+        let c = JobSpec::parse(&format!("workload=allreduce\nelems={elems}\nseed={}", seed + 1)).unwrap();
+        prop_assert_ne!(a.key(), b.key());
+        prop_assert_ne!(a.key(), c.key());
+    }
+}

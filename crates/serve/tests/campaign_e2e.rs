@@ -1,0 +1,132 @@
+//! End-to-end: the shipped campaigns run through the engine across a
+//! real worker pool, and resubmitting them re-executes nothing.
+//!
+//! This is the acceptance path of the serving layer: expand
+//! `campaigns/coll_sweep.campaign`, push every point through ≥4 workers,
+//! check the per-job artifacts, then resubmit the identical campaign
+//! and demand zero new executions with byte-identical results.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use impacc_serve::{Campaign, Serve, ServeConfig};
+
+fn repo_campaign(name: &str) -> Campaign {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../campaigns")
+        .join(name);
+    Campaign::load(&path).expect("shipped campaign parses")
+}
+
+fn tmp(tag: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(format!("campaign-e2e-{tag}"))
+}
+
+#[test]
+fn coll_campaign_runs_and_resubmits_for_free() {
+    let out_dir = tmp("coll-out");
+    let _ = std::fs::remove_dir_all(&out_dir);
+    let campaign = repo_campaign("coll_sweep.campaign");
+    assert!(
+        campaign.jobs.len() >= 12,
+        "the coll sweep covers payloads x algorithms"
+    );
+
+    let serve = Serve::start(ServeConfig {
+        workers: 4,
+        queue_cap: 64,
+        cache_dir: None,
+        out_dir: Some(out_dir.clone()),
+    });
+
+    // Pass 1: every point executes on the pool.
+    let tickets: Vec<_> = campaign
+        .jobs
+        .iter()
+        .map(|j| serve.submit(j.clone()).expect("admitted"))
+        .collect();
+    let mut first: HashMap<String, Arc<String>> = HashMap::new();
+    for t in tickets {
+        let done = t.wait();
+        assert!(done.is_ok(), "campaign job failed: {:?}", done.error);
+        assert!(!done.cache_hit, "distinct points must all execute");
+        first.insert(done.key.clone(), done.result.expect("result"));
+    }
+    let executed = serve.status().jobs_done;
+    assert_eq!(executed as usize, campaign.jobs.len());
+
+    // Per-job artifacts landed, one per content address.
+    for key in first.keys() {
+        let path = out_dir.join(format!("JOB_{key}.json"));
+        let body = std::fs::read_to_string(&path).expect("artifact exists");
+        assert_eq!(body, **first.get(key).expect("known key"));
+    }
+
+    // Pass 2: identical campaign, zero re-executions, identical bytes.
+    for job in &campaign.jobs {
+        let done = serve.submit(job.clone()).expect("admitted").wait();
+        assert!(done.cache_hit, "resubmitted point must hit the cache");
+        assert_eq!(
+            done.result.expect("cached result"),
+            *first.get(&done.key).expect("seen on pass 1"),
+            "cached bytes must equal the executed report"
+        );
+    }
+    let st = serve.status();
+    assert_eq!(st.jobs_done, executed, "resubmit must not re-execute");
+    assert_eq!(st.cache_hits as usize, campaign.jobs.len());
+    let _ = std::fs::remove_dir_all(&out_dir);
+}
+
+#[test]
+fn chaos_campaign_completes_under_faults() {
+    let campaign = repo_campaign("chaos_sweep.campaign");
+    let serve = Serve::start(ServeConfig {
+        workers: 4,
+        ..ServeConfig::default()
+    });
+    for job in &campaign.jobs {
+        let done = serve.submit(job.clone()).expect("admitted").wait();
+        assert!(done.is_ok(), "chaos job failed: {:?}", done.error);
+    }
+    assert_eq!(serve.status().jobs_failed, 0);
+}
+
+#[test]
+fn shared_prefix_points_memoize_across_campaigns() {
+    // A second campaign overlapping the coll sweep's 128-elem row: the
+    // overlap is served from cache, only novel points execute.
+    let serve = Serve::start(ServeConfig {
+        workers: 4,
+        ..ServeConfig::default()
+    });
+    let full = repo_campaign("coll_sweep.campaign");
+    for job in &full.jobs {
+        assert!(serve.submit(job.clone()).expect("admitted").wait().is_ok());
+    }
+    let executed = serve.status().jobs_done;
+
+    let overlap = Campaign::parse(
+        "workload=allreduce\nspec=test_cluster\nnodes=2\ngpus=4\nrounds=2\n\
+         sweep elems = 128, 256\nsweep algo = flat, hier\n",
+    )
+    .expect("overlap campaign parses");
+    let mut hits = 0;
+    for job in &overlap.jobs {
+        if serve
+            .submit(job.clone())
+            .expect("admitted")
+            .wait()
+            .cache_hit
+        {
+            hits += 1;
+        }
+    }
+    assert_eq!(hits, 2, "the elems=128 x {{flat,hier}} prefix memoizes");
+    assert_eq!(
+        serve.status().jobs_done,
+        executed + 2,
+        "only the novel elems=256 points execute"
+    );
+}
