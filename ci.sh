@@ -10,6 +10,13 @@ cargo build --release --workspace
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
+echo "==> cargo test -q --workspace (IMPACC_PARALLEL=4)"
+# Tier-1 again on the conservative parallel engine: every launched run
+# partitions by node and advances under a 4-worker horizon protocol.
+# Bit-identical results are the contract (DESIGN.md §5i), so the whole
+# suite must stay green with the knob forced on.
+IMPACC_PARALLEL=4 cargo test -q --workspace
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
@@ -51,6 +58,38 @@ elif baseline_json=$(git show HEAD:baselines/speed.json 2>/dev/null); then
     }'
 else
     echo "perf gate: skipped (no committed baselines/speed.json; run ./ci.sh --rebaseline)"
+fi
+
+echo "==> cores-sweep gate: bench_speed --smoke"
+# 8192-actor lockstep, serial engine vs 4 conservative workers: the
+# parallel run must match the serial event total (±1 teardown dispatch)
+# and finish at least 2x faster. The binary panics (nonzero exit) on
+# either violation.
+cargo run --release -q -p impacc-bench --bin bench_speed -- --smoke
+
+echo "==> lockstep parallel regression gate"
+# Same floor as the main speed gate, applied to the 4-worker lockstep
+# throughput published by the cores sweep (lockstep_par4_events_per_sec
+# in BENCH_speed.json): the conservative engine must not quietly lose
+# its win over the serial engine release over release.
+fresh=$(grep -o '"lockstep_par4_events_per_sec":[0-9.]*' "$PERF_DIR/BENCH_speed.json" | cut -d: -f2)
+if [[ "${1:-}" == "--rebaseline" ]]; then
+    echo "lockstep gate: baseline reset to $fresh events/sec (covered by baselines/speed.json)"
+elif base=$(git show HEAD:baselines/speed.json 2>/dev/null \
+        | grep -o '"lockstep_par4_events_per_sec":[0-9.]*' | cut -d: -f2) \
+        && [[ -n "$base" ]]; then
+    awk -v fresh="$fresh" -v base="$base" -v pct="$PCT" 'BEGIN {
+        floor = base * (1 - pct / 100);
+        printf "lockstep gate: fresh %.0f vs baseline %.0f events/sec (floor %.0f, -%s%%)\n",
+            fresh, base, floor, pct;
+        if (fresh < floor) {
+            printf "lockstep gate: FAIL — parallel throughput regressed more than %s%%\n", pct;
+            exit 1;
+        }
+        print "lockstep gate: ok";
+    }'
+else
+    echo "lockstep gate: skipped (no lockstep_par4_events_per_sec in committed baseline; run ./ci.sh --rebaseline)"
 fi
 
 echo "==> chaos smoke: fixed-seed fault injection"

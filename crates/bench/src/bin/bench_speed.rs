@@ -1,5 +1,9 @@
 //! See `impacc_bench::speed`. `--quick` is a convenience alias for
 //! `IMPACC_BENCH_QUICK=1` so CI can invoke the perf smoke in one line.
 fn main() {
-    impacc_bench::bench_bin("speed", impacc_bench::speed::run, None);
+    impacc_bench::bench_bin(
+        "speed",
+        impacc_bench::speed::run,
+        Some(impacc_bench::speed::smoke),
+    );
 }

@@ -15,6 +15,7 @@
 //! | `IMPACC_BENCH_FULL` | [`bench_full`] | `1` ⇒ unlock the largest points |
 //! | `IMPACC_PERF_INJECT_SLOWDOWN` | [`perf_inject_slowdown`] | CI-gate failure-path test hook |
 //! | `IMPACC_SERVE_WORKERS` | [`serve_workers`] | worker-pool size override for `impacc-serve` |
+//! | `IMPACC_PARALLEL` | [`parallelism`] | conservative-DES worker count (`0`/unset ⇒ legacy serial engine) |
 //!
 //! (`IMPACC_PERF_BASELINE_PCT` is consumed by `ci.sh` itself and never
 //! read from Rust; `IMPACC_ACC_DEVICE_TYPE` is modelled as a typed
@@ -88,6 +89,18 @@ pub fn serve_workers() -> Option<usize> {
         .filter(|n| *n > 0)
 }
 
+/// `IMPACC_PARALLEL=<n>`: run simulations on the conservative parallel
+/// DES engine with `n` scheduler workers (actors partitioned by simulated
+/// node, lookahead derived from the machine spec's internode wire
+/// latency). Unset, unparsable or `0` ⇒ the legacy serial engine. Results
+/// are bit-identical for every value; only wall-clock changes.
+pub fn parallelism() -> usize {
+    std::env::var("IMPACC_PARALLEL")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -126,5 +139,13 @@ mod tests {
         std::env::set_var("IMPACC_PROF", "1");
         assert!(prof_requested());
         std::env::remove_var("IMPACC_PROF");
+
+        std::env::remove_var("IMPACC_PARALLEL");
+        assert_eq!(parallelism(), 0);
+        std::env::set_var("IMPACC_PARALLEL", "4");
+        assert_eq!(parallelism(), 4);
+        std::env::set_var("IMPACC_PARALLEL", "junk");
+        assert_eq!(parallelism(), 0, "unparsable falls back to serial");
+        std::env::remove_var("IMPACC_PARALLEL");
     }
 }

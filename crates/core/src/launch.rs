@@ -22,7 +22,7 @@ use impacc_machine::{
 use impacc_mem::{AddressSpace, NodeHeap};
 use impacc_mpi::{Comm, MpiTask, SysMpi};
 use impacc_obs::Recorder;
-use impacc_vtime::{Sim, SimConfig, SimError, SimReport, SpanSink};
+use impacc_vtime::{Sim, SimConfig, SimDur, SimError, SimReport, SpanSink};
 
 use crate::handler::NodeHandler;
 use crate::mode::RuntimeOptions;
@@ -117,6 +117,8 @@ pub struct Launch {
     sink: Option<Arc<dyn SpanSink>>,
     chaos: Chaos,
     coll_algo: Option<CollAlgo>,
+    parallelism: Option<usize>,
+    recorder: Option<Recorder>,
 }
 
 impl Launch {
@@ -135,7 +137,23 @@ impl Launch {
             sink: None,
             chaos: Chaos::disabled(),
             coll_algo: None,
+            parallelism: None,
+            recorder: None,
         }
+    }
+
+    /// Pin the scheduler worker count for this run, overriding the
+    /// `IMPACC_PARALLEL` environment default. `0` selects the legacy
+    /// serial engine; any positive value runs the conservative parallel
+    /// engine with actors partitioned by simulated node and lookahead
+    /// derived from the machine's internode wire latency. Virtual-time
+    /// results are bit-identical for every positive value. Ignored
+    /// (forced serial) when a fault plan is installed: chaos rolls
+    /// consume a shared seeded sequence whose order must stay
+    /// schedule-independent.
+    pub fn parallelism(mut self, n: usize) -> Launch {
+        self.parallelism = Some(n);
+        self
     }
 
     /// Force one collective algorithm for every dispatched collective in
@@ -196,8 +214,11 @@ impl Launch {
     }
 
     /// Record typed spans from every layer into `rec`
-    /// (see `impacc_obs::Recorder`).
-    pub fn recorder(self, rec: &Recorder) -> Launch {
+    /// (see `impacc_obs::Recorder`). Under the parallel engine the
+    /// recorder is canonicalized when the run completes, so its spans and
+    /// edges read back identically for every `IMPACC_PARALLEL` value.
+    pub fn recorder(mut self, rec: &Recorder) -> Launch {
+        self.recorder = Some(rec.clone());
         self.span_sink(rec.sink())
     }
 
@@ -338,13 +359,35 @@ impl Launch {
             }
         }
 
+        // Engine selection: the conservative parallel scheduler partitions
+        // actors by simulated node, with lookahead = the machine's minimum
+        // cross-node event distance (internode wire latency). Chaos forces
+        // the serial engine — fault rolls consume a shared seeded sequence
+        // whose order must stay schedule-independent.
+        let mut parallelism = self.parallelism.unwrap_or_else(crate::config::parallelism);
+        if self.chaos.enabled() {
+            parallelism = 0;
+        }
+        let lookahead = if parallelism > 0 {
+            res.min_cross_node_latency()
+        } else {
+            SimDur::ZERO
+        };
+
         let mut sim = Sim::with_config(SimConfig {
             stack_size: self.stack_size,
             max_events: self.max_events,
             trace_capacity: self.trace_capacity,
             elide_handoff: self.elide_handoff,
             sink,
+            parallelism,
+            lookahead,
         });
+        if parallelism > 0 {
+            // Cross-node messages must cross partitions through the
+            // per-node delivery daemons, never from the sender's side.
+            sysmpi.spawn_delivery_daemons(&mut sim);
+        }
 
         // Per-node shared structures (IMPACC). The baseline gets fresh
         // per-task ones below.
@@ -379,8 +422,10 @@ impl Launch {
                     );
                     {
                         let handler = handler.clone();
-                        sim.spawn_daemon(format!("handler.n{}", t.node), move |ctx| {
-                            handler.run(ctx)
+                        // Pinned to its node's partition: the handler
+                        // touches only node-local shared structures.
+                        sim.spawn_daemon_on(t.node as u32, format!("handler.n{}", t.node), {
+                            move |ctx| handler.run(ctx)
                         });
                     }
                     node_space[t.node] = Some(space);
@@ -436,7 +481,7 @@ impl Launch {
             };
             let app = app.clone();
             let (node, dev_idx, socket, far) = (t.node, t.dev_idx, t.socket, t.far);
-            sim.spawn(format!("rank{}", t.rank), move |ctx| {
+            sim.spawn_on(t.node as u32, format!("rank{}", t.rank), move |ctx| {
                 ctx.event("marker", || {
                     vec![
                         ("phase", "pin".to_string()),
@@ -462,6 +507,17 @@ impl Launch {
         }
 
         let report = sim.run()?;
+        if parallelism > 0 {
+            // Concurrent partitions emit spans in racy real-time order;
+            // canonicalizing restores a schedule-independent order so
+            // recorded artifacts are byte-identical for every worker count.
+            if let Some(rec) = &self.recorder {
+                rec.canonicalize();
+            }
+            if let Some((rec, _)) = &auto_trace {
+                rec.canonicalize();
+            }
+        }
         if let Some((rec, path)) = auto_trace {
             let spans = rec.spans();
             let label = if impacc { "impacc" } else { "baseline" };

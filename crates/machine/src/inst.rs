@@ -82,6 +82,34 @@ pub struct NetTimes {
     pub rx_end: SimTime,
 }
 
+/// The sender-side half of an internode transfer (see
+/// [`ClusterResources::reserve_net_tx`]). Carries everything the receiver
+/// side needs to finish the reservation without re-deriving link bandwidth.
+#[derive(Copy, Clone, Debug)]
+pub struct NetTx {
+    /// Instant the message has fully left the sender's NIC.
+    pub tx_end: SimTime,
+    /// Instant the head of the message reaches the receiver (wire latency
+    /// after injection starts). The earliest possible rx activity.
+    pub head_arrival: SimTime,
+    /// Byte time on the end-to-end bottleneck link; the rx NIC is occupied
+    /// for this long starting no earlier than `head_arrival`.
+    pub dur: SimDur,
+}
+
+/// Link classes with a hard minimum latency. The conservative parallel
+/// scheduler derives its lookahead from these: no event can cross the
+/// named link class in less virtual time than the reported minimum.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum LinkClass {
+    /// Internode wire (NIC to NIC). This is the cross-*node* minimum.
+    Network,
+    /// Host<->device PCIe hop (minimum over all discrete devices).
+    Pcie,
+    /// Host memory-copy engine.
+    HostMem,
+}
+
 /// Per-node contended resources.
 pub struct NodeResources {
     /// Host memory-copy engine (intra-node HtoH staging shares this).
@@ -277,6 +305,39 @@ impl ClusterResources {
         self.spec.network.nic_bw / n.powf(self.spec.network.bisect)
     }
 
+    /// Minimum latency of one hop through `class` anywhere in the cluster.
+    /// These are spec-derived floors: contention, chaos delays, and software
+    /// overheads only ever add to them, so they are safe causal bounds.
+    pub fn min_link_latency(&self, class: LinkClass) -> SimDur {
+        let secs = match class {
+            LinkClass::Network => self.spec.network.latency,
+            LinkClass::Pcie => self
+                .spec
+                .nodes
+                .iter()
+                .flat_map(|n| n.devices.iter())
+                .filter(|d| d.kind.is_discrete())
+                .map(|d| d.pcie_lat)
+                .fold(f64::INFINITY, f64::min),
+            LinkClass::HostMem => self.spec.costs.host_memcpy_lat,
+        };
+        if secs.is_finite() {
+            SimDur::from_secs_f64(secs)
+        } else {
+            // No link of this class exists (e.g. all-integrated nodes):
+            // zero is the conservative answer — no lookahead credit.
+            SimDur::ZERO
+        }
+    }
+
+    /// Minimum virtual-time distance between a cause on one node and its
+    /// earliest possible effect on another: every internode delivery pays
+    /// at least the wire latency. This is the lookahead bound the
+    /// conservative parallel scheduler partitions actors by node against.
+    pub fn min_cross_node_latency(&self) -> SimDur {
+        self.min_link_latency(LinkClass::Network)
+    }
+
     /// Reserve an internode network transfer `src_node -> dst_node` of
     /// `bytes`: occupies the sender's NIC tx, the wire latency, and the
     /// receiver's NIC rx. Returns the instant the data is fully received.
@@ -307,6 +368,35 @@ impl ClusterResources {
         dst_dev: Option<usize>,
         pinned: bool,
     ) -> NetTimes {
+        let tx = self.reserve_net_tx(
+            src_node, dst_node, bytes, earliest, src_dev, dst_dev, pinned,
+        );
+        let rx_end = self.reserve_net_rx(dst_node, dst_dev, tx.head_arrival, tx.dur);
+        NetTimes {
+            tx_end: tx.tx_end,
+            rx_end,
+        }
+    }
+
+    /// Sender-side half of an internode transfer: occupies the sender's
+    /// NIC tx (and source device up-link for GPUDirect) and computes the
+    /// end-to-end byte time, but touches **no destination-node resource**.
+    /// Under the conservative parallel scheduler each partition owns one
+    /// simulated node's resources exclusively, so a sending actor must
+    /// stop here and hand `NetTx` across the partition boundary; the
+    /// receiver's delivery daemon finishes the reservation with
+    /// [`ClusterResources::reserve_net_rx`] in deterministic arrival order.
+    #[allow(clippy::too_many_arguments)]
+    pub fn reserve_net_tx(
+        &self,
+        src_node: usize,
+        dst_node: usize,
+        bytes: u64,
+        earliest: SimTime,
+        src_dev: Option<usize>,
+        dst_dev: Option<usize>,
+        pinned: bool,
+    ) -> NetTx {
         assert_ne!(src_node, dst_node, "reserve_net is internode only");
         let mut bw = self.effective_nic_bw();
         if !pinned {
@@ -321,6 +411,8 @@ impl ClusterResources {
             wire += dev.pcie_lat;
         }
         if let Some(d) = dst_dev {
+            // Spec reads are side-effect free: the destination's PCIe caps
+            // pin end-to-end bandwidth without touching its resources.
             let dev = &self.spec.nodes[dst_node].devices[d];
             bw = bw.min(dev.pcie_bw);
             wire += dev.pcie_lat;
@@ -331,15 +423,31 @@ impl ClusterResources {
         if let Some(d) = src_dev {
             self.nodes[src_node].dev_up[d].reserve_from(tx_start, dur);
         }
-        // The head of the message reaches the receiver after the wire
-        // latency; ejection occupies the rx NIC for the byte time.
-        let (rx_start, rx_end) = self.nodes[dst_node]
-            .nic_rx
-            .reserve_from(tx_start + wire, dur);
+        NetTx {
+            tx_end,
+            // The head of the message reaches the receiver after the wire
+            // latency; ejection occupies the rx NIC for the byte time.
+            head_arrival: tx_start + wire,
+            dur,
+        }
+    }
+
+    /// Receiver-side half of an internode transfer: occupies the
+    /// destination's NIC rx (and device down-link for GPUDirect) from the
+    /// head-arrival instant. Returns the instant the data is fully
+    /// received.
+    pub fn reserve_net_rx(
+        &self,
+        dst_node: usize,
+        dst_dev: Option<usize>,
+        head_arrival: SimTime,
+        dur: SimDur,
+    ) -> SimTime {
+        let (rx_start, rx_end) = self.nodes[dst_node].nic_rx.reserve_from(head_arrival, dur);
         if let Some(d) = dst_dev {
             self.nodes[dst_node].dev_down[d].reserve_from(rx_start, dur);
         }
-        NetTimes { tx_end, rx_end }
+        rx_end
     }
 
     /// Execution time of a kernel of the given cost on device `dev` of
@@ -466,6 +574,69 @@ mod tests {
         let small = ClusterResources::new(Arc::new(presets::titan(2)));
         let large = ClusterResources::new(Arc::new(presets::titan(8192)));
         assert!(large.effective_nic_bw() < small.effective_nic_bw());
+    }
+
+    #[test]
+    fn min_cross_node_latency_is_the_wire_latency() {
+        let r = ClusterResources::new(Arc::new(presets::titan(4)));
+        let wire = SimDur::from_secs_f64(r.spec.network.latency);
+        assert_eq!(r.min_cross_node_latency(), wire);
+        assert_eq!(r.min_link_latency(LinkClass::Network), wire);
+        assert!(wire > SimDur::ZERO, "titan wire latency must be nonzero");
+    }
+
+    #[test]
+    fn min_link_latency_per_class() {
+        let r = psg_res();
+        let pcie_floor = r
+            .spec
+            .nodes
+            .iter()
+            .flat_map(|n| n.devices.iter())
+            .filter(|d| d.kind.is_discrete())
+            .map(|d| d.pcie_lat)
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(
+            r.min_link_latency(LinkClass::Pcie),
+            SimDur::from_secs_f64(pcie_floor)
+        );
+        assert_eq!(
+            r.min_link_latency(LinkClass::HostMem),
+            SimDur::from_secs_f64(r.spec.costs.host_memcpy_lat)
+        );
+        // A delivery can never undercut the floor: a minimal internode
+        // transfer still arrives ≥ wire latency after it is posted.
+        let rt = ClusterResources::new(Arc::new(presets::titan(2)));
+        let arrival = rt.reserve_net(0, 1, 1, SimTime::ZERO);
+        assert!(arrival.since(SimTime::ZERO) >= rt.min_cross_node_latency());
+    }
+
+    #[test]
+    fn min_pcie_latency_without_discrete_devices_is_zero() {
+        let mut spec = presets::test_cluster(2, 1);
+        for n in &mut spec.nodes {
+            for d in &mut n.devices {
+                d.kind = DeviceKind::CpuCores;
+            }
+        }
+        let r = ClusterResources::new(Arc::new(spec));
+        assert_eq!(r.min_link_latency(LinkClass::Pcie), SimDur::ZERO);
+    }
+
+    #[test]
+    fn split_net_halves_match_combined_reservation() {
+        let combined = ClusterResources::new(Arc::new(presets::titan(4)));
+        let split = ClusterResources::new(Arc::new(presets::titan(4)));
+        for (bytes, earliest) in [
+            (1u64 << 20, SimTime::ZERO),
+            (64, SimTime::from_secs_f64(1e-3)),
+        ] {
+            let whole = combined.reserve_net_parts(0, 1, bytes, earliest, None, None, true);
+            let tx = split.reserve_net_tx(0, 1, bytes, earliest, None, None, true);
+            let rx_end = split.reserve_net_rx(1, None, tx.head_arrival, tx.dur);
+            assert_eq!(tx.tx_end, whole.tx_end);
+            assert_eq!(rx_end, whole.rx_end);
+        }
     }
 
     #[test]

@@ -21,7 +21,9 @@ pub mod topo;
 
 pub use build::{validate, ClusterBuilder, NodeBuilder, SpecError};
 pub use impacc_chaos::{Chaos, FaultPlan, FaultSite};
-pub use inst::{ClusterResources, HdDir, KernelCost, LaunchConfig, NetTimes, NodeResources};
+pub use inst::{
+    ClusterResources, HdDir, KernelCost, LaunchConfig, LinkClass, NetTimes, NetTx, NodeResources,
+};
 pub use spec::{
     CostParams, DeviceKind, DeviceSpec, DeviceTypeMask, MachineSpec, MpiThreading, NetworkSpec,
     NodeSpec, NumaSpec, SocketSpec,

@@ -25,11 +25,12 @@
 //!   device buffer is a runtime panic, as a real library would segfault.
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use impacc_machine::{ClusterResources, FaultSite, MpiThreading};
 use impacc_mem::CowSnapshot;
-use impacc_vtime::{Ctx, Latch, SerialResource, SimTime};
+use impacc_vtime::{Ctx, Latch, SerialResource, Sim, SimDur, SimTime, WaitToken, WakeReason};
 use parking_lot::Mutex;
 
 use crate::comm::Comm;
@@ -166,6 +167,36 @@ struct MatchState {
     posted: HashMap<(u64, u32), VecDeque<RecvRec>>,
 }
 
+/// One in-flight internode message parked at the destination node's
+/// delivery daemon (conservative parallel mode only).
+struct Delivery {
+    /// Instant the head of the message reaches the destination NIC. Never
+    /// less than the sender's clock plus the wire latency, which is
+    /// exactly the engine's lookahead bound.
+    head: SimTime,
+    /// Byte time the destination rx NIC is occupied from `head`.
+    dur: SimDur,
+    /// Drain-order tie-breaks: sender rank, then the sender's own push
+    /// sequence (each sender bumps only its own slot, so both are
+    /// schedule-independent).
+    src_global: u32,
+    seq: u64,
+    dst_global: u32,
+    rec: SendRec,
+}
+
+#[derive(Default)]
+struct MailboxState {
+    pending: Vec<Delivery>,
+    /// The delivery daemon's wait token and the deadline it armed
+    /// ([`SimTime::MAX`] when waiting unbounded). Senders wake it only
+    /// for strictly earlier arrivals, so a wake never races a deadline
+    /// it would lose to.
+    armed: Option<(WaitToken, SimTime)>,
+    /// Per-sender push counters for the drain-order tie-break.
+    seqs: HashMap<u32, u64>,
+}
+
 /// The simulated MPI library.
 pub struct SysMpi {
     res: Arc<ClusterResources>,
@@ -174,6 +205,10 @@ pub struct SysMpi {
     /// Present when the library lacks `MPI_THREAD_MULTIPLE`: all calls
     /// from one node serialize on this (§3.7).
     node_serial: Option<Vec<SerialResource>>,
+    /// Per-node internode delivery mailboxes, active only once
+    /// [`SysMpi::spawn_delivery_daemons`] installs the conservative path.
+    mailboxes: Vec<Mutex<MailboxState>>,
+    conservative: AtomicBool,
 }
 
 impl SysMpi {
@@ -187,12 +222,114 @@ impl SysMpi {
                     .collect(),
             ),
         };
+        let mailboxes = (0..res.spec.node_count())
+            .map(|_| Mutex::new(MailboxState::default()))
+            .collect();
         Arc::new(SysMpi {
             res,
             node_of,
             state: Mutex::new(MatchState::default()),
             node_serial,
+            mailboxes,
+            conservative: AtomicBool::new(false),
         })
+    }
+
+    /// Install the conservative cross-partition delivery path: one daemon
+    /// per node (pinned to that node's partition) that drains arriving
+    /// internode messages in deterministic `(arrival, sender, sequence)`
+    /// order, finishes their rx-NIC reservations, and runs the matching
+    /// engine on the destination side. Required whenever the simulation
+    /// runs on the parallel engine with actors partitioned by node —
+    /// without it, internode sends would mutate destination-node state
+    /// from the sender's partition in racy real-time order. Call before
+    /// [`Sim::run`]. Incompatible with fault injection (the launcher
+    /// forces the serial engine under chaos).
+    pub fn spawn_delivery_daemons(self: &Arc<SysMpi>, sim: &mut Sim) {
+        assert!(
+            !self.res.chaos.enabled(),
+            "conservative delivery models the fault-free transport; \
+             chaos runs use the serial engine"
+        );
+        self.conservative.store(true, Ordering::Release);
+        for node in 0..self.res.spec.node_count() {
+            let sys = self.clone();
+            sim.spawn_daemon_on(node as u32, format!("mpi.dlv.n{node}"), move |ctx| {
+                sys.delivery_loop(ctx, node)
+            });
+        }
+    }
+
+    fn delivery_loop(&self, ctx: &Ctx, node: usize) {
+        loop {
+            // Drain everything that has arrived by the daemon's clock.
+            let now = ctx.now();
+            let mut batch = {
+                let mut m = self.mailboxes[node].lock();
+                let mut batch = Vec::new();
+                let mut i = 0;
+                while i < m.pending.len() {
+                    if m.pending[i].head <= now {
+                        batch.push(m.pending.swap_remove(i));
+                    } else {
+                        i += 1;
+                    }
+                }
+                batch
+            };
+            batch.sort_by_key(|a| (a.head, a.src_global, a.seq));
+            for d in batch {
+                self.deliver(ctx, node, d);
+            }
+            // Arm for the earliest not-yet-arrived message (new pushes are
+            // visible here: senders hold the same lock).
+            let tok = ctx.prepare_wait();
+            let next = {
+                let mut m = self.mailboxes[node].lock();
+                let next = m.pending.iter().map(|d| d.head).min();
+                m.armed = Some((tok, next.unwrap_or(SimTime::MAX)));
+                next
+            };
+            let reason = match next {
+                Some(at) => ctx.wait_deadline(tok, at, "mpi_dlv_idle"),
+                None => ctx.wait(tok, "mpi_dlv_idle"),
+            };
+            self.mailboxes[node].lock().armed = None;
+            if reason == WakeReason::Shutdown {
+                return;
+            }
+        }
+    }
+
+    /// Finish one parked internode message on the destination partition:
+    /// reserve the rx NIC from the head-arrival instant and run the
+    /// matching engine exactly as the serial path would.
+    fn deliver(&self, ctx: &Ctx, dst_node: usize, d: Delivery) {
+        let mut rec = d.rec;
+        rec.arrival = self.res.reserve_net_rx(dst_node, None, d.head, d.dur);
+        // The wire edge, emitted from protocol state so it is identical
+        // run over run: the sender's transmit enabled this daemon's work
+        // at the head-arrival instant (the engine-level wake edge is
+        // suppressed — see `initiate_send`).
+        if let Some((src_name, sent)) = rec.sent_by.clone() {
+            ctx.edge("wake", &src_name, sent, &ctx.name(), d.head, || {
+                vec![("tag", "mpi_dlv_idle".to_string())]
+            });
+        }
+        let mut st = self.state.lock();
+        let key = (rec.comm.id(), d.dst_global);
+        let posted = st.posted.entry(key).or_default();
+        if let Some(pos) = posted.iter().position(|r| {
+            r.src
+                .is_none_or(|s| rec.comm.global_of(s) == rec.src_global)
+                && r.tag.is_none_or(|t| t == rec.tag)
+        }) {
+            let recv = posted.remove(pos).expect("position valid");
+            drop(st);
+            self.complete_pair(ctx, rec, recv, dst_node);
+        } else {
+            st.unexpected.entry(key).or_default().push_back(rec);
+        }
     }
 
     /// The machine resources this library charges against.
@@ -239,6 +376,13 @@ impl SysMpi {
         self.charge_call(ctx, src_node);
         let now = ctx.now();
 
+        // Conservative parallel mode: the sender's partition must not
+        // touch destination-node state, so internode sends stop at the
+        // sender's NIC and park the message at the destination's delivery
+        // daemon. Set for internode sends only; intra-node and self
+        // traffic stays within one partition and keeps the direct path.
+        let mut handoff: Option<(SimTime, SimDur)> = None;
+
         let (arrival, sender_done, intra) = if src_global == dst_global {
             // Self message: a host memcpy at match time; available now.
             let end = self.res.reserve_host_copy(src_node, buf.len, now);
@@ -278,87 +422,100 @@ impl SysMpi {
             // internal pinned pool.
             let zero_copy =
                 src_dev.is_some() || (buf.pinned && self.res.spec.network.gpudirect_rdma);
-            // Injected link faults (impacc-chaos): a dropped message is
-            // detected by ack timeout and resent after exponential
-            // backoff. Resends are idempotent — the receiver sees exactly
-            // one SendRec — and the final allowed attempt always delivers
-            // (transient-fault model), so a faulted run is late, never
-            // wrong. Rolls are NOT gated on recording state: the fault
-            // schedule must be identical with and without a span sink.
-            let chaos = &self.res.chaos;
-            let max_retries = chaos.plan().map_or(0, |p| p.max_retries);
-            let mut attempt = 0u32;
-            let mut from = now;
-            let (arrival, sender_done) = loop {
-                let parts = self
+            if self.conservative.load(Ordering::Acquire) {
+                // Sender-side half only; the destination daemon reserves
+                // the rx NIC when the head arrives (chaos is incompatible
+                // with this path — see `spawn_delivery_daemons`).
+                let tx = self
                     .res
-                    .reserve_net_parts(src_node, dst_node, buf.len, from, src_dev, None, zero_copy);
-                if attempt < max_retries && chaos.roll(FaultSite::LinkDrop, from) {
-                    attempt += 1;
-                    let plan = chaos.plan().expect("a fault fired, so a plan is active");
-                    let detected = parts.tx_end + plan.timeout;
-                    let resume = detected + chaos.backoff(attempt);
-                    ctx.metrics().inc("retries");
-                    ctx.metrics().inc("chaos_link_drop");
-                    let a = attempt;
-                    ctx.span("fault", from, detected, || {
-                        vec![
-                            ("site", "link_drop".to_string()),
-                            ("dst", dst_global.to_string()),
-                            ("attempt", a.to_string()),
-                        ]
-                    });
-                    ctx.span("retry", detected, resume, || {
-                        vec![
-                            ("site", "link_drop".to_string()),
-                            ("dst", dst_global.to_string()),
-                            ("attempt", a.to_string()),
-                        ]
-                    });
-                    from = resume;
-                    continue;
-                }
-                let mut arrival = parts.rx_end;
-                if chaos.roll(FaultSite::LinkDup, from) {
-                    // Duplicated on the wire: the ghost copy occupies the
-                    // NICs again, but receiver-side dedup drops it — the
-                    // matching engine never sees a second message.
-                    self.res.reserve_net_parts(
-                        src_node,
-                        dst_node,
-                        buf.len,
-                        parts.tx_end,
-                        src_dev,
-                        None,
-                        zero_copy,
+                    .reserve_net_tx(src_node, dst_node, buf.len, now, src_dev, None, zero_copy);
+                handoff = Some((tx.head_arrival, tx.dur));
+                // The provisional arrival is overwritten at delivery; the
+                // head instant keeps the record causally ordered.
+                (tx.head_arrival, tx.tx_end, false)
+            } else {
+                // Injected link faults (impacc-chaos): a dropped message is
+                // detected by ack timeout and resent after exponential
+                // backoff. Resends are idempotent — the receiver sees exactly
+                // one SendRec — and the final allowed attempt always delivers
+                // (transient-fault model), so a faulted run is late, never
+                // wrong. Rolls are NOT gated on recording state: the fault
+                // schedule must be identical with and without a span sink.
+                let chaos = &self.res.chaos;
+                let max_retries = chaos.plan().map_or(0, |p| p.max_retries);
+                let mut attempt = 0u32;
+                let mut from = now;
+                let (arrival, sender_done) = loop {
+                    let parts = self.res.reserve_net_parts(
+                        src_node, dst_node, buf.len, from, src_dev, None, zero_copy,
                     );
-                    ctx.metrics().inc("chaos_link_dup");
-                    ctx.span("fault", parts.tx_end, parts.tx_end, || {
-                        vec![
-                            ("site", "link_dup".to_string()),
-                            ("dst", dst_global.to_string()),
-                        ]
-                    });
-                }
-                if chaos.roll(FaultSite::LinkDelay, from) {
-                    let p = chaos.plan().expect("plan active").link_delay_penalty;
-                    ctx.metrics().inc("chaos_link_delay");
-                    let (a0, a1) = (arrival, arrival + p);
-                    ctx.span("fault", a0, a1, || vec![("site", "link_delay".to_string())]);
-                    arrival = a1;
-                }
-                if chaos.roll(FaultSite::NicBrownout, from) {
-                    let p = chaos.plan().expect("plan active").brownout_penalty;
-                    ctx.metrics().inc("chaos_nic_brownout");
-                    let (a0, a1) = (arrival, arrival + p);
-                    ctx.span("fault", a0, a1, || {
-                        vec![("site", "nic_brownout".to_string())]
-                    });
-                    arrival = a1;
-                }
-                break (arrival, parts.tx_end);
-            };
-            (arrival, sender_done, false)
+                    if attempt < max_retries && chaos.roll(FaultSite::LinkDrop, from) {
+                        attempt += 1;
+                        let plan = chaos.plan().expect("a fault fired, so a plan is active");
+                        let detected = parts.tx_end + plan.timeout;
+                        let resume = detected + chaos.backoff(attempt);
+                        ctx.metrics().inc("retries");
+                        ctx.metrics().inc("chaos_link_drop");
+                        let a = attempt;
+                        ctx.span("fault", from, detected, || {
+                            vec![
+                                ("site", "link_drop".to_string()),
+                                ("dst", dst_global.to_string()),
+                                ("attempt", a.to_string()),
+                            ]
+                        });
+                        ctx.span("retry", detected, resume, || {
+                            vec![
+                                ("site", "link_drop".to_string()),
+                                ("dst", dst_global.to_string()),
+                                ("attempt", a.to_string()),
+                            ]
+                        });
+                        from = resume;
+                        continue;
+                    }
+                    let mut arrival = parts.rx_end;
+                    if chaos.roll(FaultSite::LinkDup, from) {
+                        // Duplicated on the wire: the ghost copy occupies the
+                        // NICs again, but receiver-side dedup drops it — the
+                        // matching engine never sees a second message.
+                        self.res.reserve_net_parts(
+                            src_node,
+                            dst_node,
+                            buf.len,
+                            parts.tx_end,
+                            src_dev,
+                            None,
+                            zero_copy,
+                        );
+                        ctx.metrics().inc("chaos_link_dup");
+                        ctx.span("fault", parts.tx_end, parts.tx_end, || {
+                            vec![
+                                ("site", "link_dup".to_string()),
+                                ("dst", dst_global.to_string()),
+                            ]
+                        });
+                    }
+                    if chaos.roll(FaultSite::LinkDelay, from) {
+                        let p = chaos.plan().expect("plan active").link_delay_penalty;
+                        ctx.metrics().inc("chaos_link_delay");
+                        let (a0, a1) = (arrival, arrival + p);
+                        ctx.span("fault", a0, a1, || vec![("site", "link_delay".to_string())]);
+                        arrival = a1;
+                    }
+                    if chaos.roll(FaultSite::NicBrownout, from) {
+                        let p = chaos.plan().expect("plan active").brownout_penalty;
+                        ctx.metrics().inc("chaos_nic_brownout");
+                        let (a0, a1) = (arrival, arrival + p);
+                        ctx.span("fault", a0, a1, || {
+                            vec![("site", "nic_brownout".to_string())]
+                        });
+                        arrival = a1;
+                    }
+                    break (arrival, parts.tx_end);
+                };
+                (arrival, sender_done, false)
+            }
         };
 
         ctx.metrics().add("mpi_bytes_sent", buf.len);
@@ -388,6 +545,45 @@ impl SysMpi {
             comm: comm.clone(),
             sent_by: ctx.sink_enabled().then(|| (ctx.name(), now)),
         };
+
+        if let Some((head, dur)) = handoff {
+            let wake = {
+                let mut m = self.mailboxes[dst_node].lock();
+                let seq = m.seqs.entry(src_global).or_insert(0);
+                *seq += 1;
+                let seq = *seq;
+                m.pending.push(Delivery {
+                    head,
+                    dur,
+                    src_global,
+                    seq,
+                    dst_global,
+                    rec,
+                });
+                // Wake the daemon only for a strictly earlier arrival than
+                // it armed for; otherwise its own deadline (or a prior
+                // wake) already covers this message.
+                match m.armed {
+                    Some((tok, at)) if head < at => {
+                        m.armed = Some((tok, head));
+                        Some(tok)
+                    }
+                    _ => None,
+                }
+            };
+            if let Some(tok) = wake {
+                // The engine clamps cross-partition wakes to the lookahead
+                // bound; `head ≥ now + wire ≥ now + lookahead`, so the
+                // instant is delivered exactly. The return value is
+                // schedule-dependent and deliberately ignored. Untraced:
+                // whether the daemon resumes via this wake or via the
+                // deadline it armed is a real-time race (the virtual
+                // instant is identical either way), so the causal edge is
+                // emitted deterministically in `deliver` instead.
+                ctx.wake_at_untraced(tok, head);
+            }
+            return sender_done;
+        }
 
         let mut st = self.state.lock();
         let key = (comm.id(), dst_global);

@@ -291,6 +291,42 @@ impl Recorder {
         }
     }
 
+    /// Reorder the retained spans and edges into a canonical,
+    /// schedule-independent order. Under the conservative parallel engine
+    /// actors on different partitions emit concurrently, so raw emission
+    /// order is racy even though each actor's own stream is fully
+    /// determined by virtual time. Stable-sorting spans by actor (keeping
+    /// per-actor emission order) and edges by content makes the buffers
+    /// byte-identical for every `IMPACC_PARALLEL` value. Idempotent.
+    pub fn canonicalize(&self) {
+        let mut spans = self.inner.spans.lock();
+        let mut v: Vec<Span> = spans.drain(..).collect();
+        v.sort_by(|a, b| a.actor.cmp(&b.actor));
+        spans.extend(v);
+        drop(spans);
+        let mut edges = self.inner.edges.lock();
+        let mut v: Vec<Edge> = edges.drain(..).collect();
+        v.sort_by(|a, b| {
+            (
+                a.kind,
+                &a.src_actor,
+                a.src_t,
+                &a.dst_actor,
+                a.dst_t,
+                &a.attrs,
+            )
+                .cmp(&(
+                    b.kind,
+                    &b.src_actor,
+                    b.src_t,
+                    &b.dst_actor,
+                    b.dst_t,
+                    &b.attrs,
+                ))
+        });
+        edges.extend(v);
+    }
+
     /// Drop all retained spans and metrics (the enable state is kept).
     pub fn clear(&self) {
         self.inner.spans.lock().clear();

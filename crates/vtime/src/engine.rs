@@ -19,11 +19,36 @@
 //! steps (the caller holds the baton), lost wake-ups are impossible. A waker
 //! calls [`Ctx::wake`] with the stored token; stale tokens (the waiter has
 //! since resumed) are ignored via a per-actor generation counter.
+//!
+//! # Conservative parallel mode
+//!
+//! With [`SimConfig::parallelism`] > 0 the single baton is replaced by a
+//! conservative parallel discrete-event scheduler. Actors are grouped into
+//! **partitions** (one per simulated node under `impacc_core::Launch`; a
+//! fresh partition per actor by default). The engine runs in **horizon
+//! windows**: with `t0` the earliest pending event and `L` the configured
+//! [`SimConfig::lookahead`], every partition may execute its events with
+//! `t < t0 + L` concurrently, because any cross-partition effect an event
+//! at `t` can cause is delivered no earlier than `t + L` (cross-partition
+//! [`Ctx::wake`]/[`Ctx::wake_at`] clamp to the sender's clock plus `L` —
+//! the null-message guarantee). Within a window each partition is fully
+//! serialized on its own queue, actors advance on **per-actor clocks**
+//! without touching the scheduler lock at all (the parallel fast path),
+//! and up to `parallelism` partitions run concurrently. Results are
+//! bit-identical for any `parallelism` value: partition queues order
+//! equal-time entries by content (push time, pusher name, per-pusher
+//! sequence), never by racy arrival order.
+//!
+//! The contract conservative mode adds: state shared **across** partitions
+//! must be exchanged through `wake`/`wake_at` (or layers built on them,
+//! like the MPI engine's delivery mailboxes) — polling another partition's
+//! mutable state races with its concurrent execution. Intra-partition
+//! code needs no changes: the check-then-wait idiom stays race-free.
 
-use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
 use std::fmt;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -111,6 +136,16 @@ impl Park {
     }
 }
 
+/// Lock-free per-actor state shared between the actor thread (fast path)
+/// and the scheduler (grants). Only meaningful in conservative mode.
+struct ActorClock {
+    /// The actor's own virtual clock. In conservative mode [`Ctx::now`]
+    /// reads this instead of the global mirror.
+    local_now: AtomicU64,
+    /// Advances taken on the lock-free fast path (no scheduler involvement).
+    fast_advances: AtomicU64,
+}
+
 struct ActorSlot {
     name: String,
     daemon: bool,
@@ -125,7 +160,141 @@ struct ActorSlot {
     /// the profiler's wait-state classifier never buckets it "unknown".
     /// Only populated when a sink is recording.
     blocked_cause: Option<String>,
-    acct: BTreeMap<&'static str, SimDur>,
+    /// Tagged virtual-time accounting. Behind its own (uncontended) lock so
+    /// the conservative fast path can charge tags without the scheduler lock.
+    acct: Arc<Mutex<BTreeMap<&'static str, SimDur>>>,
+    /// This actor's partition (conservative mode; 0 in legacy mode).
+    part: u32,
+    /// Per-pusher sequence for deterministic equal-time ordering of the
+    /// partition-queue entries this actor pushes. Mutated under the
+    /// scheduler lock; deterministic because each actor's own pushes are
+    /// sequential.
+    push_seq: u64,
+    /// Shared clock/counters (conservative mode).
+    clock: Arc<ActorClock>,
+    /// Conservative mode: a wake that arrived between `prepare_wait` and
+    /// the matching `wait` (cross-partition wakers run concurrently, so the
+    /// legacy "nobody runs between the two steps" guarantee no longer
+    /// holds). Consumed when the wait is entered.
+    pending_wake: Option<WakeSrc>,
+    /// True between `prepare_wait` and the matching `wait`; gates
+    /// `pending_wake` so late wakes of an already-resumed generation are
+    /// still rejected as stale.
+    wait_armed: bool,
+    /// Conservative mode: the deadline of the `wait_deadline` the actor is
+    /// blocked in, if any. A `wake_at` at/after this instant defers to the
+    /// deadline timer (deterministic: depends only on virtual times).
+    blocked_deadline: Option<SimTime>,
+    /// Conservative mode: the queue entry of the pending deadline timer, so
+    /// a consuming wake can remove it (keeping the queue identical across
+    /// the woken-before-park / woken-while-parked race arms).
+    blocked_timer: Option<PEntry>,
+    /// Conservative mode: set while the actor sits in its partition queue
+    /// because a `wake`/`wake_at` put it there. Lets a later `wake_at` with
+    /// the same token re-schedule the entry *earlier* (deterministic min
+    /// over senders, independent of real-time arrival order). Because the
+    /// final resume instant is only known once no earlier sender can exist,
+    /// the blocked-time charge, the stall span, and the wake edge are all
+    /// deferred to grant time. Cleared on grant.
+    queued_by_wake: Option<QueuedWake>,
+}
+
+/// Conservative mode: a wake delivered between `prepare_wait` and the
+/// matching `wait`. Merged by lexicographic min on `(at, src, src_vt)` so
+/// the winning waker is independent of real-time arrival order.
+struct WakeSrc {
+    at: SimTime,
+    src: Arc<str>,
+    src_vt: SimTime,
+    /// `false` for [`Ctx::wake_at_untraced`]: the resume is attributed like
+    /// a timer (no wake edge), for protocols that emit their own
+    /// deterministic causal edges.
+    traced: bool,
+}
+
+/// Conservative mode: bookkeeping for an actor whose queue entry was placed
+/// by a wake (or by its `wait_deadline` cap). `src` is the winning waker —
+/// `None` when the deadline cap won or the winning wake was untraced,
+/// both of which resume like a timer and emit no wake edge.
+struct QueuedWake {
+    gen: u64,
+    entry: PEntry,
+    src: Option<(Arc<str>, SimTime)>,
+}
+
+/// A partition-queue entry (conservative mode). The ordering key after `t`
+/// is pure content — the pusher's virtual time, name, and per-pusher
+/// sequence — so equal-time ordering is identical run over run no matter in
+/// which real-time order concurrent partitions pushed.
+#[derive(Clone)]
+struct PEntry {
+    t: SimTime,
+    /// Pusher's virtual clock at push time.
+    src_vt: SimTime,
+    /// Pusher's (unique) actor name.
+    src: Arc<str>,
+    /// Pusher's per-actor push sequence.
+    src_seq: u64,
+    id: ActorId,
+    reason: WakeReason,
+    /// As in [`HeapEntry`]: `Some(gen)` marks a `wait_deadline` timer.
+    timer_gen: Option<u64>,
+}
+
+impl PEntry {
+    fn key(&self) -> (SimTime, SimTime, &str, u64) {
+        (self.t, self.src_vt, &self.src, self.src_seq)
+    }
+}
+
+impl PartialEq for PEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl Eq for PEntry {}
+impl PartialOrd for PEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for PEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+/// One partition: an independent serialization domain in conservative mode.
+struct Part {
+    /// Pending entries, ordered by [`PEntry`]'s content key.
+    queue: BTreeSet<PEntry>,
+    /// An actor of this partition currently holds a grant.
+    active: bool,
+    /// Present in `Sched::ready` (grantable in the current window).
+    in_ready: bool,
+    /// Mirror of the queue front's time (`u64::MAX` when empty), updated
+    /// under the scheduler lock, read by the lock-free fast path.
+    front: Arc<AtomicU64>,
+    /// Last window in which this partition received a grant (for the
+    /// deterministic `parallel_advances` attribution).
+    last_grant_window: u64,
+}
+
+impl Part {
+    fn new() -> Part {
+        Part {
+            queue: BTreeSet::new(),
+            active: false,
+            in_ready: false,
+            front: Arc::new(AtomicU64::new(u64::MAX)),
+            last_grant_window: 0,
+        }
+    }
+
+    fn sync_front(&self) {
+        let f = self.queue.first().map(|e| e.t.0).unwrap_or(u64::MAX);
+        self.front.store(f, Ordering::Release);
+    }
 }
 
 #[derive(Copy, Clone, PartialEq, Eq)]
@@ -165,6 +334,31 @@ struct Sched {
     events_dispatched: u64,
     handoffs_elided: u64,
     max_events: u64,
+    // --- conservative mode (empty/idle in legacy mode) ---
+    /// Partition table, fixed once the run starts (mid-run spawns inherit
+    /// their parent's partition).
+    parts: Vec<Part>,
+    /// Partitions grantable in the current window (inactive, front < H).
+    ready: Vec<u32>,
+    /// Partitions currently holding a grant.
+    running: usize,
+    /// Exclusive horizon of the current window.
+    window_h: SimTime,
+    /// Monotone window counter (for grant attribution). `0` = no window
+    /// opened yet.
+    window_id: u64,
+    /// Highest window whose close-of-window stats have been taken (the
+    /// drain loop can revisit a closed window during the shutdown sweep).
+    window_closed: u64,
+    /// Grants issued in the current window / distinct partitions granted.
+    window_grants: u64,
+    window_distinct: u64,
+    /// Grants issued in windows that released ≥ 2 partitions (deterministic:
+    /// the per-window grant set depends only on virtual state).
+    parallel_advances: u64,
+    /// Partitions that still had pending work at a window close but could
+    /// not run because their next event lay at/beyond the horizon.
+    horizon_stalls: u64,
 }
 
 struct RunGate {
@@ -193,6 +387,24 @@ pub(crate) struct EngineShared {
     /// actor holding the baton can read the clock without contending on it.
     now_ps: AtomicU64,
     sink: Option<Arc<dyn SpanSink>>,
+    /// Conservative mode: number of partitions allowed to run concurrently
+    /// (0 = legacy single-baton mode).
+    parallelism: usize,
+    /// Conservative mode: the lookahead `L` — the minimum virtual distance
+    /// of any cross-partition effect.
+    lookahead: SimDur,
+    /// Mirror of `Sched::window_h`, stable while any partition holds a
+    /// grant, read by the lock-free fast path.
+    window_h_ps: AtomicU64,
+    /// Mirror of `Sched::poison.is_some()`, so the fast path notices
+    /// poisoning without the scheduler lock.
+    poisoned: AtomicBool,
+    /// Fast-path advances, for the (approximate) conservative-mode event
+    /// limit check.
+    fast_events: AtomicU64,
+    /// Copy of [`SimConfig::max_events`] readable without the scheduler
+    /// lock (the conservative fast path checks it).
+    max_events: u64,
 }
 
 /// Receiver for structured spans emitted by the engine and by the runtime
@@ -336,6 +548,21 @@ pub struct SimConfig {
     /// bit-identical either way; set `false` to force the park/unpark path
     /// (determinism tests diff the two).
     pub elide_handoff: bool,
+    /// Conservative parallel mode: the maximum number of partitions that
+    /// may execute concurrently. `0` (the default) selects the legacy
+    /// single-baton scheduler, byte-for-byte unchanged. Any value ≥ 1 runs
+    /// the conservative scheduler; results are bit-identical across all
+    /// nonzero values (only wall-clock concurrency changes).
+    pub parallelism: usize,
+    /// Conservative mode lookahead `L`: a guarantee by the model that no
+    /// event in one partition causes an effect in another partition less
+    /// than `L` of virtual time later (cross-partition wakes are clamped to
+    /// at least the sender's clock + `L` to enforce it). Larger lookahead
+    /// means longer lock-free runs between synchronization barriers.
+    /// `impacc_core::Launch` derives it from the machine model's minimum
+    /// cross-node link latency. `ZERO` degenerates to one-event-at-a-time
+    /// (sound but serial).
+    pub lookahead: SimDur,
 }
 
 impl fmt::Debug for SimConfig {
@@ -346,6 +573,8 @@ impl fmt::Debug for SimConfig {
             .field("trace_capacity", &self.trace_capacity)
             .field("sink", &self.sink.as_ref().map(|_| "SpanSink"))
             .field("elide_handoff", &self.elide_handoff)
+            .field("parallelism", &self.parallelism)
+            .field("lookahead", &self.lookahead)
             .finish()
     }
 }
@@ -358,6 +587,8 @@ impl Default for SimConfig {
             trace_capacity: 0,
             sink: None,
             elide_handoff: true,
+            parallelism: 0,
+            lookahead: SimDur::ZERO,
         }
     }
 }
@@ -460,8 +691,20 @@ pub struct SimReport {
     pub events: u64,
     /// How many of those dispatches skipped the park/unpark round-trip
     /// because the advancing actor was still the earliest runnable one.
-    /// Wall-clock bookkeeping only — zero when `elide_handoff` is off.
+    /// Wall-clock bookkeeping only — zero when `elide_handoff` is off. In
+    /// conservative mode this counts the lock-free horizon-window advances
+    /// (the parallel analogue of the same fast path).
     pub handoffs_elided: u64,
+    /// Conservative mode: scheduler grants issued in windows that released
+    /// two or more partitions — events that actually ran concurrently with
+    /// another partition's work. Zero in legacy mode. Deterministic (the
+    /// per-window grant set depends only on virtual state).
+    pub parallel_advances: u64,
+    /// Conservative mode: how often a partition with pending work sat out a
+    /// window because its next event lay at/beyond the lookahead horizon.
+    /// High values relative to `events` mean the lookahead is too small for
+    /// the workload's event spacing. Zero in legacy mode.
+    pub horizon_stalls: u64,
     /// The retained trace (empty unless `trace_capacity` was set).
     pub trace: Vec<TraceEvent>,
 }
@@ -493,6 +736,15 @@ pub struct Ctx {
     metrics: Metrics,
     /// This actor's trace ring.
     trace_ring: TraceRing,
+    /// This actor's clock/fast-path counters (conservative mode).
+    clock: Arc<ActorClock>,
+    /// This actor's partition (conservative mode).
+    part: u32,
+    /// This actor's tagged time accounting (shared with the scheduler;
+    /// uncontended except when the scheduler charges blocked time).
+    acct: Arc<Mutex<BTreeMap<&'static str, SimDur>>>,
+    /// This partition's queue-front mirror (conservative mode).
+    part_front: Arc<AtomicU64>,
 }
 
 impl fmt::Debug for Ctx {
@@ -512,11 +764,24 @@ impl Ctx {
         self.name.to_string()
     }
 
-    /// Current virtual time. Lock-free: reads the clock mirror maintained
-    /// under the scheduler lock (the caller holds the baton, so nobody can
-    /// move the clock concurrently).
+    /// Current virtual time. Lock-free: in legacy mode this reads the
+    /// global clock mirror (the caller holds the baton, so nobody can move
+    /// the clock concurrently); in conservative mode every actor has its
+    /// own clock, maintained by the fast path and by scheduler grants.
     pub fn now(&self) -> SimTime {
-        SimTime(self.engine.now_ps.load(Ordering::Relaxed))
+        if self.engine.parallelism > 0 {
+            SimTime(self.clock.local_now.load(Ordering::Relaxed))
+        } else {
+            SimTime(self.engine.now_ps.load(Ordering::Relaxed))
+        }
+    }
+
+    /// This actor's partition index (0 in legacy mode). Actors in the same
+    /// partition are serialized against each other even in conservative
+    /// mode and may freely share state; cross-partition interaction must go
+    /// through [`Ctx::wake`]/[`Ctx::wake_at`] or layers built on them.
+    pub fn partition(&self) -> u32 {
+        self.part
     }
 
     /// Engine-wide counters (this handle writes to the calling actor's own
@@ -621,6 +886,13 @@ impl Ctx {
     /// Charge `dur` of virtual time to this actor under `tag` and let other
     /// actors run in the meantime.
     pub fn advance(&self, dur: SimDur, tag: &'static str) {
+        if self.engine.parallelism > 0 {
+            // Conservative mode: the actor's own clock is authoritative and
+            // lock-free to read.
+            let target = SimTime(self.clock.local_now.load(Ordering::Relaxed)) + dur;
+            self.advance_conservative(target, tag);
+            return;
+        }
         let target = {
             let sched = self.engine.sched.lock();
             sched.now + dur
@@ -641,6 +913,10 @@ impl Ctx {
     /// first, so ties take the slow path. Dispatch-order, event-count and
     /// accounting behaviour are identical on both paths.
     pub fn advance_until(&self, target: SimTime, tag: &'static str) {
+        if self.engine.parallelism > 0 {
+            self.advance_conservative(target, tag);
+            return;
+        }
         let park = {
             let mut sched = self.engine.sched.lock();
             self.check_poison(&sched);
@@ -649,13 +925,13 @@ impl Ctx {
             {
                 let slot = &mut sched.actors[self.me.0 as usize];
                 debug_assert_eq!(slot.state, ActorState::Running);
-                *slot.acct.entry(tag).or_insert(SimDur::ZERO) += t.since(now);
+                *slot.acct.lock().entry(tag).or_insert(SimDur::ZERO) += t.since(now);
             }
             if self.engine.elide_handoff && sched.heap.peek().is_none_or(|e| e.t > t) {
                 sched.events_dispatched += 1;
                 if sched.events_dispatched > sched.max_events {
                     sched.poison = Some(format!("event-limit:{}", sched.max_events));
-                    Engine::poison_wake_all(&mut sched);
+                    Engine::poison_wake_all(&self.engine, &mut sched);
                     Engine::open_gate(&self.engine, &mut sched);
                 } else {
                     sched.now = t;
@@ -683,6 +959,70 @@ impl Ctx {
         self.check_poison(&self.engine.sched.lock());
     }
 
+    /// Conservative-mode advance. Fast path: while the target stays below
+    /// the current window horizon and this partition has no pending entry
+    /// at or before it, the actor bumps its own clock and keeps running —
+    /// no lock, no scheduler, no context switch. The two mirrors it reads
+    /// are race-safe while the actor runs: the horizon only moves when no
+    /// partition holds a grant (and this actor holds one), and concurrent
+    /// cross-partition pushes into this partition carry `t ≥ horizon`, so
+    /// a racing front read can never hide an entry at or before `t`.
+    fn advance_conservative(&self, target: SimTime, tag: &'static str) {
+        if self.engine.poisoned.load(Ordering::Relaxed) {
+            self.check_poison(&self.engine.sched.lock());
+        }
+        let now = SimTime(self.clock.local_now.load(Ordering::Relaxed));
+        let t = target.max(now);
+        *self.acct.lock().entry(tag).or_insert(SimDur::ZERO) += t.since(now);
+        if self.engine.elide_handoff
+            && t.0 < self.engine.window_h_ps.load(Ordering::Acquire)
+            && self.part_front.load(Ordering::Acquire) > t.0
+        {
+            self.clock.local_now.store(t.0, Ordering::Release);
+            self.clock.fast_advances.fetch_add(1, Ordering::Relaxed);
+            let n = self.engine.fast_events.fetch_add(1, Ordering::Relaxed) + 1;
+            if n > self.engine.max_events {
+                // Approximate in conservative mode (scheduler grants are
+                // counted separately), but still a firm runaway guard.
+                let mut sched = self.engine.sched.lock();
+                if sched.poison.is_none() {
+                    sched.poison = Some(format!("event-limit:{}", self.engine.max_events));
+                    self.engine.poisoned.store(true, Ordering::Release);
+                    Engine::poison_wake_all(&self.engine, &mut sched);
+                    Engine::open_gate(&self.engine, &mut sched);
+                }
+                self.check_poison(&sched);
+            }
+            return;
+        }
+        let park = {
+            let mut sched = self.engine.sched.lock();
+            self.check_poison(&sched);
+            let entry = {
+                let slot = &mut sched.actors[self.me.0 as usize];
+                debug_assert_eq!(slot.state, ActorState::Running);
+                slot.state = ActorState::Queued;
+                let seq = slot.push_seq;
+                slot.push_seq += 1;
+                PEntry {
+                    t,
+                    src_vt: now,
+                    src: self.name.clone(),
+                    src_seq: seq,
+                    id: self.me,
+                    reason: WakeReason::Signaled,
+                    timer_gen: None,
+                }
+            };
+            let park = sched.actors[self.me.0 as usize].park.clone();
+            Engine::push_entry(&mut sched, self.part, entry);
+            Engine::release_grant(&self.engine, &mut sched, self.part);
+            park
+        };
+        let _ = park.wait();
+        self.check_poison(&self.engine.sched.lock());
+    }
+
     /// Yield the baton without advancing time (FIFO among equal-time actors).
     pub fn yield_now(&self) {
         self.advance(SimDur::ZERO, "yield");
@@ -697,6 +1037,12 @@ impl Ctx {
         let slot = &mut sched.actors[self.me.0 as usize];
         debug_assert_eq!(slot.state, ActorState::Running);
         slot.wait_gen += 1;
+        if self.engine.parallelism > 0 {
+            // Wakers in other partitions may fire between this and the
+            // matching wait; arm the pending-wake latch that catches them.
+            slot.wait_armed = true;
+            slot.pending_wake = None;
+        }
         WaitToken {
             actor: self.me,
             gen: slot.wait_gen,
@@ -725,6 +1071,9 @@ impl Ctx {
 
     fn wait_inner(&self, token: WaitToken, tag: &'static str, cause: Option<String>) -> WakeReason {
         assert_eq!(token.actor, self.me, "wait() with a foreign token");
+        if self.engine.parallelism > 0 {
+            return self.wait_conservative(token, tag, cause, None);
+        }
         let park = {
             let mut sched = self.engine.sched.lock();
             self.check_poison(&sched);
@@ -786,6 +1135,9 @@ impl Ctx {
         cause: Option<String>,
     ) -> WakeReason {
         assert_eq!(token.actor, self.me, "wait_deadline() with a foreign token");
+        if self.engine.parallelism > 0 {
+            return self.wait_conservative(token, tag, cause, Some(deadline));
+        }
         let park = {
             let mut sched = self.engine.sched.lock();
             self.check_poison(&sched);
@@ -820,10 +1172,134 @@ impl Ctx {
         reason
     }
 
+    /// Conservative-mode suspension (both `wait` and `wait_deadline`). The
+    /// extra case over the legacy path: a cross-partition waker may have
+    /// fired between `prepare_wait` and this call — its wake is parked in
+    /// `pending_wake` and consumed here, so the lost-wakeup freedom the
+    /// single baton used to guarantee still holds.
+    fn wait_conservative(
+        &self,
+        token: WaitToken,
+        tag: &'static str,
+        cause: Option<String>,
+        deadline: Option<SimTime>,
+    ) -> WakeReason {
+        let park = {
+            let mut sched = self.engine.sched.lock();
+            self.check_poison(&sched);
+            if sched.shutdown {
+                let slot = &mut sched.actors[self.me.0 as usize];
+                slot.wait_armed = false;
+                slot.pending_wake = None;
+                return WakeReason::Shutdown;
+            }
+            let lnow = SimTime(self.clock.local_now.load(Ordering::Relaxed));
+            let park;
+            let pending;
+            {
+                let slot = &mut sched.actors[self.me.0 as usize];
+                debug_assert_eq!(slot.state, ActorState::Running);
+                assert_eq!(
+                    token.gen, slot.wait_gen,
+                    "wait() must immediately follow prepare_wait()"
+                );
+                slot.wait_armed = false;
+                pending = slot.pending_wake.take();
+                park = slot.park.clone();
+            }
+            if let Some(p) = pending {
+                // A waker beat us here. Resume at the deterministic
+                // delivery time (capped by our deadline, floored by our
+                // clock). Charge/stall/edge are deferred to grant time —
+                // a later `wake_at` may still reschedule the entry earlier,
+                // and the waker-side race arm defers identically.
+                let wake_at = p.at.max(lnow);
+                let d_eff = deadline.map(|d| d.max(lnow));
+                // A wake at/after the deadline defers to the timer (exactly
+                // the waker-side `wake_at` rule), so strict inequality.
+                let wake_wins = d_eff.is_none_or(|d| wake_at < d);
+                let at = if wake_wins {
+                    wake_at
+                } else {
+                    d_eff.expect("wake_wins is false only with a deadline")
+                };
+                let entry = {
+                    let slot = &mut sched.actors[self.me.0 as usize];
+                    slot.state = ActorState::Queued;
+                    slot.blocked_since = lnow;
+                    slot.blocked_tag = tag;
+                    slot.blocked_cause = cause;
+                    // Keyed by the wait generation (not the push counter) so
+                    // this entry is byte-identical to the one the waker-side
+                    // path would have pushed had we already been parked —
+                    // the two race arms must not diverge in anything the
+                    // schedule can observe.
+                    let entry = PEntry {
+                        t: at,
+                        src_vt: lnow,
+                        src: self.name.clone(),
+                        src_seq: token.gen,
+                        id: self.me,
+                        reason: WakeReason::Signaled,
+                        timer_gen: None,
+                    };
+                    slot.queued_by_wake = Some(QueuedWake {
+                        gen: token.gen,
+                        entry: entry.clone(),
+                        // A deadline cap that wins (or ties) resumes like a
+                        // timer: no wake edge, exactly as the waker-side arm
+                        // behaves when `wake_at` defers to the deadline.
+                        // Untraced wakes resume timer-like unconditionally.
+                        src: (wake_wins && p.traced).then_some((p.src, p.src_vt)),
+                    });
+                    entry
+                };
+                Engine::push_entry(&mut sched, self.part, entry);
+            } else {
+                let slot = &mut sched.actors[self.me.0 as usize];
+                slot.state = ActorState::Blocked;
+                slot.blocked_since = lnow;
+                slot.blocked_tag = tag;
+                slot.blocked_cause = cause;
+                slot.blocked_deadline = deadline.map(|d| d.max(lnow));
+                if let Some(d) = deadline {
+                    // Also generation-keyed: a consuming wake removes this
+                    // timer again, leaving the queue exactly as if the wake
+                    // had landed before we parked.
+                    let entry = PEntry {
+                        t: d.max(lnow),
+                        src_vt: lnow,
+                        src: self.name.clone(),
+                        src_seq: token.gen,
+                        id: self.me,
+                        reason: WakeReason::Signaled,
+                        timer_gen: Some(token.gen),
+                    };
+                    slot.blocked_timer = Some(entry.clone());
+                    Engine::push_entry(&mut sched, self.part, entry);
+                }
+            }
+            Engine::release_grant(&self.engine, &mut sched, self.part);
+            park
+        };
+        let reason = park.wait();
+        self.check_poison(&self.engine.sched.lock());
+        reason
+    }
+
     /// Resume the actor identified by `token` at the current virtual time.
     /// Returns `true` if the actor was actually woken; `false` if the token
     /// was stale (the actor already resumed for another reason).
+    ///
+    /// Conservative mode: a wake across partitions is delivered at the
+    /// caller's clock plus the configured lookahead — the causality bound
+    /// the parallel scheduler is built on. Same-partition wakes deliver at
+    /// the caller's clock, as in legacy mode.
     pub fn wake(&self, token: WaitToken) -> bool {
+        if self.engine.parallelism > 0 {
+            let lnow = SimTime(self.clock.local_now.load(Ordering::Relaxed));
+            return self.wake_conservative(token, lnow, true);
+        }
         let mut sched = self.engine.sched.lock();
         self.check_poison(&sched);
         let now = sched.now;
@@ -836,7 +1312,7 @@ impl Ctx {
         let elapsed = now.since(since);
         let tag = slot.blocked_tag;
         let cause = slot.blocked_cause.take();
-        *slot.acct.entry(tag).or_insert(SimDur::ZERO) += elapsed;
+        *slot.acct.lock().entry(tag).or_insert(SimDur::ZERO) += elapsed;
         let seq = sched.bump_seq();
         sched.heap.push(HeapEntry {
             t: now,
@@ -871,25 +1347,280 @@ impl Ctx {
         true
     }
 
+    /// Resume the actor identified by `token` at the absolute virtual
+    /// instant `at` (floored by this actor's clock; cross-partition wakes
+    /// are additionally floored by clock + lookahead). Returns `false` if
+    /// the token is stale, or if the target sits in a `wait_deadline` whose
+    /// deadline fires at or before `at` (the timer wins; the wake is not
+    /// consumed — both conditions depend only on virtual time, so the
+    /// return value is deterministic).
+    ///
+    /// Calling `wake_at` again with the same token and an *earlier* instant
+    /// re-schedules the delivery: the target resumes at the minimum over
+    /// all senders, independent of their real-time arrival order. This is
+    /// the primitive cross-partition mailboxes are built on.
+    ///
+    /// Legacy mode: delivers at `max(at, now)` like a plain [`Ctx::wake`]
+    /// (rescheduling does not arise — there is no cross-actor concurrency).
+    pub fn wake_at(&self, token: WaitToken, at: SimTime) -> bool {
+        self.wake_at_inner(token, at, true)
+    }
+
+    /// [`Ctx::wake_at`] with timer-like attribution: the target resumes at
+    /// the same deterministic instant but no wake edge is recorded.
+    ///
+    /// Whether a parked peer resumes via a sender's wake or via its own
+    /// armed deadline can depend on real-time interleaving even when the
+    /// virtual instant is identical — so any protocol whose *causal trace*
+    /// must be schedule-independent (e.g. the conservative MPI mailbox)
+    /// wakes untraced and emits its own edge from protocol state instead.
+    pub fn wake_at_untraced(&self, token: WaitToken, at: SimTime) -> bool {
+        self.wake_at_inner(token, at, false)
+    }
+
+    fn wake_at_inner(&self, token: WaitToken, at: SimTime, traced: bool) -> bool {
+        if self.engine.parallelism > 0 {
+            return self.wake_conservative(token, at, traced);
+        }
+        let mut sched = self.engine.sched.lock();
+        self.check_poison(&sched);
+        let now = sched.now;
+        let at = at.max(now);
+        let slot = &mut sched.actors[token.actor.0 as usize];
+        if slot.state != ActorState::Blocked || slot.wait_gen != token.gen {
+            return false;
+        }
+        slot.state = ActorState::Queued;
+        let since = slot.blocked_since;
+        let tag = slot.blocked_tag;
+        let cause = slot.blocked_cause.take();
+        *slot.acct.lock().entry(tag).or_insert(SimDur::ZERO) += at.since(since);
+        let seq = sched.bump_seq();
+        sched.heap.push(HeapEntry {
+            t: at,
+            seq,
+            id: token.actor,
+            reason: WakeReason::Signaled,
+            timer_gen: None,
+        });
+        Engine::emit_stall(
+            &self.engine,
+            &sched,
+            token.actor,
+            tag,
+            cause.as_deref(),
+            since,
+            at,
+        );
+        if traced {
+            if let Some(sink) = &self.engine.sink {
+                if sink.enabled() {
+                    let dst = sched.actors[token.actor.0 as usize].name.clone();
+                    sink.edge("wake", &self.name, now, &dst, at, &mut || {
+                        let mut a = vec![("tag", tag.to_string())];
+                        if let Some(c) = &cause {
+                            a.push(("cause", c.clone()));
+                        }
+                        a
+                    });
+                }
+            }
+        }
+        true
+    }
+
+    /// Conservative-mode wake delivery (both [`Ctx::wake`] and
+    /// [`Ctx::wake_at`]). Three live arms, one per observable target state:
+    ///
+    /// * between `prepare_wait` and `wait` → park the wake in
+    ///   `pending_wake` (min-merged over senders);
+    /// * blocked → queue a generation-keyed entry at the clamped instant;
+    /// * already queued by an earlier wake of the same generation → keep
+    ///   the minimum delivery instant over all senders.
+    ///
+    /// All three arms defer the blocked-time charge, the stall span, and
+    /// the wake edge to grant time, when the winning (minimum) sender is
+    /// final — so traces are identical no matter which arm each sender hit.
+    fn wake_conservative(&self, token: WaitToken, at: SimTime, traced: bool) -> bool {
+        let mut sched = self.engine.sched.lock();
+        self.check_poison(&sched);
+        let lnow = SimTime(self.clock.local_now.load(Ordering::Relaxed));
+        let tidx = token.actor.0 as usize;
+        let target_part = sched.actors[tidx].part;
+        let mut at = at.max(lnow);
+        if target_part != self.part {
+            // The causality bound conservative parallelism rests on: no
+            // cross-partition effect lands closer than the lookahead.
+            at = at.max(lnow + self.engine.lookahead);
+        }
+        let me = WakeSrc {
+            at,
+            src: self.name.clone(),
+            src_vt: lnow,
+            traced,
+        };
+        let state = sched.actors[tidx].state;
+        // Arm 1: the target is preparing to wait — it consumes the pending
+        // wake when it parks.
+        if state == ActorState::Running
+            && sched.actors[tidx].wait_armed
+            && sched.actors[tidx].wait_gen == token.gen
+        {
+            let slot = &mut sched.actors[tidx];
+            let keep_new = slot
+                .pending_wake
+                .as_ref()
+                .is_none_or(|p| (me.at, &me.src, me.src_vt) < (p.at, &p.src, p.src_vt));
+            if keep_new {
+                slot.pending_wake = Some(me);
+            }
+            return true;
+        }
+        // Arm 2: the target is parked.
+        if state == ActorState::Blocked && sched.actors[tidx].wait_gen == token.gen {
+            if let Some(d) = sched.actors[tidx].blocked_deadline {
+                if at >= d {
+                    // The deadline timer resumes it first; nothing to do.
+                    return false;
+                }
+            }
+            let (entry, stale_timer) = {
+                let slot = &mut sched.actors[tidx];
+                slot.state = ActorState::Queued;
+                slot.blocked_deadline = None;
+                let stale_timer = slot.blocked_timer.take();
+                let entry = PEntry {
+                    t: at,
+                    src_vt: slot.blocked_since,
+                    src: Arc::from(slot.name.as_str()),
+                    src_seq: token.gen,
+                    id: token.actor,
+                    reason: WakeReason::Signaled,
+                    timer_gen: None,
+                };
+                slot.queued_by_wake = Some(QueuedWake {
+                    gen: token.gen,
+                    entry: entry.clone(),
+                    src: traced.then_some((me.src, me.src_vt)),
+                });
+                (entry, stale_timer)
+            };
+            if let Some(te) = stale_timer {
+                Engine::remove_entry(&mut sched, target_part, &te);
+            }
+            Engine::push_entry(&mut sched, target_part, entry);
+            // No pump needed: a same-partition target's partition is active
+            // (this actor runs in it); a cross-partition delivery lands at
+            // or beyond the horizon and is picked up at the window turn.
+            return true;
+        }
+        // Arm 3: already queued by a wake of this same generation — an
+        // earlier delivery instant (or a smaller sender at the same
+        // instant) takes over.
+        if state == ActorState::Queued {
+            enum Act {
+                /// Earlier instant: move the entry.
+                Resched,
+                /// Same instant, smaller sender: the edge changes hands.
+                TakeSrc,
+                /// Later (or tied-but-larger) sender: the existing delivery
+                /// already covers this wake.
+                Absorb,
+                /// No matching wake-entry, or a timer-capped entry at or
+                /// before `at` — defers exactly like arm 2's deadline check.
+                Stale,
+            }
+            let act = match &sched.actors[tidx].queued_by_wake {
+                Some(qw) if qw.gen == token.gen => {
+                    if at < qw.entry.t {
+                        Act::Resched
+                    } else {
+                        match &qw.src {
+                            None => Act::Stale,
+                            Some((s, svt)) => {
+                                if at == qw.entry.t && (&me.src, me.src_vt) < (s, *svt) {
+                                    Act::TakeSrc
+                                } else {
+                                    Act::Absorb
+                                }
+                            }
+                        }
+                    }
+                }
+                _ => Act::Stale,
+            };
+            match act {
+                Act::Stale => return false,
+                Act::Absorb => return true,
+                Act::TakeSrc => {
+                    let qw = sched.actors[tidx]
+                        .queued_by_wake
+                        .as_mut()
+                        .expect("matched above");
+                    qw.src = traced.then_some((me.src, me.src_vt));
+                    return true;
+                }
+                Act::Resched => {
+                    let old = sched.actors[tidx]
+                        .queued_by_wake
+                        .as_ref()
+                        .expect("matched above")
+                        .entry
+                        .clone();
+                    let mut entry = old.clone();
+                    entry.t = at;
+                    Engine::remove_entry(&mut sched, target_part, &old);
+                    {
+                        let qw = sched.actors[tidx]
+                            .queued_by_wake
+                            .as_mut()
+                            .expect("matched above");
+                        qw.entry = entry.clone();
+                        qw.src = traced.then_some((me.src, me.src_vt));
+                    }
+                    Engine::push_entry(&mut sched, target_part, entry);
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
     /// Spawn a new actor that keeps the simulation alive until it finishes.
+    /// In conservative mode the child joins this actor's partition (mid-run
+    /// spawns must not create new serialization domains — the child usually
+    /// shares state with its parent).
     pub fn spawn<F>(&self, name: impl Into<String>, f: F) -> ActorId
     where
         F: FnOnce(&Ctx) + Send + 'static,
     {
         let name = name.into();
         self.emit_spawn_edge(&name);
-        Engine::spawn_inner(&self.engine, name, false, f)
+        Engine::spawn_inner(&self.engine, name, false, self.spawn_origin(), f)
     }
 
     /// Spawn a daemon actor: the simulation may finish while it is blocked;
-    /// it is then woken with [`WakeReason::Shutdown`].
+    /// it is then woken with [`WakeReason::Shutdown`]. Partition inheritance
+    /// as in [`Ctx::spawn`].
     pub fn spawn_daemon<F>(&self, name: impl Into<String>, f: F) -> ActorId
     where
         F: FnOnce(&Ctx) + Send + 'static,
     {
         let name = name.into();
         self.emit_spawn_edge(&name);
-        Engine::spawn_inner(&self.engine, name, true, f)
+        Engine::spawn_inner(&self.engine, name, true, self.spawn_origin(), f)
+    }
+
+    /// Conservative-mode placement for a mid-run spawn: the child inherits
+    /// this actor's partition and starts at this actor's clock.
+    fn spawn_origin(&self) -> Option<SpawnOrigin> {
+        (self.engine.parallelism > 0).then(|| SpawnOrigin {
+            part: self.part,
+            t: SimTime(self.clock.local_now.load(Ordering::Relaxed)),
+            src: self.name.clone(),
+            parent: Some(self.me),
+            seq: 0,
+        })
     }
 
     /// A "spawn" edge from this actor to a child it creates mid-run: the
@@ -942,8 +1673,26 @@ impl Sched {
     }
 }
 
-/// A queued actor awaiting launch: name, daemon flag, and body.
-type PendingActor = (String, bool, Box<dyn FnOnce(&Ctx) + Send + 'static>);
+/// Conservative-mode spawn placement: which partition the new actor joins
+/// and the deterministic key of its first queue entry. `parent` is the
+/// mid-run spawner (its push counter provides the equal-time tie-break);
+/// initial spawns pass `None` and use `seq` (the registration index).
+struct SpawnOrigin {
+    part: u32,
+    t: SimTime,
+    src: Arc<str>,
+    parent: Option<ActorId>,
+    seq: u64,
+}
+
+/// A queued actor awaiting launch: name, daemon flag, explicit partition
+/// (conservative mode; `None` = a fresh partition of its own), and body.
+type PendingActor = (
+    String,
+    bool,
+    Option<u32>,
+    Box<dyn FnOnce(&Ctx) + Send + 'static>,
+);
 
 /// Builder for a simulation run.
 pub struct Sim {
@@ -971,21 +1720,48 @@ impl Sim {
         }
     }
 
-    /// Register an actor to start at time zero.
+    /// Register an actor to start at time zero. In conservative mode the
+    /// actor gets a fresh partition of its own; use [`Sim::spawn_on`] to
+    /// co-locate actors that share mutable state.
     pub fn spawn<F>(&mut self, name: impl Into<String>, f: F) -> &mut Sim
     where
         F: FnOnce(&Ctx) + Send + 'static,
     {
-        self.initial.push((name.into(), false, Box::new(f)));
+        self.initial.push((name.into(), false, None, Box::new(f)));
         self
     }
 
-    /// Register a daemon actor to start at time zero.
+    /// Register a daemon actor to start at time zero (fresh partition; see
+    /// [`Sim::spawn`]).
     pub fn spawn_daemon<F>(&mut self, name: impl Into<String>, f: F) -> &mut Sim
     where
         F: FnOnce(&Ctx) + Send + 'static,
     {
-        self.initial.push((name.into(), true, Box::new(f)));
+        self.initial.push((name.into(), true, None, Box::new(f)));
+        self
+    }
+
+    /// Register an actor on an explicit partition. Actors sharing a
+    /// partition are serialized against each other even in conservative
+    /// mode, so they may share mutable state exactly as under the legacy
+    /// scheduler. `impacc_core::Launch` places every actor of one simulated
+    /// node on one partition. Ignored (harmless) in legacy mode.
+    pub fn spawn_on<F>(&mut self, part: u32, name: impl Into<String>, f: F) -> &mut Sim
+    where
+        F: FnOnce(&Ctx) + Send + 'static,
+    {
+        self.initial
+            .push((name.into(), false, Some(part), Box::new(f)));
+        self
+    }
+
+    /// [`Sim::spawn_on`] for a daemon actor.
+    pub fn spawn_daemon_on<F>(&mut self, part: u32, name: impl Into<String>, f: F) -> &mut Sim
+    where
+        F: FnOnce(&Ctx) + Send + 'static,
+    {
+        self.initial
+            .push((name.into(), true, Some(part), Box::new(f)));
         self
     }
 
@@ -1030,6 +1806,28 @@ impl Engine {
     }
 
     fn run(sim: Sim) -> Result<SimReport, SimError> {
+        let parallel = sim.config.parallelism > 0;
+        // Conservative mode: place actors. Explicit partitions are honored
+        // as given; each unplaced actor gets a fresh partition after the
+        // highest explicit one, in registration order (deterministic).
+        let mut next_part = sim
+            .initial
+            .iter()
+            .filter_map(|(_, _, p, _)| *p)
+            .max()
+            .map_or(0, |m| m + 1);
+        let placements: Vec<u32> = sim
+            .initial
+            .iter()
+            .map(|(_, _, p, _)| {
+                p.unwrap_or_else(|| {
+                    let fresh = next_part;
+                    next_part += 1;
+                    fresh
+                })
+            })
+            .collect();
+        let n_parts = if parallel { next_part.max(1) } else { 0 };
         let shared = Arc::new(EngineShared {
             sched: Mutex::new(Sched {
                 now: SimTime::ZERO,
@@ -1043,6 +1841,16 @@ impl Engine {
                 events_dispatched: 0,
                 handoffs_elided: 0,
                 max_events: sim.config.max_events,
+                parts: (0..n_parts).map(|_| Part::new()).collect(),
+                ready: Vec::new(),
+                running: 0,
+                window_h: SimTime::ZERO,
+                window_id: 0,
+                window_closed: 0,
+                window_grants: 0,
+                window_distinct: 0,
+                parallel_advances: 0,
+                horizon_stalls: 0,
             }),
             gate: RunGate {
                 done: Mutex::new(false),
@@ -1057,17 +1865,34 @@ impl Engine {
             trace_rings: Mutex::new(Vec::new()),
             now_ps: AtomicU64::new(0),
             sink: sim.config.sink.clone(),
+            parallelism: sim.config.parallelism,
+            lookahead: sim.config.lookahead,
+            window_h_ps: AtomicU64::new(0),
+            poisoned: AtomicBool::new(false),
+            fast_events: AtomicU64::new(0),
+            max_events: sim.config.max_events,
         });
 
         let had_initial = !sim.initial.is_empty();
-        for (name, daemon, f) in sim.initial {
-            Engine::spawn_inner(&shared, name, daemon, f);
+        for (i, (name, daemon, _p, f)) in sim.initial.into_iter().enumerate() {
+            let origin = parallel.then(|| SpawnOrigin {
+                part: placements[i],
+                t: SimTime::ZERO,
+                src: Arc::from(""),
+                parent: None,
+                seq: i as u64,
+            });
+            Engine::spawn_inner(&shared, name, daemon, origin, f);
         }
 
         if had_initial {
             {
                 let mut sched = shared.sched.lock();
-                Engine::dispatch(&shared, &mut sched);
+                if parallel {
+                    Engine::pump(&shared, &mut sched);
+                } else {
+                    Engine::dispatch(&shared, &mut sched);
+                }
             }
             let mut done = shared.gate.done.lock();
             while !*done {
@@ -1082,16 +1907,24 @@ impl Engine {
             let _ = h.join();
         }
 
-        // Merge the per-actor trace rings into one stream ordered by the
-        // global emission sequence, keeping only the most recent
-        // `trace_capacity` events (matching the old single-ring semantics).
+        // Merge the per-actor trace rings into one stream, keeping only the
+        // most recent `trace_capacity` events (matching the old single-ring
+        // semantics). Legacy mode orders by the global emission sequence;
+        // conservative mode orders by content — sequence assignment races
+        // across partitions, content does not.
         let trace: Vec<TraceEvent> = {
             let rings = shared.trace_rings.lock();
             let mut merged: Vec<(u64, TraceEvent)> = rings
                 .iter()
                 .flat_map(|r| r.lock().iter().cloned().collect::<Vec<_>>())
                 .collect();
-            merged.sort_by_key(|(seq, _)| *seq);
+            if parallel {
+                merged.sort_by(|(_, a), (_, b)| {
+                    (a.t, &a.actor, a.label, &a.detail).cmp(&(b.t, &b.actor, b.label, &b.detail))
+                });
+            } else {
+                merged.sort_by_key(|(seq, _)| *seq);
+            }
             let keep = shared.trace_capacity.min(merged.len());
             merged
                 .drain(merged.len() - keep..)
@@ -1099,23 +1932,59 @@ impl Engine {
                 .collect()
         };
         let sched = shared.sched.lock();
-        GLOBAL_EVENTS.fetch_add(sched.events_dispatched, Ordering::Relaxed);
+        let fast: u64 = if parallel {
+            sched
+                .actors
+                .iter()
+                .map(|s| s.clock.fast_advances.load(Ordering::Relaxed))
+                .sum()
+        } else {
+            0
+        };
+        // An elided (fast-path) advance and a granted one are the same
+        // virtual event, so the total is identical no matter how the
+        // elide-vs-grant split fell out.
+        let events = sched.events_dispatched + fast;
+        GLOBAL_EVENTS.fetch_add(events, Ordering::Relaxed);
         if let Some(msg) = &sched.poison {
             return Err(Self::classify_poison(msg, &sched));
         }
-        Ok(SimReport {
-            end_time: sched.now,
-            actors: sched
+        let end_time = if parallel {
+            sched
                 .actors
                 .iter()
-                .map(|s| ActorAccount {
-                    name: s.name.clone(),
-                    tags: s.acct.clone(),
-                })
-                .collect(),
+                .map(|s| SimTime(s.clock.local_now.load(Ordering::Relaxed)))
+                .max()
+                .unwrap_or(sched.now)
+                .max(sched.now)
+        } else {
+            sched.now
+        };
+        let mut actors: Vec<ActorAccount> = sched
+            .actors
+            .iter()
+            .map(|s| ActorAccount {
+                name: s.name.clone(),
+                tags: s.acct.lock().clone(),
+            })
+            .collect();
+        if parallel {
+            // Mid-run spawns allocate ids in racy real-time order across
+            // partitions; name order is the deterministic one.
+            actors.sort_by(|a, b| a.name.cmp(&b.name));
+        }
+        Ok(SimReport {
+            end_time,
+            actors,
             metrics: shared.metrics.snapshot(),
-            events: sched.events_dispatched,
-            handoffs_elided: sched.handoffs_elided,
+            events,
+            handoffs_elided: if parallel {
+                fast
+            } else {
+                sched.handoffs_elided
+            },
+            parallel_advances: sched.parallel_advances,
+            horizon_stalls: sched.horizon_stalls,
             trace,
         })
     }
@@ -1143,18 +2012,31 @@ impl Engine {
         }
     }
 
-    fn spawn_inner<F>(shared: &Arc<EngineShared>, name: String, daemon: bool, f: F) -> ActorId
+    fn spawn_inner<F>(
+        shared: &Arc<EngineShared>,
+        name: String,
+        daemon: bool,
+        origin: Option<SpawnOrigin>,
+        f: F,
+    ) -> ActorId
     where
         F: FnOnce(&Ctx) + Send + 'static,
     {
         let park = Park::new();
-        let id = {
+        let (id, clock, part, acct, part_front) = {
             let mut sched = shared.sched.lock();
             if let Some(msg) = &sched.poison {
                 // Spawning after poison would park a thread forever.
                 panic!("simulation poisoned: {msg}");
             }
             let id = ActorId(sched.actors.len() as u32);
+            let (part, at) = origin.as_ref().map_or((0, sched.now), |o| (o.part, o.t));
+            let clock = Arc::new(ActorClock {
+                local_now: AtomicU64::new(at.0),
+                fast_advances: AtomicU64::new(0),
+            });
+            let acct: Arc<Mutex<BTreeMap<&'static str, SimDur>>> =
+                Arc::new(Mutex::new(BTreeMap::new()));
             sched.actors.push(ActorSlot {
                 name: name.clone(),
                 daemon,
@@ -1164,22 +2046,60 @@ impl Engine {
                 blocked_since: SimTime::ZERO,
                 blocked_tag: "",
                 blocked_cause: None,
-                acct: BTreeMap::new(),
+                acct: acct.clone(),
+                part,
+                push_seq: 0,
+                clock: clock.clone(),
+                pending_wake: None,
+                wait_armed: false,
+                blocked_deadline: None,
+                blocked_timer: None,
+                queued_by_wake: None,
             });
             sched.live_total += 1;
             if !daemon {
                 sched.live_nondaemon += 1;
             }
-            let now = sched.now;
-            let seq = sched.bump_seq();
-            sched.heap.push(HeapEntry {
-                t: now,
-                seq,
-                id,
-                reason: WakeReason::Signaled,
-                timer_gen: None,
-            });
-            id
+            match origin {
+                Some(o) => {
+                    let src_seq = match o.parent {
+                        Some(pid) => {
+                            let ps = &mut sched.actors[pid.0 as usize];
+                            let s = ps.push_seq;
+                            ps.push_seq += 1;
+                            s
+                        }
+                        None => o.seq,
+                    };
+                    let entry = PEntry {
+                        t: o.t,
+                        src_vt: o.t,
+                        src: o.src,
+                        src_seq,
+                        id,
+                        reason: WakeReason::Signaled,
+                        timer_gen: None,
+                    };
+                    Engine::push_entry(&mut sched, part, entry);
+                }
+                None => {
+                    let now = sched.now;
+                    let seq = sched.bump_seq();
+                    sched.heap.push(HeapEntry {
+                        t: now,
+                        seq,
+                        id,
+                        reason: WakeReason::Signaled,
+                        timer_gen: None,
+                    });
+                }
+            }
+            let part_front = if shared.parallelism > 0 {
+                sched.parts[part as usize].front.clone()
+            } else {
+                Arc::new(AtomicU64::new(u64::MAX))
+            };
+            (id, clock, part, acct, part_front)
         };
 
         let shared2 = shared.clone();
@@ -1191,6 +2111,10 @@ impl Engine {
             name: name.as_str().into(),
             metrics: shared.metrics.new_shard(),
             trace_ring,
+            clock,
+            part,
+            acct,
+            part_front,
         };
         let handle = std::thread::Builder::new()
             .name(name.clone())
@@ -1232,14 +2156,20 @@ impl Engine {
                     sched.poison = Some(format!("panic:{name}:{msg}"));
                 }
             }
-            Engine::poison_wake_all(&mut sched);
+            Engine::poison_wake_all(shared, &mut sched);
             Engine::open_gate(shared, &mut sched);
             return;
         }
-        Engine::dispatch(shared, &mut sched);
+        if shared.parallelism > 0 {
+            let part = sched.actors[id.0 as usize].part;
+            Engine::release_grant(shared, &mut sched, part);
+        } else {
+            Engine::dispatch(shared, &mut sched);
+        }
     }
 
-    fn poison_wake_all(sched: &mut Sched) {
+    fn poison_wake_all(shared: &EngineShared, sched: &mut Sched) {
+        shared.poisoned.store(true, Ordering::Release);
         for slot in sched.actors.iter_mut() {
             match slot.state {
                 ActorState::Queued | ActorState::Blocked => {
@@ -1249,6 +2179,354 @@ impl Engine {
             }
         }
         sched.heap.clear();
+        // Conservative mode: actors holding grants never release them after
+        // poisoning (they panic at their next engine call), and the pump is
+        // never re-entered — parking the queues is enough.
+        sched.ready.clear();
+    }
+
+    /// Insert a conservative-mode entry and refresh the partition's front
+    /// mirror and readiness. Does not pump: every caller either holds a
+    /// grant (so the window cannot close underneath it) or is the pump.
+    fn push_entry(sched: &mut Sched, part: u32, entry: PEntry) {
+        let t = entry.t;
+        let pi = part as usize;
+        sched.parts[pi].queue.insert(entry);
+        sched.parts[pi].sync_front();
+        if t < sched.window_h && !sched.parts[pi].active && !sched.parts[pi].in_ready {
+            sched.parts[pi].in_ready = true;
+            sched.ready.push(part);
+        }
+    }
+
+    /// Remove a previously pushed entry (a consumed deadline timer, or a
+    /// wake delivery being rescheduled earlier).
+    fn remove_entry(sched: &mut Sched, part: u32, entry: &PEntry) {
+        let pi = part as usize;
+        let removed = sched.parts[pi].queue.remove(entry);
+        debug_assert!(removed, "removing an entry that was never pushed");
+        sched.parts[pi].sync_front();
+    }
+
+    /// A partition's grant holder is done (parked, blocked, or finished):
+    /// deactivate the partition, recheck its own readiness, and keep the
+    /// window going.
+    fn release_grant(shared: &Arc<EngineShared>, sched: &mut Sched, part: u32) {
+        let pi = part as usize;
+        debug_assert!(sched.parts[pi].active, "releasing a grant never issued");
+        sched.parts[pi].active = false;
+        sched.running -= 1;
+        let front_live = sched.parts[pi]
+            .queue
+            .first()
+            .is_some_and(|e| e.t < sched.window_h);
+        if front_live && !sched.parts[pi].in_ready {
+            sched.parts[pi].in_ready = true;
+            sched.ready.push(part);
+        }
+        Engine::pump(shared, sched);
+    }
+
+    /// Grant the front entry of `part` if one is due in the current window,
+    /// skipping stale deadline timers. Returns whether a grant was issued;
+    /// the caller does the grant accounting.
+    fn grant_one(shared: &Arc<EngineShared>, sched: &mut Sched, part: u32) -> bool {
+        let pi = part as usize;
+        loop {
+            let entry = match sched.parts[pi].queue.first() {
+                Some(front) if front.t < sched.window_h => front.clone(),
+                _ => return false,
+            };
+            sched.parts[pi].queue.remove(&entry);
+            sched.parts[pi].sync_front();
+            let idx = entry.id.0 as usize;
+            if let Some(gen) = entry.timer_gen {
+                if sched.actors[idx].state != ActorState::Blocked
+                    || sched.actors[idx].wait_gen != gen
+                {
+                    continue; // stale timer for an already-resumed wait
+                }
+                let (since, tag, cause) = {
+                    let slot = &mut sched.actors[idx];
+                    slot.state = ActorState::Running;
+                    slot.blocked_deadline = None;
+                    slot.blocked_timer = None;
+                    let since = slot.blocked_since;
+                    let tag = slot.blocked_tag;
+                    let cause = slot.blocked_cause.take();
+                    *slot.acct.lock().entry(tag).or_insert(SimDur::ZERO) += entry.t.since(since);
+                    slot.clock.local_now.store(entry.t.0, Ordering::Release);
+                    (since, tag, cause)
+                };
+                Engine::emit_stall(
+                    shared,
+                    sched,
+                    entry.id,
+                    tag,
+                    cause.as_deref(),
+                    since,
+                    entry.t,
+                );
+                sched.actors[idx].park.wake(entry.reason);
+                return true;
+            }
+            debug_assert_eq!(
+                sched.actors[idx].state,
+                ActorState::Queued,
+                "partition entry for non-queued actor {}",
+                sched.actors[idx].name
+            );
+            // Wake-placed entries deferred their blocked-time charge, stall
+            // span, and wake edge to this moment: the delivery instant is
+            // final now (no sender can reschedule an already-granted wait).
+            let wake_info = {
+                let slot = &mut sched.actors[idx];
+                let qw = slot.queued_by_wake.take();
+                slot.state = ActorState::Running;
+                slot.clock.local_now.store(entry.t.0, Ordering::Release);
+                qw.map(|qw| {
+                    let since = slot.blocked_since;
+                    let tag = slot.blocked_tag;
+                    let cause = slot.blocked_cause.take();
+                    *slot.acct.lock().entry(tag).or_insert(SimDur::ZERO) += entry.t.since(since);
+                    (since, tag, cause, qw.src)
+                })
+            };
+            if let Some((since, tag, cause, src)) = wake_info {
+                Engine::emit_stall(
+                    shared,
+                    sched,
+                    entry.id,
+                    tag,
+                    cause.as_deref(),
+                    since,
+                    entry.t,
+                );
+                if let Some((src_name, src_vt)) = src {
+                    if let Some(sink) = &shared.sink {
+                        if sink.enabled() {
+                            let dst = sched.actors[idx].name.clone();
+                            sink.edge("wake", &src_name, src_vt, &dst, entry.t, &mut || {
+                                let mut a = vec![("tag", tag.to_string())];
+                                if let Some(c) = &cause {
+                                    a.push(("cause", c.clone()));
+                                }
+                                a
+                            });
+                        }
+                    }
+                }
+            }
+            sched.actors[idx].park.wake(entry.reason);
+            return true;
+        }
+    }
+
+    /// The conservative scheduler loop: issue grants to ready partitions up
+    /// to the parallelism cap; when the window drains (no grant held, no
+    /// partition ready) close it and open the next one at the new minimum
+    /// pending time — or terminate. Called with the scheduler locked.
+    fn pump(shared: &Arc<EngineShared>, sched: &mut Sched) {
+        if sched.poison.is_some() {
+            Engine::poison_wake_all(shared, sched);
+            Engine::open_gate(shared, sched);
+            return;
+        }
+        let serial = shared.lookahead == SimDur::ZERO;
+        loop {
+            // Grant phase.
+            while sched.running < shared.parallelism && !sched.ready.is_empty() {
+                // Zero lookahead degenerates to serial execution: equal-time
+                // events in different partitions may interact, so run the
+                // globally smallest entry only, one grant at a time.
+                let pick = if serial {
+                    if sched.running > 0 {
+                        break;
+                    }
+                    let mut best: Option<usize> = None;
+                    for i in 0..sched.ready.len() {
+                        let p = sched.ready[i] as usize;
+                        if sched.parts[p].queue.first().is_none() {
+                            continue;
+                        }
+                        let better = match best {
+                            None => true,
+                            Some(b) => {
+                                let bp = sched.ready[b] as usize;
+                                match (sched.parts[p].queue.first(), sched.parts[bp].queue.first())
+                                {
+                                    (Some(f), Some(bf)) => f.key() < bf.key(),
+                                    (Some(_), None) => true,
+                                    _ => false,
+                                }
+                            }
+                        };
+                        if better {
+                            best = Some(i);
+                        }
+                    }
+                    best.unwrap_or(sched.ready.len() - 1)
+                } else {
+                    sched.ready.len() - 1
+                };
+                let part = sched.ready.swap_remove(pick);
+                sched.parts[part as usize].in_ready = false;
+                debug_assert!(!sched.parts[part as usize].active);
+                if Engine::grant_one(shared, sched, part) {
+                    sched.parts[part as usize].active = true;
+                    sched.running += 1;
+                    sched.events_dispatched += 1;
+                    if sched.events_dispatched > sched.max_events {
+                        sched.poison = Some(format!("event-limit:{}", sched.max_events));
+                        Engine::poison_wake_all(shared, sched);
+                        Engine::open_gate(shared, sched);
+                        return;
+                    }
+                    sched.window_grants += 1;
+                    let wid = sched.window_id;
+                    let p = &mut sched.parts[part as usize];
+                    if p.last_grant_window != wid {
+                        p.last_grant_window = wid;
+                        sched.window_distinct += 1;
+                    }
+                }
+            }
+            if sched.running > 0 {
+                // Grants outstanding; their release re-enters the pump.
+                return;
+            }
+            // The window is drained: take close-of-window stats once.
+            if sched.window_id > sched.window_closed {
+                sched.window_closed = sched.window_id;
+                // Zero-lookahead serial mode never overlaps grants, so its
+                // windows contribute no parallel advances even when ties put
+                // several partitions in one window.
+                if !serial && sched.window_distinct >= 2 {
+                    sched.parallel_advances += sched.window_grants;
+                }
+                sched.horizon_stalls +=
+                    sched.parts.iter().filter(|p| !p.queue.is_empty()).count() as u64;
+            }
+            let t0 = sched
+                .parts
+                .iter()
+                .filter_map(|p| p.queue.first().map(|e| e.t))
+                .min();
+            let Some(t0) = t0 else {
+                // No pending event anywhere: terminate or sweep daemons.
+                if Engine::conservative_quiesce(shared, sched) {
+                    return;
+                }
+                // The sweep queued shutdown wakes; grant them.
+                continue;
+            };
+            sched.window_id += 1;
+            sched.window_grants = 0;
+            sched.window_distinct = 0;
+            sched.now = sched.now.max(t0);
+            shared.now_ps.store(sched.now.0, Ordering::Relaxed);
+            let h = if serial {
+                SimTime(t0.0.saturating_add(1))
+            } else {
+                t0 + shared.lookahead
+            };
+            sched.window_h = h;
+            shared.window_h_ps.store(h.0, Ordering::Release);
+            sched.ready.clear();
+            for i in 0..sched.parts.len() {
+                let live = sched.parts[i].queue.first().is_some_and(|e| e.t < h);
+                sched.parts[i].in_ready = live;
+                if live {
+                    sched.ready.push(i as u32);
+                }
+            }
+        }
+    }
+
+    /// Conservative-mode termination: every queue is empty and no grant is
+    /// outstanding. Opens the gate (run complete or deadlock) and returns
+    /// `true`, or sweeps blocked daemons with shutdown wakes and returns
+    /// `false` so the pump grants them.
+    fn conservative_quiesce(shared: &Arc<EngineShared>, sched: &mut Sched) -> bool {
+        if sched.live_total == 0 {
+            Engine::open_gate(shared, sched);
+            return true;
+        }
+        if sched.live_nondaemon == 0 {
+            sched.shutdown = true;
+            // The run's end: the furthest any actor's clock got. All clocks
+            // are settled here (nobody holds a grant), so this is exact and
+            // deterministic.
+            let t_end = sched
+                .actors
+                .iter()
+                .map(|s| SimTime(s.clock.local_now.load(Ordering::Relaxed)))
+                .max()
+                .unwrap_or(sched.now)
+                .max(sched.now);
+            let mut swept = false;
+            for i in 0..sched.actors.len() {
+                if sched.actors[i].state != ActorState::Blocked {
+                    continue;
+                }
+                swept = true;
+                let (entry, part, since, tag, cause) = {
+                    let slot = &mut sched.actors[i];
+                    slot.state = ActorState::Queued;
+                    let since = slot.blocked_since;
+                    let tag = slot.blocked_tag;
+                    let cause = slot.blocked_cause.take();
+                    *slot.acct.lock().entry(tag).or_insert(SimDur::ZERO) += t_end.since(since);
+                    // A pending deadline timer would still be queued, so this
+                    // sweep (all queues empty) cannot see one; defensive.
+                    slot.blocked_deadline = None;
+                    slot.blocked_timer = None;
+                    let entry = PEntry {
+                        t: t_end,
+                        src_vt: since,
+                        src: Arc::from(slot.name.as_str()),
+                        src_seq: slot.wait_gen,
+                        id: ActorId(i as u32),
+                        reason: WakeReason::Shutdown,
+                        timer_gen: None,
+                    };
+                    (entry, slot.part, since, tag, cause)
+                };
+                Engine::emit_stall(
+                    shared,
+                    sched,
+                    ActorId(i as u32),
+                    tag,
+                    cause.as_deref(),
+                    since,
+                    t_end,
+                );
+                Engine::push_entry(sched, part, entry);
+            }
+            if swept {
+                return false;
+            }
+            if sched.live_total == 0 {
+                Engine::open_gate(shared, sched);
+            }
+            // Daemons are mid-finish on their own threads; the last one
+            // re-enters the pump and hits live_total == 0.
+            return true;
+        }
+        // Live non-daemon actors exist but nothing is runnable: deadlock.
+        let mut detail = String::new();
+        for slot in &sched.actors {
+            if slot.state == ActorState::Blocked {
+                detail.push_str(&format!(
+                    "  actor '{}' blocked on '{}' since {}\n",
+                    slot.name, slot.blocked_tag, slot.blocked_since
+                ));
+            }
+        }
+        sched.poison = Some(format!("deadlock:{detail}"));
+        Engine::poison_wake_all(shared, sched);
+        Engine::open_gate(shared, sched);
+        true
     }
 
     fn open_gate(shared: &Arc<EngineShared>, _sched: &mut Sched) {
@@ -1262,14 +2540,14 @@ impl Engine {
     /// (or has never held) the baton.
     fn dispatch(shared: &Arc<EngineShared>, sched: &mut Sched) {
         if sched.poison.is_some() {
-            Engine::poison_wake_all(sched);
+            Engine::poison_wake_all(shared, sched);
             Engine::open_gate(shared, sched);
             return;
         }
         sched.events_dispatched += 1;
         if sched.events_dispatched > sched.max_events {
             sched.poison = Some(format!("event-limit:{}", sched.max_events));
-            Engine::poison_wake_all(sched);
+            Engine::poison_wake_all(shared, sched);
             Engine::open_gate(shared, sched);
             return;
         }
@@ -1288,7 +2566,7 @@ impl Engine {
                 let elapsed = sched.now.since(since);
                 let tag = slot.blocked_tag;
                 let cause = slot.blocked_cause.take();
-                *slot.acct.entry(tag).or_insert(SimDur::ZERO) += elapsed;
+                *slot.acct.lock().entry(tag).or_insert(SimDur::ZERO) += elapsed;
                 slot.state = ActorState::Running;
                 slot.park.wake(entry.reason);
                 Engine::emit_stall(
@@ -1336,7 +2614,7 @@ impl Engine {
                     let elapsed = now.since(since);
                     let tag = slot.blocked_tag;
                     let cause = slot.blocked_cause.take();
-                    *slot.acct.entry(tag).or_insert(SimDur::ZERO) += elapsed;
+                    *slot.acct.lock().entry(tag).or_insert(SimDur::ZERO) += elapsed;
                     let seq = sched.bump_seq();
                     sched.heap.push(HeapEntry {
                         t: now,
@@ -1380,7 +2658,7 @@ impl Engine {
             }
         }
         sched.poison = Some(format!("deadlock:{detail}"));
-        Engine::poison_wake_all(sched);
+        Engine::poison_wake_all(shared, sched);
         Engine::open_gate(shared, sched);
     }
 }
@@ -1767,5 +3045,270 @@ mod tests {
         });
         let report = sim.run().unwrap();
         assert!(global_events() - before >= report.events);
+    }
+
+    // --- conservative parallel mode ---
+
+    fn conservative(parallelism: usize, lookahead: SimDur) -> SimConfig {
+        SimConfig {
+            parallelism,
+            lookahead,
+            trace_capacity: 4096,
+            ..SimConfig::default()
+        }
+    }
+
+    /// A tie-dominated lockstep fleet: every actor advances the same step.
+    fn lockstep_fleet(sim: &mut Sim, actors: usize, steps: usize) {
+        for a in 0..actors {
+            sim.spawn(format!("rank{a:03}"), move |ctx| {
+                for i in 0..steps {
+                    ctx.advance(SimDur::from_us(1), "compute");
+                    ctx.trace("step", || format!("i={i}"));
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn conservative_lockstep_matches_legacy_accounting() {
+        let mut legacy = Sim::new();
+        lockstep_fleet(&mut legacy, 6, 40);
+        let legacy = legacy.run().unwrap();
+        let mut par = Sim::with_config(conservative(4, SimDur::from_us(10)));
+        lockstep_fleet(&mut par, 6, 40);
+        let par = par.run().unwrap();
+        assert_eq!(par.end_time, legacy.end_time);
+        for a in &legacy.actors {
+            assert_eq!(
+                par.actor(&a.name).unwrap().tags,
+                a.tags,
+                "accounting diverged for {}",
+                a.name
+            );
+        }
+    }
+
+    #[test]
+    fn conservative_identical_across_parallelism() {
+        let run = |parallelism: usize| {
+            let mut sim = Sim::with_config(conservative(parallelism, SimDur::from_us(5)));
+            lockstep_fleet(&mut sim, 8, 50);
+            sim.run().unwrap()
+        };
+        let p1 = run(1);
+        for p in [2, 8] {
+            let r = run(p);
+            assert_eq!(r.end_time, p1.end_time, "parallelism {p}");
+            assert_eq!(r.actors, p1.actors, "parallelism {p}");
+            assert_eq!(r.events, p1.events, "parallelism {p}");
+            assert_eq!(r.handoffs_elided, p1.handoffs_elided, "parallelism {p}");
+            assert_eq!(r.parallel_advances, p1.parallel_advances, "parallelism {p}");
+            assert_eq!(r.horizon_stalls, p1.horizon_stalls, "parallelism {p}");
+            assert_eq!(r.trace, p1.trace, "parallelism {p}");
+        }
+        // Lockstep fleets genuinely release multiple partitions per window.
+        assert!(p1.parallel_advances > 0, "no window released ≥2 partitions");
+        // ... and elide the park/unpark round-trip for most steps.
+        assert!(p1.handoffs_elided > 0, "no lock-free fast-path advances");
+    }
+
+    #[test]
+    fn conservative_cross_partition_wake_respects_lookahead() {
+        use std::sync::Mutex as StdMutex;
+        let token_cell: Arc<StdMutex<Option<WaitToken>>> = Arc::new(StdMutex::new(None));
+        let t1 = token_cell.clone();
+        let t2 = token_cell.clone();
+        // Lookahead 500ns: the waker's advance to 1us crosses the first
+        // horizon, so the waiter is guaranteed parked (and its token
+        // registered) before the waker's wake executes.
+        let mut sim = Sim::with_config(conservative(4, SimDur::from_ns(500)));
+        sim.spawn("waiter", move |ctx| {
+            let tok = ctx.prepare_wait();
+            *t1.lock().unwrap() = Some(tok);
+            let reason = ctx.wait(tok, "blocked");
+            assert_eq!(reason, WakeReason::Signaled);
+            // Delivery is clamped to the waker's clock + lookahead.
+            assert_eq!(ctx.now(), SimTime(1_500_000));
+        });
+        sim.spawn("waker", move |ctx| {
+            ctx.advance(SimDur::from_us(1), "sleep");
+            let tok = t2.lock().unwrap().take().expect("registered in window 1");
+            assert!(ctx.wake(tok));
+        });
+        let report = sim.run().unwrap();
+        assert_eq!(
+            report.actor("waiter").unwrap().tag("blocked"),
+            SimDur::from_ns(1500)
+        );
+        assert_eq!(report.end_time, SimTime(1_500_000));
+    }
+
+    #[test]
+    fn conservative_wake_at_delivers_min_over_senders() {
+        use std::sync::Mutex as StdMutex;
+        let token_cell: Arc<StdMutex<Option<WaitToken>>> = Arc::new(StdMutex::new(None));
+        let t0 = token_cell.clone();
+        let mut sim = Sim::with_config(conservative(4, SimDur::from_ns(500)));
+        sim.spawn("waiter", move |ctx| {
+            let tok = ctx.prepare_wait();
+            *t0.lock().unwrap() = Some(tok);
+            ctx.wait(tok, "blocked");
+            // Both senders target this wait; the minimum instant wins no
+            // matter which sender's call lands first in real time.
+            assert_eq!(ctx.now(), SimTime::from_secs_f64(5e-6));
+        });
+        for (name, at_us) in [("late", 10u64), ("early", 5u64)] {
+            let tc = token_cell.clone();
+            sim.spawn(name, move |ctx| {
+                ctx.advance(SimDur::from_us(1), "sleep");
+                let tok = tc.lock().unwrap().expect("registered in window 1");
+                assert!(ctx.wake_at(tok, SimTime(at_us * crate::time::PS_PER_US)));
+            });
+        }
+        let report = sim.run().unwrap();
+        assert_eq!(
+            report.actor("waiter").unwrap().tag("blocked"),
+            SimDur::from_us(5)
+        );
+    }
+
+    #[test]
+    fn conservative_wake_at_defers_to_earlier_deadline() {
+        use std::sync::Mutex as StdMutex;
+        let token_cell: Arc<StdMutex<Option<WaitToken>>> = Arc::new(StdMutex::new(None));
+        let t0 = token_cell.clone();
+        let mut sim = Sim::with_config(conservative(4, SimDur::from_ns(500)));
+        sim.spawn("waiter", move |ctx| {
+            let tok = ctx.prepare_wait();
+            *t0.lock().unwrap() = Some(tok);
+            let deadline = SimTime(5 * crate::time::PS_PER_US);
+            ctx.wait_deadline(tok, deadline, "blocked");
+            assert_eq!(ctx.now(), deadline, "the deadline timer must win");
+        });
+        let tc = token_cell.clone();
+        sim.spawn("late-waker", move |ctx| {
+            ctx.advance(SimDur::from_us(1), "sleep");
+            let tok = tc.lock().unwrap().expect("registered in window 1");
+            // Delivery at 10us ≥ the 5us deadline: the wake defers.
+            assert!(!ctx.wake_at(tok, SimTime(10 * crate::time::PS_PER_US)));
+        });
+        let report = sim.run().unwrap();
+        assert_eq!(
+            report.actor("waiter").unwrap().tag("blocked"),
+            SimDur::from_us(5)
+        );
+    }
+
+    #[test]
+    fn conservative_children_inherit_partition() {
+        let mut sim = Sim::with_config(conservative(2, SimDur::from_us(1)));
+        sim.spawn_on(3, "parent", |ctx| {
+            assert_eq!(ctx.partition(), 3);
+            ctx.advance(SimDur::from_us(1), "w");
+            let me = ctx.partition();
+            ctx.spawn("child", move |c| {
+                assert_eq!(c.partition(), me);
+                c.advance(SimDur::from_us(2), "w");
+            });
+            ctx.advance(SimDur::from_us(1), "w");
+        });
+        let report = sim.run().unwrap();
+        assert_eq!(report.actor("child").unwrap().tag("w"), SimDur::from_us(2));
+        assert_eq!(report.end_time, SimTime(3 * crate::time::PS_PER_US));
+    }
+
+    #[test]
+    fn legacy_wake_at_delivers_at_future_instant() {
+        use std::sync::Mutex as StdMutex;
+        let token_cell: Arc<StdMutex<Option<WaitToken>>> = Arc::new(StdMutex::new(None));
+        let t0 = token_cell.clone();
+        let mut sim = Sim::new();
+        sim.spawn("waiter", move |ctx| {
+            let tok = ctx.prepare_wait();
+            *t0.lock().unwrap() = Some(tok);
+            ctx.wait(tok, "blocked");
+            assert_eq!(ctx.now(), SimTime(3 * crate::time::PS_PER_US));
+        });
+        let tc = token_cell.clone();
+        sim.spawn("waker", move |ctx| {
+            ctx.advance(SimDur::from_us(1), "sleep");
+            let tok = tc.lock().unwrap().take().unwrap();
+            assert!(ctx.wake_at(tok, SimTime(3 * crate::time::PS_PER_US)));
+        });
+        let report = sim.run().unwrap();
+        assert_eq!(
+            report.actor("waiter").unwrap().tag("blocked"),
+            SimDur::from_us(3)
+        );
+    }
+
+    #[test]
+    fn conservative_deadlock_is_detected() {
+        let mut sim = Sim::with_config(conservative(2, SimDur::from_us(1)));
+        sim.spawn("stuck", |ctx| {
+            let tok = ctx.prepare_wait();
+            ctx.wait(tok, "never");
+        });
+        sim.spawn("fine", |ctx| ctx.advance(SimDur::from_us(1), "w"));
+        match sim.run() {
+            Err(SimError::Deadlock { detail }) => assert!(detail.contains("stuck")),
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn conservative_event_limit_trips() {
+        let mut sim = Sim::with_config(SimConfig {
+            max_events: 200,
+            ..conservative(2, SimDur::from_us(1))
+        });
+        sim.spawn("spinner", |ctx| loop {
+            ctx.advance(SimDur::from_us(10), "spin");
+        });
+        match sim.run() {
+            Err(SimError::EventLimit { limit }) => assert_eq!(limit, 200),
+            other => panic!("expected event limit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn conservative_daemons_shut_down() {
+        use std::sync::atomic::AtomicBool;
+        let saw_shutdown = Arc::new(AtomicBool::new(false));
+        let flag = saw_shutdown.clone();
+        let mut sim = Sim::with_config(conservative(4, SimDur::from_us(1)));
+        sim.spawn_daemon("svc", move |ctx| loop {
+            let tok = ctx.prepare_wait();
+            if ctx.wait(tok, "svc_idle") == WakeReason::Shutdown {
+                flag.store(true, Ordering::SeqCst);
+                return;
+            }
+        });
+        sim.spawn("work", |ctx| {
+            ctx.advance(SimDur::from_us(10), "w");
+        });
+        let report = sim.run().unwrap();
+        assert!(saw_shutdown.load(Ordering::SeqCst));
+        assert_eq!(report.end_time, SimTime(10 * crate::time::PS_PER_US));
+        assert_eq!(
+            report.actor("svc").unwrap().tag("svc_idle"),
+            SimDur::from_us(10)
+        );
+    }
+
+    #[test]
+    fn conservative_zero_lookahead_is_serial_but_correct() {
+        let run = |parallelism: usize, lookahead: SimDur| {
+            let mut sim = Sim::with_config(conservative(parallelism, lookahead));
+            lockstep_fleet(&mut sim, 4, 20);
+            sim.run().unwrap()
+        };
+        let serial = run(4, SimDur::ZERO);
+        let windowed = run(4, SimDur::from_us(3));
+        assert_eq!(serial.end_time, windowed.end_time);
+        assert_eq!(serial.actors, windowed.actors);
+        // Zero lookahead cannot release two partitions into one window.
+        assert_eq!(serial.parallel_advances, 0);
     }
 }
