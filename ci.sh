@@ -60,11 +60,13 @@ else
     echo "perf gate: skipped (no committed baselines/speed.json; run ./ci.sh --rebaseline)"
 fi
 
-echo "==> cores-sweep gate: bench_speed --smoke"
+echo "==> cores-sweep + flight-overhead gate: bench_speed --smoke"
 # 8192-actor lockstep, serial engine vs 4 conservative workers: the
 # parallel run must match the serial event total (±1 teardown dispatch)
-# and finish at least 2x faster. The binary panics (nonzero exit) on
-# either violation.
+# and finish at least 2x faster. The smoke also prices the always-on
+# flight recorder against a bare engine on the phased compute loop and
+# fails if the overhead exceeds IMPACC_FLIGHT_OVERHEAD_PCT (default 10%).
+# The binary panics (nonzero exit) on any violation.
 cargo run --release -q -p impacc-bench --bin bench_speed -- --smoke
 
 echo "==> lockstep parallel regression gate"
@@ -92,11 +94,24 @@ else
     echo "lockstep gate: skipped (no lockstep_par4_events_per_sec in committed baseline; run ./ci.sh --rebaseline)"
 fi
 
-echo "==> chaos smoke: fixed-seed fault injection"
+echo "==> chaos smoke: fixed-seed fault injection + flight dump schema"
 # A seeded faulted exchange must complete bit-correct with retries > 0,
 # and a device-loss run must finish via the §3.2 remap. The binary
-# panics (nonzero exit) on any violation.
-cargo run --release -q -p impacc-bench --bin bench_chaos -- --smoke
+# panics (nonzero exit) on any violation, and drains each scenario's
+# flight ring into $PERF_DIR/FLIGHT_*.json (reproducibility asserted
+# in-binary).
+IMPACC_BENCH_DIR="$PERF_DIR" \
+    cargo run --release -q -p impacc-bench --bin bench_chaos -- --smoke
+# The device-loss dump must be schema-versioned, carry an anomaly
+# trigger, and attribute the fault (the mapper's remap marker is in the
+# ring's retained events).
+flight="$PERF_DIR/FLIGHT_chaos_device_loss.json"
+[[ -f "$flight" ]] || { echo "flight gate: $flight missing"; exit 1; }
+for needle in '"schema_version"' '"trigger":"anomaly"' 'device_loss' 'remap'; do
+    grep -q "$needle" "$flight" \
+        || { echo "flight gate: $needle missing from $flight"; exit 1; }
+done
+echo "flight gate: device-loss dump schema + fault attribution ok"
 
 echo "==> coll smoke: hierarchical vs flat collectives"
 # The two-level hierarchical allreduce must beat the flat binomial

@@ -17,6 +17,7 @@
 
 use impacc_apps::math_ok;
 use impacc_core::{Launch, MpiOpts, RunSummary, RuntimeOptions, TaskCtx};
+use impacc_flight::{watchdog, FlightDump, FlightRecorder, Trigger, Watchdog};
 use impacc_machine::{presets, FaultPlan, KernelCost, MachineSpec};
 use impacc_obs::Recorder;
 
@@ -88,12 +89,29 @@ pub fn run_exchange(
     elide: bool,
     rec: Option<&Recorder>,
 ) -> RunSummary {
+    run_exchange_flight(spec, plan, rounds, elide, rec, None)
+}
+
+/// [`run_exchange`] with a caller-owned flight recorder riding along, so
+/// the smoke scenarios can drain the ring into a post-mortem dump and
+/// assert its contents.
+pub fn run_exchange_flight(
+    spec: MachineSpec,
+    plan: Option<FaultPlan>,
+    rounds: u32,
+    elide: bool,
+    rec: Option<&Recorder>,
+    flight: Option<&FlightRecorder>,
+) -> RunSummary {
     let mut l = Launch::new(spec, RuntimeOptions::impacc()).elide_handoff(elide);
     if let Some(p) = plan {
         l = l.chaos(p);
     }
     if let Some(rec) = rec {
         l = l.recorder(rec);
+    }
+    if let Some(fr) = flight {
+        l = l.flight(fr);
     }
     l.run(move |tc| exchange(tc, rounds)).expect("chaos run")
 }
@@ -163,28 +181,101 @@ pub fn run() -> String {
     out
 }
 
+/// Run one smoke scenario with a flight recorder attached and drain the
+/// ring into a dump: trigger precedence is fault burst, then the first
+/// deterministic watchdog anomaly, then plain request.
+fn flight_dump_of(
+    label: &str,
+    spec: MachineSpec,
+    plan: FaultPlan,
+    rounds: u32,
+) -> (RunSummary, FlightDump) {
+    let fr = FlightRecorder::new();
+    let s = run_exchange_flight(spec, Some(plan), rounds, true, None, Some(&fr));
+    let pairs: Vec<(&str, u64)> = s.report.metrics.iter().map(|(k, v)| (*k, *v)).collect();
+    let mut anomalies = Watchdog::new().check_counters(&pairs);
+    let trigger = if fr.fault_fires() >= watchdog::FAULT_BURST_THRESHOLD {
+        Trigger::FaultBurst {
+            fired: fr.fault_fires(),
+            threshold: watchdog::FAULT_BURST_THRESHOLD,
+        }
+    } else if let Some(a) = anomalies.iter().find(|a| a.deterministic) {
+        Trigger::Anomaly(a.rule.to_string())
+    } else {
+        Trigger::Request
+    };
+    anomalies.retain(|a| a.deterministic);
+    let dump = fr.dump(
+        label,
+        trigger,
+        s.report.metrics.iter().map(|(k, v)| (*k, *v)),
+        &anomalies,
+    );
+    (s, dump)
+}
+
 /// Fixed-seed CI smoke: a faulted run must complete with `retries > 0` and
 /// bit-correct payloads, and a device-loss run must finish via remap.
-/// Panics (nonzero exit) on any violation.
+/// Both scenarios drain their flight rings into `FLIGHT_*.json` dumps in
+/// the bench dir, and the device-loss dump is asserted reproducible and
+/// fault-attributing before it is written. Panics (nonzero exit) on any
+/// violation.
 pub fn smoke() -> String {
+    smoke_to(&impacc_core::config::bench_dir())
+}
+
+/// [`smoke`] with an explicit dump directory (tests point this at a
+/// temp dir; the binary uses `IMPACC_BENCH_DIR`).
+pub fn smoke_to(dir: &std::path::Path) -> String {
     let plan = FaultPlan::new(SWEEP_SEED).with_uniform_rate(0.05);
-    let s = run_exchange(internode_spec(), Some(plan), 4, true, None);
+    let (s, dump) = flight_dump_of("chaos_smoke", internode_spec(), plan, 4);
     let retries = metric(&s, "retries");
     assert!(retries > 0, "faulted smoke run must retry at least once");
-    let loss = run_exchange(
-        single_node_spec(),
-        Some(FaultPlan::new(7).fail_device(0, 0)),
-        2,
-        true,
-        None,
-    );
+
+    let loss_dump_of = || {
+        flight_dump_of(
+            "chaos_device_loss",
+            single_node_spec(),
+            FaultPlan::new(7).fail_device(0, 0),
+            2,
+        )
+    };
+    let (loss, loss_dump) = loss_dump_of();
     let remaps = metric(&loss, "device_remaps");
     assert!(remaps >= 1, "device-loss smoke run must remap the victim");
+    let loss_json = loss_dump.to_json();
+    assert!(
+        loss_json.contains("\"schema_version\""),
+        "flight dumps are schema-versioned"
+    );
+    assert!(
+        loss_json.contains("device_loss"),
+        "the watchdog must attribute the device loss: {loss_json}"
+    );
+    assert!(
+        loss_json.contains("remap"),
+        "the ring's last events must carry the remap marker: {loss_json}"
+    );
+    let (_, again) = loss_dump_of();
+    assert_eq!(
+        loss_json,
+        again.to_json(),
+        "flight dumps must be bit-reproducible for a fixed fault plan"
+    );
+
+    for d in [&dump, &loss_dump] {
+        d.write(dir).expect("write flight dump");
+    }
     format!(
         "chaos smoke ok: retries={retries}, link_drops={}, device_remaps={remaps}, \
-         elapsed={:.1}us (payloads verified in-kernel)\n",
+         elapsed={:.1}us (payloads verified in-kernel)\n\
+         flight dumps: {} (trigger={}), {} (trigger={})\n",
         metric(&s, "chaos_link_drop"),
         s.elapsed_secs() * 1e6,
+        dump.file_name(),
+        dump.trigger.label(),
+        loss_dump.file_name(),
+        loss_dump.trigger.label(),
     )
 }
 
@@ -211,8 +302,16 @@ mod tests {
     }
 
     #[test]
-    fn smoke_passes() {
-        let out = smoke();
+    fn smoke_passes_and_dumps_flight_artifacts() {
+        let dir = std::env::temp_dir().join(format!("impacc-chaos-smoke-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = smoke_to(&dir);
         assert!(out.contains("chaos smoke ok"));
+        assert!(out.contains("FLIGHT_chaos_device_loss.json"));
+        for name in ["FLIGHT_chaos_smoke.json", "FLIGHT_chaos_device_loss.json"] {
+            let body = std::fs::read_to_string(dir.join(name)).expect("dump written");
+            assert!(impacc_obs::chrome::structurally_valid(&body), "{name}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -26,9 +26,11 @@
 //! window — that, not host core count, is where the speedup comes from,
 //! and results stay bit-identical (`parallel_determinism`).
 
+use std::sync::Arc;
 use std::time::Instant;
 
-use impacc_vtime::{Sim, SimConfig, SimDur};
+use impacc_flight::FlightRecorder;
+use impacc_vtime::{Sim, SimConfig, SimDur, SpanSink};
 
 use crate::util::{full, quick, report_extra, Table};
 
@@ -77,6 +79,19 @@ impl SpeedPoint {
 /// parallel engine with that many scheduler workers (each top-level actor
 /// modelling one simulated node, i.e. its own partition).
 pub fn measure(actors: usize, iters: u64, phased: bool, elide: bool, workers: usize) -> SpeedPoint {
+    measure_sink(actors, iters, phased, elide, workers, None)
+}
+
+/// [`measure`] with an optional span sink attached — how the flight
+/// overhead gate prices the always-on recorder against a bare engine.
+pub fn measure_sink(
+    actors: usize,
+    iters: u64,
+    phased: bool,
+    elide: bool,
+    workers: usize,
+    sink: Option<Arc<dyn SpanSink>>,
+) -> SpeedPoint {
     let mut sim = Sim::with_config(SimConfig {
         stack_size: 128 * 1024, // thousands of threads at the top end
         elide_handoff: elide,
@@ -86,6 +101,7 @@ pub fn measure(actors: usize, iters: u64, phased: bool, elide: bool, workers: us
         } else {
             SimDur::ZERO
         },
+        sink,
         ..SimConfig::default()
     });
     for i in 0..actors {
@@ -293,10 +309,38 @@ pub fn smoke() -> String {
         serial.wall_ms,
         par.wall_ms
     );
+    // Flight-recorder overhead gate: the always-on per-actor ring must
+    // price in at no more than IMPACC_FLIGHT_OVERHEAD_PCT (default 10%)
+    // of wall clock on the recorder-hostile phased compute loop — the
+    // cheapest-per-event shape, so the worst case for relative overhead.
+    // Best-of-3 on both sides damps scheduler noise.
+    let budget_pct: f64 = std::env::var("IMPACC_FLIGHT_OVERHEAD_PCT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10.0);
+    let (fa, fi) = (128usize, 2_000u64);
+    let best = |with_flight: bool| -> f64 {
+        (0..3)
+            .map(|_| {
+                let sink = with_flight.then(|| FlightRecorder::new().sink());
+                measure_sink(fa, fi, true, true, 0, sink).wall_ms
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    let bare = best(false);
+    let flight = best(true);
+    let overhead_pct = 100.0 * (flight - bare) / bare;
+    assert!(
+        overhead_pct <= budget_pct,
+        "flight overhead gate: recorder-on run took {flight:.2} ms vs {bare:.2} ms bare \
+         (+{overhead_pct:.1}%); budget is {budget_pct:.0}%"
+    );
     format!(
         "speed smoke: {actors}-actor lockstep serial {:.1} ms -> 4 workers {:.1} ms \
          ({speedup:.2}x, gate >=2x), events {} vs {}, \
-         parallel advances {}, horizon stalls {}, elided {}\n",
+         parallel advances {}, horizon stalls {}, elided {}\n\
+         flight overhead: {fa} actors x {fi} phased steps bare {bare:.2} ms, \
+         recorder-on {flight:.2} ms (+{overhead_pct:.1}%, budget {budget_pct:.0}%)\n",
         serial.wall_ms,
         par.wall_ms,
         serial.events,

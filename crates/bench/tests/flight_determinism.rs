@@ -1,0 +1,122 @@
+//! Flight-recorder determinism and non-interference.
+//!
+//! Two contracts from the observability tentpole:
+//!
+//! * **Dump determinism** — a flight dump is a pure function of the
+//!   workload and trigger: the same run under `parallelism(1)` and
+//!   `parallelism(4)` must serialize byte-identical `FLIGHT_*.json`
+//!   bodies, because per-actor rings preserve each actor's program-order
+//!   emission and the snapshot is actor-sorted.
+//! * **Golden traces untouched** — attaching the always-on recorder must
+//!   not move a single byte of the existing observability artifacts:
+//!   chrome trace, `PROF_*.json` payload, end time, event count, or
+//!   engine metrics of a healthy (non-anomalous) run.
+
+use impacc_bench::specs::titan_tasks;
+use impacc_core::{Launch, MpiOpts, RunSummary, RuntimeOptions};
+use impacc_flight::{FlightRecorder, Trigger};
+use impacc_machine::KernelCost;
+use impacc_obs::Recorder;
+
+const N: usize = 1 << 12;
+
+/// The cross-node unified-queue exchange from `parallel_determinism`,
+/// with a flight recorder riding along.
+fn run_exchange(degree: usize, fr: Option<&FlightRecorder>, rec: Option<&Recorder>) -> RunSummary {
+    let mut l = Launch::new(titan_tasks(2), RuntimeOptions::impacc())
+        .phys_cap(4096)
+        .parallelism(degree);
+    l = match fr {
+        Some(fr) => l.flight(fr).flight_label("flight_det"),
+        None => l.flight_off(),
+    };
+    if let Some(rec) = rec {
+        l = l.recorder(rec);
+    }
+    l.run(move |tc| {
+        let peer = 1 - tc.rank();
+        let buf0 = tc.malloc_f64(N);
+        let buf1 = tc.malloc_f64(N);
+        tc.acc_create(&buf0);
+        tc.acc_create(&buf1);
+        let cost = KernelCost::new(10.0 * N as f64, 16.0 * N as f64);
+        for i in 0..8 {
+            tc.acc_kernel(Some(1), cost, || {});
+            tc.mpi_send(&buf0, 0, buf0.len, peer, i, MpiOpts::device().on_queue(1));
+            tc.mpi_recv(&buf1, 0, buf1.len, peer, i, MpiOpts::device().on_queue(1));
+            tc.acc_wait(1);
+        }
+    })
+    .expect("exchange run")
+}
+
+fn dump_bytes(degree: usize) -> String {
+    let fr = FlightRecorder::new();
+    let s = run_exchange(degree, Some(&fr), None);
+    fr.dump(
+        "flight_det",
+        Trigger::Request,
+        s.report.metrics.iter().map(|(k, v)| (*k, *v)),
+        &[],
+    )
+    .to_json()
+}
+
+#[test]
+fn flight_dump_is_bit_identical_across_parallelism() {
+    let serial = dump_bytes(1);
+    assert!(
+        serial.contains("\"schema_version\""),
+        "dumps are schema-versioned"
+    );
+    assert!(
+        serial.contains("\"traceEvents\""),
+        "dumps embed a chrome trace body"
+    );
+    let parallel = dump_bytes(4);
+    assert_eq!(
+        serial, parallel,
+        "flight dump bytes must not depend on the scheduler's parallelism degree"
+    );
+    // And re-running at the same degree reproduces the bytes exactly.
+    assert_eq!(serial, dump_bytes(1), "dump bytes must be reproducible");
+}
+
+#[test]
+fn always_on_recorder_leaves_golden_observables_untouched() {
+    let observe = |fr: Option<&FlightRecorder>| {
+        let rec = Recorder::new();
+        let s = run_exchange(1, fr, Some(&rec));
+        let spans = rec.spans();
+        let chrome = impacc_obs::chrome::trace(&spans);
+        let prof = impacc_prof::analyze(&spans, &rec.edges()).to_json("flight_det");
+        (s, chrome, prof)
+    };
+    let (base_s, base_chrome, base_prof) = observe(None);
+    let fr = FlightRecorder::new();
+    let (s, chrome, prof) = observe(Some(&fr));
+    assert!(
+        fr.actor_count() > 0,
+        "the flight recorder must actually have been recording"
+    );
+    assert_eq!(
+        base_s.report.end_time, s.report.end_time,
+        "virtual end time must not move"
+    );
+    assert_eq!(
+        base_s.report.events, s.report.events,
+        "event count must not move"
+    );
+    assert_eq!(
+        base_s.report.metrics, s.report.metrics,
+        "engine metrics must not move"
+    );
+    assert_eq!(
+        base_chrome, chrome,
+        "chrome trace bytes must be identical with the recorder attached"
+    );
+    assert_eq!(
+        base_prof, prof,
+        "PROF json payload must be identical with the recorder attached"
+    );
+}

@@ -16,6 +16,9 @@
 //! | `IMPACC_PERF_INJECT_SLOWDOWN` | [`perf_inject_slowdown`] | CI-gate failure-path test hook |
 //! | `IMPACC_SERVE_WORKERS` | [`serve_workers`] | worker-pool size override for `impacc-serve` |
 //! | `IMPACC_PARALLEL` | [`parallelism`] | conservative-DES worker count (`0`/unset ⇒ legacy serial engine) |
+//! | `IMPACC_FLIGHT` | [`flight_enabled`] / [`flight_dump_dir`] | `0` ⇒ flight recorder off; `1` ⇒ dumps to `bench_dir()`; `<dir>` ⇒ dumps there; unset ⇒ record, no launch-side dumps |
+//! | `IMPACC_FLIGHT_CAP` | [`flight_capacity`] | per-actor flight ring capacity (spans) |
+//! | `IMPACC_FLIGHT_BURST` | [`flight_burst`] | chaos fault-burst dump/anomaly threshold |
 //!
 //! (`IMPACC_PERF_BASELINE_PCT` is consumed by `ci.sh` itself and never
 //! read from Rust; `IMPACC_ACC_DEVICE_TYPE` is modelled as a typed
@@ -101,6 +104,49 @@ pub fn parallelism() -> usize {
         .unwrap_or(0)
 }
 
+/// `IMPACC_FLIGHT`: is the always-on flight recorder recording? Only the
+/// explicit opt-out `0` disables it — every other state (unset, `1`, a
+/// dump directory) keeps the per-actor rings live so a crash always has a
+/// black-box record.
+pub fn flight_enabled() -> bool {
+    std::env::var("IMPACC_FLIGHT").map_or(true, |v| v != "0")
+}
+
+/// Where `Launch` writes trigger-driven `FLIGHT_*.json` dumps. Unset (the
+/// default) ⇒ `None`: the rings record but launch-side dumps stay in
+/// memory, so plain `cargo test` runs never spray flight files into the
+/// working tree. `1` ⇒ [`bench_dir`]; any other non-`0` value is the
+/// directory itself. (`impacc-serve` writes its per-job failure dumps
+/// into its own spool regardless of this setting.)
+pub fn flight_dump_dir() -> Option<PathBuf> {
+    match std::env::var("IMPACC_FLIGHT") {
+        Ok(v) if v == "1" => Some(bench_dir()),
+        Ok(v) if !v.is_empty() && v != "0" => Some(PathBuf::from(v)),
+        _ => None,
+    }
+}
+
+/// `IMPACC_FLIGHT_CAP=<n>`: per-actor flight ring capacity in spans.
+/// Unset or unparsable ⇒ `impacc_flight::DEFAULT_RING_CAPACITY`; `0` is a
+/// valid spelling for "recorder allocated but inert".
+pub fn flight_capacity() -> usize {
+    std::env::var("IMPACC_FLIGHT_CAP")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(impacc_flight::DEFAULT_RING_CAPACITY)
+}
+
+/// `IMPACC_FLIGHT_BURST=<n>`: chaos fault count that constitutes a burst
+/// (triggers a flight dump and the `fault_burst` anomaly). Unset,
+/// unparsable or zero ⇒ `impacc_flight::watchdog::FAULT_BURST_THRESHOLD`.
+pub fn flight_burst() -> u64 {
+    std::env::var("IMPACC_FLIGHT_BURST")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .filter(|n| *n > 0)
+        .unwrap_or(impacc_flight::watchdog::FAULT_BURST_THRESHOLD)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -147,5 +193,40 @@ mod tests {
         std::env::set_var("IMPACC_PARALLEL", "junk");
         assert_eq!(parallelism(), 0, "unparsable falls back to serial");
         std::env::remove_var("IMPACC_PARALLEL");
+
+        std::env::remove_var("IMPACC_FLIGHT");
+        assert!(flight_enabled(), "flight recording is on by default");
+        assert_eq!(flight_dump_dir(), None, "but launch-side dumps are not");
+        std::env::set_var("IMPACC_FLIGHT", "0");
+        assert!(!flight_enabled());
+        assert_eq!(flight_dump_dir(), None);
+        std::env::set_var("IMPACC_FLIGHT", "1");
+        assert!(flight_enabled());
+        assert_eq!(flight_dump_dir(), Some(bench_dir()));
+        std::env::set_var("IMPACC_FLIGHT", "/tmp/fl");
+        assert_eq!(flight_dump_dir(), Some(PathBuf::from("/tmp/fl")));
+        std::env::remove_var("IMPACC_FLIGHT");
+
+        std::env::remove_var("IMPACC_FLIGHT_CAP");
+        assert_eq!(flight_capacity(), impacc_flight::DEFAULT_RING_CAPACITY);
+        std::env::set_var("IMPACC_FLIGHT_CAP", "64");
+        assert_eq!(flight_capacity(), 64);
+        std::env::set_var("IMPACC_FLIGHT_CAP", "0");
+        assert_eq!(flight_capacity(), 0, "0 spells an inert recorder");
+        std::env::remove_var("IMPACC_FLIGHT_CAP");
+
+        std::env::remove_var("IMPACC_FLIGHT_BURST");
+        assert_eq!(
+            flight_burst(),
+            impacc_flight::watchdog::FAULT_BURST_THRESHOLD
+        );
+        std::env::set_var("IMPACC_FLIGHT_BURST", "3");
+        assert_eq!(flight_burst(), 3);
+        std::env::set_var("IMPACC_FLIGHT_BURST", "0");
+        assert_eq!(
+            flight_burst(),
+            impacc_flight::watchdog::FAULT_BURST_THRESHOLD
+        );
+        std::env::remove_var("IMPACC_FLIGHT_BURST");
     }
 }

@@ -16,6 +16,7 @@ use std::sync::Arc;
 
 use impacc_acc::Device;
 use impacc_coll::{CollAlgo, NodeColl};
+use impacc_flight::{FlightRecorder, Trigger, Watchdog};
 use impacc_machine::{
     Chaos, ClusterResources, DeviceKind, DeviceSpec, DeviceTypeMask, FaultPlan, MachineSpec,
 };
@@ -104,6 +105,16 @@ impl RunSummary {
     }
 }
 
+/// How a launch resolves its flight recorder (see [`Launch::flight`]).
+enum FlightOpt {
+    /// Default: attach a fresh recorder unless `IMPACC_FLIGHT=0`.
+    Auto,
+    /// Explicitly detached (determinism baselines, overhead A/B tests).
+    Off,
+    /// Caller-supplied recorder (serve per-job rings, bench harnesses).
+    Explicit(FlightRecorder),
+}
+
 /// Job launcher. Configure, then [`Launch::run`].
 pub struct Launch {
     spec: MachineSpec,
@@ -119,6 +130,8 @@ pub struct Launch {
     coll_algo: Option<CollAlgo>,
     parallelism: Option<usize>,
     recorder: Option<Recorder>,
+    flight: FlightOpt,
+    flight_label: String,
 }
 
 impl Launch {
@@ -139,7 +152,33 @@ impl Launch {
             coll_algo: None,
             parallelism: None,
             recorder: None,
+            flight: FlightOpt::Auto,
+            flight_label: "run".to_string(),
         }
+    }
+
+    /// Attach an existing flight recorder instead of the auto-created one
+    /// — `impacc-serve` hands each job its own rings so a wedged job's
+    /// final moments are inspectable while other jobs keep flying.
+    pub fn flight(mut self, fr: &FlightRecorder) -> Launch {
+        self.flight = FlightOpt::Explicit(fr.clone());
+        self
+    }
+
+    /// Detach the always-on flight recorder for this run. Virtual-time
+    /// results never depend on recording; this exists for overhead A/B
+    /// measurements and the golden-invariance tests that prove it.
+    pub fn flight_off(mut self) -> Launch {
+        self.flight = FlightOpt::Off;
+        self
+    }
+
+    /// Label used for this run's `FLIGHT_<label>.json` dumps (default
+    /// `"run"`). Serve sets the job key here so dump artifacts carry the
+    /// same correlation id as results and profiles.
+    pub fn flight_label(mut self, label: impl Into<String>) -> Launch {
+        self.flight_label = label.into();
+        self
     }
 
     /// Pin the scheduler worker count for this run, overriding the
@@ -359,6 +398,23 @@ impl Launch {
             }
         }
 
+        // The always-on flight recorder (§5j): unless explicitly detached
+        // (or `IMPACC_FLIGHT=0`), every launch keeps bounded per-actor
+        // rings of its last moments, teed in front of whatever sink is
+        // already attached so full tracing is never displaced.
+        let flight: Option<FlightRecorder> = match &self.flight {
+            FlightOpt::Off => None,
+            FlightOpt::Explicit(fr) => Some(fr.clone()),
+            FlightOpt::Auto => crate::config::flight_enabled()
+                .then(|| FlightRecorder::with_capacity(crate::config::flight_capacity())),
+        };
+        if let Some(fr) = &flight {
+            sink = Some(match sink.take() {
+                Some(other) => impacc_flight::tee(fr.sink(), other),
+                None => fr.sink(),
+            });
+        }
+
         // Engine selection: the conservative parallel scheduler partitions
         // actors by simulated node, with lookahead = the machine's minimum
         // cross-node event distance (internode wire latency). Chaos forces
@@ -506,7 +562,27 @@ impl Launch {
             });
         }
 
-        let report = sim.run()?;
+        // Counter handle surviving `sim.run(self)`: a panicked run still
+        // has final counters for its black-box dump.
+        let metrics = sim.metrics().clone();
+        let report = match sim.run() {
+            Ok(report) => report,
+            Err(e) => {
+                if let (Some(fr), Some(dir)) = (&flight, crate::config::flight_dump_dir()) {
+                    let dump = fr.dump(
+                        &self.flight_label,
+                        Trigger::Panic(format!("{e:?}")),
+                        metrics.snapshot(),
+                        &[],
+                    );
+                    match dump.write(&dir) {
+                        Ok(path) => eprintln!("flight: panic dump at {}", path.display()),
+                        Err(we) => eprintln!("flight: failed to write panic dump: {we}"),
+                    }
+                }
+                return Err(e);
+            }
+        };
         if parallelism > 0 {
             // Concurrent partitions emit spans in racy real-time order;
             // canonicalizing restores a schedule-independent order so
@@ -516,6 +592,55 @@ impl Launch {
             }
             if let Some((rec, _)) = &auto_trace {
                 rec.canonicalize();
+            }
+        }
+        // Watchdog pass over the run's final counters. Findings become
+        // structured `anomaly` spans (recorded into the flight rings and
+        // any attached recorders at the run's end instant), and — when a
+        // dump directory is configured — trigger a `FLIGHT_*.json` dump.
+        // Burst beats rule findings in trigger precedence: a fault burst
+        // explains its own anomalies.
+        if let Some(fr) = &flight {
+            let burst = crate::config::flight_burst();
+            let wd = Watchdog::new().with_burst_threshold(burst);
+            let pairs: Vec<(&str, u64)> = report.metrics.iter().map(|(k, v)| (*k, *v)).collect();
+            let mut anomalies = wd.check_counters(&pairs);
+            if let Some(a) = wd.check_engine(report.horizon_stalls, report.parallel_advances) {
+                anomalies.push(a);
+            }
+            for a in &anomalies {
+                let span = a.to_span(report.end_time);
+                fr.record_span(span.clone());
+                if let Some(rec) = &self.recorder {
+                    rec.record(span.clone());
+                }
+                if let Some((rec, _)) = &auto_trace {
+                    rec.record(span);
+                }
+            }
+            if let Some(dir) = crate::config::flight_dump_dir() {
+                let trigger = if fr.fault_fires() >= burst {
+                    Trigger::FaultBurst {
+                        fired: fr.fault_fires(),
+                        threshold: burst,
+                    }
+                } else if let Some(a) = anomalies.iter().find(|a| a.deterministic) {
+                    Trigger::Anomaly(a.rule.to_string())
+                } else {
+                    Trigger::Request
+                };
+                // Only determinism-safe findings are embedded in dump
+                // bytes (DESIGN.md §5j); live-only rules stay live-only.
+                anomalies.retain(|a| a.deterministic);
+                let dump = fr.dump(
+                    &self.flight_label,
+                    trigger,
+                    report.metrics.iter().map(|(k, v)| (*k, *v)),
+                    &anomalies,
+                );
+                if let Err(e) = dump.write(&dir) {
+                    eprintln!("flight: failed to write dump: {e}");
+                }
             }
         }
         if let Some((rec, path)) = auto_trace {

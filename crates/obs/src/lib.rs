@@ -93,11 +93,16 @@ pub enum EventKind {
     Retry,
     /// Free-form annotation (phase changes, pinning placement, app marks).
     Marker,
+    /// A watchdog rule firing (`impacc-flight`): structured detection of
+    /// retry storms, fault bursts, queue backlog growth and the like. The
+    /// `rule` attr names the detector; `value`/`threshold` carry the
+    /// measurement that tripped it.
+    Anomaly,
 }
 
 impl EventKind {
     /// Every kind, in a fixed presentation order.
-    pub const ALL: [EventKind; 17] = [
+    pub const ALL: [EventKind; 18] = [
         EventKind::Kernel,
         EventKind::CopyHtoH,
         EventKind::CopyHtoD,
@@ -115,6 +120,7 @@ impl EventKind {
         EventKind::Fault,
         EventKind::Retry,
         EventKind::Marker,
+        EventKind::Anomaly,
     ];
 
     /// The wire label (also the accounting-tag spelling where one exists).
@@ -137,6 +143,7 @@ impl EventKind {
             EventKind::Fault => "fault",
             EventKind::Retry => "retry",
             EventKind::Marker => "marker",
+            EventKind::Anomaly => "anomaly",
         }
     }
 

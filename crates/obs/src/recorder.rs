@@ -260,9 +260,20 @@ impl Recorder {
     }
 
     /// Deterministic snapshot of all counters/gauges/histograms, key-sorted.
+    ///
+    /// Buffer overflow is part of the snapshot: when the span/edge ring has
+    /// dropped entries, a synthetic `spans_dropped` counter carries the
+    /// tally so exported metrics never silently hide truncation. The key is
+    /// absent on runs that fit — artifacts from non-overflowing runs are
+    /// byte-identical to those produced before the counter existed.
     pub fn metrics(&self) -> MetricsSnapshot {
+        let mut counters = self.inner.counters.lock().clone();
+        let dropped = self.dropped();
+        if dropped > 0 {
+            counters.insert("spans_dropped".to_string(), dropped);
+        }
         MetricsSnapshot {
-            counters: self.inner.counters.lock().clone(),
+            counters,
             gauges: self.inner.gauges.lock().clone(),
             histograms: self
                 .inner
@@ -500,6 +511,24 @@ mod tests {
         let s = r.spans().pop().unwrap();
         assert_eq!(s.kind, EventKind::Marker);
         assert_eq!(s.attr("label"), Some("exotic"));
+    }
+
+    #[test]
+    fn overflow_surfaces_spans_dropped_counter() {
+        let r = Recorder::with_capacity(2);
+        // No overflow yet: the synthetic counter must be absent so
+        // pre-existing golden artifacts stay byte-identical.
+        r.record(span("a", EventKind::Kernel, 0, 1));
+        r.record(span("a", EventKind::Kernel, 1, 2));
+        assert!(!r.metrics().counters.contains_key("spans_dropped"));
+        // Overflow: the tally appears and matches `dropped()`.
+        r.record(span("a", EventKind::Kernel, 2, 3));
+        r.record(span("a", EventKind::Kernel, 3, 4));
+        assert_eq!(r.metrics().counters["spans_dropped"], 2);
+        assert_eq!(r.dropped(), 2);
+        // clear() resets the tally along with everything else.
+        r.clear();
+        assert!(!r.metrics().counters.contains_key("spans_dropped"));
     }
 
     #[test]

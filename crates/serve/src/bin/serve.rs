@@ -21,7 +21,13 @@
 //! serve submit   --spool DIR (FILE | key=value ...)
 //! serve campaign --spool DIR FILE
 //! serve status   --spool DIR
+//! serve top      --spool DIR [--watch]
 //! ```
+//!
+//! `top` prints the human rendering the daemon embeds in `status.json`
+//! (queue lanes, worker utilization, cache hit rate, in-flight jobs
+//! with their virtual clocks, recent anomalies); `--watch` refreshes
+//! once a second until interrupted or the daemon's `stop` file appears.
 //!
 //! `daemon --drain` processes everything queued, prints one summary line
 //! (`serve: executed N, cache_hits M, rejected R, failed F`), and exits —
@@ -40,7 +46,8 @@ fn usage() -> ! {
         "usage: serve daemon   --spool DIR [--workers N] [--cap N] [--drain]\n\
          \x20      serve submit   --spool DIR (FILE | key=value ...)\n\
          \x20      serve campaign --spool DIR FILE\n\
-         \x20      serve status   --spool DIR"
+         \x20      serve status   --spool DIR\n\
+         \x20      serve top      --spool DIR [--watch]"
     );
     exit(2);
 }
@@ -54,6 +61,7 @@ fn main() {
         "submit" => submit(rest),
         "campaign" => campaign(rest),
         "status" => status(rest),
+        "top" => top(rest),
         _ => usage(),
     }
 }
@@ -171,6 +179,74 @@ fn status(args: &[String]) {
                 spool.display()
             );
         }
+    }
+}
+
+/// Pull the daemon's pre-rendered `top` screen out of `status.json`.
+/// The field is a flat JSON string written by [`impacc_serve::Status::
+/// to_json`], so a tiny escape-aware scan suffices — no JSON parser.
+fn extract_render(body: &str) -> Option<String> {
+    let start = body.find("\"render\":\"")? + "\"render\":\"".len();
+    let mut out = String::new();
+    let mut chars = body[start..].chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                'n' => out.push('\n'),
+                't' => out.push('\t'),
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'u' => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    if let Some(c) = u32::from_str_radix(&hex, 16).ok().and_then(char::from_u32) {
+                        out.push(c);
+                    }
+                }
+                other => out.push(other),
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+fn top(args: &[String]) {
+    let (spool, rest) = split_spool(args);
+    let watch = match rest.as_slice() {
+        [] => false,
+        [w] if w == "--watch" => true,
+        _ => usage(),
+    };
+    loop {
+        match std::fs::read_to_string(spool.join("status.json")) {
+            Ok(body) => match extract_render(&body) {
+                Some(screen) => {
+                    if watch {
+                        // ANSI home + clear-below keeps refreshes steady.
+                        print!("\x1b[H\x1b[J");
+                    }
+                    print!("{screen}");
+                }
+                None => {
+                    eprintln!("serve top: status.json has no render field (older daemon?)");
+                    exit(1);
+                }
+            },
+            Err(_) => {
+                println!(
+                    "no status.json in {} (daemon not started yet?)",
+                    spool.display()
+                );
+                if !watch {
+                    exit(1);
+                }
+            }
+        }
+        if !watch || spool.join("stop").exists() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_secs(1));
     }
 }
 

@@ -100,11 +100,23 @@ impl Campaign {
         Ok(Campaign { jobs })
     }
 
-    /// Parse a campaign file from disk.
+    /// Parse a campaign file from disk. Every expanded job is tagged with
+    /// the file stem as its `campaign` correlation id (unless a block set
+    /// one explicitly), so results, heartbeat rows and flight dumps all
+    /// carry the campaign they came from. The tag is not part of the
+    /// cache key — memoization across campaigns is unaffected.
     pub fn load(path: &std::path::Path) -> Result<Campaign, String> {
         let text = std::fs::read_to_string(path)
             .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-        Campaign::parse(&text)
+        let mut camp = Campaign::parse(&text)?;
+        if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
+            for job in &mut camp.jobs {
+                if job.campaign.is_empty() {
+                    job.campaign = stem.to_string();
+                }
+            }
+        }
+        Ok(camp)
     }
 }
 

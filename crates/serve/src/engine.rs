@@ -27,12 +27,16 @@ use std::path::PathBuf;
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 
-use impacc_obs::Recorder;
+use impacc_flight::{Anomaly, FlightRecorder, Trigger, Watchdog};
+use impacc_obs::{json, Recorder};
 use parking_lot::{Condvar, Mutex};
 
 use crate::cache::{write_atomic, ResultCache};
 use crate::job::JobSpec;
 use crate::workload;
+
+/// Recent-anomaly ring length in [`Status::anomalies`].
+const ANOMALY_LOG_CAP: usize = 16;
 
 /// Engine tuning knobs. `Default` reads `IMPACC_SERVE_WORKERS` (via
 /// [`impacc_core::config::serve_workers`]) and falls back to 4 workers
@@ -133,11 +137,30 @@ impl Ticket {
     }
 }
 
+/// One in-flight execution, as seen by the heartbeat: which job, where
+/// it came from, and how far its virtual clock has advanced.
+#[derive(Clone, Debug)]
+pub struct InflightRow {
+    /// Content address of the running job.
+    pub key: String,
+    /// Campaign correlation tag (empty for ad-hoc submissions).
+    pub campaign: String,
+    /// Priority lane the job was queued on (0 = high).
+    pub lane: usize,
+    /// Latest virtual timestamp its flight ring has seen, in ps.
+    pub vtime_ps: u64,
+    /// Coarse phase: `starting` (no spans yet), `advancing`, or
+    /// `recovering` (fault spans observed).
+    pub phase: &'static str,
+}
+
 /// Point-in-time engine health, readable while jobs are in flight.
 #[derive(Clone, Debug, Default)]
 pub struct Status {
     /// Queued (admitted, not running) jobs across all lanes.
     pub queue_depth: usize,
+    /// Per-lane queue depth: index 0 = High, 1 = Normal, 2 = Low.
+    pub lanes: [usize; 3],
     /// Configured worker count.
     pub workers: usize,
     /// Workers currently executing a job.
@@ -146,6 +169,12 @@ pub struct Status {
     pub admitted: u64,
     /// Submissions refused.
     pub rejected: u64,
+    /// ... because every lane was at capacity.
+    pub rejected_queue_full: u64,
+    /// ... because the job failed validation.
+    pub rejected_invalid: u64,
+    /// ... because the engine was stopping.
+    pub rejected_shutdown: u64,
     /// Submissions answered from cache without execution.
     pub cache_hits: u64,
     /// Submissions that required (or joined) an execution.
@@ -156,26 +185,162 @@ pub struct Status {
     pub jobs_done: u64,
     /// Executions that errored or panicked.
     pub jobs_failed: u64,
+    /// Completed executions the watchdog flagged as degraded.
+    pub jobs_degraded: u64,
+    /// Total engine retries folded in from completed jobs.
+    pub retries: u64,
+    /// Total injected chaos faults folded in from completed jobs.
+    pub chaos_faults: u64,
+    /// Jobs currently executing, one row each.
+    pub inflight: Vec<InflightRow>,
+    /// Most recent watchdog anomaly lines (bounded ring).
+    pub anomalies: Vec<String>,
 }
 
 impl Status {
-    /// Compact JSON for `status.json` / logs.
-    pub fn to_json(&self) -> String {
-        format!(
-            "{{\"schema_version\":{},\"queue_depth\":{},\"workers\":{},\"workers_busy\":{},\"admitted\":{},\"rejected\":{},\"cache_hits\":{},\"cache_misses\":{},\"coalesced\":{},\"jobs_done\":{},\"jobs_failed\":{}}}",
-            impacc_obs::SCHEMA_VERSION,
-            self.queue_depth,
-            self.workers,
+    /// Fraction of cache lookups served from cache, in `[0, 1]`.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let lookups = self.cache_hits + self.cache_misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / lookups as f64
+        }
+    }
+
+    /// Fraction of workers currently busy, in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        if self.workers == 0 {
+            0.0
+        } else {
+            self.workers_busy as f64 / self.workers as f64
+        }
+    }
+
+    /// The `serve top` screen: a compact human rendering of this
+    /// snapshot. Also embedded verbatim in [`Status::to_json`] so `top`
+    /// needs no JSON parser.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "serve  workers {}/{} busy ({:.0}% util)   queue {} [hi {} | norm {} | low {}]\n",
             self.workers_busy,
+            self.workers,
+            100.0 * self.utilization(),
+            self.queue_depth,
+            self.lanes[0],
+            self.lanes[1],
+            self.lanes[2],
+        );
+        out.push_str(&format!(
+            "cache  {} hits / {} lookups ({:.1}% hit rate)   admitted {}   rejected {} (full {}, invalid {}, shutdown {})\n",
+            self.cache_hits,
+            self.cache_hits + self.cache_misses,
+            100.0 * self.cache_hit_rate(),
             self.admitted,
             self.rejected,
+            self.rejected_queue_full,
+            self.rejected_invalid,
+            self.rejected_shutdown,
+        ));
+        out.push_str(&format!(
+            "jobs   done {}  failed {}  degraded {}  coalesced {}   retries {}  chaos_faults {}\n",
+            self.jobs_done,
+            self.jobs_failed,
+            self.jobs_degraded,
+            self.coalesced,
+            self.retries,
+            self.chaos_faults,
+        ));
+        if !self.inflight.is_empty() {
+            out.push_str("in-flight:\n");
+            for row in &self.inflight {
+                out.push_str(&format!(
+                    "  {}  lane={}  vtime={}ps  phase={}{}{}\n",
+                    row.key,
+                    ["hi", "norm", "low"][row.lane.min(2)],
+                    row.vtime_ps,
+                    row.phase,
+                    if row.campaign.is_empty() {
+                        ""
+                    } else {
+                        "  campaign="
+                    },
+                    row.campaign,
+                ));
+            }
+        }
+        if !self.anomalies.is_empty() {
+            out.push_str("anomalies:\n");
+            for line in &self.anomalies {
+                out.push_str("  ");
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Compact JSON for `status.json` / logs. The pre-rendered `render`
+    /// field is what `serve top` prints.
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"schema_version\":{},\"queue_depth\":{},\"lanes\":[{},{},{}],\"workers\":{},\"workers_busy\":{},\"utilization\":{},\"admitted\":{},\"rejected\":{},\"rejected_queue_full\":{},\"rejected_invalid\":{},\"rejected_shutdown\":{},\"cache_hits\":{},\"cache_misses\":{},\"cache_hit_rate\":{},\"coalesced\":{},\"jobs_done\":{},\"jobs_failed\":{},\"jobs_degraded\":{},\"retries\":{},\"chaos_faults\":{},\"inflight\":[",
+            impacc_obs::SCHEMA_VERSION,
+            self.queue_depth,
+            self.lanes[0],
+            self.lanes[1],
+            self.lanes[2],
+            self.workers,
+            self.workers_busy,
+            json::number(self.utilization()),
+            self.admitted,
+            self.rejected,
+            self.rejected_queue_full,
+            self.rejected_invalid,
+            self.rejected_shutdown,
             self.cache_hits,
             self.cache_misses,
+            json::number(self.cache_hit_rate()),
             self.coalesced,
             self.jobs_done,
             self.jobs_failed,
-        )
+            self.jobs_degraded,
+            self.retries,
+            self.chaos_faults,
+        );
+        for (i, row) in self.inflight.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"key\":{},\"campaign\":{},\"lane\":{},\"vtime_ps\":{},\"phase\":{}}}",
+                json::string(&row.key),
+                json::string(&row.campaign),
+                row.lane,
+                row.vtime_ps,
+                json::string(row.phase),
+            ));
+        }
+        out.push_str("],\"anomalies\":[");
+        for (i, line) in self.anomalies.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&json::string(line));
+        }
+        out.push_str("],\"render\":");
+        out.push_str(&json::string(&self.render()));
+        out.push('}');
+        out
     }
+}
+
+/// What the heartbeat knows about one executing job: a handle on its
+/// flight ring (live vtime/phase) plus its correlation tags.
+struct RunningJob {
+    flight: FlightRecorder,
+    campaign: String,
+    lane: usize,
 }
 
 struct State {
@@ -185,6 +350,8 @@ struct State {
     /// what makes a later identical submission coalesce instead of
     /// enqueueing a duplicate execution.
     waiters: HashMap<String, Vec<mpsc::Sender<JobDone>>>,
+    /// Executing jobs by key, for the live introspection surface.
+    running: HashMap<String, RunningJob>,
     busy: usize,
     stopping: bool,
 }
@@ -205,12 +372,62 @@ struct Shared {
     cache: ResultCache,
     rec: Recorder,
     cfg: ServeConfig,
+    /// Backlog-growth detector state (fed by [`Serve::status`] calls).
+    wd: Mutex<Watchdog>,
+    /// Bounded ring of recent anomaly lines for the heartbeat.
+    anomaly_log: Mutex<VecDeque<String>>,
 }
 
 impl Shared {
     fn gauges(&self, st: &State) {
         self.rec.gauge_set("serve_queue_depth", st.depth() as i64);
         self.rec.gauge_set("serve_workers_busy", st.busy as i64);
+    }
+
+    /// Record watchdog findings: bump counters and append readable lines
+    /// to the bounded anomaly ring the heartbeat surfaces.
+    fn note_anomalies(&self, who: &str, anomalies: &[Anomaly]) {
+        if anomalies.is_empty() {
+            return;
+        }
+        self.rec
+            .counter_add("serve_anomalies", anomalies.len() as u64);
+        let mut log = self.anomaly_log.lock();
+        for a in anomalies {
+            if log.len() >= ANOMALY_LOG_CAP {
+                log.pop_front();
+            }
+            log.push_back(format!("{who}: {}", a.render()));
+        }
+    }
+
+    /// Drain a finished job's flight ring into `FLIGHT_job_<key>.json`
+    /// under `out_dir` — the post-mortem artifact for failures, panics
+    /// and degraded completions.
+    fn write_flight_dump(
+        &self,
+        key: &str,
+        campaign: &str,
+        flight: &FlightRecorder,
+        trigger: Trigger,
+        counters: &std::collections::BTreeMap<String, u64>,
+        anomalies: &[Anomaly],
+    ) {
+        let Some(dir) = &self.cfg.out_dir else {
+            return;
+        };
+        let mut dump = flight.dump(
+            &format!("job_{key}"),
+            trigger,
+            counters.iter().map(|(k, v)| (k.clone(), *v)),
+            anomalies,
+        );
+        if !campaign.is_empty() {
+            dump = dump.with_campaign(campaign);
+        }
+        if let Err(e) = dump.write(dir) {
+            eprintln!("serve: cannot write flight dump for {key}: {e}");
+        }
     }
 
     /// Write `JOB_<key>.json` (and `PROF_<key>.json`) under `out_dir`.
@@ -259,6 +476,7 @@ impl Serve {
             state: Mutex::new(State {
                 lanes: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
                 waiters: HashMap::new(),
+                running: HashMap::new(),
                 busy: 0,
                 stopping: false,
             }),
@@ -266,6 +484,8 @@ impl Serve {
             cache: ResultCache::new(cfg.cache_dir.clone()),
             rec,
             cfg: cfg.clone(),
+            wd: Mutex::new(Watchdog::new()),
+            anomaly_log: Mutex::new(VecDeque::new()),
         });
         let handles = (0..cfg.workers.max(1))
             .map(|i| {
@@ -291,6 +511,7 @@ impl Serve {
     pub fn submit(&self, job: JobSpec) -> Result<Ticket, Reject> {
         if let Err(why) = job.validate() {
             self.shared.rec.counter_inc("serve_rejected");
+            self.shared.rec.counter_inc("serve_rejected_invalid");
             return Err(Reject::Invalid(why));
         }
         let key = job.key();
@@ -318,6 +539,7 @@ impl Serve {
         let mut st = self.shared.state.lock();
         if st.stopping {
             self.shared.rec.counter_inc("serve_rejected");
+            self.shared.rec.counter_inc("serve_rejected_shutdown");
             return Err(Reject::ShuttingDown);
         }
         if let Some(ws) = st.waiters.get_mut(&key) {
@@ -330,6 +552,7 @@ impl Serve {
         let depth = st.depth();
         if depth >= self.shared.cfg.queue_cap {
             self.shared.rec.counter_inc("serve_rejected");
+            self.shared.rec.counter_inc("serve_rejected_queue_full");
             return Err(Reject::QueueFull {
                 depth,
                 cap: self.shared.cfg.queue_cap,
@@ -353,25 +576,63 @@ impl Serve {
         }
     }
 
-    /// Current engine health.
+    /// Current engine health. Each call also feeds the backlog-growth
+    /// watchdog one queue-depth observation — a heartbeat that only ever
+    /// shrinks its queue is healthy; one that grows monotonically across
+    /// consecutive snapshots raises a `queue_backlog` anomaly.
     pub fn status(&self) -> Status {
-        let (depth, busy) = {
+        let (depth, busy, lanes, inflight) = {
             let st = self.shared.state.lock();
-            (st.depth(), st.busy)
+            let lanes = [st.lanes[0].len(), st.lanes[1].len(), st.lanes[2].len()];
+            let mut rows: Vec<InflightRow> = st
+                .running
+                .iter()
+                .map(|(key, rj)| {
+                    let vtime_ps = rj.flight.last_vtime().0;
+                    let phase = if rj.flight.fault_fires() > 0 {
+                        "recovering"
+                    } else if vtime_ps == 0 {
+                        "starting"
+                    } else {
+                        "advancing"
+                    };
+                    InflightRow {
+                        key: key.clone(),
+                        campaign: rj.campaign.clone(),
+                        lane: rj.lane,
+                        vtime_ps,
+                        phase,
+                    }
+                })
+                .collect();
+            rows.sort_by(|a, b| a.key.cmp(&b.key));
+            (st.depth(), st.busy, lanes, rows)
         };
+        if let Some(a) = self.shared.wd.lock().observe_queue_depth(depth as u64) {
+            self.shared.note_anomalies("queue", &[a]);
+        }
         let m = self.shared.rec.metrics();
         let c = |k: &str| m.counters.get(k).copied().unwrap_or(0);
         Status {
             queue_depth: depth,
+            lanes,
             workers: self.shared.cfg.workers.max(1),
             workers_busy: busy,
             admitted: c("serve_admitted"),
             rejected: c("serve_rejected"),
+            rejected_queue_full: c("serve_rejected_queue_full"),
+            rejected_invalid: c("serve_rejected_invalid"),
+            rejected_shutdown: c("serve_rejected_shutdown"),
             cache_hits: c("serve_cache_hit"),
             cache_misses: c("serve_cache_miss"),
             coalesced: c("serve_coalesced"),
             jobs_done: c("serve_jobs_done"),
             jobs_failed: c("serve_jobs_failed"),
+            jobs_degraded: c("serve_jobs_degraded"),
+            retries: c("serve_job_retries"),
+            chaos_faults: c("serve_chaos_faults"),
+            inflight,
+            anomalies: self.shared.anomaly_log.lock().iter().cloned().collect(),
         }
     }
 
@@ -411,13 +672,65 @@ fn worker_loop(sh: &Shared) {
             }
         };
         let key = job.key();
-        let outcome = catch_unwind(AssertUnwindSafe(|| workload::run_job(&job)));
+        let campaign = job.campaign.clone();
+        // The per-job flight ring lives outside the panic fence, so a
+        // panicking simulation still leaves its last spans behind for
+        // the post-mortem dump.
+        let flight = if impacc_core::config::flight_enabled() {
+            FlightRecorder::with_capacity(impacc_core::config::flight_capacity())
+        } else {
+            FlightRecorder::disabled()
+        };
+        {
+            let mut st = sh.state.lock();
+            st.running.insert(
+                key.clone(),
+                RunningJob {
+                    flight: flight.clone(),
+                    campaign: campaign.clone(),
+                    lane: job.priority.lane(),
+                },
+            );
+        }
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            workload::run_job_flight(&job, Some(&flight))
+        }));
         let done = match outcome {
             Ok(Ok(out)) => {
                 let result = Arc::new(out.result);
                 sh.cache.put(&key, result.clone());
                 sh.write_artifacts(&key, &result, out.prof.as_deref());
                 sh.rec.counter_inc("serve_jobs_done");
+                let retries = out.metrics.get("retries").copied().unwrap_or(0);
+                let faults: u64 = out
+                    .metrics
+                    .iter()
+                    .filter(|(k, _)| k.starts_with("chaos_"))
+                    .map(|(_, v)| *v)
+                    .sum();
+                if retries > 0 {
+                    sh.rec.counter_add("serve_job_retries", retries);
+                }
+                if faults > 0 {
+                    sh.rec.counter_add("serve_chaos_faults", faults);
+                }
+                let pairs: Vec<(&str, u64)> =
+                    out.metrics.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+                let anomalies = Watchdog::new().check_counters(&pairs);
+                if !anomalies.is_empty() {
+                    // Degraded: the job completed, but its counters say
+                    // something went wrong enough to keep the evidence.
+                    sh.rec.counter_inc("serve_jobs_degraded");
+                    sh.note_anomalies(&format!("job_{key}"), &anomalies);
+                    sh.write_flight_dump(
+                        &key,
+                        &campaign,
+                        &flight,
+                        Trigger::Anomaly(anomalies[0].rule.to_string()),
+                        &out.metrics,
+                        &anomalies,
+                    );
+                }
                 JobDone {
                     key: key.clone(),
                     cache_hit: false,
@@ -427,6 +740,14 @@ fn worker_loop(sh: &Shared) {
             }
             Ok(Err(why)) => {
                 sh.rec.counter_inc("serve_jobs_failed");
+                sh.write_flight_dump(
+                    &key,
+                    &campaign,
+                    &flight,
+                    Trigger::JobFailed(why.clone()),
+                    &Default::default(),
+                    &[],
+                );
                 JobDone {
                     key: key.clone(),
                     cache_hit: false,
@@ -441,6 +762,14 @@ fn worker_loop(sh: &Shared) {
                     .cloned()
                     .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
                     .unwrap_or_else(|| "job panicked".to_string());
+                sh.write_flight_dump(
+                    &key,
+                    &campaign,
+                    &flight,
+                    Trigger::Panic(why.clone()),
+                    &Default::default(),
+                    &[],
+                );
                 JobDone {
                     key: key.clone(),
                     cache_hit: false,
@@ -452,6 +781,7 @@ fn worker_loop(sh: &Shared) {
         let waiters = {
             let mut st = sh.state.lock();
             st.busy -= 1;
+            st.running.remove(&key);
             let ws = st.waiters.remove(&key).unwrap_or_default();
             sh.gauges(&st);
             ws
@@ -553,6 +883,81 @@ mod tests {
         for t in tickets {
             assert!(t.wait().is_ok());
         }
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d =
+            std::env::temp_dir().join(format!("impacc-serve-flight-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn failed_jobs_leave_a_flight_dump() {
+        let dir = tmpdir("fail");
+        let serve = Serve::start(ServeConfig {
+            out_dir: Some(dir.clone()),
+            ..ServeConfig::default()
+        });
+        let mut job = quick_job(0);
+        job.spec = "not_a_machine".into();
+        let key = job.key();
+        let done = serve.submit(job).unwrap().wait();
+        assert!(!done.is_ok());
+        let dump = std::fs::read_to_string(dir.join(format!("FLIGHT_job_{key}.json")))
+            .expect("failure leaves a flight dump");
+        assert!(dump.contains("\"schema_version\""));
+        assert!(dump.contains("\"trigger\":\"job_failed\""), "got: {dump}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn device_loss_jobs_complete_degraded_with_anomaly_and_dump() {
+        let dir = tmpdir("degraded");
+        let serve = Serve::start(ServeConfig {
+            out_dir: Some(dir.clone()),
+            ..ServeConfig::default()
+        });
+        let job = JobSpec::parse(
+            "workload=allreduce\nspec=psg\nnodes=1\ngpus=2\nelems=16\nrounds=1\nfail_device=0:0",
+        )
+        .unwrap();
+        let key = job.key();
+        let done = serve.submit(job).unwrap().wait();
+        assert!(done.is_ok(), "device loss is survivable: {:?}", done.error);
+        let st = serve.status();
+        assert_eq!(st.jobs_degraded, 1, "watchdog must flag the remap");
+        assert!(
+            st.anomalies.iter().any(|a| a.contains("device_loss")),
+            "anomaly ring must name the rule: {:?}",
+            st.anomalies
+        );
+        let dump = std::fs::read_to_string(dir.join(format!("FLIGHT_job_{key}.json")))
+            .expect("degraded completion leaves a flight dump");
+        assert!(dump.contains("\"trigger\":\"anomaly\""), "got: {dump}");
+        assert!(dump.contains("device_loss"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn status_json_embeds_lanes_rates_and_render() {
+        let serve = Serve::start(ServeConfig::default());
+        serve.submit(quick_job(11)).unwrap().wait();
+        serve.submit(quick_job(11)).unwrap().wait();
+        let st = serve.status();
+        assert_eq!(st.cache_hits, 1);
+        assert!((st.cache_hit_rate() - 0.5).abs() < 1e-9);
+        let j = st.to_json();
+        for needle in [
+            "\"lanes\":[0,0,0]",
+            "\"cache_hit_rate\":0.5",
+            "\"rejected_queue_full\":0",
+            "\"inflight\":[]",
+            "\"render\":\"serve  workers",
+        ] {
+            assert!(j.contains(needle), "missing {needle} in {j}");
+        }
+        assert!(st.render().contains("hit rate"));
     }
 
     #[test]

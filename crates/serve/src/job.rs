@@ -134,6 +134,12 @@ pub struct JobSpec {
     /// default). Elision is bit-identical by contract (the fastpath
     /// determinism suite), so this is not part of the key either.
     pub elide: Option<bool>,
+    /// Correlation id of the owning campaign (`""` = standalone job).
+    /// Pure observability — it tags the job's spans, heartbeat rows and
+    /// `FLIGHT_*.json` dumps but can never change the result, so it is
+    /// not part of the key: a campaign resubmitting a point someone ran
+    /// standalone still hits the cache.
+    pub campaign: String,
 }
 
 impl Default for JobSpec {
@@ -155,6 +161,7 @@ impl Default for JobSpec {
             prof: false,
             priority: Priority::Normal,
             elide: None,
+            campaign: String::new(),
         }
     }
 }
@@ -240,6 +247,7 @@ impl JobSpec {
                 "prof" => job.prof = v == "1" || v == "true",
                 "priority" => job.priority = Priority::parse(v)?,
                 "elide" => job.elide = Some(v == "1" || v == "true"),
+                "campaign" => job.campaign = v.to_string(),
                 other => return Err(format!("unknown job field {other:?}")),
             }
         }
@@ -360,6 +368,9 @@ impl JobSpec {
         if let Some(e) = self.elide {
             out.push_str(&format!("\nelide={}", if e { 1 } else { 0 }));
         }
+        if !self.campaign.is_empty() {
+            out.push_str(&format!("\ncampaign={}", self.campaign));
+        }
         out.push('\n');
         out
     }
@@ -405,6 +416,16 @@ mod tests {
         let a = JobSpec::parse("workload=jacobi\nn=64\nelems=128").unwrap();
         let b = JobSpec::parse("workload=jacobi\nn=64\nelems=4096\nprof=1\npriority=high").unwrap();
         assert_eq!(a.key(), b.key());
+    }
+
+    #[test]
+    fn campaign_tag_round_trips_but_does_not_move_the_key() {
+        let tagged = JobSpec::parse("workload=allreduce\ncampaign=coll_sweep").unwrap();
+        let bare = JobSpec::parse("workload=allreduce").unwrap();
+        assert_eq!(tagged.key(), bare.key(), "campaign is observability only");
+        let back = JobSpec::parse(&tagged.to_file()).unwrap();
+        assert_eq!(back.campaign, "coll_sweep");
+        assert!(!bare.to_file().contains("campaign"));
     }
 
     #[test]

@@ -7,8 +7,11 @@
 //! is what lets the cache return stored bytes in place of re-execution
 //! and still claim bit-identical responses.
 
+use std::collections::BTreeMap;
+
 use impacc_apps::{math_ok, run_jacobi_sink, JacobiParams};
 use impacc_core::{Launch, MpiOpts, RunSummary, RuntimeOptions, TaskCtx};
+use impacc_flight::FlightRecorder;
 use impacc_machine::{presets, FaultPlan, KernelCost, MachineSpec};
 use impacc_mpi::ReduceOp;
 use impacc_obs::{json, Recorder};
@@ -23,6 +26,9 @@ pub struct JobOutcome {
     pub result: String,
     /// `PROF_<key>.json` body when the job asked for one.
     pub prof: Option<String>,
+    /// The run's engine counters — watchdog input and serve aggregate
+    /// feed. Not part of the cached bytes (already embedded in `result`).
+    pub metrics: BTreeMap<String, u64>,
 }
 
 /// Build the job's machine from its preset fields.
@@ -117,8 +123,22 @@ fn fault_plan(job: &JobSpec) -> Option<FaultPlan> {
 /// a readable reason (bad machine, engine error); panics inside the
 /// simulation are caught by the worker pool, not here.
 pub fn run_job(job: &JobSpec) -> Result<JobOutcome, String> {
+    run_job_flight(job, None)
+}
+
+/// [`run_job`] with an optional caller-owned flight recorder attached.
+/// The recorder rides alongside the result path — it never changes the
+/// result bytes (flight is observability only) — but keeps the last
+/// spans of the run available for a post-mortem dump if the job fails,
+/// and carries the job/campaign correlation marker every span stream
+/// starts with.
+pub fn run_job_flight(
+    job: &JobSpec,
+    flight: Option<&FlightRecorder>,
+) -> Result<JobOutcome, String> {
     let spec = machine_of(job)?;
     let rec = job.prof.then(Recorder::new);
+    let (key, campaign) = (job.key(), job.campaign.clone());
     let summary = match job.workload {
         Workload::Jacobi => {
             let params = JacobiParams {
@@ -126,14 +146,14 @@ pub fn run_job(job: &JobSpec) -> Result<JobOutcome, String> {
                 iters: job.iters,
                 verify: false,
             };
-            run_jacobi_sink(
-                spec,
-                RuntimeOptions::impacc(),
-                None,
-                rec.as_ref().map(|r| r.sink()),
-                params,
-            )
-            .map_err(|e| format!("jacobi failed: {e:?}"))?
+            let sink = match (&rec, flight) {
+                (Some(r), Some(f)) => Some(impacc_flight::tee(f.sink(), r.sink())),
+                (Some(r), None) => Some(r.sink()),
+                (None, Some(f)) => Some(f.sink()),
+                (None, None) => None,
+            };
+            run_jacobi_sink(spec, RuntimeOptions::impacc(), None, sink, params)
+                .map_err(|e| format!("jacobi failed: {e:?}"))?
         }
         wl => {
             let mut l = Launch::new(spec, RuntimeOptions::impacc());
@@ -149,11 +169,31 @@ pub fn run_job(job: &JobSpec) -> Result<JobOutcome, String> {
             if let Some(rec) = &rec {
                 l = l.recorder(rec);
             }
+            if let Some(fr) = flight {
+                l = l.flight(fr).flight_label(format!("job_{key}"));
+            }
             let (elems, rounds, seed) = (job.elems, job.rounds, job.seed);
-            let app = move |tc: &TaskCtx| match wl {
-                Workload::Allreduce => allreduce_rounds(tc, elems, rounds, seed),
-                Workload::Exchange => exchange(tc, rounds, seed),
-                Workload::Jacobi => unreachable!("handled above"),
+            let marker = (key.clone(), campaign.clone());
+            let app = move |tc: &TaskCtx| {
+                if tc.rank() == 0 {
+                    // Zero-width correlation marker: ties every span
+                    // stream back to the job (and campaign) it belongs
+                    // to. `Ctx::event` dispatches no scheduler event,
+                    // so result bytes are untouched.
+                    let (key, campaign) = marker.clone();
+                    tc.ctx().event("marker", move || {
+                        let mut attrs = vec![("phase", "job".to_string()), ("job", key)];
+                        if !campaign.is_empty() {
+                            attrs.push(("campaign", campaign));
+                        }
+                        attrs
+                    });
+                }
+                match wl {
+                    Workload::Allreduce => allreduce_rounds(tc, elems, rounds, seed),
+                    Workload::Exchange => exchange(tc, rounds, seed),
+                    Workload::Jacobi => unreachable!("handled above"),
+                }
             };
             l.run(app).map_err(|e| format!("run failed: {e:?}"))?
         }
@@ -161,9 +201,16 @@ pub fn run_job(job: &JobSpec) -> Result<JobOutcome, String> {
     let prof = rec.map(|rec| {
         impacc_prof::analyze(&rec.spans(), &rec.edges()).to_json(&format!("job_{}", job.key()))
     });
+    let metrics = summary
+        .report
+        .metrics
+        .iter()
+        .map(|(k, v)| (k.to_string(), *v))
+        .collect();
     Ok(JobOutcome {
         result: result_json(job, &summary),
         prof,
+        metrics,
     })
 }
 

@@ -1698,6 +1698,7 @@ type PendingActor = (
 pub struct Sim {
     config: SimConfig,
     initial: Vec<PendingActor>,
+    metrics: Metrics,
 }
 
 impl Default for Sim {
@@ -1717,7 +1718,18 @@ impl Sim {
         Sim {
             config,
             initial: Vec::new(),
+            metrics: Metrics::default(),
         }
+    }
+
+    /// The run's engine-wide counter registry. [`Sim::run`] wires this
+    /// same registry into the engine, so a handle cloned *before* the run
+    /// stays live *through* it — callers that need counters even when
+    /// `run()` returns an error (flight-recorder panic dumps) clone here
+    /// first. After a successful run, [`SimReport::metrics`] is the
+    /// snapshot of exactly this registry.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
     }
 
     /// Register an actor to start at time zero. In conservative mode the
@@ -1857,7 +1869,7 @@ impl Engine {
                 cv: Condvar::new(),
             },
             handles: Mutex::new(Vec::new()),
-            metrics: Metrics::default(),
+            metrics: sim.metrics.clone(),
             stack_size: sim.config.stack_size,
             elide_handoff: sim.config.elide_handoff,
             trace_capacity: sim.config.trace_capacity,
