@@ -145,6 +145,41 @@ else
     echo "coll gate: skipped (no committed baselines/coll.json; run ./ci.sh --rebaseline)"
 fi
 
+echo "==> array smoke: hand-written parity + halo scaling"
+# The distributed-array layer's acceptance checks: the array jacobi must
+# match the hand-written app bit-for-bit (residuals) and tick-for-tick
+# (virtual end time) in all three runtime modes, halo bytes must scale
+# exactly linearly with exchange depth, and the IMPACC-vs-baseline win
+# must survive the array lowering. The binary panics (nonzero exit) on
+# any violation.
+cargo run --release -q -p impacc-bench --bin bench_array -- --smoke
+
+echo "==> array sweep + regression gate"
+# Same shape as the speed/coll gates: fresh events/sec from the
+# halo-depth sweep vs the committed baselines/array.json, floor at -$PCT%.
+IMPACC_BENCH_DIR="$PERF_DIR" IMPACC_BENCH_QUICK=1 \
+    cargo run --release -q -p impacc-bench --bin bench_array \
+    | grep -E '^\[array\]'
+fresh=$(grep -o '"events_per_sec":[0-9]*' "$PERF_DIR/BENCH_array.json" | cut -d: -f2)
+if [[ "${1:-}" == "--rebaseline" ]]; then
+    cp "$PERF_DIR/BENCH_array.json" baselines/array.json
+    echo "array gate: baseline reset to $fresh events/sec (commit baselines/array.json)"
+elif baseline_json=$(git show HEAD:baselines/array.json 2>/dev/null); then
+    base=$(printf '%s' "$baseline_json" | grep -o '"events_per_sec":[0-9]*' | cut -d: -f2)
+    awk -v fresh="$fresh" -v base="$base" -v pct="$PCT" 'BEGIN {
+        floor = base * (1 - pct / 100);
+        printf "array gate: fresh %.0f vs baseline %.0f events/sec (floor %.0f, -%s%%)\n",
+            fresh, base, floor, pct;
+        if (fresh < floor) {
+            printf "array gate: FAIL — throughput regressed more than %s%%\n", pct;
+            exit 1;
+        }
+        print "array gate: ok";
+    }'
+else
+    echo "array gate: skipped (no committed baselines/array.json; run ./ci.sh --rebaseline)"
+fi
+
 echo "==> serve smoke: admission control + cache determinism"
 # Backpressure must reject with a reason, and a resubmitted job set must
 # be 100% cache hits with byte-identical results. The binary panics
@@ -195,5 +230,20 @@ if ! grep -q "executed 0," <<<"$second"; then
     exit 1
 fi
 echo "serve campaign gate: ok"
+
+echo "==> serve campaign: array scenarios end-to-end"
+# The three distributed-array workloads (stencil3d, stencil2d, redblack)
+# through the same spool daemon: every sweep point must execute, and a
+# resubmit must again be answered entirely from the cache.
+"$serve_bin" campaign --spool "$SPOOL" campaigns/array.campaign
+"$serve_bin" daemon --spool "$SPOOL" --workers 4 --drain
+"$serve_bin" campaign --spool "$SPOOL" campaigns/array.campaign
+second=$("$serve_bin" daemon --spool "$SPOOL" --workers 4 --drain)
+echo "$second"
+if ! grep -q "executed 0," <<<"$second"; then
+    echo "array campaign gate: FAIL — resubmitted campaign re-executed jobs"
+    exit 1
+fi
+echo "array campaign gate: ok"
 
 echo "ci: all green"

@@ -2,50 +2,14 @@
 
 use std::sync::Arc;
 
-use impacc_core::{BufView, Launch, RunSummary, RuntimeOptions, TaskCtx};
+use impacc_core::{Launch, RunSummary, RuntimeOptions, TaskCtx};
 use impacc_machine::MachineSpec;
 use impacc_vtime::{SimError, SpanSink};
 
-/// Row-block partition of `n` items over `p` parts: part `i` gets
-/// `counts[i]` items starting at `offsets[i]` (ragged when `p ∤ n`).
-#[derive(Clone, Debug)]
-pub struct BlockPartition {
-    /// Items per part.
-    pub counts: Vec<usize>,
-    /// Start item per part.
-    pub offsets: Vec<usize>,
-}
-
-impl BlockPartition {
-    /// Split `n` items over `p` parts as evenly as possible.
-    pub fn new(n: usize, p: usize) -> BlockPartition {
-        assert!(p > 0);
-        let base = n / p;
-        let extra = n % p;
-        let mut counts = Vec::with_capacity(p);
-        let mut offsets = Vec::with_capacity(p);
-        let mut off = 0;
-        for i in 0..p {
-            let c = base + usize::from(i < extra);
-            counts.push(c);
-            offsets.push(off);
-            off += c;
-        }
-        BlockPartition { counts, offsets }
-    }
-
-    /// Number of parts.
-    pub fn parts(&self) -> usize {
-        self.counts.len()
-    }
-}
-
-/// True when real math over this view is meaningful: the physical backing
-/// holds every logical byte (no truncation). Timing-only runs skip the
-/// arithmetic but keep identical cost-model behaviour.
-pub fn math_ok(view: &BufView) -> bool {
-    view.backing.phys_len() == view.backing.logical_len()
-}
+// The partition/neighbour arithmetic and the truncation gate moved to
+// `impacc-array`, the single home for decomposition math; re-exported
+// here so app code keeps one import path.
+pub use impacc_array::{math_ok, BlockPartition};
 
 /// Run a per-task program over `spec` with the given runtime options.
 pub fn launch_app<F>(
@@ -97,24 +61,4 @@ where
         l = l.span_sink(sink);
     }
     l.run(app)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn partition_is_exact_and_ordered() {
-        let p = BlockPartition::new(10, 3);
-        assert_eq!(p.counts, vec![4, 3, 3]);
-        assert_eq!(p.offsets, vec![0, 4, 7]);
-        assert_eq!(p.counts.iter().sum::<usize>(), 10);
-
-        let p = BlockPartition::new(8, 4);
-        assert_eq!(p.counts, vec![2; 4]);
-
-        let p = BlockPartition::new(3, 5);
-        assert_eq!(p.counts, vec![1, 1, 1, 0, 0]);
-        assert_eq!(p.offsets, vec![0, 1, 2, 3, 3]);
-    }
 }

@@ -11,6 +11,7 @@
 
 use std::sync::Arc;
 
+use impacc_array::{CartGrid, ResProbe};
 use impacc_core::{HBuf, MpiOpts, RunSummary, RuntimeOptions, TaskCtx};
 use impacc_machine::{KernelCost, MachineSpec};
 use impacc_vtime::{SimError, SpanSink};
@@ -70,6 +71,13 @@ pub fn serial_jacobi(n: usize, iters: usize) -> Vec<f64> {
 /// The per-task Jacobi program. Returns the final local interior rows
 /// (for tests); timing is in the run report.
 pub fn jacobi_task(tc: &TaskCtx, p: &JacobiParams) {
+    jacobi_task_probed(tc, p, None)
+}
+
+/// [`jacobi_task`] with an optional residual probe: rank 0 pushes every
+/// globally-reduced residual, so harnesses can compare the convergence
+/// history bit-for-bit against the array-API reimplementation.
+pub fn jacobi_task_probed(tc: &TaskCtx, p: &JacobiParams, probe: Option<&ResProbe>) {
     let n = p.n;
     let rank = tc.rank() as usize;
     let size = tc.size() as usize;
@@ -102,8 +110,11 @@ pub fn jacobi_task(tc: &TaskCtx, p: &JacobiParams) {
     tc.acc_copyin(&u);
     tc.acc_copyin(&unew);
 
-    let up = (rank > 0).then(|| rank as u32 - 1);
-    let down = (rank + 1 < size && rows > 0).then(|| rank as u32 + 1);
+    let grid = CartGrid::line(size);
+    let up = grid.neighbor(rank, 0, -1).map(|r| r as u32);
+    let down = (rows > 0)
+        .then(|| grid.neighbor(rank, 0, 1).map(|r| r as u32))
+        .flatten();
 
     let stencil_cost = KernelCost::new(
         6.0 * rows.max(1) as f64 * n as f64,
@@ -286,6 +297,11 @@ pub fn jacobi_task(tc: &TaskCtx, p: &JacobiParams) {
             residual[0].is_finite() && residual[0] >= mine,
             "global residual must bound the local one"
         );
+        if let Some(pr) = probe {
+            if rank == 0 {
+                pr.push(residual[0]);
+            }
+        }
         residuals.push(residual[0]);
         std::mem::swap(&mut u, &mut unew);
     }
@@ -389,6 +405,23 @@ pub fn run_jacobi_tuned(
 ) -> Result<RunSummary, SimError> {
     launch_app_tuned(spec, options, phys_cap, sink, elide_handoff, move |tc| {
         jacobi_task(tc, &params)
+    })
+}
+
+/// [`run_jacobi_tuned`] with a residual probe attached: rank 0 pushes
+/// every reduced residual into `probe`, giving the caller the exact
+/// convergence history the run computed.
+pub fn run_jacobi_probed(
+    spec: MachineSpec,
+    options: RuntimeOptions,
+    phys_cap: Option<u64>,
+    sink: Option<Arc<dyn SpanSink>>,
+    elide_handoff: bool,
+    params: JacobiParams,
+    probe: ResProbe,
+) -> Result<RunSummary, SimError> {
+    launch_app_tuned(spec, options, phys_cap, sink, elide_handoff, move |tc| {
+        jacobi_task_probed(tc, &params, Some(&probe))
     })
 }
 

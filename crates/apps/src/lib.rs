@@ -30,6 +30,7 @@ pub use common::{launch_app, launch_app_sink, launch_app_tuned, math_ok, BlockPa
 pub use dgemm::{dgemm_task, run_dgemm, DgemmParams};
 pub use ep::{ep_kernel, ep_task, run_ep, run_ep_sink, EpClass, EpParams, EpStats, NpbRng};
 pub use jacobi::{
-    jacobi_task, run_jacobi, run_jacobi_sink, run_jacobi_tuned, serial_jacobi, JacobiParams,
+    jacobi_task, jacobi_task_probed, run_jacobi, run_jacobi_probed, run_jacobi_sink,
+    run_jacobi_tuned, serial_jacobi, JacobiParams,
 };
 pub use lulesh::{lulesh_task, run_lulesh, Coord, LuleshParams};

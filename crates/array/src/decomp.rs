@@ -1,0 +1,261 @@
+//! Decomposition math: block partitions, Cartesian rank grids, layouts.
+//!
+//! This module is the single home for the partition/neighbour arithmetic
+//! that the hand-written apps used to duplicate. Everything here is pure
+//! integer math — no simulator state — so it is shared by the runtime
+//! lowering (`dist`), the schedule inference (`schedule`), the serve-side
+//! job validation and the property tests.
+
+/// Row-block partition of `n` items over `p` parts: part `i` gets
+/// `counts[i]` items starting at `offsets[i]` (ragged when `p ∤ n`).
+#[derive(Clone, Debug)]
+pub struct BlockPartition {
+    /// Items per part.
+    pub counts: Vec<usize>,
+    /// Start item per part.
+    pub offsets: Vec<usize>,
+}
+
+impl BlockPartition {
+    /// Split `n` items over `p` parts as evenly as possible. The extras
+    /// go to the first `n mod p` parts, so counts are non-increasing —
+    /// an empty part implies every later part is empty too, which the
+    /// halo-schedule inference relies on (an empty neighbour *is* the
+    /// global boundary).
+    pub fn new(n: usize, p: usize) -> BlockPartition {
+        assert!(p > 0);
+        let base = n / p;
+        let extra = n % p;
+        let mut counts = Vec::with_capacity(p);
+        let mut offsets = Vec::with_capacity(p);
+        let mut off = 0;
+        for i in 0..p {
+            let c = base + usize::from(i < extra);
+            counts.push(c);
+            offsets.push(off);
+            off += c;
+        }
+        BlockPartition { counts, offsets }
+    }
+
+    /// Number of parts.
+    pub fn parts(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Half-open global index range owned by part `i`.
+    pub fn range(&self, i: usize) -> std::ops::Range<usize> {
+        self.offsets[i]..self.offsets[i] + self.counts[i]
+    }
+
+    /// Smallest non-zero part, or 0 when every part is empty. This bounds
+    /// the halo depth a decomposition can support without multi-hop
+    /// exchanges.
+    pub fn min_nonzero(&self) -> usize {
+        self.counts
+            .iter()
+            .copied()
+            .filter(|&c| c > 0)
+            .min()
+            .unwrap_or(0)
+    }
+}
+
+/// How each decomposed dimension assigns global indices to ranks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Layout {
+    /// One contiguous block per rank (the default, and the only layout
+    /// the stencil driver accepts).
+    Block,
+    /// Round-robin blocks of `block` indices per rank. Supported by the
+    /// decomposition math and `map`/`reduce`; halo exchange over a
+    /// cyclic layout is rejected at build time.
+    BlockCyclic {
+        /// Indices per cyclic block.
+        block: usize,
+    },
+}
+
+/// A Cartesian process grid: `dims[d]` ranks along grid dimension `d`,
+/// row-major rank numbering (dimension 0 varies slowest), non-periodic.
+/// Grid dimension `d` decomposes array dimension `d`; trailing array
+/// dimensions are unsplit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CartGrid {
+    /// Ranks per grid dimension.
+    pub dims: Vec<usize>,
+}
+
+impl CartGrid {
+    /// Factor `ranks` over `nd` dimensions as squarely as possible
+    /// (an `MPI_Dims_create` equivalent): prime factors are folded,
+    /// largest first, onto the currently-smallest dimension, then the
+    /// dimensions are sorted descending so earlier (slower-varying)
+    /// array dimensions get the larger splits.
+    pub fn new(ranks: usize, nd: usize) -> CartGrid {
+        assert!(ranks > 0 && nd > 0);
+        let mut dims = vec![1usize; nd];
+        let mut factors = prime_factors(ranks);
+        factors.sort_unstable_by(|a, b| b.cmp(a));
+        for f in factors {
+            let i = (0..nd).min_by_key(|&i| dims[i]).unwrap();
+            dims[i] *= f;
+        }
+        dims.sort_unstable_by(|a, b| b.cmp(a));
+        CartGrid { dims }
+    }
+
+    /// A 1-d grid over `ranks` ranks — the decomposition every
+    /// row-partitioned app (jacobi) uses.
+    pub fn line(ranks: usize) -> CartGrid {
+        assert!(ranks > 0);
+        CartGrid { dims: vec![ranks] }
+    }
+
+    /// Number of grid dimensions.
+    pub fn ndims(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total ranks the grid addresses.
+    pub fn ranks(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Cartesian coordinates of `rank` (row-major: dimension 0 slowest).
+    pub fn coords(&self, rank: usize) -> Vec<usize> {
+        assert!(rank < self.ranks());
+        let mut c = vec![0usize; self.ndims()];
+        let mut rem = rank;
+        for d in (0..self.ndims()).rev() {
+            c[d] = rem % self.dims[d];
+            rem /= self.dims[d];
+        }
+        c
+    }
+
+    /// Rank at `coords`.
+    pub fn rank_of(&self, coords: &[usize]) -> usize {
+        assert_eq!(coords.len(), self.ndims());
+        let mut r = 0usize;
+        for (&c, &dim) in coords.iter().zip(&self.dims) {
+            assert!(c < dim);
+            r = r * dim + c;
+        }
+        r
+    }
+
+    /// Coordinates shifted by `delta`, or `None` when the shift leaves
+    /// the (non-periodic) grid.
+    pub fn shifted(&self, coords: &[usize], delta: &[isize]) -> Option<Vec<usize>> {
+        let mut out = Vec::with_capacity(self.ndims());
+        for d in 0..self.ndims() {
+            let c = coords[d] as isize + delta[d];
+            if c < 0 || c >= self.dims[d] as isize {
+                return None;
+            }
+            out.push(c as usize);
+        }
+        Some(out)
+    }
+
+    /// The rank one step in direction `dir ∈ {-1,+1}` along grid
+    /// dimension `dim`, or `None` at the grid edge.
+    pub fn neighbor(&self, rank: usize, dim: usize, dir: isize) -> Option<usize> {
+        let mut delta = vec![0isize; self.ndims()];
+        delta[dim] = dir;
+        self.shifted(&self.coords(rank), &delta)
+            .map(|c| self.rank_of(&c))
+    }
+}
+
+/// Largest halo depth a block decomposition of `shape` over `grid` can
+/// exchange in one hop: the smallest non-zero block length over every
+/// grid dimension that actually splits (more than one rank). Unsplit
+/// dimensions do not constrain the halo.
+pub fn max_halo(shape: &[usize], grid: &CartGrid) -> usize {
+    let mut h = usize::MAX;
+    for (&n, &dim) in shape.iter().zip(&grid.dims) {
+        if dim > 1 {
+            h = h.min(BlockPartition::new(n, dim).min_nonzero());
+        }
+    }
+    h
+}
+
+fn prime_factors(mut n: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut f = 2;
+    while f * f <= n {
+        while n.is_multiple_of(f) {
+            out.push(f);
+            n /= f;
+        }
+        f += 1;
+    }
+    if n > 1 {
+        out.push(n);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_is_exact_and_ordered() {
+        let p = BlockPartition::new(10, 3);
+        assert_eq!(p.counts, vec![4, 3, 3]);
+        assert_eq!(p.offsets, vec![0, 4, 7]);
+        assert_eq!(p.counts.iter().sum::<usize>(), 10);
+
+        let p = BlockPartition::new(8, 4);
+        assert_eq!(p.counts, vec![2; 4]);
+
+        let p = BlockPartition::new(3, 5);
+        assert_eq!(p.counts, vec![1, 1, 1, 0, 0]);
+        assert_eq!(p.offsets, vec![0, 1, 2, 3, 3]);
+        assert_eq!(p.min_nonzero(), 1);
+        assert_eq!(p.range(1), 1..2);
+    }
+
+    #[test]
+    fn grid_factors_squarely() {
+        assert_eq!(CartGrid::new(4, 2).dims, vec![2, 2]);
+        assert_eq!(CartGrid::new(6, 2).dims, vec![3, 2]);
+        assert_eq!(CartGrid::new(8, 3).dims, vec![2, 2, 2]);
+        assert_eq!(CartGrid::new(12, 2).dims, vec![4, 3]);
+        assert_eq!(CartGrid::new(7, 2).dims, vec![7, 1]);
+        assert_eq!(CartGrid::new(1, 3).dims, vec![1, 1, 1]);
+        assert_eq!(CartGrid::line(5).dims, vec![5]);
+    }
+
+    #[test]
+    fn coords_roundtrip_and_neighbors() {
+        let g = CartGrid::new(6, 2); // 3 x 2
+        for r in 0..6 {
+            assert_eq!(g.rank_of(&g.coords(r)), r);
+        }
+        assert_eq!(g.coords(0), vec![0, 0]);
+        assert_eq!(g.coords(3), vec![1, 1]);
+        assert_eq!(g.neighbor(0, 0, 1), Some(2));
+        assert_eq!(g.neighbor(0, 0, -1), None);
+        assert_eq!(g.neighbor(0, 1, 1), Some(1));
+        assert_eq!(g.neighbor(1, 1, 1), None);
+
+        let line = CartGrid::line(4);
+        assert_eq!(line.neighbor(2, 0, -1), Some(1));
+        assert_eq!(line.neighbor(3, 0, 1), None);
+    }
+
+    #[test]
+    fn max_halo_tracks_smallest_split_block() {
+        assert_eq!(max_halo(&[16, 16], &CartGrid::line(4)), 4);
+        assert_eq!(max_halo(&[10, 10], &CartGrid::new(4, 2)), 5);
+        // Unsplit dims don't constrain.
+        assert_eq!(max_halo(&[4, 1000], &CartGrid::line(2)), 2);
+        // No split dims at all: unconstrained.
+        assert_eq!(max_halo(&[8], &CartGrid::line(1)), usize::MAX);
+    }
+}

@@ -11,6 +11,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod array;
 pub mod chaos;
 pub mod coll;
 pub mod fig10;

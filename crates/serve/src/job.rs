@@ -69,6 +69,15 @@ pub enum Workload {
     Exchange,
     /// The paper's Jacobi solver (`n×n` mesh, `iters` sweeps).
     Jacobi,
+    /// 3-d 7-point stencil on the distributed-array layer (`n³` cube,
+    /// 2-d rank grid, `iters` sweeps).
+    Stencil3d,
+    /// Variable-halo 2-d star stencil on the array layer (`n×n` mesh,
+    /// radius/exchange depth `halo`, `iters` sweeps).
+    Stencil2d,
+    /// Red-black Gauss-Seidel on the array layer (`n×n` mesh, two
+    /// colored half-sweeps — and exchanges — per iteration).
+    Redblack,
 }
 
 impl Workload {
@@ -78,6 +87,9 @@ impl Workload {
             Workload::Allreduce => "allreduce",
             Workload::Exchange => "exchange",
             Workload::Jacobi => "jacobi",
+            Workload::Stencil3d => "stencil3d",
+            Workload::Stencil2d => "stencil2d",
+            Workload::Redblack => "redblack",
         }
     }
 
@@ -86,8 +98,11 @@ impl Workload {
             "allreduce" => Ok(Workload::Allreduce),
             "exchange" => Ok(Workload::Exchange),
             "jacobi" => Ok(Workload::Jacobi),
+            "stencil3d" => Ok(Workload::Stencil3d),
+            "stencil2d" => Ok(Workload::Stencil2d),
+            "redblack" => Ok(Workload::Redblack),
             other => Err(format!(
-                "unknown workload {other:?} (allreduce|exchange|jacobi)"
+                "unknown workload {other:?} (allreduce|exchange|jacobi|stencil3d|stencil2d|redblack)"
             )),
         }
     }
@@ -115,8 +130,11 @@ pub struct JobSpec {
     pub rounds: u32,
     /// Jacobi mesh dimension (default 64).
     pub n: usize,
-    /// Jacobi sweep count (default 4).
+    /// Jacobi/stencil sweep count (default 4).
     pub iters: usize,
+    /// Array-stencil halo depth / star radius (default 1; stencil2d
+    /// exchanges `halo` rows per neighbour per sweep).
+    pub halo: usize,
     /// Forced collective algorithm (default: engine policy).
     pub algo: Option<CollAlgo>,
     /// Uniform chaos fault rate over all sites (default 0 = no plan).
@@ -154,6 +172,7 @@ impl Default for JobSpec {
             rounds: 2,
             n: 64,
             iters: 4,
+            halo: 1,
             algo: None,
             chaos_rate: 0.0,
             chaos_seed: 0,
@@ -215,6 +234,7 @@ impl JobSpec {
                 "rounds" => job.rounds = parse_num(k, v)?,
                 "n" => job.n = parse_num(k, v)?,
                 "iters" => job.iters = parse_num(k, v)?,
+                "halo" => job.halo = parse_num(k, v)?,
                 "algo" => {
                     job.algo = match v {
                         "auto" => None,
@@ -272,6 +292,43 @@ impl JobSpec {
         if self.workload == Workload::Jacobi && (self.n < 8 || !self.n.is_multiple_of(2)) {
             return Err("jacobi mesh n must be even and >= 8".into());
         }
+        match self.workload {
+            Workload::Stencil3d => {
+                let grid = impacc_array::CartGrid::new(self.task_count(), 2);
+                if self.n < 4 {
+                    return Err("stencil3d cube n must be >= 4".into());
+                }
+                if impacc_array::max_halo(&[self.n, self.n, self.n], &grid) < 1 {
+                    return Err(format!(
+                        "stencil3d n={} too small for a {} rank grid",
+                        self.n,
+                        self.task_count()
+                    ));
+                }
+            }
+            Workload::Stencil2d | Workload::Redblack => {
+                let halo = if self.workload == Workload::Stencil2d {
+                    if self.halo == 0 {
+                        return Err("stencil2d halo must be >= 1".into());
+                    }
+                    self.halo
+                } else {
+                    1
+                };
+                if self.n <= 2 * halo {
+                    return Err(format!("mesh n={} must exceed 2*halo={}", self.n, 2 * halo));
+                }
+                let grid = impacc_array::CartGrid::line(self.task_count());
+                if impacc_array::max_halo(&[self.n, self.n], &grid) < halo {
+                    return Err(format!(
+                        "halo {halo} exceeds the smallest block of n={} over {} ranks",
+                        self.n,
+                        self.task_count()
+                    ));
+                }
+            }
+            _ => {}
+        }
         for &(n, d) in &self.fail_device {
             if n >= self.nodes || d >= self.gpus {
                 return Err(format!("fail_device {n}:{d} outside the machine"));
@@ -309,9 +366,14 @@ impl JobSpec {
             Workload::Exchange => {
                 m.insert("rounds", self.rounds.to_string());
             }
-            Workload::Jacobi => {
+            Workload::Jacobi | Workload::Stencil3d | Workload::Redblack => {
                 m.insert("n", self.n.to_string());
                 m.insert("iters", self.iters.to_string());
+            }
+            Workload::Stencil2d => {
+                m.insert("n", self.n.to_string());
+                m.insert("iters", self.iters.to_string());
+                m.insert("halo", self.halo.to_string());
             }
         }
         m.insert("chaos_rate", format!("{}", self.chaos_rate));
@@ -426,6 +488,26 @@ mod tests {
         let back = JobSpec::parse(&tagged.to_file()).unwrap();
         assert_eq!(back.campaign, "coll_sweep");
         assert!(!bare.to_file().contains("campaign"));
+    }
+
+    #[test]
+    fn halo_moves_the_key_only_where_it_matters() {
+        let h1 = JobSpec::parse("workload=stencil2d\nn=32\nhalo=1").unwrap();
+        let h2 = JobSpec::parse("workload=stencil2d\nn=32\nhalo=2").unwrap();
+        assert_ne!(h1.key(), h2.key(), "stencil2d halo is result-affecting");
+        // Redblack always exchanges depth 1 — halo is an ignored knob.
+        let r1 = JobSpec::parse("workload=redblack\nn=32\nhalo=1").unwrap();
+        let r2 = JobSpec::parse("workload=redblack\nn=32\nhalo=2").unwrap();
+        assert_eq!(r1.key(), r2.key());
+    }
+
+    #[test]
+    fn array_workloads_validate_their_decomposition() {
+        // halo 8 exceeds the smallest block of n=16 over 4 ranks (4 rows).
+        assert!(JobSpec::parse("workload=stencil2d\nnodes=2\ngpus=2\nn=16\nhalo=8").is_err());
+        assert!(JobSpec::parse("workload=stencil2d\nn=16\nhalo=0").is_err());
+        assert!(JobSpec::parse("workload=stencil3d\nn=2").is_err());
+        assert!(JobSpec::parse("workload=stencil2d\nnodes=2\ngpus=2\nn=16\nhalo=4").is_ok());
     }
 
     #[test]

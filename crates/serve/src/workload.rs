@@ -10,6 +10,7 @@
 use std::collections::BTreeMap;
 
 use impacc_apps::{math_ok, run_jacobi_sink, JacobiParams};
+use impacc_array::scenarios;
 use impacc_core::{Launch, MpiOpts, RunSummary, RuntimeOptions, TaskCtx};
 use impacc_flight::FlightRecorder;
 use impacc_machine::{presets, FaultPlan, KernelCost, MachineSpec};
@@ -173,6 +174,7 @@ pub fn run_job_flight(
                 l = l.flight(fr).flight_label(format!("job_{key}"));
             }
             let (elems, rounds, seed) = (job.elems, job.rounds, job.seed);
+            let (n, iters, halo) = (job.n, job.iters, job.halo);
             let marker = (key.clone(), campaign.clone());
             let app = move |tc: &TaskCtx| {
                 if tc.rank() == 0 {
@@ -192,6 +194,34 @@ pub fn run_job_flight(
                 match wl {
                     Workload::Allreduce => allreduce_rounds(tc, elems, rounds, seed),
                     Workload::Exchange => exchange(tc, rounds, seed),
+                    Workload::Stencil3d => scenarios::stencil3d_task(
+                        tc,
+                        &scenarios::Stencil3dParams {
+                            n,
+                            iters,
+                            verify: false,
+                        },
+                        None,
+                    ),
+                    Workload::Stencil2d => scenarios::stencil2d_task(
+                        tc,
+                        &scenarios::Stencil2dParams {
+                            n,
+                            iters,
+                            halo,
+                            verify: false,
+                        },
+                        None,
+                    ),
+                    Workload::Redblack => scenarios::redblack_task(
+                        tc,
+                        &scenarios::RedBlackParams {
+                            n,
+                            iters,
+                            verify: false,
+                        },
+                        None,
+                    ),
                     Workload::Jacobi => unreachable!("handled above"),
                 }
             };
@@ -295,6 +325,35 @@ mod tests {
         let c = run_job(&off).unwrap();
         assert_eq!(a.result, b.result);
         assert_eq!(a.result, c.result);
+    }
+
+    #[test]
+    fn array_workloads_complete_and_are_deterministic() {
+        for text in [
+            "workload=stencil3d\nnodes=2\ngpus=2\nn=8\niters=3",
+            "workload=stencil2d\nnodes=1\ngpus=2\nn=16\niters=3\nhalo=2",
+            "workload=redblack\nnodes=1\ngpus=2\nn=16\niters=3",
+        ] {
+            let job = JobSpec::parse(text).unwrap();
+            let a = run_job(&job).unwrap();
+            let b = run_job(&job).unwrap();
+            assert_eq!(a.result, b.result, "{text}: cache contract");
+            assert!(
+                a.result.contains("\"array_halo_bytes\":"),
+                "{text}: array halo traffic must reach the result metrics"
+            );
+        }
+    }
+
+    #[test]
+    fn faulted_stencil3d_job_is_deterministic() {
+        let job = JobSpec::parse(
+            "workload=stencil3d\nnodes=2\ngpus=1\nn=8\niters=3\nchaos_rate=0.05\nchaos_seed=29",
+        )
+        .unwrap();
+        let a = run_job(&job).unwrap();
+        let b = run_job(&job).unwrap();
+        assert_eq!(a.result, b.result, "seeded chaos is part of the key");
     }
 
     #[test]
