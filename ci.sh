@@ -246,4 +246,72 @@ if ! grep -q "executed 0," <<<"$second"; then
 fi
 echo "array campaign gate: ok"
 
+echo "==> dsl golden-translation gate"
+# The source-to-source compiler's output is part of the contract: for
+# every shipped .acc example, `impaccc translate` must reproduce the
+# committed golden snapshot (canonical source + lowered plan) byte for
+# byte. Regenerate deliberately with:
+#   impaccc translate <name> > crates/dsl/golden/<name>.plan
+impaccc=target/release/impaccc
+for prog in jacobi dot stencil2d; do
+    golden="crates/dsl/golden/$prog.plan"
+    [[ -f "$golden" ]] || { echo "dsl golden gate: $golden missing"; exit 1; }
+    if ! diff -u "$golden" <("$impaccc" translate "$prog"); then
+        echo "dsl golden gate: FAIL — $prog translation drifted from $golden"
+        exit 1
+    fi
+done
+echo "dsl golden gate: ok (3 translations byte-identical)"
+
+echo "==> dsl smoke: compiled-program parity + device split"
+# The compiler's acceptance checks: the compiled jacobi.acc must match
+# the hand-written app bit-for-bit and tick-for-tick in all three
+# runtime modes, the testmpi-pattern dot.acc must run end to end on
+# single- and multi-node launches with the exact sum, the 4-way device
+# split must beat one device by >= 3x in virtual time, and translation
+# must stay under 10ms and byte-stable. The binary panics (nonzero
+# exit) on any violation.
+cargo run --release -q -p impacc-bench --bin bench_dsl -- --smoke
+
+echo "==> dsl sweep + regression gate"
+# Same shape as the speed/coll/array gates: fresh events/sec from the
+# compiled-DSL sweep vs the committed baselines/dsl.json, floor at -$PCT%.
+IMPACC_BENCH_DIR="$PERF_DIR" IMPACC_BENCH_QUICK=1 \
+    cargo run --release -q -p impacc-bench --bin bench_dsl \
+    | grep -E '^\[dsl\]'
+fresh=$(grep -o '"events_per_sec":[0-9]*' "$PERF_DIR/BENCH_dsl.json" | cut -d: -f2)
+if [[ "${1:-}" == "--rebaseline" ]]; then
+    cp "$PERF_DIR/BENCH_dsl.json" baselines/dsl.json
+    echo "dsl gate: baseline reset to $fresh events/sec (commit baselines/dsl.json)"
+elif baseline_json=$(git show HEAD:baselines/dsl.json 2>/dev/null); then
+    base=$(printf '%s' "$baseline_json" | grep -o '"events_per_sec":[0-9]*' | cut -d: -f2)
+    awk -v fresh="$fresh" -v base="$base" -v pct="$PCT" 'BEGIN {
+        floor = base * (1 - pct / 100);
+        printf "dsl gate: fresh %.0f vs baseline %.0f events/sec (floor %.0f, -%s%%)\n",
+            fresh, base, floor, pct;
+        if (fresh < floor) {
+            printf "dsl gate: FAIL — throughput regressed more than %s%%\n", pct;
+            exit 1;
+        }
+        print "dsl gate: ok";
+    }'
+else
+    echo "dsl gate: skipped (no committed baselines/dsl.json; run ./ci.sh --rebaseline)"
+fi
+
+echo "==> serve campaign: compiled-DSL programs end-to-end"
+# The .acc programs through the same spool daemon, keyed by the normal
+# form of their source: every sweep point must execute once, and a
+# resubmit must again be answered entirely from the cache.
+"$serve_bin" campaign --spool "$SPOOL" campaigns/dsl.campaign
+"$serve_bin" daemon --spool "$SPOOL" --workers 4 --drain
+"$serve_bin" campaign --spool "$SPOOL" campaigns/dsl.campaign
+second=$("$serve_bin" daemon --spool "$SPOOL" --workers 4 --drain)
+echo "$second"
+if ! grep -q "executed 0," <<<"$second"; then
+    echo "dsl campaign gate: FAIL — resubmitted campaign re-executed jobs"
+    exit 1
+fi
+echo "dsl campaign gate: ok"
+
 echo "ci: all green"

@@ -1,0 +1,11 @@
+//! DSL compiler bench: translation cost, compiled-program parity with
+//! the hand-written apps, and JACC-style single-loop device splitting.
+//! `--smoke` runs the CI acceptance checks (panics on violation).
+
+fn main() {
+    impacc_bench::bench_bin(
+        "dsl",
+        impacc_bench::dsl::run,
+        Some(impacc_bench::dsl::smoke),
+    );
+}

@@ -14,6 +14,7 @@ pub mod ablations;
 pub mod array;
 pub mod chaos;
 pub mod coll;
+pub mod dsl;
 pub mod fig10;
 pub mod fig12;
 pub mod fig13;

@@ -42,6 +42,16 @@ pub struct VarList {
     pub vars: Vec<String>,
 }
 
+/// One `reduction(op:var, ...)` clause, e.g. `reduction(+:sum)` or
+/// `reduction(max:res)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Reduction {
+    /// The reduction operator: `+`, `*`, `max` or `min`.
+    pub op: String,
+    /// The reduced scalar variables.
+    pub vars: Vec<String>,
+}
+
 /// A parsed OpenACC directive.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct AccDirective {
@@ -66,6 +76,8 @@ pub struct AccDirective {
     /// Bare parallelism clauses present on a loop (`gang`, `worker`,
     /// `vector`, `independent`, `seq`).
     pub loop_modes: Vec<String>,
+    /// `reduction(op:var, ...)` clauses in source order.
+    pub reductions: Vec<Reduction>,
 }
 
 impl AccDirective {
@@ -144,6 +156,7 @@ pub fn parse_acc_directive(line: &str) -> Result<AccDirective, ParseError> {
         vector_length: None,
         collapse: None,
         loop_modes: Vec::new(),
+        reductions: Vec::new(),
     };
 
     // `kernels loop` / `parallel loop`.
@@ -209,6 +222,9 @@ pub fn parse_acc_directive(line: &str) -> Result<AccDirective, ParseError> {
                 };
                 *slot = Some(list[0]);
             }
+            "reduction" => {
+                d.reductions.push(parse_reduction(line, &toks, &mut pos)?);
+            }
             c if DATA_CLAUSES.contains(&c) => {
                 let vars = parse_var_list(line, &toks, &mut pos)?;
                 d.data.push(VarList { clause: name, vars });
@@ -258,6 +274,66 @@ fn parse_int_list(
             Some((_, Tok::RParen)) => {
                 *pos += 1;
                 return Ok(out);
+            }
+            _ => {
+                return Err(ParseError {
+                    at: line.len(),
+                    message: "expected ',' or ')'".into(),
+                })
+            }
+        }
+    }
+}
+
+fn parse_reduction(
+    line: &str,
+    toks: &[(usize, Tok)],
+    pos: &mut usize,
+) -> Result<Reduction, ParseError> {
+    expect(line, toks, pos, &Tok::LParen)?;
+    let op = match toks.get(*pos) {
+        Some((_, Tok::Sym(c))) if matches!(c, '+' | '*') => c.to_string(),
+        Some((_, Tok::Ident(w))) if w == "max" || w == "min" => w.clone(),
+        Some((at, t)) => {
+            return Err(ParseError {
+                at: *at,
+                message: format!("expected a reduction operator (+, *, max, min), found {t:?}"),
+            })
+        }
+        None => {
+            return Err(ParseError {
+                at: line.len(),
+                message: "unterminated reduction clause".into(),
+            })
+        }
+    };
+    *pos += 1;
+    expect(line, toks, pos, &Tok::Sym(':'))?;
+    let mut vars = Vec::new();
+    loop {
+        match toks.get(*pos) {
+            Some((_, Tok::Ident(v))) => {
+                vars.push(v.clone());
+                *pos += 1;
+            }
+            Some((at, t)) => {
+                return Err(ParseError {
+                    at: *at,
+                    message: format!("expected a reduction variable, found {t:?}"),
+                })
+            }
+            None => {
+                return Err(ParseError {
+                    at: line.len(),
+                    message: "unterminated reduction clause".into(),
+                })
+            }
+        }
+        match toks.get(*pos) {
+            Some((_, Tok::Comma)) => *pos += 1,
+            Some((_, Tok::RParen)) => {
+                *pos += 1;
+                return Ok(Reduction { op, vars });
             }
             _ => {
                 return Err(ParseError {
@@ -399,9 +475,49 @@ mod tests {
     }
 
     #[test]
+    fn parses_reduction_clauses() {
+        // The testmpi.cpp pattern: "#pragma acc parallel loop reduction(+:sum)".
+        let d =
+            parse_acc_directive("#pragma acc parallel loop reduction(+:sum) copyin(a, b)").unwrap();
+        assert_eq!(
+            d.reductions,
+            vec![Reduction {
+                op: "+".into(),
+                vars: vec!["sum".into()]
+            }]
+        );
+        assert_eq!(d.vars_of("copyin"), vec!["a", "b"]);
+
+        let d = parse_acc_directive("#pragma acc parallel loop reduction(max:res, err)").unwrap();
+        assert_eq!(d.reductions[0].op, "max");
+        assert_eq!(d.reductions[0].vars, vec!["res", "err"]);
+
+        let d =
+            parse_acc_directive("#pragma acc loop reduction(*:prod) reduction(min:lo)").unwrap();
+        assert_eq!(d.reductions.len(), 2);
+        assert_eq!(d.reductions[1].op, "min");
+    }
+
+    #[test]
     fn rejects_malformed_acc_directives() {
         for (text, needle) in [
             ("#pragma acc mpi sendbuf(device)", "use parse_directive"),
+            (
+                "#pragma acc parallel loop reduction(^:x)",
+                "unexpected character",
+            ),
+            (
+                "#pragma acc parallel loop reduction(sum)",
+                "expected a reduction operator",
+            ),
+            (
+                "#pragma acc parallel loop reduction(+:)",
+                "expected a reduction variable",
+            ),
+            (
+                "#pragma acc parallel loop reduction(+:x",
+                "expected ',' or ')'",
+            ),
             ("#pragma acc frobnicate", "unknown OpenACC directive"),
             ("#pragma acc kernels quux(a)", "unknown clause"),
             ("#pragma acc kernels copyin()", "expected a variable name"),

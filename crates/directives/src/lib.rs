@@ -25,7 +25,7 @@ pub mod parser;
 pub mod scan;
 pub mod translate;
 
-pub use acc::{parse_acc_directive, AccDirective, AccKind, VarList};
+pub use acc::{parse_acc_directive, AccDirective, AccKind, Reduction, VarList};
 pub use parser::{parse_directive, BufClause, Directive, ParseError};
 pub use scan::{scan_source, MpiCallKind, ScanIssue, ScannedDirective};
 pub use translate::{translate, Lowering, RuntimeCall};

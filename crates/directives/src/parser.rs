@@ -103,6 +103,9 @@ pub(crate) enum Tok {
     LParen,
     RParen,
     Comma,
+    /// An operator/punctuation symbol (`+ - * / :`), as used by
+    /// `reduction(+:x)` clauses.
+    Sym(char),
 }
 
 pub(crate) fn tokenize(s: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
@@ -121,6 +124,9 @@ pub(crate) fn tokenize(s: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
             i += 1;
         } else if c == ',' {
             toks.push((i, Tok::Comma));
+            i += 1;
+        } else if matches!(c, '+' | '-' | '*' | '/' | ':') {
+            toks.push((i, Tok::Sym(c)));
             i += 1;
         } else if c.is_ascii_alphabetic() || c == '_' || c == '#' {
             let start = i;

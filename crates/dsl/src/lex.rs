@@ -1,0 +1,274 @@
+//! Lexer for the `.acc` kernel language.
+//!
+//! The token stream is ordinary C-like punctuation plus one special
+//! case: a line whose first non-blank character is `#` is captured
+//! whole as a [`Tok::Pragma`] and handed to `impacc-directives` later —
+//! the DSL reuses the existing OpenACC clause grammar rather than
+//! reinventing it. `//` comments run to end of line.
+
+use std::fmt;
+
+/// A compile error, with the 1-based source line it was detected on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DslError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl DslError {
+    pub(crate) fn new(line: usize, message: impl Into<String>) -> DslError {
+        DslError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for DslError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for DslError {}
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Numeric literal (all DSL arithmetic is f64).
+    Num(f64),
+    /// A whole `#pragma ...` line, verbatim (trimmed).
+    Pragma(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBrack,
+    /// `]`
+    RBrack,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `=`
+    Assign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `+=`
+    PlusAssign,
+    /// `++`
+    PlusPlus,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    EqEq,
+    /// `!=`
+    Ne,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Not,
+    /// `?`
+    Question,
+    /// `:`
+    Colon,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "'{s}'"),
+            Tok::Num(v) => write!(f, "'{v:?}'"),
+            Tok::Pragma(s) => write!(f, "pragma '{s}'"),
+            Tok::LParen => write!(f, "'('"),
+            Tok::RParen => write!(f, "')'"),
+            Tok::LBrack => write!(f, "'['"),
+            Tok::RBrack => write!(f, "']'"),
+            Tok::LBrace => write!(f, "'{{'"),
+            Tok::RBrace => write!(f, "'}}'"),
+            Tok::Semi => write!(f, "';'"),
+            Tok::Comma => write!(f, "','"),
+            Tok::Assign => write!(f, "'='"),
+            Tok::Plus => write!(f, "'+'"),
+            Tok::Minus => write!(f, "'-'"),
+            Tok::Star => write!(f, "'*'"),
+            Tok::Slash => write!(f, "'/'"),
+            Tok::PlusAssign => write!(f, "'+='"),
+            Tok::PlusPlus => write!(f, "'++'"),
+            Tok::Lt => write!(f, "'<'"),
+            Tok::Le => write!(f, "'<='"),
+            Tok::Gt => write!(f, "'>'"),
+            Tok::Ge => write!(f, "'>='"),
+            Tok::EqEq => write!(f, "'=='"),
+            Tok::Ne => write!(f, "'!='"),
+            Tok::AndAnd => write!(f, "'&&'"),
+            Tok::OrOr => write!(f, "'||'"),
+            Tok::Not => write!(f, "'!'"),
+            Tok::Question => write!(f, "'?'"),
+            Tok::Colon => write!(f, "':'"),
+        }
+    }
+}
+
+/// Tokenize a whole source file; each token carries its 1-based line.
+pub fn lex(src: &str) -> Result<Vec<(usize, Tok)>, DslError> {
+    let mut toks = Vec::new();
+    for (lineno, raw) in src.lines().enumerate() {
+        let line = lineno + 1;
+        let text = match raw.find("//") {
+            Some(p) => &raw[..p],
+            None => raw,
+        };
+        let trimmed = text.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if trimmed.starts_with('#') {
+            toks.push((line, Tok::Pragma(trimmed.to_string())));
+            continue;
+        }
+        let bytes = text.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            let c = bytes[i] as char;
+            let two = if i + 1 < bytes.len() {
+                &text[i..i + 2]
+            } else {
+                ""
+            };
+            if c.is_whitespace() {
+                i += 1;
+                continue;
+            }
+            let double = match two {
+                "+=" => Some(Tok::PlusAssign),
+                "++" => Some(Tok::PlusPlus),
+                "<=" => Some(Tok::Le),
+                ">=" => Some(Tok::Ge),
+                "==" => Some(Tok::EqEq),
+                "!=" => Some(Tok::Ne),
+                "&&" => Some(Tok::AndAnd),
+                "||" => Some(Tok::OrOr),
+                _ => None,
+            };
+            if let Some(t) = double {
+                toks.push((line, t));
+                i += 2;
+                continue;
+            }
+            let single = match c {
+                '(' => Some(Tok::LParen),
+                ')' => Some(Tok::RParen),
+                '[' => Some(Tok::LBrack),
+                ']' => Some(Tok::RBrack),
+                '{' => Some(Tok::LBrace),
+                '}' => Some(Tok::RBrace),
+                ';' => Some(Tok::Semi),
+                ',' => Some(Tok::Comma),
+                '=' => Some(Tok::Assign),
+                '+' => Some(Tok::Plus),
+                '-' => Some(Tok::Minus),
+                '*' => Some(Tok::Star),
+                '/' => Some(Tok::Slash),
+                '<' => Some(Tok::Lt),
+                '>' => Some(Tok::Gt),
+                '!' => Some(Tok::Not),
+                '?' => Some(Tok::Question),
+                ':' => Some(Tok::Colon),
+                _ => None,
+            };
+            if let Some(t) = single {
+                toks.push((line, t));
+                i += 1;
+                continue;
+            }
+            if c.is_ascii_alphabetic() || c == '_' {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                toks.push((line, Tok::Ident(text[start..i].to_string())));
+                continue;
+            }
+            if c.is_ascii_digit() {
+                let start = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                if i < bytes.len() && bytes[i] == b'.' {
+                    i += 1;
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    let mut j = i + 1;
+                    if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                        j += 1;
+                    }
+                    if j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+                        i = j;
+                        while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let lit = &text[start..i];
+                let v: f64 = lit
+                    .parse()
+                    .map_err(|_| DslError::new(line, format!("bad numeric literal '{lit}'")))?;
+                toks.push((line, Tok::Num(v)));
+                continue;
+            }
+            return Err(DslError::new(line, format!("unexpected character '{c}'")));
+        }
+    }
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_numbers_idents_and_pragmas() {
+        let toks = lex("param n = 64;\n// comment\n#pragma acc parallel loop reduction(+:sum)\nsum += a[i] * 2.5e-1;\n").unwrap();
+        assert_eq!(toks[0], (1, Tok::Ident("param".into())));
+        assert_eq!(toks[2], (1, Tok::Assign));
+        assert_eq!(toks[3], (1, Tok::Num(64.0)));
+        assert!(matches!(&toks[5], (3, Tok::Pragma(p)) if p.contains("reduction(+:sum)")));
+        assert_eq!(toks[6], (4, Tok::Ident("sum".into())));
+        assert_eq!(toks[7], (4, Tok::PlusAssign));
+        assert!(toks.contains(&(4, Tok::Num(0.25))));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("a $ b").unwrap_err().message.contains("unexpected"));
+    }
+}

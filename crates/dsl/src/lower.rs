@@ -1,0 +1,145 @@
+//! Textual plan dump: the `impaccc translate` output.
+//!
+//! The dump is a pure function of a [`Compiled`] program — byte-stable
+//! across runs and platforms — so CI can pin golden translations of the
+//! shipped examples and fail on any drift in parsing, halo inference,
+//! flop accounting or lowering.
+
+use std::fmt::Write as _;
+
+use crate::sema::{Compiled, KExpr, Op, ReduceOp};
+
+fn red_sym(op: ReduceOp) -> &'static str {
+    match op {
+        ReduceOp::Sum => "+",
+        ReduceOp::Prod => "*",
+        ReduceOp::Max => "max",
+        ReduceOp::Min => "min",
+    }
+}
+
+fn fmt_num(v: f64) -> String {
+    format!("{v:?}")
+}
+
+fn dump_ops(out: &mut String, c: &Compiled, ops: &[Op], depth: usize) {
+    let pad = "  ".repeat(depth);
+    let name = |i: usize| c.arrays[i].name.clone();
+    let none: Vec<String> = Vec::new();
+    for op in ops {
+        match op {
+            Op::CommSplitShared => {
+                let _ = writeln!(out, "{pad}comm_split_shared");
+            }
+            Op::SetScalar { name, value } => {
+                let _ = writeln!(out, "{pad}set {name} = {}", value.pretty(&none));
+            }
+            Op::Assert { value, .. } => {
+                let _ = writeln!(out, "{pad}assert {}", value.pretty(&none));
+            }
+            Op::For {
+                var,
+                lo,
+                count,
+                body,
+            } => {
+                let _ = writeln!(out, "{pad}for {var} = {lo} .. {}:", lo + *count as i64);
+                dump_ops(out, c, body, depth + 1);
+            }
+            Op::Exchange { arr } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}exchange {} halo({})",
+                    name(*arr),
+                    c.arrays[*arr].halo
+                );
+            }
+            Op::Stencil {
+                site,
+                src,
+                dst,
+                margin,
+                flops,
+                cell,
+                reduce,
+            } => {
+                let m: Vec<String> = margin.iter().map(|(a, b)| format!("({a},{b})")).collect();
+                let red = match reduce {
+                    Some(v) => format!(" reduce(max -> {v})"),
+                    None => String::new(),
+                };
+                let _ = writeln!(
+                    out,
+                    "{pad}stencil[{site}] {} <- {} margin[{}] flops({}){red}",
+                    name(*dst),
+                    name(*src),
+                    m.join(", "),
+                    fmt_num(*flops)
+                );
+                let slots = vec![name(*src)];
+                let _ = writeln!(out, "{pad}  cell: {}", cell.pretty(&slots));
+            }
+            Op::Map { arr, flops, cell } => {
+                let _ = writeln!(out, "{pad}map {} flops({})", name(*arr), fmt_num(*flops));
+                let slots = vec![name(*arr)];
+                let _ = writeln!(out, "{pad}  cell: {}", cell.pretty(&slots));
+            }
+            Op::Reduce {
+                arrays,
+                op,
+                var,
+                flops,
+                cell,
+            } => {
+                let names: Vec<String> = arrays.iter().map(|&i| name(i)).collect();
+                let _ = writeln!(
+                    out,
+                    "{pad}reduce({} -> {var}) over [{}] flops({})",
+                    red_sym(*op),
+                    names.join(", "),
+                    fmt_num(*flops)
+                );
+                let _ = writeln!(out, "{pad}  cell: {}", cell.pretty(&names));
+            }
+            Op::Swap { a, b } => {
+                let _ = writeln!(out, "{pad}swap {} {}", name(*a), name(*b));
+            }
+        }
+    }
+}
+
+/// Render the lowered plan: params, arrays with inferred halos, ops.
+pub fn dump_plan(c: &Compiled) -> String {
+    let mut out = String::new();
+    out.push_str("impacc-dsl plan v1\n");
+    let _ = writeln!(out, "source-hash: {}", crate::source_hash(&c.source));
+    out.push_str("params:\n");
+    for (name, v) in &c.params {
+        let _ = writeln!(out, "  {name} = {}", fmt_num(*v));
+    }
+    out.push_str("arrays:\n");
+    for (i, a) in c.arrays.iter().enumerate() {
+        let dims: Vec<String> = a.shape.iter().map(|d| format!("[{d}]")).collect();
+        let init = match &a.init {
+            Some(e) => format!(" init({})", e.pretty(&[])),
+            None => String::new(),
+        };
+        let _ = writeln!(
+            out,
+            "  [{i}] {}{} grid({}) halo({}){init}",
+            a.name,
+            dims.join(""),
+            a.grid_nd,
+            a.halo
+        );
+    }
+    out.push_str("plan:\n");
+    dump_ops(&mut out, c, &c.plan, 1);
+    out
+}
+
+/// Pretty helper shared with `KExpr::pretty` callers that have no slots
+/// (host expressions).
+pub fn pretty_host(e: &KExpr) -> String {
+    e.pretty(&[])
+}

@@ -1,0 +1,568 @@
+//! Recursive-descent parser for the `.acc` kernel language.
+
+use crate::ast::*;
+use crate::lex::{lex, DslError, Tok};
+
+struct Parser {
+    toks: Vec<(usize, Tok)>,
+    pos: usize,
+}
+
+/// Parse a whole source file into a [`Program`].
+pub fn parse(src: &str) -> Result<Program, DslError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let mut items = Vec::new();
+    while !p.done() {
+        items.push(p.item()?);
+    }
+    Ok(Program { items })
+}
+
+impl Parser {
+    fn done(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn line(&self) -> usize {
+        self.toks
+            .get(self.pos)
+            .or_else(|| self.toks.last())
+            .map(|(l, _)| *l)
+            .unwrap_or(1)
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn peek2(&self) -> Option<&Tok> {
+        self.toks.get(self.pos + 1).map(|(_, t)| t)
+    }
+
+    fn next(&mut self) -> Result<Tok, DslError> {
+        let t = self
+            .toks
+            .get(self.pos)
+            .map(|(_, t)| t.clone())
+            .ok_or_else(|| DslError::new(self.line(), "unexpected end of input"))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn expect(&mut self, want: &Tok) -> Result<(), DslError> {
+        let line = self.line();
+        let got = self.next()?;
+        if &got == want {
+            Ok(())
+        } else {
+            Err(DslError::new(line, format!("expected {want}, found {got}")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, DslError> {
+        let line = self.line();
+        match self.next()? {
+            Tok::Ident(s) => Ok(s),
+            other => Err(DslError::new(
+                line,
+                format!("expected an identifier, found {other}"),
+            )),
+        }
+    }
+
+    fn eat(&mut self, want: &Tok) -> bool {
+        if self.peek() == Some(want) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn item(&mut self) -> Result<Item, DslError> {
+        match self.peek() {
+            Some(Tok::Ident(k)) if k == "param" => {
+                self.pos += 1;
+                let name = self.ident()?;
+                self.expect(&Tok::Assign)?;
+                let value = self.expr()?;
+                self.expect(&Tok::Semi)?;
+                Ok(Item::Param { name, value })
+            }
+            Some(Tok::Ident(k)) if k == "array" => {
+                self.pos += 1;
+                let name = self.ident()?;
+                let mut dims = Vec::new();
+                while self.eat(&Tok::LBrack) {
+                    dims.push(self.expr()?);
+                    self.expect(&Tok::RBrack)?;
+                }
+                if dims.is_empty() {
+                    return Err(DslError::new(
+                        self.line(),
+                        format!("array '{name}' needs at least one dimension"),
+                    ));
+                }
+                let mut grid = None;
+                let mut init = None;
+                while let Some(Tok::Ident(clause)) = self.peek() {
+                    let clause = clause.clone();
+                    match clause.as_str() {
+                        "grid" => {
+                            self.pos += 1;
+                            self.expect(&Tok::LParen)?;
+                            let line = self.line();
+                            let g = match self.next()? {
+                                Tok::Num(v) if v == 1.0 || v == 2.0 => v as u32,
+                                other => {
+                                    return Err(DslError::new(
+                                        line,
+                                        format!("grid() takes 1 or 2, found {other}"),
+                                    ))
+                                }
+                            };
+                            self.expect(&Tok::RParen)?;
+                            grid = Some(g);
+                        }
+                        "init" => {
+                            self.pos += 1;
+                            self.expect(&Tok::LParen)?;
+                            init = Some(self.expr()?);
+                            self.expect(&Tok::RParen)?;
+                        }
+                        other => {
+                            return Err(DslError::new(
+                                self.line(),
+                                format!("unknown array clause '{other}' (expected grid or init)"),
+                            ))
+                        }
+                    }
+                }
+                self.expect(&Tok::Semi)?;
+                Ok(Item::Array {
+                    name,
+                    dims,
+                    grid,
+                    init,
+                })
+            }
+            _ => Ok(Item::Stmt(self.stmt()?)),
+        }
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, DslError> {
+        let line = self.line();
+        match self.peek() {
+            Some(Tok::Pragma(_)) => self.par_loop(),
+            Some(Tok::Ident(k)) if k == "for" => {
+                let header = self.loop_header()?;
+                self.expect(&Tok::LBrace)?;
+                let mut body = Vec::new();
+                while !self.eat(&Tok::RBrace) {
+                    if self.done() {
+                        return Err(DslError::new(line, "unterminated for-loop body"));
+                    }
+                    body.push(self.stmt()?);
+                }
+                Ok(Stmt::For { header, body })
+            }
+            Some(Tok::Ident(k)) if k == "var" => {
+                self.pos += 1;
+                let name = self.ident()?;
+                self.expect(&Tok::Assign)?;
+                let value = self.expr()?;
+                self.expect(&Tok::Semi)?;
+                Ok(Stmt::Var { name, value })
+            }
+            Some(Tok::Ident(k)) if k == "swap" => {
+                self.pos += 1;
+                self.expect(&Tok::LParen)?;
+                let a = self.ident()?;
+                self.expect(&Tok::Comma)?;
+                let b = self.ident()?;
+                self.expect(&Tok::RParen)?;
+                self.expect(&Tok::Semi)?;
+                Ok(Stmt::Swap { a, b })
+            }
+            Some(Tok::Ident(k)) if k == "comm_split_shared" => {
+                self.pos += 1;
+                self.expect(&Tok::Semi)?;
+                Ok(Stmt::CommSplitShared)
+            }
+            Some(Tok::Ident(k)) if k == "assert" => {
+                self.pos += 1;
+                self.expect(&Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                self.expect(&Tok::Semi)?;
+                Ok(Stmt::Assert { cond })
+            }
+            Some(Tok::Ident(_)) if self.peek2() == Some(&Tok::Assign) => {
+                let name = self.ident()?;
+                self.expect(&Tok::Assign)?;
+                let value = self.expr()?;
+                self.expect(&Tok::Semi)?;
+                Ok(Stmt::Assign { name, value })
+            }
+            Some(other) => Err(DslError::new(line, format!("unexpected {other}"))),
+            None => Err(DslError::new(line, "unexpected end of input")),
+        }
+    }
+
+    fn par_loop(&mut self) -> Result<Stmt, DslError> {
+        let line = self.line();
+        let pragma = match self.next()? {
+            Tok::Pragma(p) => p,
+            _ => unreachable!("caller peeked a pragma"),
+        };
+        let mut loops = Vec::new();
+        let mut braces = Vec::new();
+        let kernel = loop {
+            match self.peek() {
+                Some(Tok::Ident(k)) if k == "for" => {
+                    loops.push(self.loop_header()?);
+                    braces.push(self.eat(&Tok::LBrace));
+                }
+                _ => {
+                    if loops.is_empty() {
+                        return Err(DslError::new(
+                            line,
+                            "a #pragma acc line must annotate a for-loop nest",
+                        ));
+                    }
+                    break self.kernel_stmt()?;
+                }
+            }
+        };
+        for had_brace in braces.into_iter().rev() {
+            if had_brace {
+                self.expect(&Tok::RBrace)?;
+            }
+        }
+        Ok(Stmt::ParLoop {
+            pragma,
+            loops,
+            kernel,
+        })
+    }
+
+    fn kernel_stmt(&mut self) -> Result<Kernel, DslError> {
+        let line = self.line();
+        let name = self.ident()?;
+        match self.peek() {
+            Some(Tok::LBrack) => {
+                let mut subs = Vec::new();
+                while self.eat(&Tok::LBrack) {
+                    subs.push(self.expr()?);
+                    self.expect(&Tok::RBrack)?;
+                }
+                self.expect(&Tok::Assign)?;
+                let rhs = self.expr()?;
+                self.expect(&Tok::Semi)?;
+                Ok(Kernel::Assign {
+                    array: name,
+                    subs,
+                    rhs,
+                })
+            }
+            Some(Tok::PlusAssign) => {
+                self.pos += 1;
+                let rhs = self.expr()?;
+                self.expect(&Tok::Semi)?;
+                Ok(Kernel::Accum { var: name, rhs })
+            }
+            _ => Err(DslError::new(
+                line,
+                "a parallel loop body must be 'dst[i]... = expr;' or 'acc += expr;'",
+            )),
+        }
+    }
+
+    fn loop_header(&mut self) -> Result<LoopHeader, DslError> {
+        let line = self.line();
+        match self.next()? {
+            Tok::Ident(k) if k == "for" => {}
+            other => {
+                return Err(DslError::new(
+                    line,
+                    format!("expected 'for', found {other}"),
+                ))
+            }
+        }
+        self.expect(&Tok::LParen)?;
+        let var = self.ident()?;
+        self.expect(&Tok::Assign)?;
+        let lo = self.expr()?;
+        self.expect(&Tok::Semi)?;
+        let cond_var = self.ident()?;
+        if cond_var != var {
+            return Err(DslError::new(
+                line,
+                format!("loop condition must test '{var}', found '{cond_var}'"),
+            ));
+        }
+        self.expect(&Tok::Lt)?;
+        let hi = self.expr()?;
+        self.expect(&Tok::Semi)?;
+        // `++v`, `v++` or `v += 1`.
+        match self.next()? {
+            Tok::PlusPlus => {
+                let v = self.ident()?;
+                if v != var {
+                    return Err(DslError::new(line, "loop increment must bump the index"));
+                }
+            }
+            Tok::Ident(v) if v == var => match self.next()? {
+                Tok::PlusPlus => {}
+                Tok::PlusAssign => {
+                    if self.next()? != Tok::Num(1.0) {
+                        return Err(DslError::new(line, "only unit-stride loops are supported"));
+                    }
+                }
+                other => {
+                    return Err(DslError::new(
+                        line,
+                        format!("expected '++' or '+= 1', found {other}"),
+                    ))
+                }
+            },
+            other => {
+                return Err(DslError::new(
+                    line,
+                    format!("expected loop increment, found {other}"),
+                ))
+            }
+        }
+        self.expect(&Tok::RParen)?;
+        Ok(LoopHeader { var, lo, hi })
+    }
+
+    // Expression grammar, C precedence: ternary > or > and > cmp > add > mul > unary.
+    fn expr(&mut self) -> Result<Expr, DslError> {
+        let cond = self.or_expr()?;
+        if self.eat(&Tok::Question) {
+            let a = self.expr()?;
+            self.expect(&Tok::Colon)?;
+            let b = self.expr()?;
+            Ok(Expr::Ternary(Box::new(cond), Box::new(a), Box::new(b)))
+        } else {
+            Ok(cond)
+        }
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, DslError> {
+        let mut e = self.and_expr()?;
+        while self.eat(&Tok::OrOr) {
+            let r = self.and_expr()?;
+            e = Expr::Bin(BinOp::Or, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, DslError> {
+        let mut e = self.cmp_expr()?;
+        while self.eat(&Tok::AndAnd) {
+            let r = self.cmp_expr()?;
+            e = Expr::Bin(BinOp::And, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, DslError> {
+        let e = self.add_expr()?;
+        let op = match self.peek() {
+            Some(Tok::Lt) => Some(BinOp::Lt),
+            Some(Tok::Le) => Some(BinOp::Le),
+            Some(Tok::Gt) => Some(BinOp::Gt),
+            Some(Tok::Ge) => Some(BinOp::Ge),
+            Some(Tok::EqEq) => Some(BinOp::Eq),
+            Some(Tok::Ne) => Some(BinOp::Ne),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let r = self.add_expr()?;
+            Ok(Expr::Bin(op, Box::new(e), Box::new(r)))
+        } else {
+            Ok(e)
+        }
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, DslError> {
+        let mut e = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Plus) => BinOp::Add,
+                Some(Tok::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let r = self.mul_expr()?;
+            e = Expr::Bin(op, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, DslError> {
+        let mut e = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Star) => BinOp::Mul,
+                Some(Tok::Slash) => BinOp::Div,
+                _ => break,
+            };
+            self.pos += 1;
+            let r = self.unary_expr()?;
+            e = Expr::Bin(op, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, DslError> {
+        if self.eat(&Tok::Minus) {
+            Ok(Expr::Un(UnOp::Neg, Box::new(self.unary_expr()?)))
+        } else if self.eat(&Tok::Not) {
+            Ok(Expr::Un(UnOp::Not, Box::new(self.unary_expr()?)))
+        } else {
+            self.primary_expr()
+        }
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, DslError> {
+        let line = self.line();
+        match self.next()? {
+            Tok::Num(v) => Ok(Expr::Num(v)),
+            Tok::LParen => {
+                let e = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::Ident(name) => match self.peek() {
+                Some(Tok::LParen) => {
+                    if !matches!(name.as_str(), "min" | "max" | "abs" | "sqrt") {
+                        return Err(DslError::new(line, format!("unknown function '{name}'")));
+                    }
+                    self.pos += 1;
+                    let mut args = Vec::new();
+                    if !self.eat(&Tok::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.eat(&Tok::RParen) {
+                                break;
+                            }
+                            self.expect(&Tok::Comma)?;
+                        }
+                    }
+                    let want = if matches!(name.as_str(), "abs" | "sqrt") {
+                        1
+                    } else {
+                        2
+                    };
+                    if args.len() != want {
+                        return Err(DslError::new(
+                            line,
+                            format!("{name}() takes {want} argument(s), got {}", args.len()),
+                        ));
+                    }
+                    Ok(Expr::Call(name, args))
+                }
+                Some(Tok::LBrack) => {
+                    let mut subs = Vec::new();
+                    while self.eat(&Tok::LBrack) {
+                        subs.push(self.expr()?);
+                        self.expect(&Tok::RBrack)?;
+                    }
+                    Ok(Expr::Index(name, subs))
+                }
+                _ => Ok(Expr::Var(name)),
+            },
+            other => Err(DslError::new(
+                line,
+                format!("expected an expression, found {other}"),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_jacobi_shaped_program() {
+        let src = "\
+param n = 8;
+param iters = 2;
+array u[n][n] init((i < 0) ? 1.0 : 0.0);
+array unew[n][n] init((i < 0) ? 1.0 : 0.0);
+var res = 0.0;
+for (it = 0; it < iters; ++it) {
+  #pragma acc parallel loop reduction(max:res) copyin(u) copyout(unew)
+  for (i = 0; i < n; ++i) {
+    for (j = 1; j < n - 1; ++j) {
+      unew[i][j] = 0.25 * (u[i - 1][j] + u[i + 1][j] + u[i][j - 1] + u[i][j + 1]);
+    }
+  }
+  swap(u, unew);
+}
+";
+        let p = parse(src).unwrap();
+        assert_eq!(p.items.len(), 6);
+        let Item::Stmt(Stmt::For { body, .. }) = &p.items[5] else {
+            panic!("expected the sweep loop");
+        };
+        let Stmt::ParLoop { loops, kernel, .. } = &body[0] else {
+            panic!("expected a parallel loop");
+        };
+        assert_eq!(loops.len(), 2);
+        assert!(matches!(kernel, Kernel::Assign { array, .. } if array == "unew"));
+        assert!(matches!(&body[1], Stmt::Swap { a, b } if a == "u" && b == "unew"));
+    }
+
+    #[test]
+    fn pretty_print_reparses_identically() {
+        let src = "\
+param n = 4;
+array a[n];
+var sum = 0.0;
+comm_split_shared;
+#pragma acc parallel loop reduction(+:sum) copyin(a)
+for (i = 0; i < n; ++i) {
+  sum += a[i] * 2.0;
+}
+assert(sum >= 0.0);
+";
+        let p = parse(src).unwrap();
+        let printed = p.pretty();
+        let p2 = parse(&printed).unwrap();
+        assert_eq!(p, p2, "pretty output:\n{printed}");
+        assert_eq!(printed, p2.pretty());
+    }
+
+    #[test]
+    fn rejects_malformed_programs() {
+        for (src, needle) in [
+            ("param n 64;", "expected '='"),
+            ("array a;", "at least one dimension"),
+            ("#pragma acc parallel loop\nx = 1;", "must annotate"),
+            (
+                "#pragma acc parallel loop\nfor (i = 0; j < 4; ++i) a[i] = 0.0;",
+                "must test 'i'",
+            ),
+            (
+                "#pragma acc parallel loop\nfor (i = 0; i < 4; i += 2) a[i] = 0.0;",
+                "unit-stride",
+            ),
+            ("var x = frob(1);", "unknown function"),
+            ("for (i = 0; i < 4; ++i) { x = 1;", "unterminated"),
+        ] {
+            let err = parse(src).unwrap_err();
+            assert!(
+                err.message.contains(needle),
+                "{src}: expected '{needle}' in '{}'",
+                err.message
+            );
+        }
+    }
+}

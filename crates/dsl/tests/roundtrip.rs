@@ -1,0 +1,188 @@
+//! Property: the pretty-printer is a section of the parser — for any
+//! well-formed AST, `parse(program.pretty())` returns an identical AST,
+//! and the printed form is already the parser's fixed point (printing
+//! the reparse yields the same bytes). This is what lets CI pin golden
+//! translations and lets the serve layer key caches on canonical
+//! source: the canonical form is unique.
+//!
+//! Generated programs exercise the whole surface grammar — every
+//! operator at every precedence level, ternaries, builtin calls,
+//! subscripted reads, `param`/`array` items with `grid`/`init`
+//! clauses, nested host loops, pragma-annotated nests with both kernel
+//! shapes, and statement forms down to `comm_split_shared;`. They are
+//! *syntactically* valid but usually semantically meaningless; only
+//! the parser is on trial here.
+
+use impacc_dsl::ast::{BinOp, Expr, Item, Kernel, LoopHeader, Program, Stmt, UnOp};
+use impacc_dsl::parse::parse;
+use proptest::prelude::*;
+
+/// Identifiers that are safe everywhere: not statement keywords, not
+/// array clauses (`grid`/`init`), not builtin function names.
+const NAMES: [&str; 8] = ["n", "u", "w2", "alpha", "res", "acc_v", "x9", "tmp"];
+
+/// Loop index variables (kept distinct from value names for clarity;
+/// the parser does not care).
+const IVARS: [&str; 4] = ["i", "j", "k", "it"];
+
+/// Verbatim pragma lines (the lexer stores them trimmed; semantic
+/// validity is not the parser's concern).
+const PRAGMAS: [&str; 3] = [
+    "#pragma acc parallel loop",
+    "#pragma acc parallel loop copy(u, w2) reduction(max:res)",
+    "#pragma acc parallel loop copyin(u) copyout(w2) reduction(+:res)",
+];
+
+/// Numbers whose `{:?}` rendering the lexer reads back exactly.
+fn num() -> BoxedStrategy<Expr> {
+    prop_oneof![
+        (0u32..64).prop_map(|v| Expr::Num(v as f64)),
+        (0u32..256).prop_map(|v| Expr::Num(v as f64 * 0.125)),
+    ]
+    .boxed()
+}
+
+fn name() -> BoxedStrategy<String> {
+    (0usize..NAMES.len())
+        .prop_map(|i| NAMES[i].to_string())
+        .boxed()
+}
+
+fn ivar() -> BoxedStrategy<String> {
+    (0usize..IVARS.len())
+        .prop_map(|i| IVARS[i].to_string())
+        .boxed()
+}
+
+fn bin_op() -> BoxedStrategy<BinOp> {
+    (0usize..12)
+        .prop_map(|i| {
+            [
+                BinOp::Add,
+                BinOp::Sub,
+                BinOp::Mul,
+                BinOp::Div,
+                BinOp::Lt,
+                BinOp::Le,
+                BinOp::Gt,
+                BinOp::Ge,
+                BinOp::Eq,
+                BinOp::Ne,
+                BinOp::And,
+                BinOp::Or,
+            ][i]
+        })
+        .boxed()
+}
+
+/// An expression of nesting depth at most `depth`.
+fn expr(depth: u32) -> BoxedStrategy<Expr> {
+    if depth == 0 {
+        return prop_oneof![num(), name().prop_map(Expr::Var)].boxed();
+    }
+    let sub = move || expr(depth - 1);
+    prop_oneof![
+        num(),
+        name().prop_map(Expr::Var),
+        (name(), prop::collection::vec(sub(), 1..3)).prop_map(|(n, subs)| Expr::Index(n, subs)),
+        (sub(), any::<bool>())
+            .prop_map(|(e, neg)| Expr::Un(if neg { UnOp::Neg } else { UnOp::Not }, Box::new(e))),
+        (bin_op(), sub(), sub()).prop_map(|(op, a, b)| Expr::Bin(op, Box::new(a), Box::new(b))),
+        (sub(), sub(), sub()).prop_map(|(c, a, b)| Expr::Ternary(
+            Box::new(c),
+            Box::new(a),
+            Box::new(b)
+        )),
+        (sub(), sub(), 0usize..2)
+            .prop_map(|(a, b, f)| Expr::Call(["min", "max"][f].to_string(), vec![a, b])),
+        (sub(), any::<bool>())
+            .prop_map(|(a, f)| Expr::Call(if f { "abs" } else { "sqrt" }.to_string(), vec![a])),
+    ]
+    .boxed()
+}
+
+fn loop_header() -> BoxedStrategy<LoopHeader> {
+    (ivar(), expr(1), expr(1))
+        .prop_map(|(var, lo, hi)| LoopHeader { var, lo, hi })
+        .boxed()
+}
+
+fn kernel() -> BoxedStrategy<Kernel> {
+    prop_oneof![
+        (name(), prop::collection::vec(expr(1), 1..3), expr(2))
+            .prop_map(|(array, subs, rhs)| Kernel::Assign { array, subs, rhs }),
+        (name(), expr(2)).prop_map(|(var, rhs)| Kernel::Accum { var, rhs }),
+    ]
+    .boxed()
+}
+
+/// A statement; `depth` bounds `for`-body nesting.
+fn stmt(depth: u32) -> BoxedStrategy<Stmt> {
+    let leaf = prop_oneof![
+        (name(), expr(2)).prop_map(|(name, value)| Stmt::Var { name, value }),
+        (name(), expr(2)).prop_map(|(name, value)| Stmt::Assign { name, value }),
+        expr(2).prop_map(|cond| Stmt::Assert { cond }),
+        (name(), name()).prop_map(|(a, b)| Stmt::Swap { a, b }),
+        (0usize..1).prop_map(|_| Stmt::CommSplitShared),
+        (
+            0usize..PRAGMAS.len(),
+            prop::collection::vec(loop_header(), 1..3),
+            kernel()
+        )
+            .prop_map(|(p, loops, kernel)| Stmt::ParLoop {
+                pragma: PRAGMAS[p].to_string(),
+                loops,
+                kernel,
+            }),
+    ]
+    .boxed();
+    if depth == 0 {
+        return leaf;
+    }
+    prop_oneof![
+        leaf,
+        (loop_header(), prop::collection::vec(stmt(depth - 1), 0..3))
+            .prop_map(|(header, body)| Stmt::For { header, body }),
+    ]
+    .boxed()
+}
+
+fn item() -> BoxedStrategy<Item> {
+    prop_oneof![
+        (name(), expr(1)).prop_map(|(name, value)| Item::Param { name, value }),
+        (
+            name(),
+            prop::collection::vec(expr(1), 1..3),
+            0u32..3,
+            expr(1),
+            any::<bool>()
+        )
+            .prop_map(|(name, dims, grid, init, has_init)| Item::Array {
+                name,
+                dims,
+                grid: if grid == 0 { None } else { Some(grid) },
+                init: has_init.then_some(init),
+            }),
+        stmt(2).prop_map(Item::Stmt),
+    ]
+    .boxed()
+}
+
+fn program() -> BoxedStrategy<Program> {
+    prop::collection::vec(item(), 0..8)
+        .prop_map(|items| Program { items })
+        .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// parse ∘ pretty = id on ASTs, and pretty is idempotent on text.
+    fn pretty_then_parse_is_identity(p in program()) {
+        let printed = p.pretty();
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("canonical form must reparse: {e}\n---\n{printed}"));
+        prop_assert_eq!(&reparsed, &p, "AST drift through pretty-print:\n{}", printed);
+        prop_assert_eq!(reparsed.pretty(), printed, "canonical form is not a fixed point");
+    }
+}

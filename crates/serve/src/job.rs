@@ -78,6 +78,10 @@ pub enum Workload {
     /// Red-black Gauss-Seidel on the array layer (`n×n` mesh, two
     /// colored half-sweeps — and exchanges — per iteration).
     Redblack,
+    /// A compiled `.acc` DSL program (`program=` names a shipped
+    /// example or carries escaped inline source; `params=` overrides
+    /// its `param` declarations).
+    Dsl,
 }
 
 impl Workload {
@@ -90,6 +94,7 @@ impl Workload {
             Workload::Stencil3d => "stencil3d",
             Workload::Stencil2d => "stencil2d",
             Workload::Redblack => "redblack",
+            Workload::Dsl => "dsl",
         }
     }
 
@@ -101,11 +106,53 @@ impl Workload {
             "stencil3d" => Ok(Workload::Stencil3d),
             "stencil2d" => Ok(Workload::Stencil2d),
             "redblack" => Ok(Workload::Redblack),
+            "dsl" => Ok(Workload::Dsl),
             other => Err(format!(
-                "unknown workload {other:?} (allreduce|exchange|jacobi|stencil3d|stencil2d|redblack)"
+                "unknown workload {other:?} (allreduce|exchange|jacobi|stencil3d|stencil2d|redblack|dsl)"
             )),
         }
     }
+}
+
+/// Escape DSL source so it survives the daemon's line- and
+/// space-oriented plumbing: canonical forms join pairs with spaces,
+/// job files are `key=value` *lines* with `#` comments. The escaped
+/// text contains none of newline, space, tab or `#`.
+pub fn escape_src(src: &str) -> String {
+    let mut out = String::with_capacity(src.len());
+    for c in src.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            ' ' => out.push_str("\\s"),
+            '#' => out.push_str("\\h"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Inverse of [`escape_src`]. Unknown escapes pass the character
+/// through literally.
+pub fn unescape_src(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            Some('s') => out.push(' '),
+            Some('h') => out.push('#'),
+            Some(other) => out.push(other),
+            None => out.push('\\'),
+        }
+    }
+    out
 }
 
 /// One simulation request. Build with [`JobSpec::parse`] /
@@ -135,6 +182,12 @@ pub struct JobSpec {
     /// Array-stencil halo depth / star radius (default 1; stencil2d
     /// exchanges `halo` rows per neighbour per sweep).
     pub halo: usize,
+    /// DSL program: a shipped example name (`jacobi`, `dot`,
+    /// `stencil2d`) or [`escape_src`]-encoded inline source. Only the
+    /// `dsl` workload reads it.
+    pub program: String,
+    /// DSL `param` overrides, applied over the program's defaults.
+    pub params: Vec<(String, f64)>,
     /// Forced collective algorithm (default: engine policy).
     pub algo: Option<CollAlgo>,
     /// Uniform chaos fault rate over all sites (default 0 = no plan).
@@ -173,6 +226,8 @@ impl Default for JobSpec {
             n: 64,
             iters: 4,
             halo: 1,
+            program: String::new(),
+            params: Vec::new(),
             algo: None,
             chaos_rate: 0.0,
             chaos_seed: 0,
@@ -235,6 +290,22 @@ impl JobSpec {
                 "n" => job.n = parse_num(k, v)?,
                 "iters" => job.iters = parse_num(k, v)?,
                 "halo" => job.halo = parse_num(k, v)?,
+                "program" => job.program = v.to_string(),
+                "params" => {
+                    let mut params: Vec<(String, f64)> = Vec::new();
+                    for part in v.split(',').filter(|p| !p.trim().is_empty()) {
+                        let (name, val) = part
+                            .trim()
+                            .split_once(':')
+                            .ok_or_else(|| format!("params entry {part:?}: want name:value"))?;
+                        let val: f64 = parse_num("params", val.trim())?;
+                        let name = name.trim().to_string();
+                        params.retain(|(n, _)| *n != name);
+                        params.push((name, val));
+                    }
+                    params.sort_by(|a, b| a.0.cmp(&b.0));
+                    job.params = params;
+                }
                 "algo" => {
                     job.algo = match v {
                         "auto" => None,
@@ -329,12 +400,56 @@ impl JobSpec {
             }
             _ => {}
         }
+        if self.workload == Workload::Dsl {
+            if self.program.is_empty() {
+                return Err("dsl workload needs program=<example|inline source>".into());
+            }
+            let c = self.dsl_compile()?;
+            impacc_dsl::validate_launch(&c, self.task_count())
+                .map_err(|e| format!("dsl program cannot launch: {e}"))?;
+        }
         for &(n, d) in &self.fail_device {
             if n >= self.nodes || d >= self.gpus {
                 return Err(format!("fail_device {n}:{d} outside the machine"));
             }
         }
         Ok(())
+    }
+
+    /// The DSL source this job names: a shipped example, or the
+    /// unescaped inline text.
+    pub fn dsl_source(&self) -> String {
+        match impacc_dsl::example(&self.program) {
+            Some(src) => src.to_string(),
+            None => unescape_src(&self.program),
+        }
+    }
+
+    /// Compile the job's DSL program with its `params` overrides.
+    pub fn dsl_compile(&self) -> Result<impacc_dsl::Compiled, String> {
+        impacc_dsl::compile_with_overrides(&self.dsl_source(), &self.params)
+            .map_err(|e| format!("dsl compile failed: {e}"))
+    }
+
+    /// Normal form of the DSL program: the canonical pretty-printed
+    /// source with every `param` default replaced by its *resolved*
+    /// value, plus that text's content hash. This is what makes
+    /// `program=jacobi`, the same source inlined, and a default spelled
+    /// out via `params=` all land on one cache key — while any source
+    /// mutation or effective-parameter change moves it.
+    fn dsl_canonical(&self) -> Result<(String, String), String> {
+        let c = self.dsl_compile()?;
+        let mut prog = c.program.clone();
+        for item in &mut prog.items {
+            if let impacc_dsl::ast::Item::Param { name, value } = item {
+                if let Some((_, v)) = c.params.iter().find(|(n, _)| n == name) {
+                    *value = impacc_dsl::ast::Expr::Num(*v);
+                }
+            }
+        }
+        let canon = prog.pretty();
+        let hash = impacc_dsl::source_hash(&canon);
+        Ok((canon, hash))
     }
 
     /// Tasks the §3.2 mapper will create on this job's machine.
@@ -374,6 +489,17 @@ impl JobSpec {
                 m.insert("n", self.n.to_string());
                 m.insert("iters", self.iters.to_string());
                 m.insert("halo", self.halo.to_string());
+            }
+            Workload::Dsl => {
+                // The program is keyed by its *normal form* (canonical
+                // source with params resolved), so spelling variants
+                // cannot split the cache. `src_hash` is derived — it
+                // rides along for observability and greppability.
+                let (canon, hash) = self
+                    .dsl_canonical()
+                    .unwrap_or_else(|e| (format!("<invalid: {e}>"), "0".repeat(16)));
+                m.insert("program", escape_src(&canon));
+                m.insert("src_hash", hash);
             }
         }
         m.insert("chaos_rate", format!("{}", self.chaos_rate));
@@ -420,7 +546,15 @@ impl JobSpec {
     /// [`JobSpec::canonical`] this keeps the non-result fields (`prof`,
     /// `priority`, `elide`) a request carries through the daemon.
     pub fn to_file(&self) -> String {
-        let mut out = self.canonical().split(' ').collect::<Vec<_>>().join("\n");
+        // `src_hash` is derived from `program` (parse would reject it
+        // as an unknown knob); `params` are already folded into the
+        // canonical program text.
+        let mut out = self
+            .canonical()
+            .split(' ')
+            .filter(|line| !line.starts_with("src_hash="))
+            .collect::<Vec<_>>()
+            .join("\n");
         if self.prof {
             out.push_str("\nprof=1");
         }
@@ -517,6 +651,87 @@ mod tests {
         assert!(JobSpec::parse("workload=allreduce\nchaos_rate=1.5").is_err());
         assert!(JobSpec::parse("workload=exchange\ngpus=4").is_err());
         assert!(JobSpec::parse("workload=allreduce\nfail_device=9:9").is_err());
+    }
+
+    #[test]
+    fn dsl_named_and_inline_programs_share_a_key() {
+        let named = JobSpec::parse("workload=dsl\nprogram=jacobi\ngpus=2").unwrap();
+        let inline = JobSpec::from_pairs([
+            ("workload", "dsl"),
+            ("gpus", "2"),
+            (
+                "program",
+                &escape_src(impacc_dsl::example("jacobi").unwrap()),
+            ),
+        ])
+        .unwrap();
+        assert_eq!(
+            named.key(),
+            inline.key(),
+            "the key addresses the program's normal form, not its spelling"
+        );
+        // Spelling a default out via params= does not move the key either.
+        let spelled =
+            JobSpec::parse("workload=dsl\nprogram=jacobi\ngpus=2\nparams=n:64,iters:4").unwrap();
+        assert_eq!(named.key(), spelled.key());
+    }
+
+    #[test]
+    fn dsl_source_mutation_is_a_cache_miss() {
+        let base = JobSpec::parse("workload=dsl\nprogram=dot\ngpus=2").unwrap();
+        // Change one constant in the kernel body: y's init 2.0 -> 3.0.
+        let src = impacc_dsl::example("dot")
+            .unwrap()
+            .replace("init(2.0)", "init(3.0)");
+        let mutated = JobSpec::from_pairs([
+            ("workload", "dsl"),
+            ("gpus", "2"),
+            ("program", &escape_src(&src)),
+        ])
+        .unwrap();
+        assert_ne!(base.key(), mutated.key(), "mutated source must miss");
+        // An *effective* param override moves the key too.
+        let smaller = JobSpec::parse("workload=dsl\nprogram=dot\ngpus=2\nparams=n:1024").unwrap();
+        assert_ne!(base.key(), smaller.key());
+        assert!(smaller.canonical().contains("src_hash="));
+    }
+
+    #[test]
+    fn dsl_jobs_round_trip_through_to_file() {
+        let job = JobSpec::parse(
+            "workload=dsl\nprogram=stencil2d\nnodes=2\ngpus=2\nparams=h:3\npriority=low",
+        )
+        .unwrap();
+        let body = job.to_file();
+        assert!(
+            !body.contains("src_hash="),
+            "derived fields must not reach the spool wire format"
+        );
+        let back = JobSpec::parse(&body).unwrap();
+        assert_eq!(job.key(), back.key());
+        assert_eq!(back.priority, Priority::Low);
+    }
+
+    #[test]
+    fn dsl_jobs_validate_their_program_and_launch() {
+        // No program at all.
+        assert!(JobSpec::parse("workload=dsl").is_err());
+        // Source that does not compile.
+        let bad = escape_src("param n = 4;\nvar x = frob(n);\n");
+        assert!(JobSpec::from_pairs([("workload", "dsl"), ("program", bad.as_str())]).is_err());
+        // Compiles, but the inferred depth-2 halo exceeds the smallest
+        // row block of a 6-row mesh split 4 ways (2,2,1,1).
+        let err = JobSpec::parse("workload=dsl\nprogram=stencil2d\nnodes=2\ngpus=2\nparams=n:6")
+            .unwrap_err();
+        assert!(err.contains("cannot launch"), "got: {err}");
+    }
+
+    #[test]
+    fn src_escaping_round_trips() {
+        let src = "param n = 4; # comment\narray a[n];\n\tvar x \\ = 0.0;\n";
+        assert_eq!(unescape_src(&escape_src(src)), src);
+        let esc = escape_src(src);
+        assert!(!esc.contains(' ') && !esc.contains('\n') && !esc.contains('#'));
     }
 
     #[test]

@@ -157,6 +157,14 @@ pub fn run_job_flight(
                 .map_err(|e| format!("jacobi failed: {e:?}"))?
         }
         wl => {
+            // DSL programs compile once on the submitting thread (the
+            // compiler is deterministic, but diagnostics belong here,
+            // not inside a simulated rank) and every rank walks the
+            // shared plan.
+            let dsl = match wl {
+                Workload::Dsl => Some(std::sync::Arc::new(job.dsl_compile()?)),
+                _ => None,
+            };
             let mut l = Launch::new(spec, RuntimeOptions::impacc());
             if let Some(plan) = fault_plan(job) {
                 l = l.chaos(plan);
@@ -222,6 +230,10 @@ pub fn run_job_flight(
                         },
                         None,
                     ),
+                    Workload::Dsl => {
+                        let c = dsl.as_ref().expect("compiled before launch");
+                        impacc_dsl::run_program(tc, c, None, false);
+                    }
                     Workload::Jacobi => unreachable!("handled above"),
                 }
             };
@@ -354,6 +366,24 @@ mod tests {
         let a = run_job(&job).unwrap();
         let b = run_job(&job).unwrap();
         assert_eq!(a.result, b.result, "seeded chaos is part of the key");
+    }
+
+    #[test]
+    fn dsl_jobs_run_and_are_deterministic() {
+        for text in [
+            "workload=dsl\nprogram=jacobi\nnodes=2\ngpus=2\nparams=n:24,iters:3",
+            "workload=dsl\nprogram=dot\nnodes=1\ngpus=2\nparams=n:512",
+            "workload=dsl\nprogram=stencil2d\nnodes=2\ngpus=1\nparams=n:24,iters:2",
+        ] {
+            let job = JobSpec::parse(text).unwrap();
+            let a = run_job(&job).unwrap();
+            let b = run_job(&job).unwrap();
+            assert_eq!(a.result, b.result, "{text}: cache contract");
+            assert!(
+                a.result.contains("src_hash="),
+                "{text}: the canonical echo must carry the source hash"
+            );
+        }
     }
 
     #[test]

@@ -119,6 +119,50 @@ fn mutated_jobs_execute_instead_of_hitting() {
     assert_eq!(st.jobs_done as usize, 1 + mutations().len());
 }
 
+#[test]
+fn dsl_source_mutation_misses_while_respellings_hit() {
+    let serve = Serve::start(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    });
+    let named =
+        JobSpec::parse("workload=dsl\nprogram=jacobi\nnodes=1\ngpus=2\nparams=n:16,iters:2")
+            .unwrap();
+    assert!(!serve.submit(named.clone()).unwrap().wait().cache_hit);
+
+    // The same program inlined (with the overridden params spelled as
+    // its defaults) is a *respelling*: same normal form, cache hit.
+    let src = impacc_dsl::example("jacobi")
+        .unwrap()
+        .replace("param n = 64;", "param n = 16;")
+        .replace("param iters = 4;", "param iters = 2;");
+    let inline = JobSpec::from_pairs([
+        ("workload", "dsl"),
+        ("nodes", "1"),
+        ("gpus", "2"),
+        ("program", &impacc_serve::job::escape_src(&src)),
+    ])
+    .unwrap();
+    assert_eq!(named.key(), inline.key());
+    let hit = serve.submit(inline).unwrap().wait();
+    assert!(hit.cache_hit, "respelled program must hit");
+
+    // One token changed in the kernel body: a genuine mutation, miss.
+    let mutated_src = src.replace("0.25", "0.5");
+    assert_ne!(src, mutated_src, "mutation must actually apply");
+    let mutated = JobSpec::from_pairs([
+        ("workload", "dsl"),
+        ("nodes", "1"),
+        ("gpus", "2"),
+        ("program", &impacc_serve::job::escape_src(&mutated_src)),
+    ])
+    .unwrap();
+    assert_ne!(named.key(), mutated.key());
+    let miss = serve.submit(mutated).unwrap().wait();
+    assert!(!miss.cache_hit, "mutated kernel body must re-execute");
+    assert_eq!(serve.status().cache_hits, 1);
+}
+
 /// Tiny deterministic shuffler (splitmix-fed Fisher-Yates).
 fn shuffle<T>(items: &mut [T], mut seed: u64) {
     for i in (1..items.len()).rev() {

@@ -218,6 +218,7 @@ pub mod strategy {
         (A.0, B.1)
         (A.0, B.1, C.2)
         (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
     }
 
     trait DynStrategy<V> {
